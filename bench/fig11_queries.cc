@@ -1,0 +1,210 @@
+// Figure 11 of the paper: time to execute the navigation component of the
+// six complex queries of Table 3, under four representation schemes --
+// uncompressed adjacency files, the relational database, Link3, and
+// S-Node -- with a fixed memory budget for the graph representation
+// (325 MB in the paper; scaled 1:1000 here, with the resident indexes
+// pinned on top, as in the paper's setup). Each bar is the average of 6
+// trials on the 100k-page data set.
+//
+// Times are "modeled disk" times: measured CPU/navigation time plus the
+// counted physical I/O priced at 2001-era disk constants (see
+// bench_common.h) -- at 1:1000 scale everything fits the page cache, so
+// counted I/O is the faithful carrier of the paper's disk behaviour.
+//
+// Paper's claims: S-Node wins every query by roughly an order of
+// magnitude; uncompressed files are worst (often 15x); relational and
+// Link3 sit in between; the reduction vs the next-best scheme exceeds 70%
+// on every query.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "repr/link3_repr.h"
+#include "repr/relational_repr.h"
+#include "repr/uncompressed_repr.h"
+#include "snode/snode_repr.h"
+
+namespace wg {
+namespace {
+
+constexpr size_t kPages = 100000;
+constexpr int kTrials = 6;
+// The paper's 325 MB is about one third of its Link3 file (~1 GB at
+// 5.81 bits/edge x 14 links x 100M pages), comfortably above every
+// query's S-Node working set (its Figure 12 knees), and a small fraction
+// of the 5.6 GB uncompressed file. The same proportions at 1:1000 scale
+// give ~500 KB total (two directions), which this reproduction's Figure
+// 12 confirms is above every query's knee.
+constexpr size_t kBudget = 512 << 10;
+
+struct Scheme {
+  std::string name;
+  GraphRepresentation* fwd;
+  GraphRepresentation* bwd;
+};
+
+void Run() {
+  bench::PrintHeader("Figure 11: query navigation time by representation");
+  WebGraph graph = bench::FullCrawl().InducedPrefix(kPages);
+  WebGraph transpose = graph.Transpose();
+  Corpus corpus = Corpus::Generate(graph, CorpusOptions());
+  InvertedIndex index = InvertedIndex::Build(corpus);
+  std::vector<double> pagerank = ComputePageRank(graph);
+  std::string dir = bench::BenchDir();
+
+  // Budget split: each direction gets half, like running two mirrored
+  // stores under one cap.
+  const size_t half = kBudget / 2;
+
+  UncompressedFileRepr::Options file_opts;
+  file_opts.buffer_bytes = half;
+  // The paper's uncompressed scheme fetches individual adjacency lists
+  // (its file is ~6 GB, so consecutive lists share a buffer block with
+  // probability ~0); per-list-sized blocks reproduce that seek behaviour
+  // at 1:1000 scale.
+  file_opts.block_bytes = 256;
+  auto file_fwd = bench::UnwrapOrDie(
+      UncompressedFileRepr::Build(graph, dir + "/f11_file_f", file_opts));
+  auto file_bwd = bench::UnwrapOrDie(
+      UncompressedFileRepr::Build(transpose, dir + "/f11_file_b", file_opts));
+
+  RelationalRepr::Options rel_opts;
+  rel_opts.buffer_bytes = half;
+  auto rel_fwd = bench::UnwrapOrDie(
+      RelationalRepr::Build(graph, dir + "/f11_rel_f", rel_opts));
+  auto rel_bwd = bench::UnwrapOrDie(
+      RelationalRepr::Build(transpose, dir + "/f11_rel_b", rel_opts));
+
+  Link3Repr::Options l3_opts;
+  l3_opts.buffer_bytes = half;
+  // The Link database does per-list random access on disk; small blocks
+  // approximate that granularity while preserving the reference window.
+  l3_opts.pages_per_block = 16;
+  auto l3_fwd = bench::UnwrapOrDie(
+      Link3Repr::Build(graph, dir + "/f11_l3_f", l3_opts));
+  auto l3_bwd = bench::UnwrapOrDie(
+      Link3Repr::Build(transpose, dir + "/f11_l3_b", l3_opts));
+
+  SNodeBuildOptions sn_opts;
+  sn_opts.buffer_bytes = half;
+  auto sn_fwd = bench::UnwrapOrDie(
+      SNodeRepr::Build(graph, dir + "/f11_sn_f", sn_opts));
+  auto sn_bwd = bench::UnwrapOrDie(
+      SNodeRepr::Build(transpose, dir + "/f11_sn_b", sn_opts));
+
+  std::vector<Scheme> schemes = {
+      {"uncompressed-file", file_fwd.get(), file_bwd.get()},
+      {"relational", rel_fwd.get(), rel_bwd.get()},
+      {"link3", l3_fwd.get(), l3_bwd.get()},
+      {"s-node", sn_fwd.get(), sn_bwd.get()},
+  };
+
+  // times[scheme][query] in modeled seconds.
+  std::vector<std::vector<double>> times(schemes.size(),
+                                         std::vector<double>(kNumQueries, 0));
+  std::vector<std::vector<uint64_t>> seeks_table(
+      schemes.size(), std::vector<uint64_t>(kNumQueries, 0));
+
+  for (size_t s = 0; s < schemes.size(); ++s) {
+    QueryContext ctx;
+    ctx.forward = schemes[s].fwd;
+    ctx.backward = schemes[s].bwd;
+    ctx.graph = &graph;
+    ctx.corpus = &corpus;
+    ctx.index = &index;
+    ctx.pagerank = &pagerank;
+    for (int q = 1; q <= kNumQueries; ++q) {
+      double total = 0;
+      uint64_t seeks = 0;
+      for (int trial = 0; trial < kTrials; ++trial) {
+        // Cold trials: at full scale a query's working set exceeded the
+        // buffers, so every paper trial was effectively cold.
+        schemes[s].fwd->ClearBuffers();
+        schemes[s].bwd->ClearBuffers();
+        schemes[s].fwd->stats().Reset();
+        schemes[s].bwd->stats().Reset();
+        auto result = bench::UnwrapOrDie(RunQuery(q, ctx));
+        double wall = result.navigation_seconds;
+        total += bench::ModeledSeconds(wall, schemes[s].fwd->stats()) +
+                 schemes[s].bwd->stats().disk_seeks * bench::kSeekSeconds +
+                 schemes[s].bwd->stats().disk_transfer_bytes /
+                     bench::kBytesPerSecond;
+        seeks += schemes[s].fwd->stats().disk_seeks +
+                 schemes[s].bwd->stats().disk_seeks;
+      }
+      times[s][q - 1] = total / kTrials;
+      seeks_table[s][q - 1] = seeks / kTrials;
+    }
+  }
+
+  std::printf("%-20s", "scheme");
+  for (int q = 1; q <= kNumQueries; ++q) std::printf("   Q%d (s)", q);
+  std::printf("\n");
+  for (size_t s = 0; s < schemes.size(); ++s) {
+    std::printf("%-20s", schemes[s].name.c_str());
+    for (int q = 0; q < kNumQueries; ++q) {
+      std::printf(" %8.4f", times[s][q]);
+    }
+    std::printf("\n");
+  }
+  std::printf("(disk seeks per trial)\n%-20s", "scheme");
+  for (int q = 1; q <= kNumQueries; ++q) std::printf("     Q%d  ", q);
+  std::printf("\n");
+  for (size_t s = 0; s < schemes.size(); ++s) {
+    std::printf("%-20s", schemes[s].name.c_str());
+    for (int q = 0; q < kNumQueries; ++q) {
+      std::printf(" %8llu",
+                  static_cast<unsigned long long>(seeks_table[s][q]));
+    }
+    std::printf("\n");
+  }
+
+  // Percentage reduction of S-Node vs the next-best scheme (the table
+  // embedded in Figure 11).
+  std::printf("%-8s %28s\n", "query",
+              "reduction vs next-best scheme");
+  bool snode_wins_all = true;
+  bool reduction_over_50_all = true;
+  int reduction_over_70 = 0;
+  for (int q = 0; q < kNumQueries; ++q) {
+    double snode = times[3][q];
+    double best_other = times[0][q];
+    for (size_t s = 0; s < 3; ++s) {
+      best_other = std::min(best_other, times[s][q]);
+    }
+    double reduction = best_other > 0 ? 100.0 * (best_other - snode) /
+                                            best_other
+                                      : 0.0;
+    std::printf("Q%-7d %27.1f%%\n", q + 1, reduction);
+    if (snode >= best_other) snode_wins_all = false;
+    if (reduction < 50.0) reduction_over_50_all = false;
+    if (reduction >= 70.0) ++reduction_over_70;
+  }
+
+  bool file_worst = true;
+  for (int q = 0; q < kNumQueries; ++q) {
+    for (size_t s = 1; s < schemes.size(); ++s) {
+      if (times[0][q] < times[s][q]) file_worst = false;
+    }
+  }
+
+  bench::PrintShapeCheck(snode_wins_all,
+                         "S-Node is the fastest scheme on every query");
+  bench::PrintShapeCheck(file_worst,
+                         "uncompressed files are the slowest scheme on "
+                         "every query");
+  bench::PrintShapeCheck(
+      reduction_over_50_all && reduction_over_70 >= kNumQueries / 2,
+      "navigation-time reduction vs next best is large on every query "
+      "(paper: >70% on all six)");
+}
+
+}  // namespace
+}  // namespace wg
+
+int main() {
+  wg::Run();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Compression explorer: builds all four representation schemes over the
+// same crawl and prints a side-by-side profile -- encoded size, resident
+// memory, and the cost of a sample navigation -- so the trade-offs the
+// paper's Tables 1-2 quantify can be inspected on any workload size.
+//
+//   ./build/examples/compression_explorer [num_pages]
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "graph/generator.h"
+#include "repr/huffman_repr.h"
+#include "repr/link3_repr.h"
+#include "repr/relational_repr.h"
+#include "repr/uncompressed_repr.h"
+#include "snode/snode_repr.h"
+#include "storage/file.h"
+
+namespace {
+
+void Profile(const char* name, wg::GraphRepresentation* repr,
+             const wg::WebGraph& graph) {
+  // Sample navigation: the out-neighborhood of every 97th page.
+  repr->stats().Reset();
+  std::vector<wg::PageId> links;
+  for (wg::PageId p = 0; p < graph.num_pages(); p += 97) {
+    links.clear();
+    WG_CHECK(repr->GetLinks(p, &links).ok());
+  }
+  std::printf("%-20s %10.2f %14.1f %12llu %12llu\n", name,
+              repr->BitsPerEdge(), repr->resident_memory() / 1024.0,
+              static_cast<unsigned long long>(repr->stats().disk_reads),
+              static_cast<unsigned long long>(repr->stats().edges_returned));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t num_pages = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 50000;
+  wg::GeneratorOptions gen;
+  gen.num_pages = num_pages;
+  wg::WebGraph graph = wg::GenerateWebGraph(gen);
+  std::printf("crawl: %zu pages, %llu links (avg out-degree %.1f)\n\n",
+              graph.num_pages(),
+              static_cast<unsigned long long>(graph.num_edges()),
+              graph.average_out_degree());
+
+  WG_CHECK(wg::EnsureDirectory("/tmp/wg_explorer").ok());
+  auto huffman = wg::HuffmanRepr::Build(graph);
+  auto link3 = wg::Link3Repr::Build(graph, "/tmp/wg_explorer/l3", {});
+  auto snode = wg::SNodeRepr::Build(graph, "/tmp/wg_explorer/sn", {});
+  auto relational =
+      wg::RelationalRepr::Build(graph, "/tmp/wg_explorer/rel", {});
+  auto file =
+      wg::UncompressedFileRepr::Build(graph, "/tmp/wg_explorer/unc", {});
+  WG_CHECK(link3.ok() && snode.ok() && relational.ok() && file.ok());
+
+  std::printf("%-20s %10s %14s %12s %12s\n", "scheme", "bits/edge",
+              "resident KB", "disk reads", "edges read");
+  Profile("uncompressed-file", file.value().get(), graph);
+  Profile("relational", relational.value().get(), graph);
+  Profile("plain-huffman", huffman.get(), graph);
+  Profile("link3", link3.value().get(), graph);
+  Profile("s-node", snode.value().get(), graph);
+
+  std::printf("\nS-Node internals: %u supernodes, %llu superedges, "
+              "top-level graph %.1f KB (Huffman, with pointers)\n",
+              snode.value()->supernode_graph().num_supernodes(),
+              static_cast<unsigned long long>(
+                  snode.value()->supernode_graph().num_superedges()),
+              snode.value()->supernode_graph().HuffmanEncodedBytes() /
+                  1024.0);
+  return 0;
+}

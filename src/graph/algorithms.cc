@@ -1,0 +1,211 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+
+#include "util/rng.h"
+
+namespace wg {
+
+SccResult ComputeScc(const WebGraph& graph) {
+  size_t n = graph.num_pages();
+  SccResult result;
+  result.component_of.assign(n, UINT32_MAX);
+
+  // Iterative Tarjan: explicit stack of (vertex, next-edge-index) frames to
+  // survive deep chains (the generator produces long same-host paths).
+  std::vector<uint32_t> index(n, UINT32_MAX);
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<uint8_t> on_stack(n, 0);
+  std::vector<PageId> tarjan_stack;
+  std::vector<std::pair<PageId, size_t>> frames;
+  uint32_t next_index = 0;
+  uint32_t next_component = 0;
+  std::vector<size_t> component_size;
+
+  for (PageId root = 0; root < n; ++root) {
+    if (index[root] != UINT32_MAX) continue;
+    frames.emplace_back(root, 0);
+    while (!frames.empty()) {
+      auto& [v, ei] = frames.back();
+      if (ei == 0) {
+        index[v] = lowlink[v] = next_index++;
+        tarjan_stack.push_back(v);
+        on_stack[v] = 1;
+      }
+      auto links = graph.OutLinks(v);
+      bool descended = false;
+      while (ei < links.size()) {
+        PageId w = links[ei];
+        ++ei;
+        if (index[w] == UINT32_MAX) {
+          frames.emplace_back(w, 0);
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) lowlink[v] = std::min(lowlink[v], index[w]);
+      }
+      if (descended) continue;
+      // v is finished: pop an SCC if v is a root.
+      if (lowlink[v] == index[v]) {
+        size_t size = 0;
+        PageId w;
+        do {
+          w = tarjan_stack.back();
+          tarjan_stack.pop_back();
+          on_stack[w] = 0;
+          result.component_of[w] = next_component;
+          ++size;
+        } while (w != v);
+        component_size.push_back(size);
+        ++next_component;
+      }
+      PageId finished = v;
+      frames.pop_back();
+      if (!frames.empty()) {
+        PageId parent = frames.back().first;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[finished]);
+      }
+    }
+  }
+  result.num_components = next_component;
+  for (size_t s : component_size) {
+    result.largest_component_size = std::max(result.largest_component_size, s);
+  }
+  return result;
+}
+
+std::vector<uint32_t> BfsDistances(const WebGraph& graph, PageId source) {
+  std::vector<uint32_t> dist(graph.num_pages(), UINT32_MAX);
+  std::deque<PageId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    PageId v = queue.front();
+    queue.pop_front();
+    for (PageId w : graph.OutLinks(v)) {
+      if (dist[w] == UINT32_MAX) {
+        dist[w] = dist[v] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+WccResult ComputeWcc(const WebGraph& graph) {
+  size_t n = graph.num_pages();
+  WccResult result;
+  std::vector<uint32_t> parent(n);
+  for (uint32_t v = 0; v < n; ++v) parent[v] = v;
+  std::function<uint32_t(uint32_t)> find = [&](uint32_t v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];  // path halving
+      v = parent[v];
+    }
+    return v;
+  };
+  for (PageId p = 0; p < n; ++p) {
+    for (PageId q : graph.OutLinks(p)) {
+      uint32_t a = find(p), b = find(q);
+      if (a != b) parent[a] = b;
+    }
+  }
+  result.component_of.assign(n, UINT32_MAX);
+  std::vector<size_t> sizes;
+  for (uint32_t v = 0; v < n; ++v) {
+    uint32_t root = find(v);
+    if (result.component_of[root] == UINT32_MAX) {
+      result.component_of[root] = static_cast<uint32_t>(sizes.size());
+      sizes.push_back(0);
+    }
+    result.component_of[v] = result.component_of[root];
+    ++sizes[result.component_of[v]];
+  }
+  result.num_components = sizes.size();
+  for (size_t s : sizes) {
+    result.largest_component_size = std::max(result.largest_component_size, s);
+  }
+  return result;
+}
+
+namespace {
+
+// Marks everything reachable from `seeds` (already marked) in `graph`.
+void MarkReachable(const WebGraph& graph, std::vector<char>* marked) {
+  std::deque<PageId> queue;
+  for (PageId p = 0; p < graph.num_pages(); ++p) {
+    if ((*marked)[p]) queue.push_back(p);
+  }
+  while (!queue.empty()) {
+    PageId v = queue.front();
+    queue.pop_front();
+    for (PageId w : graph.OutLinks(v)) {
+      if (!(*marked)[w]) {
+        (*marked)[w] = 1;
+        queue.push_back(w);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+BowtieResult ComputeBowtie(const WebGraph& graph) {
+  size_t n = graph.num_pages();
+  BowtieResult result;
+  result.region_of.assign(n, BowtieResult::Region::kOther);
+  if (n == 0) return result;
+
+  SccResult scc = ComputeScc(graph);
+  // Largest SCC = CORE.
+  std::vector<size_t> sizes(scc.num_components, 0);
+  for (uint32_t c : scc.component_of) ++sizes[c];
+  uint32_t core = static_cast<uint32_t>(
+      std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+
+  std::vector<char> from_core(n, 0), to_core(n, 0);
+  for (PageId p = 0; p < n; ++p) {
+    if (scc.component_of[p] == core) from_core[p] = to_core[p] = 1;
+  }
+  MarkReachable(graph, &from_core);
+  WebGraph transpose = graph.Transpose();
+  MarkReachable(transpose, &to_core);
+
+  for (PageId p = 0; p < n; ++p) {
+    if (scc.component_of[p] == core) {
+      result.region_of[p] = BowtieResult::Region::kCore;
+      ++result.core;
+    } else if (to_core[p]) {
+      result.region_of[p] = BowtieResult::Region::kIn;
+      ++result.in;
+    } else if (from_core[p]) {
+      result.region_of[p] = BowtieResult::Region::kOut;
+      ++result.out;
+    } else {
+      ++result.other;
+    }
+  }
+  return result;
+}
+
+uint32_t EstimateDiameter(const WebGraph& graph, size_t samples,
+                          uint64_t seed) {
+  size_t n = graph.num_pages();
+  if (n == 0) return 0;
+  Rng rng(seed);
+  uint32_t best = 0;
+  samples = std::min(samples, n);
+  for (size_t i = 0; i < samples; ++i) {
+    PageId source = samples >= n ? static_cast<PageId>(i)
+                                 : static_cast<PageId>(rng.Uniform(n));
+    std::vector<uint32_t> dist = BfsDistances(graph, source);
+    for (uint32_t d : dist) {
+      if (d != UINT32_MAX) best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+}  // namespace wg

@@ -1,0 +1,59 @@
+#ifndef WG_GRAPH_ALGORITHMS_H_
+#define WG_GRAPH_ALGORITHMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/webgraph.h"
+
+// Global-access graph computations (Section 1.2 of the paper lists SCC,
+// diameter, and PageRank as the bulk tasks a compact in-memory
+// representation enables). These run over the in-memory WebGraph; the
+// graph_mining example shows the same computations running over a decoded
+// S-Node representation.
+
+namespace wg {
+
+// Strongly connected components (iterative Tarjan). Returns one component
+// id per page, ids dense in [0, num_components).
+struct SccResult {
+  std::vector<uint32_t> component_of;
+  size_t num_components = 0;
+  size_t largest_component_size = 0;
+};
+SccResult ComputeScc(const WebGraph& graph);
+
+// BFS distances from `source` following out-links; unreachable = UINT32_MAX.
+std::vector<uint32_t> BfsDistances(const WebGraph& graph, PageId source);
+
+// Estimates the directed diameter (longest shortest path) by running BFS
+// from `samples` seed pages chosen deterministically; exact if samples >=
+// num_pages. Ignores unreachable pairs.
+uint32_t EstimateDiameter(const WebGraph& graph, size_t samples,
+                          uint64_t seed);
+
+// Weakly connected components (union-find over undirected edges).
+struct WccResult {
+  std::vector<uint32_t> component_of;
+  size_t num_components = 0;
+  size_t largest_component_size = 0;
+};
+WccResult ComputeWcc(const WebGraph& graph);
+
+// The bow-tie decomposition of Broder et al. ("Graph structure in the
+// Web", the paper's citation [8]) relative to the largest SCC: CORE
+// (the SCC itself), IN (reaches the core), OUT (reached from the core),
+// and OTHER (tendrils/tubes/disconnected).
+struct BowtieResult {
+  enum class Region : uint8_t { kCore, kIn, kOut, kOther };
+  std::vector<Region> region_of;
+  size_t core = 0;
+  size_t in = 0;
+  size_t out = 0;
+  size_t other = 0;
+};
+BowtieResult ComputeBowtie(const WebGraph& graph);
+
+}  // namespace wg
+
+#endif  // WG_GRAPH_ALGORITHMS_H_

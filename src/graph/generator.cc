@@ -1,0 +1,288 @@
+#include "graph/generator.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace wg {
+
+namespace {
+
+// Fixed domains referenced by the Table 3 evaluation queries.
+const char* const kWellKnownDomains[] = {
+    "stanford.edu", "berkeley.edu", "mit.edu",     "caltech.edu",
+    "dilbert.com",  "doonesbury.com", "peanuts.com",
+};
+constexpr size_t kNumWellKnown =
+    sizeof(kWellKnownDomains) / sizeof(kWellKnownDomains[0]);
+
+const char* const kHostPrefixes[] = {"www", "cs", "ee", "web", "news",
+                                     "lib", "shop", "my",  "docs", "blog"};
+
+const char* const kDirWords[] = {"students", "research", "admin",  "pub",
+                                 "projects", "people",   "archive", "news",
+                                 "grad",     "undergrad", "papers", "misc"};
+
+// Geometric sample with the given mean (>= 0), via inversion.
+uint32_t Geometric(Rng* rng, double mean) {
+  if (mean <= 0) return 0;
+  double p = 1.0 / (mean + 1.0);
+  double u = rng->NextDouble();
+  // P(X >= k) = (1-p)^k.
+  double k = std::log(1.0 - u) / std::log(1.0 - p);
+  if (k < 0) k = 0;
+  return static_cast<uint32_t>(k);
+}
+
+struct HostState {
+  // Directory paths, index 0 is "/". Each page picks or creates one.
+  std::vector<std::string> dirs{"/"};
+  std::vector<int> dir_depth{0};
+  // Pages of this host in creation order.
+  std::vector<PageId> pages;
+  // Pages per directory, in creation order (within one directory, creation
+  // order is also URL order thanks to zero-padded page numbers).
+  std::vector<std::vector<PageId>> dir_pages{{}};
+  uint32_t next_page_number = 0;
+  // "Favorite" external hosts: most of a site's cross-site links go to a
+  // handful of partner/popular sites, which is what keeps the supernode
+  // graph of a real Web crawl sparse. Chosen lazily on first use.
+  std::vector<uint32_t> favorite_hosts;
+};
+
+}  // namespace
+
+WebGraph GenerateWebGraph(const GeneratorOptions& options) {
+  Rng rng(options.seed);
+  GraphBuilder builder;
+
+  size_t num_domains = options.num_domains;
+  if (num_domains == 0) {
+    num_domains = std::max<size_t>(24, options.num_pages / 400);
+  }
+  num_domains = std::max(num_domains, kNumWellKnown);
+
+  // --- Domains and hosts.
+  std::vector<std::string> domain_names(num_domains);
+  for (size_t d = 0; d < num_domains; ++d) {
+    if (d < kNumWellKnown) {
+      domain_names[d] = kWellKnownDomains[d];
+    } else {
+      const char* tld;
+      double u = rng.NextDouble();
+      if (u < 0.60) {
+        tld = "com";
+      } else if (u < 0.75) {
+        tld = "edu";
+      } else if (u < 0.90) {
+        tld = "org";
+      } else {
+        tld = "net";
+      }
+      domain_names[d] = "site" + std::to_string(d) + "." + tld;
+    }
+  }
+
+  std::vector<std::vector<uint32_t>> domain_hosts(num_domains);
+  std::vector<HostState> hosts;
+  std::vector<std::string> host_names;
+  for (size_t d = 0; d < num_domains; ++d) {
+    uint32_t nhosts = 1 + Geometric(&rng, options.hosts_per_domain_mean - 1.0);
+    // Well-known university domains get several hosts so that queries that
+    // navigate inside them have realistic structure.
+    if (d < 4) nhosts = std::max<uint32_t>(nhosts, 4);
+    nhosts = std::min<uint32_t>(nhosts, 10);
+    for (uint32_t h = 0; h < nhosts; ++h) {
+      std::string host_name =
+          std::string(kHostPrefixes[h % 10]) + "." + domain_names[d];
+      uint32_t host_id = builder.AddHost(host_name, domain_names[d]);
+      domain_hosts[d].push_back(host_id);
+      hosts.emplace_back();
+      host_names.push_back(host_name);
+    }
+  }
+
+  ZipfSampler domain_zipf(num_domains, options.domain_zipf_theta);
+
+  // Global list of link targets so far: sampling a uniform element of this
+  // list is preferential attachment by in-degree.
+  std::vector<PageId> edge_targets;
+  edge_targets.reserve(static_cast<size_t>(options.num_pages *
+                                           options.mean_out_degree));
+
+  // Per-page adjacency snapshots are needed for prototype copying; the
+  // builder dedups later, so we keep our own copy of each page's raw list.
+  std::vector<std::vector<PageId>> adj(options.num_pages);
+  std::vector<uint32_t> page_host(options.num_pages, 0);
+
+  double geometric_mean = options.mean_out_degree -
+                          options.hub_prob * options.hub_out_degree;
+  geometric_mean = std::max(1.0, geometric_mean / (1.0 - options.hub_prob));
+
+  for (PageId p = 0; p < options.num_pages; ++p) {
+    // --- Place the page: domain -> host -> directory -> URL.
+    size_t d = domain_zipf.Sample(&rng);
+    const auto& dhosts = domain_hosts[d];
+    uint32_t host_id = dhosts[rng.Uniform(dhosts.size())];
+    HostState& host = hosts[host_id];
+
+    size_t dir_idx;
+    if (rng.Bernoulli(options.new_dir_prob)) {
+      // Create a child of an existing directory (respecting max depth).
+      size_t parent = rng.Uniform(host.dirs.size());
+      if (host.dir_depth[parent] < options.max_dir_depth) {
+        std::string child = host.dirs[parent] +
+                            kDirWords[rng.Uniform(12)] +
+                            std::to_string(host.dirs.size()) + "/";
+        host.dirs.push_back(child);
+        host.dir_depth.push_back(host.dir_depth[parent] + 1);
+        host.dir_pages.emplace_back();
+        dir_idx = host.dirs.size() - 1;
+      } else {
+        dir_idx = parent;
+      }
+    } else {
+      dir_idx = rng.Uniform(host.dirs.size());
+    }
+    char page_name[24];
+    std::snprintf(page_name, sizeof(page_name), "page%06u.html",
+                  host.next_page_number++);
+    std::string url =
+        "http://" + host_names[host_id] + host.dirs[dir_idx] + page_name;
+
+    PageId page = builder.AddPage(std::move(url), host_id);
+    WG_CHECK(page == p);
+    page_host[p] = host_id;
+
+    // --- Choose a prototype for link copying: a recent page from the same
+    // directory when one exists (so copied links inherit the directory's
+    // URL locality), else a recent page on the host.
+    const std::vector<PageId>* proto_links = nullptr;
+    if (!host.pages.empty() && rng.Bernoulli(options.prototype_prob)) {
+      const auto& same_dir = host.dir_pages[dir_idx];
+      const std::vector<PageId>& pool =
+          !same_dir.empty() ? same_dir : host.pages;
+      size_t window =
+          std::min<size_t>(pool.size(), options.prototype_window);
+      PageId proto = pool[pool.size() - 1 - rng.Uniform(window)];
+      if (!adj[proto].empty()) proto_links = &adj[proto];
+    }
+
+    // --- Emit links.
+    uint32_t degree;
+    if (rng.Bernoulli(options.hub_prob)) {
+      degree = options.hub_out_degree / 2 +
+               rng.Uniform(options.hub_out_degree);
+    } else {
+      degree = 1 + Geometric(&rng, geometric_mean - 1.0);
+    }
+    degree = std::min(degree, options.max_out_degree);
+
+    // Candidate generators for each link category. Retries on duplicate
+    // draws stay within the chosen category, otherwise locality would leak
+    // into the global categories and shrink the intra-host fraction the
+    // paper depends on (Observation 2).
+    auto draw_copy = [&]() -> PageId {
+      return (*proto_links)[rng.Uniform(proto_links->size())];
+    };
+    auto draw_intra_host = [&]() -> PageId {
+      // Lexicographically-near same-host target: by strong preference a
+      // page in the same directory at a small geometric distance back.
+      const auto& same_dir = host.dir_pages[dir_idx];
+      const std::vector<PageId>& pool =
+          (!same_dir.empty() && rng.Bernoulli(options.same_dir_prob))
+              ? same_dir
+              : host.pages;
+      size_t dist = 1 + Geometric(&rng, options.locality_distance_mean - 1.0);
+      dist = std::min(dist, pool.size());
+      return pool[pool.size() - dist];
+    };
+    auto draw_favorite = [&]() -> PageId {
+      if (host.favorite_hosts.size() < options.favorites_per_host && p > 0) {
+        // Adopt favorites lazily: preferential by current popularity.
+        PageId pick = edge_targets.empty()
+                          ? static_cast<PageId>(rng.Uniform(p))
+                          : edge_targets[rng.Uniform(edge_targets.size())];
+        host.favorite_hosts.push_back(page_host[pick]);
+      }
+      if (host.favorite_hosts.empty()) return kInvalidPage;
+      const HostState& fav =
+          hosts[host.favorite_hosts[rng.Uniform(host.favorite_hosts.size())]];
+      // Sites link to a favorite site's entry pages: root-directory pages
+      // (short, lexicographically-early URLs), biased to the earliest.
+      const std::vector<PageId>& fav_pages =
+          !fav.dir_pages[0].empty() ? fav.dir_pages[0] : fav.pages;
+      if (fav_pages.empty()) return kInvalidPage;
+      size_t idx = Geometric(&rng, options.favorite_page_window);
+      if (idx >= fav_pages.size()) idx = rng.Uniform(fav_pages.size());
+      return fav_pages[idx];
+    };
+    auto draw_global = [&]() -> PageId {
+      if (!edge_targets.empty() && rng.Bernoulli(0.9)) {
+        // Preferential attachment over existing link targets.
+        return edge_targets[rng.Uniform(edge_targets.size())];
+      }
+      return p > 0 ? static_cast<PageId>(rng.Uniform(p)) : kInvalidPage;
+    };
+
+    for (uint32_t k = 0; k < degree; ++k) {
+      // Pick the category once, then retry duplicate draws within it so
+      // dedup pressure cannot shift the category mix.
+      enum class Kind { kCopy, kIntraHost, kFavorite, kGlobal };
+      Kind kind;
+      if (proto_links != nullptr && rng.Bernoulli(options.copy_prob)) {
+        kind = Kind::kCopy;
+      } else if (!host.pages.empty() &&
+                 rng.Bernoulli(options.intra_host_prob)) {
+        kind = Kind::kIntraHost;
+      } else if (rng.Bernoulli(options.favorite_host_prob)) {
+        kind = Kind::kFavorite;
+      } else {
+        kind = Kind::kGlobal;
+      }
+      // A favorite draw with no usable favorites degrades to global.
+
+      PageId target = kInvalidPage;
+      for (int attempt = 0; attempt < 4 && target == kInvalidPage;
+           ++attempt) {
+        PageId cand = kInvalidPage;
+        switch (kind) {
+          case Kind::kCopy:
+            cand = draw_copy();
+            break;
+          case Kind::kIntraHost:
+            cand = draw_intra_host();
+            break;
+          case Kind::kFavorite:
+            cand = draw_favorite();
+            break;
+          case Kind::kGlobal:
+            cand = draw_global();
+            break;
+        }
+        if (cand == kInvalidPage || cand == p) continue;
+        bool dup = false;
+        for (PageId existing : adj[p]) {
+          if (existing == cand) {
+            dup = true;
+            break;
+          }
+        }
+        if (!dup) target = cand;
+      }
+      if (target == kInvalidPage) continue;
+      adj[p].push_back(target);
+      edge_targets.push_back(target);
+      builder.AddLink(p, target);
+    }
+
+    host.pages.push_back(p);
+    host.dir_pages[dir_idx].push_back(p);
+  }
+
+  return builder.Build();
+}
+
+}  // namespace wg

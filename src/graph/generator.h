@@ -1,0 +1,95 @@
+#ifndef WG_GRAPH_GENERATOR_H_
+#define WG_GRAPH_GENERATOR_H_
+
+#include <cstdint>
+
+#include "graph/webgraph.h"
+
+// Synthetic Web-crawl generator. The paper's data sets are 25-115M page
+// prefixes of a Stanford WebBase crawl; we have no such crawl, so this
+// module produces a scaled-down synthetic equivalent that *generates* (not
+// merely exhibits) the three empirical properties the paper's technique
+// exploits (Section 3, Observations 1-3):
+//
+//  1. Link copying: each new page may choose an earlier page on its host as
+//     a "prototype" and copy links from it (the evolving copying model of
+//     Kumar et al., the paper's citation [16]). This creates clusters of
+//     pages with near-identical adjacency lists.
+//  2. Domain and URL locality: a tunable fraction of links (default 0.75,
+//     Suel & Yuan's measured value quoted in the paper) point to pages on
+//     the same host, biased toward lexicographically nearby URLs.
+//  3. Page similarity: a by-product of (1), as in the paper.
+//
+// The remaining links follow preferential attachment, yielding the
+// power-law in-degree distribution of Broder et al. [8]. Pages are emitted
+// in crawl order; because every link points to an already-crawled page, a
+// prefix of the page sequence is a self-contained crawl subset, matching
+// the paper's "read the repository sequentially from the beginning"
+// methodology (its citation [28]).
+//
+// Domains 0..6 are fixed well-known names (stanford.edu, berkeley.edu,
+// mit.edu, caltech.edu, dilbert.com, ...) so that the six evaluation
+// queries of Table 3 have their referents; domain sizes are Zipf
+// distributed with these ranked first.
+
+namespace wg {
+
+struct GeneratorOptions {
+  size_t num_pages = 100000;
+  uint64_t seed = 42;
+
+  // Mean out-degree; the paper measures 14 on the WebBase crawl.
+  double mean_out_degree = 19.0;
+
+  // Probability that a page adopts a prototype at all, and per-link
+  // probability of copying from it once adopted.
+  double prototype_prob = 0.65;
+  double copy_prob = 0.55;
+
+  // For non-copied links: probability of an intra-host target, and within
+  // that, of staying in the same directory (URL-prefix locality,
+  // Observation 2).
+  double intra_host_prob = 0.85;
+  double same_dir_prob = 0.8;
+
+  // Cross-site links concentrate on a few "favorite" external hosts per
+  // host (what keeps real supernode graphs sparse); the remainder follow
+  // preferential attachment.
+  double favorite_host_prob = 0.92;
+  size_t favorites_per_host = 8;
+  // Mean index (from the front of the favorite host's page list) that
+  // cross-site links land on: small = front-page-heavy, like real sites.
+  double favorite_page_window = 150.0;
+
+  // Number of domains; 0 derives max(24, num_pages / 400).
+  size_t num_domains = 0;
+  double domain_zipf_theta = 0.35;
+
+  // Mean hosts per domain (geometric, >= 1).
+  double hosts_per_domain_mean = 2.0;
+
+  // Directory synthesis.
+  int max_dir_depth = 4;
+  double new_dir_prob = 0.25;
+
+  // Prototype candidates: this many most-recent pages of the same host.
+  int prototype_window = 12;
+
+  // Mean lexicographic distance (in same-host creation order) of
+  // intra-host locality links.
+  double locality_distance_mean = 6.0;
+
+  // A small fraction of pages are "hubs" with large out-degree.
+  double hub_prob = 0.015;
+  uint32_t hub_out_degree = 120;
+
+  uint32_t max_out_degree = 400;
+};
+
+// Generates the full crawl. Use WebGraph::InducedPrefix to obtain the
+// paper-style nested data sets from a single generation run.
+WebGraph GenerateWebGraph(const GeneratorOptions& options);
+
+}  // namespace wg
+
+#endif  // WG_GRAPH_GENERATOR_H_

@@ -1,0 +1,27 @@
+#ifndef WG_GRAPH_GRAPH_IO_H_
+#define WG_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/webgraph.h"
+#include "util/status.h"
+
+// Binary serialization of WebGraph, so crawls can be generated once and
+// reused across tools/processes (the `wgtool` CLI builds on this).
+//
+// Format (little-endian):
+//   magic "WGG1" | varint num_pages | varint num_edges
+//   offsets as varint deltas | targets as varint gaps per list
+//   varint num_hosts | per host: varint name len + bytes + varint domain id
+//   varint num_domains | per domain: varint name len + bytes
+//   per page: varint url len + bytes, varint host id
+// A trailing fixed32 XOR checksum over the payload guards truncation.
+
+namespace wg {
+
+Status SaveWebGraph(const WebGraph& graph, const std::string& path);
+Result<WebGraph> LoadWebGraph(const std::string& path);
+
+}  // namespace wg
+
+#endif  // WG_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,96 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace wg {
+
+namespace {
+
+double Jaccard(std::span<const PageId> a, std::span<const PageId> b) {
+  if (a.empty() && b.empty()) return 0.0;
+  size_t i = 0, j = 0, inter = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / uni;
+}
+
+}  // namespace
+
+GraphStats ComputeStats(const WebGraph& graph, int similarity_window) {
+  GraphStats s;
+  s.num_pages = graph.num_pages();
+  s.num_edges = graph.num_edges();
+  s.avg_out_degree = graph.average_out_degree();
+
+  uint64_t intra_host = 0, intra_domain = 0;
+  for (PageId p = 0; p < s.num_pages; ++p) {
+    s.max_out_degree = std::max(s.max_out_degree, graph.out_degree(p));
+    for (PageId q : graph.OutLinks(p)) {
+      if (graph.host_id(p) == graph.host_id(q)) ++intra_host;
+      if (graph.domain_id(p) == graph.domain_id(q)) ++intra_domain;
+    }
+  }
+  if (s.num_edges > 0) {
+    s.intra_host_fraction = static_cast<double>(intra_host) / s.num_edges;
+    s.intra_domain_fraction = static_cast<double>(intra_domain) / s.num_edges;
+  }
+
+  // In-degree concentration.
+  std::vector<uint32_t> in = graph.InDegrees();
+  for (uint32_t d : in) s.max_in_degree = std::max(s.max_in_degree, d);
+  std::vector<uint32_t> sorted_in = in;
+  std::sort(sorted_in.begin(), sorted_in.end(), std::greater<>());
+  size_t top = std::max<size_t>(1, sorted_in.size() / 100);
+  uint64_t top_sum = 0;
+  for (size_t i = 0; i < top; ++i) top_sum += sorted_in[i];
+  if (s.num_edges > 0) {
+    s.top1pct_inlink_share = static_cast<double>(top_sum) / s.num_edges;
+  }
+
+  // Adjacency-list similarity to recent same-host predecessors.
+  std::vector<std::vector<PageId>> recent_by_host(graph.num_hosts());
+  double jac_sum = 0;
+  size_t jac_count = 0;
+  for (PageId p = 0; p < s.num_pages; ++p) {
+    auto& recent = recent_by_host[graph.host_id(p)];
+    if (!recent.empty() && graph.out_degree(p) > 0) {
+      double best = 0;
+      for (PageId q : recent) {
+        best = std::max(best, Jaccard(graph.OutLinks(p), graph.OutLinks(q)));
+      }
+      jac_sum += best;
+      ++jac_count;
+    }
+    recent.push_back(p);
+    if (recent.size() > static_cast<size_t>(similarity_window)) {
+      recent.erase(recent.begin());
+    }
+  }
+  if (jac_count > 0) s.mean_best_jaccard = jac_sum / jac_count;
+  return s;
+}
+
+std::string GraphStats::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "pages=%zu edges=%llu avg_out=%.2f max_out=%u max_in=%u "
+      "intra_host=%.3f intra_domain=%.3f best_jaccard=%.3f top1%%=%.3f",
+      num_pages, static_cast<unsigned long long>(num_edges), avg_out_degree,
+      max_out_degree, max_in_degree, intra_host_fraction,
+      intra_domain_fraction, mean_best_jaccard, top1pct_inlink_share);
+  return buf;
+}
+
+}  // namespace wg

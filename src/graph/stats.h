@@ -1,0 +1,44 @@
+#ifndef WG_GRAPH_STATS_H_
+#define WG_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/webgraph.h"
+
+// Structural statistics of a Web graph, used by tests (to verify the
+// generator actually produces the empirical properties the paper exploits)
+// and by the experiment harnesses when reporting workload characteristics.
+
+namespace wg {
+
+struct GraphStats {
+  size_t num_pages = 0;
+  uint64_t num_edges = 0;
+  double avg_out_degree = 0;
+  uint32_t max_out_degree = 0;
+  uint32_t max_in_degree = 0;
+
+  // Fraction of links whose endpoints share a host / a domain
+  // (Observation 2: Suel & Yuan report ~0.75 intra-host).
+  double intra_host_fraction = 0;
+  double intra_domain_fraction = 0;
+
+  // Mean Jaccard similarity between each page's adjacency list and the most
+  // similar of its `window` predecessors on the same host (Observation 1:
+  // link copying makes this high).
+  double mean_best_jaccard = 0;
+
+  // Share of in-links captured by the top 1% of pages by in-degree
+  // (power-law check).
+  double top1pct_inlink_share = 0;
+
+  std::string ToString() const;
+};
+
+GraphStats ComputeStats(const WebGraph& graph, int similarity_window = 8);
+
+}  // namespace wg
+
+#endif  // WG_GRAPH_STATS_H_

@@ -1,0 +1,176 @@
+#include "graph/webgraph.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace wg {
+
+uint32_t WebGraph::FindDomain(const std::string& name) const {
+  for (uint32_t d = 0; d < domain_names_.size(); ++d) {
+    if (domain_names_[d] == name) return d;
+  }
+  return UINT32_MAX;
+}
+
+std::vector<uint32_t> WebGraph::InDegrees() const {
+  std::vector<uint32_t> in(num_pages(), 0);
+  for (PageId t : targets_) ++in[t];
+  return in;
+}
+
+WebGraph WebGraph::Transpose() const {
+  WebGraph t;
+  size_t n = num_pages();
+  // Counting sort of edges by target.
+  std::vector<uint64_t> offsets(n + 1, 0);
+  for (PageId tgt : targets_) ++offsets[tgt + 1];
+  for (size_t i = 1; i <= n; ++i) offsets[i] += offsets[i - 1];
+  std::vector<PageId> rev(targets_.size());
+  std::vector<uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (PageId src = 0; src < n; ++src) {
+    for (PageId tgt : OutLinks(src)) {
+      rev[cursor[tgt]++] = src;
+    }
+  }
+  // Sources were visited in increasing order, so each reversed list is
+  // already sorted.
+  t.offsets_ = std::move(offsets);
+  t.targets_ = std::move(rev);
+  t.urls_ = urls_;
+  t.host_of_ = host_of_;
+  t.domain_of_ = domain_of_;
+  t.host_names_ = host_names_;
+  t.host_domain_ = host_domain_;
+  t.domain_names_ = domain_names_;
+  return t;
+}
+
+WebGraph WebGraph::Renumber(const std::vector<PageId>& new_id_of_old) const {
+  size_t n = num_pages();
+  WG_CHECK(new_id_of_old.size() == n);
+  std::vector<PageId> old_of_new(n, kInvalidPage);
+  for (PageId old = 0; old < n; ++old) {
+    PageId nw = new_id_of_old[old];
+    WG_CHECK(nw < n && old_of_new[nw] == kInvalidPage);
+    old_of_new[nw] = old;
+  }
+  WebGraph g;
+  g.offsets_.reserve(n + 1);
+  g.offsets_.push_back(0);
+  g.targets_.reserve(targets_.size());
+  g.urls_.resize(n);
+  g.host_of_.resize(n);
+  g.domain_of_.resize(n);
+  std::vector<PageId> list;
+  for (PageId nw = 0; nw < n; ++nw) {
+    PageId old = old_of_new[nw];
+    list.clear();
+    for (PageId tgt : OutLinks(old)) list.push_back(new_id_of_old[tgt]);
+    std::sort(list.begin(), list.end());
+    g.targets_.insert(g.targets_.end(), list.begin(), list.end());
+    g.offsets_.push_back(g.targets_.size());
+    g.urls_[nw] = urls_[old];
+    g.host_of_[nw] = host_of_[old];
+    g.domain_of_[nw] = domain_of_[old];
+  }
+  g.host_names_ = host_names_;
+  g.host_domain_ = host_domain_;
+  g.domain_names_ = domain_names_;
+  return g;
+}
+
+WebGraph WebGraph::InducedPrefix(size_t n) const {
+  WG_CHECK(n <= num_pages());
+  WebGraph g;
+  g.offsets_.reserve(n + 1);
+  g.offsets_.push_back(0);
+  for (PageId p = 0; p < n; ++p) {
+    for (PageId tgt : OutLinks(p)) {
+      if (tgt < n) g.targets_.push_back(tgt);
+    }
+    g.offsets_.push_back(g.targets_.size());
+  }
+  g.urls_.assign(urls_.begin(), urls_.begin() + n);
+  g.host_of_.assign(host_of_.begin(), host_of_.begin() + n);
+  g.domain_of_.assign(domain_of_.begin(), domain_of_.begin() + n);
+  // Host/domain tables are kept whole; unused entries are harmless and ids
+  // stay stable across prefix sizes, which the scalability sweep relies on.
+  g.host_names_ = host_names_;
+  g.host_domain_ = host_domain_;
+  g.domain_names_ = domain_names_;
+  return g;
+}
+
+bool WebGraph::HasEdge(PageId p, PageId q) const {
+  auto links = OutLinks(p);
+  return std::binary_search(links.begin(), links.end(), q);
+}
+
+size_t WebGraph::MemoryUsage() const {
+  size_t bytes = offsets_.size() * sizeof(uint64_t) +
+                 targets_.size() * sizeof(PageId) +
+                 (host_of_.size() + domain_of_.size()) * sizeof(uint32_t);
+  for (const auto& u : urls_) bytes += u.size() + sizeof(std::string);
+  for (const auto& h : host_names_) bytes += h.size() + sizeof(std::string);
+  for (const auto& d : domain_names_) bytes += d.size() + sizeof(std::string);
+  return bytes;
+}
+
+uint32_t GraphBuilder::AddHost(const std::string& host_name,
+                               const std::string& domain_name) {
+  uint32_t domain_id = UINT32_MAX;
+  for (uint32_t d = 0; d < domain_names_.size(); ++d) {
+    if (domain_names_[d] == domain_name) {
+      domain_id = d;
+      break;
+    }
+  }
+  if (domain_id == UINT32_MAX) {
+    domain_id = static_cast<uint32_t>(domain_names_.size());
+    domain_names_.push_back(domain_name);
+  }
+  host_names_.push_back(host_name);
+  host_domain_.push_back(domain_id);
+  return static_cast<uint32_t>(host_names_.size() - 1);
+}
+
+PageId GraphBuilder::AddPage(std::string url, uint32_t host_id) {
+  WG_CHECK(host_id < host_names_.size());
+  urls_.push_back(std::move(url));
+  host_of_.push_back(host_id);
+  adj_.emplace_back();
+  return static_cast<PageId>(urls_.size() - 1);
+}
+
+void GraphBuilder::AddLink(PageId from, PageId to) {
+  WG_CHECK(from < adj_.size() && to < urls_.size());
+  if (from == to) return;
+  adj_[from].push_back(to);
+}
+
+WebGraph GraphBuilder::Build() {
+  WebGraph g;
+  size_t n = urls_.size();
+  g.urls_ = std::move(urls_);
+  g.host_of_ = std::move(host_of_);
+  g.domain_of_.resize(n);
+  for (size_t p = 0; p < n; ++p) g.domain_of_[p] = host_domain_[g.host_of_[p]];
+  g.host_names_ = std::move(host_names_);
+  g.host_domain_ = std::move(host_domain_);
+  g.domain_names_ = std::move(domain_names_);
+  g.offsets_.reserve(n + 1);
+  g.offsets_.push_back(0);
+  for (size_t p = 0; p < n; ++p) {
+    auto& list = adj_[p];
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    g.targets_.insert(g.targets_.end(), list.begin(), list.end());
+    g.offsets_.push_back(g.targets_.size());
+    list.clear();
+    list.shrink_to_fit();
+  }
+  adj_.clear();
+  return g;
+}
+
+}  // namespace wg

@@ -1,0 +1,124 @@
+#ifndef WG_GRAPH_WEBGRAPH_H_
+#define WG_GRAPH_WEBGRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+// The in-memory Web graph substrate: a CSR directed graph whose vertices are
+// pages, enriched with the metadata every component of the paper depends on
+// (URLs, host ids, domain ids). This is the "ground truth" against which all
+// five representation schemes are built and validated.
+
+namespace wg {
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPage = UINT32_MAX;
+
+// An immutable directed graph over pages with URL/host/domain metadata.
+// Construct via GraphBuilder (below) or the synthetic generator.
+class WebGraph {
+ public:
+  WebGraph() = default;
+
+  size_t num_pages() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  uint64_t num_edges() const { return targets_.size(); }
+
+  // Out-neighbors of `p`, sorted ascending by page id.
+  std::span<const PageId> OutLinks(PageId p) const {
+    return {targets_.data() + offsets_[p],
+            targets_.data() + offsets_[p + 1]};
+  }
+
+  uint32_t out_degree(PageId p) const {
+    return static_cast<uint32_t>(offsets_[p + 1] - offsets_[p]);
+  }
+
+  double average_out_degree() const {
+    return num_pages() == 0
+               ? 0.0
+               : static_cast<double>(num_edges()) / num_pages();
+  }
+
+  const std::string& url(PageId p) const { return urls_[p]; }
+  uint32_t host_id(PageId p) const { return host_of_[p]; }
+  uint32_t domain_id(PageId p) const { return domain_of_[p]; }
+
+  size_t num_hosts() const { return host_names_.size(); }
+  size_t num_domains() const { return domain_names_.size(); }
+  const std::string& host_name(uint32_t h) const { return host_names_[h]; }
+  const std::string& domain_name(uint32_t d) const { return domain_names_[d]; }
+  uint32_t host_domain(uint32_t h) const { return host_domain_[h]; }
+
+  // Returns the domain id for `name`, or UINT32_MAX if absent.
+  uint32_t FindDomain(const std::string& name) const;
+
+  // In-degree of every page (single O(E) pass).
+  std::vector<uint32_t> InDegrees() const;
+
+  // The transpose graph WG^T ("backlinks"). Metadata is shared by copy.
+  WebGraph Transpose() const;
+
+  // Applies a page renumbering: new_id_of_old[p] is p's id in the result.
+  // Must be a permutation. Adjacency lists are re-sorted. Used to install
+  // the S-Node numbering rule (supernode-contiguous, URL-sorted within).
+  WebGraph Renumber(const std::vector<PageId>& new_id_of_old) const;
+
+  // Induced subgraph on pages [0, n): keeps edges with both endpoints in
+  // the prefix. Models the paper's "first N pages of the crawl" data sets.
+  WebGraph InducedPrefix(size_t n) const;
+
+  // True if edge p -> q exists (binary search over the sorted list).
+  bool HasEdge(PageId p, PageId q) const;
+
+  // Approximate heap footprint in bytes (structure + metadata).
+  size_t MemoryUsage() const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<uint64_t> offsets_;   // num_pages + 1
+  std::vector<PageId> targets_;     // sorted within each list
+  std::vector<std::string> urls_;
+  std::vector<uint32_t> host_of_;
+  std::vector<uint32_t> domain_of_;
+  std::vector<std::string> host_names_;
+  std::vector<uint32_t> host_domain_;
+  std::vector<std::string> domain_names_;
+};
+
+// Accumulates pages + links, then produces an immutable WebGraph. Pages are
+// added in id order; links may be added in any order and are deduplicated
+// and sorted per source at Build time. Self-loops are dropped (a page
+// "pointing to itself" carries no navigation information in the paper's
+// model).
+class GraphBuilder {
+ public:
+  // Registers a host under a domain; returns the host id.
+  uint32_t AddHost(const std::string& host_name,
+                   const std::string& domain_name);
+
+  // Adds the next page; returns its id.
+  PageId AddPage(std::string url, uint32_t host_id);
+
+  void AddLink(PageId from, PageId to);
+
+  size_t num_pages() const { return urls_.size(); }
+
+  WebGraph Build();
+
+ private:
+  std::vector<std::string> urls_;
+  std::vector<uint32_t> host_of_;
+  std::vector<std::string> host_names_;
+  std::vector<uint32_t> host_domain_;
+  std::vector<std::string> domain_names_;
+  std::vector<std::vector<PageId>> adj_;
+};
+
+}  // namespace wg
+
+#endif  // WG_GRAPH_WEBGRAPH_H_

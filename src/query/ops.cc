@@ -1,0 +1,139 @@
+#include "query/ops.h"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <unordered_map>
+
+namespace wg {
+
+namespace {
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(NavClock* clock) : clock_(clock) {
+    start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (clock_ != nullptr) {
+      clock_->Add(std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count());
+    }
+  }
+
+ private:
+  NavClock* clock_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+std::vector<PageId> SetUnion(const std::vector<PageId>& a,
+                             const std::vector<PageId>& b) {
+  std::vector<PageId> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+std::vector<PageId> SetIntersect(const std::vector<PageId>& a,
+                                 const std::vector<PageId>& b) {
+  std::vector<PageId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<PageId> SetDifference(const std::vector<PageId>& a,
+                                  const std::vector<PageId>& b) {
+  std::vector<PageId> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+// Reorders `set` by the representation's locality key: batch requests in
+// physical-layout order turn scattered fetches into near-sequential ones.
+std::vector<PageId> LocalityOrder(GraphRepresentation* repr,
+                                  const std::vector<PageId>& set) {
+  std::vector<PageId> ordered(set);
+  std::sort(ordered.begin(), ordered.end(), [repr](PageId a, PageId b) {
+    return repr->LocalityKey(a) < repr->LocalityKey(b);
+  });
+  return ordered;
+}
+
+Status VisitAdjacency(
+    GraphRepresentation* repr, const std::vector<PageId>& set,
+    NavClock* clock,
+    const std::function<void(PageId, const std::vector<PageId>&)>& visit) {
+  std::vector<PageId> ordered = LocalityOrder(repr, set);
+  ScopedTimer timer(clock);
+  std::vector<PageId> links;
+  for (PageId p : ordered) {
+    links.clear();
+    WG_RETURN_IF_ERROR(repr->GetLinks(p, &links));
+    visit(p, links);
+  }
+  return Status::OK();
+}
+
+Status VisitLinksBetween(
+    GraphRepresentation* repr, const std::vector<PageId>& sources,
+    const std::vector<PageId>& targets, NavClock* clock,
+    const std::function<void(PageId, const std::vector<PageId>&)>& visit) {
+  std::vector<PageId> ordered = LocalityOrder(repr, sources);
+  ScopedTimer timer(clock);
+  return repr->VisitLinksInto(ordered, targets, visit);
+}
+
+Status Neighborhood(GraphRepresentation* repr, const std::vector<PageId>& set,
+                    NavClock* clock, std::vector<PageId>* out) {
+  std::vector<PageId> collected;
+  WG_RETURN_IF_ERROR(VisitAdjacency(
+      repr, set, clock,
+      [&collected](PageId, const std::vector<PageId>& links) {
+        collected.insert(collected.end(), links.begin(), links.end());
+      }));
+  std::sort(collected.begin(), collected.end());
+  collected.erase(std::unique(collected.begin(), collected.end()),
+                  collected.end());
+  *out = std::move(collected);
+  return Status::OK();
+}
+
+Status CountLinksBetween(GraphRepresentation* repr,
+                         const std::vector<PageId>& from,
+                         const std::vector<PageId>& to, NavClock* clock,
+                         uint64_t* count) {
+  uint64_t total = 0;
+  WG_RETURN_IF_ERROR(VisitLinksBetween(
+      repr, from, to, clock,
+      [&total](PageId, const std::vector<PageId>& links) {
+        total += links.size();
+      }));
+  *count = total;
+  return Status::OK();
+}
+
+Status InLinkCounts(GraphRepresentation* backward,
+                    const std::vector<PageId>& targets,
+                    const std::vector<PageId>& sources, NavClock* clock,
+                    std::vector<uint64_t>* counts) {
+  counts->assign(targets.size(), 0);
+  // Visitation order is locality-driven, so map each callback back to the
+  // caller's target position.
+  std::unordered_map<PageId, size_t> index_of;
+  index_of.reserve(targets.size());
+  for (size_t i = 0; i < targets.size(); ++i) index_of[targets[i]] = i;
+  WG_RETURN_IF_ERROR(VisitLinksBetween(
+      backward, targets, sources, clock,
+      [&](PageId p, const std::vector<PageId>& backlinks) {
+        (*counts)[index_of[p]] = backlinks.size();
+      }));
+  return Status::OK();
+}
+
+}  // namespace wg

@@ -1,0 +1,73 @@
+#ifndef WG_QUERY_OPS_H_
+#define WG_QUERY_OPS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "repr/representation.h"
+
+// Navigation primitives over any GraphRepresentation: the building blocks
+// of the paper's complex queries (rightmost column of Table 3). Every
+// primitive accumulates its wall-clock time into a NavClock so experiments
+// can report the navigation component of query execution exactly as the
+// paper does (Section 4.3 times only graph access, not text/PageRank index
+// access).
+
+namespace wg {
+
+// Accumulates navigation time across primitives.
+class NavClock {
+ public:
+  void Add(double seconds) { seconds_ += seconds; }
+  double seconds() const { return seconds_; }
+  void Reset() { seconds_ = 0; }
+
+ private:
+  double seconds_ = 0;
+};
+
+// Sorted-set helpers (inputs/outputs sorted, deduplicated).
+std::vector<PageId> SetUnion(const std::vector<PageId>& a,
+                             const std::vector<PageId>& b);
+std::vector<PageId> SetIntersect(const std::vector<PageId>& a,
+                                 const std::vector<PageId>& b);
+std::vector<PageId> SetDifference(const std::vector<PageId>& a,
+                                  const std::vector<PageId>& b);
+
+// Union of out-links (or in-links, if `repr` is a transpose) of `set`,
+// sorted + deduplicated.
+Status Neighborhood(GraphRepresentation* repr, const std::vector<PageId>& set,
+                    NavClock* clock, std::vector<PageId>* out);
+
+// Per-source adjacency visit: calls `visit(source, links)` for each page.
+// The workhorse behind counting and weighting primitives.
+Status VisitAdjacency(
+    GraphRepresentation* repr, const std::vector<PageId>& set,
+    NavClock* clock,
+    const std::function<void(PageId, const std::vector<PageId>&)>& visit);
+
+// Visits, for each source, its links restricted to the sorted `targets`
+// set, using the representation's filtered path (S-Node prunes whole
+// superedge graphs through its supernode graph).
+Status VisitLinksBetween(
+    GraphRepresentation* repr, const std::vector<PageId>& sources,
+    const std::vector<PageId>& targets, NavClock* clock,
+    const std::function<void(PageId, const std::vector<PageId>&)>& visit);
+
+// Number of links from pages in `from` to pages in `to` (both sorted).
+Status CountLinksBetween(GraphRepresentation* repr,
+                         const std::vector<PageId>& from,
+                         const std::vector<PageId>& to, NavClock* clock,
+                         uint64_t* count);
+
+// For every page of `targets` (sorted), the number of links into it from
+// pages of `sources` (sorted). Uses the transpose representation.
+Status InLinkCounts(GraphRepresentation* backward,
+                    const std::vector<PageId>& targets,
+                    const std::vector<PageId>& sources, NavClock* clock,
+                    std::vector<uint64_t>* counts);
+
+}  // namespace wg
+
+#endif  // WG_QUERY_OPS_H_

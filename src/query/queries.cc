@@ -1,0 +1,274 @@
+#include "query/queries.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace wg {
+
+namespace {
+
+// Pages of `domain` via the representation's domain index (sorted).
+Result<std::vector<PageId>> DomainPages(const QueryContext& ctx,
+                                        const std::string& domain) {
+  std::vector<PageId> pages;
+  WG_RETURN_IF_ERROR(ctx.forward->PagesInDomain(domain, &pages));
+  return pages;
+}
+
+// Pages matching a phrase token, via the (untimed) text index.
+std::vector<PageId> PhrasePages(const QueryContext& ctx,
+                                const std::string& phrase) {
+  return ctx.index->Lookup(*ctx.corpus, phrase);
+}
+
+bool IsEduDomain(const std::string& domain) {
+  return domain.size() > 4 &&
+         domain.compare(domain.size() - 4, 4, ".edu") == 0;
+}
+
+void SortRankedDescending(
+    std::vector<std::pair<std::string, double>>* ranked) {
+  std::stable_sort(ranked->begin(), ranked->end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.second != b.second) return a.second > b.second;
+                     return a.first < b.first;
+                   });
+}
+
+}  // namespace
+
+Result<QueryResult> RunQuery1(const QueryContext& ctx) {
+  QueryResult result;
+  NavClock clock;
+
+  // S: stanford.edu pages containing the phrase, weighted by normalized
+  // PageRank (all untimed index work).
+  WG_ASSIGN_OR_RETURN(std::vector<PageId> stanford,
+                      DomainPages(ctx, "stanford.edu"));
+  std::vector<PageId> s =
+      SetIntersect(stanford, PhrasePages(ctx, "mobile networking"));
+  double total_rank = 0;
+  for (PageId p : s) total_rank += (*ctx.pagerank)[p];
+  std::unordered_map<PageId, double> weight;
+  for (PageId p : s) {
+    weight[p] = total_rank > 0 ? (*ctx.pagerank)[p] / total_rank : 0.0;
+  }
+
+  // Navigation: links from S into .edu domains other than stanford.edu.
+  // The target set is assembled from the (untimed) domain index; the
+  // restricted visit lets S-Node prune superedge graphs that cannot hold
+  // .edu links.
+  std::vector<PageId> edu_targets;
+  for (uint32_t d = 0; d < ctx.graph->num_domains(); ++d) {
+    const std::string& name = ctx.graph->domain_name(d);
+    if (name == "stanford.edu" || !IsEduDomain(name)) continue;
+    WG_RETURN_IF_ERROR(ctx.forward->PagesInDomain(name, &edu_targets));
+  }
+  std::sort(edu_targets.begin(), edu_targets.end());
+
+  std::map<std::string, double> domain_weight;
+  WG_RETURN_IF_ERROR(VisitLinksBetween(
+      ctx.forward, s, edu_targets, &clock,
+      [&](PageId p, const std::vector<PageId>& links) {
+        // "p points to domain D" counts once per (page, domain).
+        const std::string* prev = nullptr;
+        for (PageId q : links) {
+          const std::string& domain =
+              ctx.graph->domain_name(ctx.graph->domain_id(q));
+          if (prev == nullptr || *prev != domain) {
+            domain_weight[domain] += weight[p];
+          }
+          prev = &domain;
+        }
+      }));
+
+  for (const auto& [domain, w] : domain_weight) {
+    result.ranked.emplace_back(domain, w);
+  }
+  SortRankedDescending(&result.ranked);
+  result.navigation_seconds = clock.seconds();
+  return result;
+}
+
+Result<QueryResult> RunQuery2(const QueryContext& ctx) {
+  struct Comic {
+    const char* name;
+    const char* site;
+    std::vector<std::string> words;
+  };
+  const std::vector<Comic> comics = {
+      {"Dilbert", "dilbert.com", {"dilbert", "dogbert", "the boss"}},
+      {"Doonesbury", "doonesbury.com", {"doonesbury", "zonker", "duke"}},
+      {"Peanuts", "peanuts.com", {"peanuts", "snoopy", "charlie brown"}},
+  };
+
+  QueryResult result;
+  NavClock clock;
+  WG_ASSIGN_OR_RETURN(std::vector<PageId> stanford,
+                      DomainPages(ctx, "stanford.edu"));
+  for (const Comic& comic : comics) {
+    // C1: stanford pages with >= 2 of the comic's words (text index).
+    std::vector<PageId> word_pages =
+        ctx.index->LookupAtLeast(*ctx.corpus, comic.words, 2);
+    uint64_t c1 = SetIntersect(stanford, word_pages).size();
+    // C2: links from stanford.edu into the comic's site (navigation).
+    WG_ASSIGN_OR_RETURN(std::vector<PageId> site_pages,
+                        DomainPages(ctx, comic.site));
+    uint64_t c2 = 0;
+    WG_RETURN_IF_ERROR(
+        CountLinksBetween(ctx.forward, stanford, site_pages, &clock, &c2));
+    result.ranked.emplace_back(comic.name, static_cast<double>(c1 + c2));
+  }
+  SortRankedDescending(&result.ranked);
+  result.navigation_seconds = clock.seconds();
+  return result;
+}
+
+Result<QueryResult> RunQuery3(const QueryContext& ctx) {
+  QueryResult result;
+  NavClock clock;
+
+  // Root set: top 100 pages by PageRank containing the phrase.
+  std::vector<PageId> matches = PhrasePages(ctx, "internet censorship");
+  std::stable_sort(matches.begin(), matches.end(), [&](PageId a, PageId b) {
+    return (*ctx.pagerank)[a] > (*ctx.pagerank)[b];
+  });
+  if (matches.size() > 100) matches.resize(100);
+  std::sort(matches.begin(), matches.end());
+
+  // Base set = root ∪ out-neighborhood ∪ in-neighborhood (Kleinberg).
+  std::vector<PageId> out_n, in_n;
+  WG_RETURN_IF_ERROR(Neighborhood(ctx.forward, matches, &clock, &out_n));
+  WG_RETURN_IF_ERROR(Neighborhood(ctx.backward, matches, &clock, &in_n));
+  std::vector<PageId> base = SetUnion(matches, SetUnion(out_n, in_n));
+
+  result.ranked.emplace_back("base-set-size",
+                             static_cast<double>(base.size()));
+  for (size_t i = 0; i < base.size() && i < 10; ++i) {
+    result.ranked.emplace_back(ctx.graph->url(base[i]),
+                               (*ctx.pagerank)[base[i]]);
+  }
+  result.navigation_seconds = clock.seconds();
+  return result;
+}
+
+Result<QueryResult> RunQuery4(const QueryContext& ctx) {
+  QueryResult result;
+  NavClock clock;
+  const std::vector<std::string> universities = {
+      "stanford.edu", "mit.edu", "caltech.edu", "berkeley.edu"};
+  std::vector<PageId> phrase = PhrasePages(ctx, "quantum cryptography");
+
+  for (const std::string& domain : universities) {
+    WG_ASSIGN_OR_RETURN(std::vector<PageId> dom_pages,
+                        DomainPages(ctx, domain));
+    std::vector<PageId> candidates = SetIntersect(dom_pages, phrase);
+    // Popularity: in-links from pages outside the candidate's domain.
+    std::vector<std::pair<PageId, uint64_t>> scored;
+    scored.reserve(candidates.size());
+    WG_RETURN_IF_ERROR(VisitAdjacency(
+        ctx.backward, candidates, &clock,
+        [&](PageId p, const std::vector<PageId>& backlinks) {
+          uint64_t external = 0;
+          for (PageId q : backlinks) {
+            if (!std::binary_search(dom_pages.begin(), dom_pages.end(), q)) {
+              ++external;
+            }
+          }
+          scored.emplace_back(p, external);
+        }));
+    // Deterministic order regardless of visitation order: ties by id.
+    std::sort(scored.begin(), scored.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    for (size_t i = 0; i < scored.size() && i < 10; ++i) {
+      result.ranked.emplace_back(ctx.graph->url(scored[i].first),
+                                 static_cast<double>(scored[i].second));
+    }
+  }
+  result.navigation_seconds = clock.seconds();
+  return result;
+}
+
+Result<QueryResult> RunQuery5(const QueryContext& ctx) {
+  QueryResult result;
+  NavClock clock;
+  std::vector<PageId> s = PhrasePages(ctx, "computer music synthesis");
+
+  // In-link counts restricted to S (the graph induced by S).
+  std::vector<uint64_t> counts;
+  WG_RETURN_IF_ERROR(InLinkCounts(ctx.backward, s, s, &clock, &counts));
+
+  std::vector<std::pair<PageId, uint64_t>> scored;
+  for (size_t i = 0; i < s.size(); ++i) {
+    const std::string& domain =
+        ctx.graph->domain_name(ctx.graph->domain_id(s[i]));
+    if (IsEduDomain(domain)) scored.emplace_back(s[i], counts[i]);
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  for (size_t i = 0; i < scored.size() && i < 10; ++i) {
+    result.ranked.emplace_back(ctx.graph->url(scored[i].first),
+                               static_cast<double>(scored[i].second));
+  }
+  result.navigation_seconds = clock.seconds();
+  return result;
+}
+
+Result<QueryResult> RunQuery6(const QueryContext& ctx) {
+  QueryResult result;
+  NavClock clock;
+  std::vector<PageId> phrase = PhrasePages(ctx, "optical interferometry");
+  WG_ASSIGN_OR_RETURN(std::vector<PageId> stanford,
+                      DomainPages(ctx, "stanford.edu"));
+  WG_ASSIGN_OR_RETURN(std::vector<PageId> berkeley,
+                      DomainPages(ctx, "berkeley.edu"));
+  std::vector<PageId> s1 = SetIntersect(stanford, phrase);
+  std::vector<PageId> s2 = SetIntersect(berkeley, phrase);
+
+  // R: intersection of the two out-neighborhoods, minus both domains.
+  std::vector<PageId> n1, n2;
+  WG_RETURN_IF_ERROR(Neighborhood(ctx.forward, s1, &clock, &n1));
+  WG_RETURN_IF_ERROR(Neighborhood(ctx.forward, s2, &clock, &n2));
+  std::vector<PageId> r = SetIntersect(n1, n2);
+  r = SetDifference(SetDifference(r, stanford), berkeley);
+
+  // Rank by in-links from S1 ∪ S2.
+  std::vector<PageId> s12 = SetUnion(s1, s2);
+  std::vector<uint64_t> counts;
+  WG_RETURN_IF_ERROR(InLinkCounts(ctx.backward, r, s12, &clock, &counts));
+  for (size_t i = 0; i < r.size(); ++i) {
+    result.ranked.emplace_back(ctx.graph->url(r[i]),
+                               static_cast<double>(counts[i]));
+  }
+  SortRankedDescending(&result.ranked);
+  result.navigation_seconds = clock.seconds();
+  return result;
+}
+
+Result<QueryResult> RunQuery(int number, const QueryContext& ctx) {
+  switch (number) {
+    case 1:
+      return RunQuery1(ctx);
+    case 2:
+      return RunQuery2(ctx);
+    case 3:
+      return RunQuery3(ctx);
+    case 4:
+      return RunQuery4(ctx);
+    case 5:
+      return RunQuery5(ctx);
+    case 6:
+      return RunQuery6(ctx);
+    default:
+      return Status::InvalidArgument("query number must be 1..6");
+  }
+}
+
+}  // namespace wg

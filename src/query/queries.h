@@ -1,0 +1,72 @@
+#ifndef WG_QUERY_QUERIES_H_
+#define WG_QUERY_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/webgraph.h"
+#include "query/ops.h"
+#include "repr/representation.h"
+#include "text/corpus.h"
+#include "text/inverted_index.h"
+
+// The six complex queries of the paper's Table 3, expressed against the
+// text index, PageRank index, and a pair of graph representations (forward
+// WG and backward WG^T). Each query reports its ranked answer plus the
+// time spent purely in graph navigation -- the metric Figure 11 plots.
+//
+// Query plans are hand-crafted, exactly as in the paper ("we hand-crafted
+// execution plans and used simple scripts"): text/PageRank index accesses
+// happen first and are not timed; only the navigation primitives are.
+
+namespace wg {
+
+struct QueryContext {
+  GraphRepresentation* forward = nullptr;   // WG representation
+  GraphRepresentation* backward = nullptr;  // WG^T representation
+  const WebGraph* graph = nullptr;  // metadata only (domains/URLs); query
+                                    // code must not read adjacency from it
+  const Corpus* corpus = nullptr;
+  const InvertedIndex* index = nullptr;
+  const std::vector<double>* pagerank = nullptr;
+};
+
+struct QueryResult {
+  // Ranked output rows: label (domain/URL/comic) with score, best first.
+  std::vector<std::pair<std::string, double>> ranked;
+  // Time spent in graph navigation only (seconds).
+  double navigation_seconds = 0;
+};
+
+// Query 1 (Analysis 1): universities Stanford "Mobile networking" pages
+// refer to, weighted by normalized PageRank of the linking pages.
+Result<QueryResult> RunQuery1(const QueryContext& ctx);
+
+// Query 2 (Analysis 2): relative popularity of three comic strips among
+// stanford.edu pages (word matches + link counts).
+Result<QueryResult> RunQuery2(const QueryContext& ctx);
+
+// Query 3: Kleinberg base set of the top-100-PageRank pages containing
+// "internet censorship".
+Result<QueryResult> RunQuery3(const QueryContext& ctx);
+
+// Query 4: 10 most popular "quantum cryptography" pages at each of four
+// universities; popularity = in-links from outside the page's domain.
+Result<QueryResult> RunQuery4(const QueryContext& ctx);
+
+// Query 5: pages with "computer music synthesis" ranked by in-links from
+// within the set; top 10 .edu pages.
+Result<QueryResult> RunQuery5(const QueryContext& ctx);
+
+// Query 6: pages outside stanford/berkeley pointed to by "optical
+// interferometry" pages of both, ranked by in-links from those sets.
+Result<QueryResult> RunQuery6(const QueryContext& ctx);
+
+// Dispatch by query number 1..6.
+Result<QueryResult> RunQuery(int number, const QueryContext& ctx);
+
+inline constexpr int kNumQueries = 6;
+
+}  // namespace wg
+
+#endif  // WG_QUERY_QUERIES_H_

@@ -1,0 +1,103 @@
+#include "query/related.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace wg {
+
+namespace {
+
+std::vector<RelatedPage> TopK(std::unordered_map<PageId, double>& scores,
+                              PageId seed, size_t k) {
+  std::vector<RelatedPage> ranked;
+  ranked.reserve(scores.size());
+  for (const auto& [page, score] : scores) {
+    if (page != seed && score > 0) ranked.push_back({page, score});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RelatedPage& a, const RelatedPage& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.page < b.page;
+            });
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+}  // namespace
+
+Result<std::vector<RelatedPage>> RelatedByCocitation(
+    GraphRepresentation* forward, GraphRepresentation* backward, PageId seed,
+    const RelatedPagesOptions& options, NavClock* clock) {
+  NavClock local;
+  if (clock == nullptr) clock = &local;
+
+  // Referrers of the seed (capped).
+  std::vector<PageId> referrers;
+  WG_RETURN_IF_ERROR(Neighborhood(backward, {seed}, clock, &referrers));
+  if (referrers.size() > options.max_referrers) {
+    referrers.resize(options.max_referrers);
+  }
+
+  // Everything those referrers link to, counted per target.
+  std::unordered_map<PageId, double> scores;
+  WG_RETURN_IF_ERROR(VisitAdjacency(
+      forward, referrers, clock,
+      [&scores](PageId, const std::vector<PageId>& links) {
+        for (PageId q : links) scores[q] += 1.0;
+      }));
+  return TopK(scores, seed, options.max_results);
+}
+
+Result<std::vector<RelatedPage>> RelatedByHits(
+    GraphRepresentation* forward, GraphRepresentation* backward, PageId seed,
+    const RelatedPagesOptions& options, NavClock* clock) {
+  NavClock local;
+  if (clock == nullptr) clock = &local;
+
+  // Base set: seed + out-neighborhood + capped in-neighborhood.
+  std::vector<PageId> out_n, in_n;
+  WG_RETURN_IF_ERROR(Neighborhood(forward, {seed}, clock, &out_n));
+  WG_RETURN_IF_ERROR(Neighborhood(backward, {seed}, clock, &in_n));
+  if (in_n.size() > options.max_referrers) in_n.resize(options.max_referrers);
+  std::vector<PageId> base = SetUnion({seed}, SetUnion(out_n, in_n));
+
+  // Induced edges through the representation's filtered visit.
+  std::unordered_map<PageId, uint32_t> local_id;
+  local_id.reserve(base.size());
+  for (uint32_t i = 0; i < base.size(); ++i) local_id[base[i]] = i;
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  WG_RETURN_IF_ERROR(VisitLinksBetween(
+      forward, base, base, clock,
+      [&](PageId p, const std::vector<PageId>& links) {
+        uint32_t from = local_id[p];
+        for (PageId q : links) edges.emplace_back(from, local_id[q]);
+      }));
+
+  // Power iteration for hub/authority scores.
+  size_t n = base.size();
+  std::vector<double> hub(n, 1.0), authority(n, 1.0);
+  auto normalize = [](std::vector<double>& v) {
+    double norm = 0;
+    for (double x : v) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm > 0) {
+      for (double& x : v) x /= norm;
+    }
+  };
+  for (int iter = 0; iter < options.hits_iterations; ++iter) {
+    std::vector<double> new_auth(n, 0.0), new_hub(n, 0.0);
+    for (auto [i, j] : edges) new_auth[j] += hub[i];
+    for (auto [i, j] : edges) new_hub[i] += new_auth[j];
+    normalize(new_auth);
+    normalize(new_hub);
+    authority = std::move(new_auth);
+    hub = std::move(new_hub);
+  }
+
+  std::unordered_map<PageId, double> scores;
+  for (uint32_t i = 0; i < n; ++i) scores[base[i]] = authority[i];
+  return TopK(scores, seed, options.max_results);
+}
+
+}  // namespace wg

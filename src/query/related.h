@@ -1,0 +1,54 @@
+#ifndef WG_QUERY_RELATED_H_
+#define WG_QUERY_RELATED_H_
+
+#include <vector>
+
+#include "query/ops.h"
+#include "repr/representation.h"
+#include "text/pagerank.h"
+
+// "Find related pages" (Dean & Henzinger, the paper's citation [7]) on top
+// of the representation layer: the paper's Observation 3 says pages with
+// similar adjacency lists are topically related, and its Section 1.1
+// positions exactly this kind of discovery as a target workload.
+//
+// Two classic signals are implemented, both expressed through the
+// navigation primitives so they run against any GraphRepresentation:
+//
+//  * co-citation: pages frequently linked together with the seed by the
+//    same referrers (companion algorithm);
+//  * HITS authorities over the seed's Kleinberg base set.
+
+namespace wg {
+
+struct RelatedPage {
+  PageId page;
+  double score;
+};
+
+struct RelatedPagesOptions {
+  // Cap on the referrers examined (hubs with enormous backlink sets are
+  // truncated, as Dean & Henzinger do).
+  size_t max_referrers = 200;
+  size_t max_results = 10;
+  int hits_iterations = 25;
+};
+
+// Co-citation: score(q) = number of pages that link to both `seed` and q.
+// Needs the backward representation for the seed's referrers and the
+// forward one for their out-links.
+Result<std::vector<RelatedPage>> RelatedByCocitation(
+    GraphRepresentation* forward, GraphRepresentation* backward, PageId seed,
+    const RelatedPagesOptions& options, NavClock* clock = nullptr);
+
+// HITS authorities over the base set of {seed}: the seed, its
+// out-neighborhood, and (capped) in-neighborhood, scored on the induced
+// subgraph. Requires the ground-truth graph only for the induced edges,
+// which it reads through the representations.
+Result<std::vector<RelatedPage>> RelatedByHits(
+    GraphRepresentation* forward, GraphRepresentation* backward, PageId seed,
+    const RelatedPagesOptions& options, NavClock* clock = nullptr);
+
+}  // namespace wg
+
+#endif  // WG_QUERY_RELATED_H_

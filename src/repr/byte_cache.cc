@@ -1,0 +1,50 @@
+#include "repr/byte_cache.h"
+
+namespace wg {
+
+Result<const std::vector<uint8_t>*> ByteCache::Get(
+    uint32_t id, std::vector<uint8_t>* scratch) {
+  auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    ++hits_;
+    lru_.erase(it->second.lru_it);
+    lru_.push_front(id);
+    it->second.lru_it = lru_.begin();
+    return const_cast<const std::vector<uint8_t>*>(&it->second.blob);
+  }
+  ++misses_;
+  std::vector<uint8_t> blob;
+  WG_RETURN_IF_ERROR(loader_(id, &blob));
+  if (blob.size() > budget_) {
+    // Too large to cache: hand back through the scratch buffer.
+    *scratch = std::move(blob);
+    return const_cast<const std::vector<uint8_t>*>(scratch);
+  }
+  used_ += blob.size();
+  lru_.push_front(id);
+  Entry entry{std::move(blob), lru_.begin()};
+  auto [pos, inserted] = entries_.emplace(id, std::move(entry));
+  WG_DCHECK(inserted);
+  EvictToBudget();
+  // Eviction never removes the most-recently-used entry we just inserted
+  // (unless budget is zero, which the size check above precludes).
+  return const_cast<const std::vector<uint8_t>*>(&pos->second.blob);
+}
+
+void ByteCache::EvictToBudget() {
+  while (used_ > budget_ && lru_.size() > 1) {
+    uint32_t victim = lru_.back();
+    lru_.pop_back();
+    auto it = entries_.find(victim);
+    used_ -= it->second.blob.size();
+    entries_.erase(it);
+  }
+}
+
+void ByteCache::Clear() {
+  entries_.clear();
+  lru_.clear();
+  used_ = 0;
+}
+
+}  // namespace wg

@@ -1,0 +1,63 @@
+#ifndef WG_REPR_BYTE_CACHE_H_
+#define WG_REPR_BYTE_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+// A byte-budgeted LRU cache of id -> byte-blob, used to model the "file
+// buffers" the paper grants the uncompressed-file and Link3 schemes, and
+// the raw-blob cache under S-Node's decoded-graph cache. On a miss the
+// loader fetches the blob (typically from disk); blobs larger than the
+// whole budget bypass the cache.
+
+namespace wg {
+
+class ByteCache {
+ public:
+  using Loader =
+      std::function<Status(uint32_t id, std::vector<uint8_t>* blob)>;
+
+  ByteCache(size_t budget_bytes, Loader loader)
+      : budget_(budget_bytes), loader_(std::move(loader)) {}
+
+  // Returns a pointer to the cached blob (stable until the next Get call).
+  // On bypass (oversized blob), fills *scratch and returns its address.
+  Result<const std::vector<uint8_t>*> Get(uint32_t id,
+                                          std::vector<uint8_t>* scratch);
+
+  void Clear();
+
+  size_t bytes_used() const { return used_; }
+  size_t budget() const { return budget_; }
+  void set_budget(size_t budget) {
+    budget_ = budget;
+    EvictToBudget();
+  }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  void EvictToBudget();
+
+  struct Entry {
+    std::vector<uint8_t> blob;
+    std::list<uint32_t>::iterator lru_it;
+  };
+
+  size_t budget_;
+  Loader loader_;
+  std::unordered_map<uint32_t, Entry> entries_;
+  std::list<uint32_t> lru_;  // front = most recent
+  size_t used_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace wg
+
+#endif  // WG_REPR_BYTE_CACHE_H_

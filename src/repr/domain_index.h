@@ -1,0 +1,48 @@
+#ifndef WG_REPR_DOMAIN_INDEX_H_
+#define WG_REPR_DOMAIN_INDEX_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/webgraph.h"
+
+// The resident domain index the paper gives every representation scheme:
+// domain name -> sorted page ids. (The S-Node scheme uses its own
+// domain -> supernode index instead; see snode/.)
+
+namespace wg {
+
+class DomainIndex {
+ public:
+  DomainIndex() = default;
+
+  explicit DomainIndex(const WebGraph& graph) {
+    for (PageId p = 0; p < graph.num_pages(); ++p) {
+      pages_[graph.domain_name(graph.domain_id(p))].push_back(p);
+    }
+    // Page ids were visited in order, so each vector is sorted.
+  }
+
+  // Pages of `domain` (empty vector if unknown).
+  const std::vector<PageId>& Pages(const std::string& domain) const {
+    auto it = pages_.find(domain);
+    return it == pages_.end() ? empty_ : it->second;
+  }
+
+  size_t MemoryUsage() const {
+    size_t bytes = 0;
+    for (const auto& [name, pages] : pages_) {
+      bytes += name.size() + pages.size() * sizeof(PageId) + 64;
+    }
+    return bytes;
+  }
+
+ private:
+  std::unordered_map<std::string, std::vector<PageId>> pages_;
+  std::vector<PageId> empty_;
+};
+
+}  // namespace wg
+
+#endif  // WG_REPR_DOMAIN_INDEX_H_

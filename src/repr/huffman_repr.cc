@@ -1,0 +1,72 @@
+#include "repr/huffman_repr.h"
+
+#include <algorithm>
+
+#include "util/bitstream.h"
+#include "util/coding.h"
+
+namespace wg {
+
+std::unique_ptr<HuffmanRepr> HuffmanRepr::Build(const WebGraph& graph) {
+  std::unique_ptr<HuffmanRepr> repr(new HuffmanRepr());
+
+  // Code lengths from in-degree: frequency of page i as a link target.
+  std::vector<uint32_t> in = graph.InDegrees();
+  std::vector<uint64_t> freqs(in.begin(), in.end());
+  repr->code_ = HuffmanCode::Build(freqs);
+
+  BitWriter writer;
+  repr->bit_offsets_.reserve(graph.num_pages() + 1);
+  for (PageId p = 0; p < graph.num_pages(); ++p) {
+    repr->bit_offsets_.push_back(writer.bit_count());
+    auto links = graph.OutLinks(p);
+    WriteGamma(&writer, links.size());
+    for (PageId q : links) repr->code_.Encode(&writer, q);
+  }
+  repr->bit_offsets_.push_back(writer.bit_count());
+  repr->encoded_bits_ = writer.bit_count();
+  repr->data_ = writer.Finish();
+  repr->num_edges_ = graph.num_edges();
+  repr->domains_ = DomainIndex(graph);
+  return repr;
+}
+
+Status HuffmanRepr::GetLinks(PageId p, std::vector<PageId>* out) {
+  if (p + 1 >= bit_offsets_.size()) {
+    return Status::OutOfRange("page id out of range");
+  }
+  ++stats_.adjacency_requests;
+  BitReader reader(data_.data(), data_.size());
+  reader.SkipBits(bit_offsets_[p]);
+  uint64_t count = ReadGamma(&reader);
+  size_t first = out->size();
+  out->reserve(first + count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t q = code_.Decode(&reader);
+    if (q >= num_pages() || !reader.ok()) {
+      return Status::Corruption("huffman repr: bad stream");
+    }
+    out->push_back(q);
+  }
+  // The stream stores targets in sorted order already; keep the contract
+  // even if a future encoder changes that.
+  if (!std::is_sorted(out->begin() + first, out->end())) {
+    std::sort(out->begin() + first, out->end());
+  }
+  stats_.edges_returned += count;
+  return Status::OK();
+}
+
+Status HuffmanRepr::PagesInDomain(const std::string& domain,
+                                  std::vector<PageId>* out) {
+  const auto& pages = domains_.Pages(domain);
+  out->insert(out->end(), pages.begin(), pages.end());
+  return Status::OK();
+}
+
+size_t HuffmanRepr::resident_memory() const {
+  return data_.size() + bit_offsets_.size() * sizeof(uint64_t) +
+         code_.MemoryUsage() + domains_.MemoryUsage();
+}
+
+}  // namespace wg

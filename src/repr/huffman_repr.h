@@ -1,0 +1,48 @@
+#ifndef WG_REPR_HUFFMAN_REPR_H_
+#define WG_REPR_HUFFMAN_REPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "repr/domain_index.h"
+#include "repr/representation.h"
+#include "util/huffman.h"
+
+// The paper's "plain Huffman" baseline: every page id is assigned a
+// canonical Huffman code from its in-degree (pages that appear often in
+// adjacency lists get short codes); each adjacency list is a gamma-coded
+// length followed by the Huffman codes of its targets, concatenated into
+// one in-memory bit stream with a per-page bit-offset index for random
+// access. This is a memory-resident scheme (the paper only evaluates it
+// when the graph fits in memory, Table 2).
+
+namespace wg {
+
+class HuffmanRepr : public GraphRepresentation {
+ public:
+  static std::unique_ptr<HuffmanRepr> Build(const WebGraph& graph);
+
+  std::string name() const override { return "plain-huffman"; }
+  size_t num_pages() const override { return bit_offsets_.size() - 1; }
+  uint64_t num_edges() const override { return num_edges_; }
+  Status GetLinks(PageId p, std::vector<PageId>* out) override;
+  Status PagesInDomain(const std::string& domain,
+                       std::vector<PageId>* out) override;
+  uint64_t encoded_bits() const override { return encoded_bits_; }
+  size_t resident_memory() const override;
+
+ private:
+  HuffmanRepr() = default;
+
+  HuffmanCode code_;
+  std::vector<uint8_t> data_;
+  std::vector<uint64_t> bit_offsets_;  // page-id index (bit offset per page)
+  uint64_t encoded_bits_ = 0;
+  uint64_t num_edges_ = 0;
+  DomainIndex domains_;
+};
+
+}  // namespace wg
+
+#endif  // WG_REPR_HUFFMAN_REPR_H_

@@ -1,0 +1,323 @@
+#include "repr/link3_repr.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/bitstream.h"
+#include "util/coding.h"
+#include "util/rle.h"
+
+namespace wg {
+
+namespace {
+
+// Block layout:
+//   u32 payload byte length
+//   u16 number of lists
+//   per list: u16 bit offset into the payload
+//   payload bits.
+//
+// List encoding (all ids in URL-sorted space):
+//   4 bits: reference offset r in [0, 8]; 0 = no reference
+//   if r > 0: RLE copy bit-vector (length = size of list i-r, known after
+//             decoding it)
+//   residuals: gamma count, then first value zig-zag-delta-coded against
+//   the source id, then delta-coded gaps-minus-one.
+
+uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+
+int64_t UnZigZag(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+void WriteResiduals(BitWriter* w, const std::vector<PageId>& residuals,
+                    PageId source) {
+  WriteGamma(w, residuals.size());
+  for (size_t i = 0; i < residuals.size(); ++i) {
+    if (i == 0) {
+      WriteDelta(w, ZigZag(static_cast<int64_t>(residuals[0]) -
+                           static_cast<int64_t>(source)));
+    } else {
+      WriteDelta(w, residuals[i] - residuals[i - 1] - 1);
+    }
+  }
+}
+
+void ReadResiduals(BitReader* r, PageId source, std::vector<PageId>* out) {
+  uint64_t count = ReadGamma(r);
+  PageId prev = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    if (i == 0) {
+      prev = static_cast<PageId>(static_cast<int64_t>(source) +
+                                 UnZigZag(ReadDelta(r)));
+    } else {
+      prev += static_cast<PageId>(ReadDelta(r)) + 1;
+    }
+    out->push_back(prev);
+  }
+}
+
+uint64_t ResidualCost(const std::vector<PageId>& residuals, PageId source) {
+  uint64_t bits = GammaCost(residuals.size());
+  for (size_t i = 0; i < residuals.size(); ++i) {
+    if (i == 0) {
+      bits += DeltaCost(ZigZag(static_cast<int64_t>(residuals[0]) -
+                               static_cast<int64_t>(source)));
+    } else {
+      bits += DeltaCost(residuals[i] - residuals[i - 1] - 1);
+    }
+  }
+  return bits;
+}
+
+// Splits `list` into (copied bit per ref entry, residuals) against `ref`.
+void DiffAgainstReference(const std::vector<PageId>& list,
+                          const std::vector<PageId>& ref,
+                          std::vector<uint8_t>* copy_bits,
+                          std::vector<PageId>* residuals) {
+  copy_bits->assign(ref.size(), 0);
+  residuals->clear();
+  size_t i = 0, j = 0;
+  while (i < list.size() && j < ref.size()) {
+    if (list[i] == ref[j]) {
+      (*copy_bits)[j] = 1;
+      ++i;
+      ++j;
+    } else if (list[i] < ref[j]) {
+      residuals->push_back(list[i]);
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  for (; i < list.size(); ++i) residuals->push_back(list[i]);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Link3Repr>> Link3Repr::Build(const WebGraph& graph,
+                                                    const std::string& path,
+                                                    Options options) {
+  std::unique_ptr<Link3Repr> repr(new Link3Repr());
+  repr->options_ = options;
+  size_t n = graph.num_pages();
+
+  // URL-order permutation.
+  repr->orig_of_sorted_.resize(n);
+  std::iota(repr->orig_of_sorted_.begin(), repr->orig_of_sorted_.end(), 0);
+  std::sort(repr->orig_of_sorted_.begin(), repr->orig_of_sorted_.end(),
+            [&graph](PageId a, PageId b) { return graph.url(a) < graph.url(b); });
+  repr->sorted_of_orig_.resize(n);
+  for (PageId s = 0; s < n; ++s) {
+    repr->sorted_of_orig_[repr->orig_of_sorted_[s]] = s;
+  }
+
+  WG_RETURN_IF_ERROR(RemoveFileIfExists(path));
+  auto file = RandomAccessFile::Open(path);
+  if (!file.ok()) return file.status();
+  repr->file_ = std::move(file).value();
+
+  // Blocks are flushed either at pages_per_block lists or when the payload
+  // approaches the u16 offset limit (transpose hubs can have huge lists).
+  const uint32_t bs = options.pages_per_block;
+  constexpr uint64_t kFlushBits = 48000;
+  Link3Repr* r = repr.get();
+  std::vector<std::vector<PageId>> lists;
+  BitWriter payload;
+  std::vector<uint16_t> offsets;
+  PageId block_first = 0;
+
+  auto flush_block = [&]() -> Status {
+    if (lists.empty()) return Status::OK();
+    std::vector<uint8_t> bits = payload.Finish();
+    std::string blob;
+    PutFixed32(&blob, static_cast<uint32_t>(bits.size()));
+    uint16_t count = static_cast<uint16_t>(lists.size());
+    blob.push_back(static_cast<char>(count & 0xff));
+    blob.push_back(static_cast<char>(count >> 8));
+    for (uint16_t off : offsets) {
+      blob.push_back(static_cast<char>(off & 0xff));
+      blob.push_back(static_cast<char>(off >> 8));
+    }
+    blob.append(reinterpret_cast<const char*>(bits.data()), bits.size());
+    WG_RETURN_IF_ERROR(r->file_->Append(blob.data(), blob.size()));
+    r->block_first_.push_back(block_first);
+    r->block_offsets_.push_back(r->file_->size());
+    r->encoded_bits_ += blob.size() * 8;
+    lists.clear();
+    payload = BitWriter();
+    offsets.clear();
+    return Status::OK();
+  };
+
+  repr->block_offsets_.push_back(0);
+  std::vector<uint8_t> copy_bits, best_copy_bits;
+  std::vector<PageId> residuals, best_residuals;
+  for (PageId s = 0; s < n; ++s) {
+    if (lists.size() >= bs || payload.bit_count() > kFlushBits) {
+      WG_RETURN_IF_ERROR(flush_block());
+    }
+    if (lists.empty()) block_first = s;
+    PageId orig = repr->orig_of_sorted_[s];
+    std::vector<PageId> list;
+    list.reserve(graph.out_degree(orig));
+    for (PageId q : graph.OutLinks(orig)) {
+      list.push_back(repr->sorted_of_orig_[q]);
+    }
+    std::sort(list.begin(), list.end());
+
+    offsets.push_back(static_cast<uint16_t>(payload.bit_count()));
+    // Baseline: no reference.
+    uint64_t best_cost = 4 + ResidualCost(list, s);
+    uint32_t best_ref = 0;
+    uint32_t window = std::min<uint32_t>(options.reference_window,
+                                         static_cast<uint32_t>(lists.size()));
+    for (uint32_t back = 1; back <= window; ++back) {
+      const auto& ref = lists[lists.size() - back];
+      if (ref.empty()) continue;
+      DiffAgainstReference(list, ref, &copy_bits, &residuals);
+      uint64_t cost = 4 + RleBitsCost(copy_bits) + ResidualCost(residuals, s);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_ref = back;
+        best_copy_bits = copy_bits;
+        best_residuals = residuals;
+      }
+    }
+    payload.WriteBits(best_ref, 4);
+    if (best_ref > 0) {
+      WriteRleBits(&payload, best_copy_bits);
+      WriteResiduals(&payload, best_residuals, s);
+    } else {
+      WriteResiduals(&payload, list, s);
+    }
+    lists.push_back(std::move(list));
+  }
+  WG_RETURN_IF_ERROR(flush_block());
+
+  repr->num_edges_ = graph.num_edges();
+  repr->domains_ = DomainIndex(graph);
+  {
+    ReprStats scratch;
+    repr->disk_tracker_.Absorb(repr->file_->seek_ops(),
+                               repr->file_->transferred_bytes(), &scratch);
+  }
+  Link3Repr* raw = repr.get();
+  repr->cache_ = std::make_unique<ByteCache>(
+      options.buffer_bytes, [raw](uint32_t block, std::vector<uint8_t>* blob) {
+        return raw->LoadBlock(block, blob);
+      });
+  return repr;
+}
+
+Status Link3Repr::LoadBlock(uint32_t block, std::vector<uint8_t>* blob) {
+  uint64_t start = block_offsets_[block];
+  uint64_t len = block_offsets_[block + 1] - start;
+  blob->resize(len);
+  WG_RETURN_IF_ERROR(
+      file_->Read(start, len, reinterpret_cast<char*>(blob->data())));
+  stats_.disk_reads += 1;
+  stats_.bytes_read += len;
+  disk_tracker_.Absorb(file_->seek_ops(), file_->transferred_bytes(),
+                       &stats_);
+  return Status::OK();
+}
+
+Status Link3Repr::DecodeList(const std::vector<uint8_t>& blob,
+                             PageId block_base, uint32_t index,
+                             BlockMemo* memo, std::vector<PageId>* out) const {
+  if (memo->decoded[index]) {
+    *out = memo->lists[index];
+    return Status::OK();
+  }
+  if (blob.size() < 6) return Status::Corruption("link3: short block");
+  uint32_t payload_bytes = DecodeFixed32(
+      reinterpret_cast<const char*>(blob.data()));
+  uint32_t count = static_cast<uint32_t>(blob[4]) |
+                   (static_cast<uint32_t>(blob[5]) << 8);
+  if (index >= count) return Status::Corruption("link3: bad list index");
+  size_t header = 6 + 2 * static_cast<size_t>(count);
+  if (blob.size() < header + payload_bytes) {
+    return Status::Corruption("link3: truncated block");
+  }
+  uint16_t bit_off = static_cast<uint16_t>(blob[6 + 2 * index]) |
+                     (static_cast<uint16_t>(blob[7 + 2 * index]) << 8);
+  BitReader reader(blob.data() + header, payload_bytes);
+  reader.SkipBits(bit_off);
+
+  uint32_t ref_off = static_cast<uint32_t>(reader.ReadBits(4));
+  std::vector<PageId> result;
+  PageId source = block_base + index;
+  if (ref_off > 0) {
+    std::vector<PageId> ref_list;
+    WG_RETURN_IF_ERROR(
+        DecodeList(blob, block_base, index - ref_off, memo, &ref_list));
+    // The recursion used its own reader; ours continues where it left off.
+    std::vector<uint8_t> copy_bits;
+    ReadRleBits(&reader, ref_list.size(), &copy_bits);
+    for (size_t j = 0; j < ref_list.size(); ++j) {
+      if (copy_bits[j]) result.push_back(ref_list[j]);
+    }
+    std::vector<PageId> residuals;
+    ReadResiduals(&reader, source, &residuals);
+    std::vector<PageId> merged;
+    merged.reserve(result.size() + residuals.size());
+    std::merge(result.begin(), result.end(), residuals.begin(),
+               residuals.end(), std::back_inserter(merged));
+    result = std::move(merged);
+  } else {
+    ReadResiduals(&reader, source, &result);
+  }
+  if (!reader.ok()) return Status::Corruption("link3: bad stream");
+  memo->lists[index] = result;
+  memo->decoded[index] = 1;
+  *out = std::move(result);
+  return Status::OK();
+}
+
+Status Link3Repr::GetLinks(PageId p, std::vector<PageId>* out) {
+  if (p >= sorted_of_orig_.size()) {
+    return Status::OutOfRange("page id out of range");
+  }
+  ++stats_.adjacency_requests;
+  PageId s = sorted_of_orig_[p];
+  auto it = std::upper_bound(block_first_.begin(), block_first_.end(), s);
+  uint32_t block = static_cast<uint32_t>((it - block_first_.begin()) - 1);
+  PageId base = block_first_[block];
+  uint32_t index = s - base;
+  std::vector<uint8_t> scratch;
+  WG_ASSIGN_OR_RETURN(const std::vector<uint8_t>* blob,
+                      cache_->Get(block, &scratch));
+  BlockMemo memo;
+  memo.lists.resize(options_.pages_per_block);
+  memo.decoded.assign(options_.pages_per_block, 0);
+  std::vector<PageId> sorted_space;
+  WG_RETURN_IF_ERROR(DecodeList(*blob, base, index, &memo, &sorted_space));
+  size_t first = out->size();
+  for (PageId q : sorted_space) out->push_back(orig_of_sorted_[q]);
+  std::sort(out->begin() + first, out->end());
+  stats_.edges_returned += sorted_space.size();
+  stats_.cache_hits = cache_->hits();
+  stats_.cache_misses = cache_->misses();
+  return Status::OK();
+}
+
+Status Link3Repr::PagesInDomain(const std::string& domain,
+                                std::vector<PageId>* out) {
+  const auto& pages = domains_.Pages(domain);
+  out->insert(out->end(), pages.begin(), pages.end());
+  return Status::OK();
+}
+
+size_t Link3Repr::resident_memory() const {
+  return (sorted_of_orig_.size() + orig_of_sorted_.size() +
+          block_first_.size()) *
+             sizeof(PageId) +
+         block_offsets_.size() * sizeof(uint64_t) + domains_.MemoryUsage() +
+         cache_->bytes_used();
+}
+
+}  // namespace wg

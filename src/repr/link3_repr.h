@@ -1,0 +1,91 @@
+#ifndef WG_REPR_LINK3_REPR_H_
+#define WG_REPR_LINK3_REPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "repr/byte_cache.h"
+#include "repr/domain_index.h"
+#include "repr/representation.h"
+#include "storage/file.h"
+
+// Reimplementation of the Connectivity Server "Link3" scheme the paper
+// compares against (Bharat et al. [14]; Randall et al. [12, 13]):
+//
+//  * pages are numbered in lexicographic URL order, so pages with similar
+//    URLs -- and, by the paper's Observation 2, similar adjacency lists --
+//    get nearby ids;
+//  * adjacency lists are delta-compressed against one of the previous 8
+//    lists (reference + copy bit-vector + residual deltas), falling back to
+//    pure delta coding when no reference helps;
+//  * lists are grouped into fixed-size blocks with a per-list offset table
+//    so individual lists remain randomly accessible.
+//
+// Blocks live on disk and are buffered through a byte-budgeted cache; the
+// URL-order permutation, block directory, and domain index are resident,
+// mirroring how the paper ran this scheme.
+
+namespace wg {
+
+class Link3Repr : public GraphRepresentation {
+ public:
+  struct Options {
+    size_t buffer_bytes = 4 << 20;
+    uint32_t pages_per_block = 64;
+    uint32_t reference_window = 8;
+  };
+
+  static Result<std::unique_ptr<Link3Repr>> Build(const WebGraph& graph,
+                                                  const std::string& path,
+                                                  Options options);
+
+  std::string name() const override { return "link3"; }
+  size_t num_pages() const override { return sorted_of_orig_.size(); }
+  uint64_t num_edges() const override { return num_edges_; }
+  Status GetLinks(PageId p, std::vector<PageId>* out) override;
+  Status PagesInDomain(const std::string& domain,
+                       std::vector<PageId>* out) override;
+  PageId PageInNaturalOrder(size_t i) const override {
+    return orig_of_sorted_[i];
+  }
+  uint64_t encoded_bits() const override { return encoded_bits_; }
+  size_t resident_memory() const override;
+
+  void set_buffer_budget(size_t bytes) { cache_->set_budget(bytes); }
+  void ClearBuffers() override { cache_->Clear(); }
+
+ private:
+  Link3Repr() = default;
+
+  Status LoadBlock(uint32_t block, std::vector<uint8_t>* blob);
+
+  // Memo for one block's reference-chain decode.
+  struct BlockMemo {
+    std::vector<std::vector<PageId>> lists;
+    std::vector<char> decoded;
+  };
+
+  // Decodes list `index` within a block blob whose first sorted id is
+  // `block_base`, recursing through its reference chain. Results are in
+  // sorted-id space.
+  Status DecodeList(const std::vector<uint8_t>& blob, PageId block_base,
+                    uint32_t index, BlockMemo* memo,
+                    std::vector<PageId>* out) const;
+
+  Options options_;
+  std::unique_ptr<RandomAccessFile> file_;
+  std::vector<PageId> sorted_of_orig_;  // URL-order id of a crawl-order id
+  std::vector<PageId> orig_of_sorted_;
+  std::vector<uint64_t> block_offsets_;  // file offset per block (+end)
+  std::vector<PageId> block_first_;      // first sorted id of each block
+  uint64_t encoded_bits_ = 0;
+  uint64_t num_edges_ = 0;
+  DomainIndex domains_;
+  std::unique_ptr<ByteCache> cache_;
+  DiskCounterTracker disk_tracker_;
+};
+
+}  // namespace wg
+
+#endif  // WG_REPR_LINK3_REPR_H_

@@ -1,0 +1,140 @@
+#ifndef WG_REPR_REPRESENTATION_H_
+#define WG_REPR_REPRESENTATION_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/webgraph.h"
+#include "util/status.h"
+
+// The common contract for all five Web-graph representation schemes the
+// paper evaluates (uncompressed files, relational, plain Huffman, Link3,
+// S-Node). A representation is built once from the ground-truth WebGraph
+// and then serves adjacency queries under a fixed memory budget, counting
+// its own I/O and decode work. Direction is baked in at build time: to
+// navigate backlinks, build a second representation over
+// WebGraph::Transpose(), exactly as the paper does for WG^T.
+
+namespace wg {
+
+struct ReprStats {
+  uint64_t adjacency_requests = 0;
+  uint64_t edges_returned = 0;
+  uint64_t disk_reads = 0;   // physical read ops (0 for in-memory schemes)
+  uint64_t bytes_read = 0;   // physical bytes read
+  // Disk-model accounting (see storage/file.h): non-sequential reads and
+  // total transferred bytes including skipped near gaps. Experiments price
+  // these with 2001-era disk constants.
+  uint64_t disk_seeks = 0;
+  uint64_t disk_transfer_bytes = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t graphs_loaded = 0;  // S-Node: lower-level graphs decoded
+
+  void Reset() { *this = ReprStats(); }
+};
+
+// Tracks a monotone (seeks, transferred) counter pair and feeds deltas into
+// ReprStats; reprs call Absorb after each physical load.
+struct DiskCounterTracker {
+  uint64_t last_seeks = 0;
+  uint64_t last_transfer = 0;
+  void Absorb(uint64_t seeks, uint64_t transfer, ReprStats* stats) {
+    stats->disk_seeks += seeks - last_seeks;
+    stats->disk_transfer_bytes += transfer - last_transfer;
+    last_seeks = seeks;
+    last_transfer = transfer;
+  }
+};
+
+class GraphRepresentation {
+ public:
+  virtual ~GraphRepresentation() = default;
+
+  virtual std::string name() const = 0;
+  virtual size_t num_pages() const = 0;
+  virtual uint64_t num_edges() const = 0;
+
+  // Appends the links of `p` (out-links of the graph this representation
+  // was built over) to *out; the result is sorted ascending.
+  virtual Status GetLinks(PageId p, std::vector<PageId>* out) = 0;
+
+  // All pages belonging to `domain`, sorted (the domain index every scheme
+  // carries in the paper's setup).
+  virtual Status PagesInDomain(const std::string& domain,
+                               std::vector<PageId>* out) = 0;
+
+  // Visits the links of each page of `sources` (any order of visitation;
+  // one callback per source) that fall inside the sorted page set
+  // `targets`. The default decodes full adjacency lists and intersects;
+  // schemes with a structural index (S-Node's supernode graph) override
+  // this to skip encoded graphs that cannot contain matching links --
+  // the paper's "top-level graph serves the role of an index".
+  virtual Status VisitLinksInto(
+      const std::vector<PageId>& sources, const std::vector<PageId>& targets,
+      const std::function<void(PageId, const std::vector<PageId>&)>& visit) {
+    std::vector<PageId> links, filtered;
+    for (PageId p : sources) {
+      links.clear();
+      WG_RETURN_IF_ERROR(GetLinks(p, &links));
+      filtered.clear();
+      for (PageId q : links) {
+        if (std::binary_search(targets.begin(), targets.end(), q)) {
+          filtered.push_back(q);
+        }
+      }
+      visit(p, filtered);
+    }
+    return Status::OK();
+  }
+
+  // Key such that pages with nearby keys are physically close in this
+  // scheme's storage; batch operations visit pages in key order to turn
+  // scattered requests into near-sequential ones (the paper's Section 3.3
+  // disk layout makes exactly this access pattern cheap).
+  virtual uint64_t LocalityKey(PageId p) const { return p; }
+
+  // The i-th page in this scheme's own storage order. Sequential-scan
+  // experiments (paper Table 2) iterate "in the order of page identifiers";
+  // each scheme's identifiers are its internal order (URL order for Link3,
+  // supernode order for S-Node), so a faithful sequential scan must follow
+  // it. Default: external id order.
+  virtual PageId PageInNaturalOrder(size_t i) const {
+    return static_cast<PageId>(i);
+  }
+
+  // Size in bits of the encoded adjacency structure, excluding the resident
+  // page-id/domain indexes (the paper's bits/edge metric divides encoded
+  // graph size by edge count).
+  virtual uint64_t encoded_bits() const = 0;
+
+  double BitsPerEdge() const {
+    return num_edges() == 0
+               ? 0.0
+               : static_cast<double>(encoded_bits()) / num_edges();
+  }
+
+  // Bytes of memory pinned for the lifetime of the representation
+  // (resident indexes; for in-memory schemes this includes the encoding).
+  virtual size_t resident_memory() const = 0;
+
+  // Drops buffered/cached disk state (no-op for in-memory schemes).
+  // Experiments use this to measure cold navigation, since at 1:1000
+  // scale per-query footprints fit in buffers that the paper's full-scale
+  // working sets overflowed.
+  virtual void ClearBuffers() {}
+
+  ReprStats& stats() { return stats_; }
+  const ReprStats& stats() const { return stats_; }
+
+ protected:
+  ReprStats stats_;
+};
+
+}  // namespace wg
+
+#endif  // WG_REPR_REPRESENTATION_H_

@@ -1,0 +1,172 @@
+#include "repr/uncompressed_repr.h"
+
+#include <cstring>
+
+#include "util/coding.h"
+
+namespace wg {
+
+namespace {
+
+// The index file holds one fixed 8-byte offset per page, plus a final
+// end-of-data sentinel, so the extent of page p's record is
+// [offset[p], offset[p+1]).
+constexpr size_t kIndexEntry = 8;
+
+}  // namespace
+
+Result<std::unique_ptr<UncompressedFileRepr>> UncompressedFileRepr::Build(
+    const WebGraph& graph, const std::string& path, Options options) {
+  std::unique_ptr<UncompressedFileRepr> repr(new UncompressedFileRepr());
+  repr->options_ = options;
+  WG_RETURN_IF_ERROR(RemoveFileIfExists(path));
+  WG_RETURN_IF_ERROR(RemoveFileIfExists(path + ".idx"));
+  auto file = RandomAccessFile::Open(path);
+  if (!file.ok()) return file.status();
+  repr->file_ = std::move(file).value();
+  auto index_file = RandomAccessFile::Open(path + ".idx");
+  if (!index_file.ok()) return index_file.status();
+  repr->index_file_ = std::move(index_file).value();
+
+  // Stream the adjacency lists out in page order, recording offsets.
+  std::string buffer;
+  std::string index_buffer;
+  uint64_t offset = 0;
+  for (PageId p = 0; p < graph.num_pages(); ++p) {
+    PutFixed64(&index_buffer, offset);
+    auto links = graph.OutLinks(p);
+    PutFixed32(&buffer, static_cast<uint32_t>(links.size()));
+    for (PageId q : links) PutFixed32(&buffer, q);
+    offset += 4 + 4 * links.size();
+    if (buffer.size() >= (1 << 20)) {
+      WG_RETURN_IF_ERROR(repr->file_->Append(buffer.data(), buffer.size()));
+      buffer.clear();
+    }
+  }
+  if (!buffer.empty()) {
+    WG_RETURN_IF_ERROR(repr->file_->Append(buffer.data(), buffer.size()));
+  }
+  PutFixed64(&index_buffer, offset);
+  WG_RETURN_IF_ERROR(
+      repr->index_file_->Append(index_buffer.data(), index_buffer.size()));
+  repr->file_bytes_ = offset;
+  repr->num_edges_ = graph.num_edges();
+  repr->num_pages_ = graph.num_pages();
+  repr->domains_ = DomainIndex(graph);
+
+  UncompressedFileRepr* raw = repr.get();
+  repr->cache_ = std::make_unique<ByteCache>(
+      options.buffer_bytes - options.buffer_bytes / 5,
+      [raw](uint32_t block, std::vector<uint8_t>* blob) {
+        return raw->LoadBlock(block, blob);
+      });
+  repr->index_cache_ = std::make_unique<ByteCache>(
+      options.buffer_bytes / 5,
+      [raw](uint32_t block, std::vector<uint8_t>* blob) {
+        return raw->LoadIndexBlock(block, blob);
+      });
+  return repr;
+}
+
+Status UncompressedFileRepr::LoadBlock(uint32_t block,
+                                       std::vector<uint8_t>* blob) {
+  uint64_t start = static_cast<uint64_t>(block) * options_.block_bytes;
+  uint64_t len = std::min<uint64_t>(options_.block_bytes, file_bytes_ - start);
+  blob->resize(len);
+  WG_RETURN_IF_ERROR(
+      file_->Read(start, len, reinterpret_cast<char*>(blob->data())));
+  stats_.disk_reads += 1;
+  stats_.bytes_read += len;
+  disk_tracker_.Absorb(file_->seek_ops(), file_->transferred_bytes(),
+                       &stats_);
+  return Status::OK();
+}
+
+Status UncompressedFileRepr::LoadIndexBlock(uint32_t block,
+                                            std::vector<uint8_t>* blob) {
+  uint64_t start = static_cast<uint64_t>(block) * options_.block_bytes;
+  uint64_t len =
+      std::min<uint64_t>(options_.block_bytes, index_file_->size() - start);
+  blob->resize(len);
+  WG_RETURN_IF_ERROR(
+      index_file_->Read(start, len, reinterpret_cast<char*>(blob->data())));
+  stats_.disk_reads += 1;
+  stats_.bytes_read += len;
+  index_tracker_.Absorb(index_file_->seek_ops(),
+                        index_file_->transferred_bytes(), &stats_);
+  return Status::OK();
+}
+
+Status UncompressedFileRepr::LookupOffsets(PageId p, uint64_t* begin,
+                                           uint64_t* end) {
+  uint64_t entries[2];
+  std::vector<uint8_t> scratch;
+  for (int i = 0; i < 2; ++i) {
+    uint64_t byte_pos = static_cast<uint64_t>(p + i) * kIndexEntry;
+    uint32_t block = static_cast<uint32_t>(byte_pos / options_.block_bytes);
+    WG_ASSIGN_OR_RETURN(const std::vector<uint8_t>* blob,
+                        index_cache_->Get(block, &scratch));
+    uint64_t off = byte_pos -
+                   static_cast<uint64_t>(block) * options_.block_bytes;
+    // Entries are 8-byte aligned within power-of-two blocks, so an entry
+    // never straddles a block boundary.
+    entries[i] = DecodeFixed64(
+        reinterpret_cast<const char*>(blob->data()) + off);
+  }
+  *begin = entries[0];
+  *end = entries[1];
+  return Status::OK();
+}
+
+Status UncompressedFileRepr::GetLinks(PageId p, std::vector<PageId>* out) {
+  if (p >= num_pages_) {
+    return Status::OutOfRange("page id out of range");
+  }
+  ++stats_.adjacency_requests;
+  uint64_t begin, end;
+  WG_RETURN_IF_ERROR(LookupOffsets(p, &begin, &end));
+  if (end < begin || end > file_bytes_) {
+    return Status::Corruption("uncompressed: bad index entry");
+  }
+  // Assemble the record bytes from one or more cached blocks.
+  std::string record;
+  record.reserve(end - begin);
+  uint64_t pos = begin;
+  std::vector<uint8_t> scratch;
+  while (pos < end) {
+    uint32_t block = static_cast<uint32_t>(pos / options_.block_bytes);
+    uint64_t block_start = static_cast<uint64_t>(block) * options_.block_bytes;
+    WG_ASSIGN_OR_RETURN(const std::vector<uint8_t>* blob,
+                        cache_->Get(block, &scratch));
+    uint64_t off = pos - block_start;
+    uint64_t take = std::min(end - pos, blob->size() - off);
+    record.append(reinterpret_cast<const char*>(blob->data()) + off, take);
+    pos += take;
+  }
+  uint32_t count = DecodeFixed32(record.data());
+  if (record.size() != 4 + 4 * static_cast<size_t>(count)) {
+    return Status::Corruption("uncompressed: bad record");
+  }
+  out->reserve(out->size() + count);
+  for (uint32_t i = 0; i < count; ++i) {
+    out->push_back(DecodeFixed32(record.data() + 4 + 4 * i));
+  }
+  stats_.edges_returned += count;
+  stats_.cache_hits = cache_->hits() + index_cache_->hits();
+  stats_.cache_misses = cache_->misses() + index_cache_->misses();
+  return Status::OK();
+}
+
+Status UncompressedFileRepr::PagesInDomain(const std::string& domain,
+                                           std::vector<PageId>* out) {
+  const auto& pages = domains_.Pages(domain);
+  out->insert(out->end(), pages.begin(), pages.end());
+  return Status::OK();
+}
+
+size_t UncompressedFileRepr::resident_memory() const {
+  return domains_.MemoryUsage() + cache_->bytes_used() +
+         index_cache_->bytes_used();
+}
+
+}  // namespace wg

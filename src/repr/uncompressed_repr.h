@@ -1,0 +1,77 @@
+#ifndef WG_REPR_UNCOMPRESSED_REPR_H_
+#define WG_REPR_UNCOMPRESSED_REPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "repr/byte_cache.h"
+#include "repr/domain_index.h"
+#include "repr/representation.h"
+#include "storage/file.h"
+
+// The paper's baseline scheme: "plain files to store uncompressed adjacency
+// lists". Each list is stored as a 32-bit count followed by 32-bit page
+// ids. The page-id index (per-page file offset) lives in its own file and
+// is read through the buffer budget: at the paper's scale it is ~800 MB
+// (8 bytes x 100M pages) and cannot be memory-resident, so every adjacency
+// access costs an index read plus a data read. The (much smaller) domain
+// index is pinned in memory, as in the paper's setup.
+
+namespace wg {
+
+class UncompressedFileRepr : public GraphRepresentation {
+ public:
+  struct Options {
+    // Budget for file-block buffering, shared between the data file and
+    // the on-disk page-id index (4:1).
+    size_t buffer_bytes = 4 << 20;
+    size_t block_bytes = 64 << 10;
+  };
+
+  // Writes the adjacency file under `path` and opens it for querying.
+  static Result<std::unique_ptr<UncompressedFileRepr>> Build(
+      const WebGraph& graph, const std::string& path, Options options);
+
+  std::string name() const override { return "uncompressed-file"; }
+  size_t num_pages() const override { return num_pages_; }
+  uint64_t num_edges() const override { return num_edges_; }
+  Status GetLinks(PageId p, std::vector<PageId>* out) override;
+  Status PagesInDomain(const std::string& domain,
+                       std::vector<PageId>* out) override;
+  uint64_t encoded_bits() const override { return file_bytes_ * 8; }
+  size_t resident_memory() const override;
+
+  void set_buffer_budget(size_t bytes) {
+    cache_->set_budget(bytes - bytes / 5);
+    index_cache_->set_budget(bytes / 5);
+  }
+  void ClearBuffers() override {
+    cache_->Clear();
+    index_cache_->Clear();
+  }
+
+ private:
+  UncompressedFileRepr() = default;
+
+  Status LoadBlock(uint32_t block, std::vector<uint8_t>* blob);
+  Status LoadIndexBlock(uint32_t block, std::vector<uint8_t>* blob);
+  // Reads offsets_[p] and offsets_[p+1] equivalents from the index file.
+  Status LookupOffsets(PageId p, uint64_t* begin, uint64_t* end);
+
+  Options options_;
+  std::unique_ptr<RandomAccessFile> file_;
+  std::unique_ptr<RandomAccessFile> index_file_;
+  uint64_t file_bytes_ = 0;
+  uint64_t num_edges_ = 0;
+  size_t num_pages_ = 0;
+  DomainIndex domains_;
+  std::unique_ptr<ByteCache> cache_;
+  std::unique_ptr<ByteCache> index_cache_;
+  DiskCounterTracker disk_tracker_;
+  DiskCounterTracker index_tracker_;
+};
+
+}  // namespace wg
+
+#endif  // WG_REPR_UNCOMPRESSED_REPR_H_

@@ -1,0 +1,39 @@
+#include "snode/bulk.h"
+
+#include <algorithm>
+
+namespace wg {
+
+Result<BulkGraph> DecodeAll(SNodeRepr* repr) {
+  size_t n = repr->num_pages();
+
+  // Accumulate per-external-page adjacency. The sweep visits pages in
+  // internal (supernode) order, so we gather in internal order and remap
+  // at the end -- that keeps the store access strictly sequential.
+  std::vector<std::vector<PageId>> adjacency(n);
+  std::vector<PageId> links;
+  for (size_t i = 0; i < n; ++i) {
+    PageId external = repr->PageInNaturalOrder(i);
+    links.clear();
+    WG_RETURN_IF_ERROR(repr->GetLinks(external, &links));
+    adjacency[external] = links;
+  }
+
+  BulkGraph bulk;
+  bulk.offsets.reserve(n + 1);
+  bulk.offsets.push_back(0);
+  uint64_t total = 0;
+  for (size_t p = 0; p < n; ++p) total += adjacency[p].size();
+  bulk.targets.reserve(total);
+  for (size_t p = 0; p < n; ++p) {
+    bulk.targets.insert(bulk.targets.end(), adjacency[p].begin(),
+                        adjacency[p].end());
+    bulk.offsets.push_back(bulk.targets.size());
+  }
+  if (bulk.num_edges() != repr->num_edges()) {
+    return Status::Corruption("bulk decode: edge count mismatch");
+  }
+  return bulk;
+}
+
+}  // namespace wg

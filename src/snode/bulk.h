@@ -1,0 +1,40 @@
+#ifndef WG_SNODE_BULK_H_
+#define WG_SNODE_BULK_H_
+
+#include "graph/webgraph.h"
+#include "snode/snode_repr.h"
+
+// Global/bulk access (Section 1.2 of the paper): the compact S-Node
+// encoding exists so that whole-graph computations -- SCC, diameter,
+// PageRank, community mining -- can run in main memory. This helper
+// decodes an entire representation back into a CSR adjacency structure
+// with one sequential sweep over the store: every lower-level graph is
+// read and decoded exactly once, in disk order, independent of the cache
+// budget.
+
+namespace wg {
+
+// Adjacency-only view of the decoded graph (no URLs/domains: bulk
+// consumers that need metadata keep the original WebGraph or the crawl
+// file around).
+struct BulkGraph {
+  std::vector<uint64_t> offsets;  // num_pages + 1
+  std::vector<PageId> targets;    // external (crawl-order) page ids, sorted
+
+  size_t num_pages() const {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+  uint64_t num_edges() const { return targets.size(); }
+
+  std::span<const PageId> OutLinks(PageId p) const {
+    return {targets.data() + offsets[p], targets.data() + offsets[p + 1]};
+  }
+};
+
+// Decodes the whole representation. The sweep walks supernodes in disk
+// order and emits adjacency in external id space.
+Result<BulkGraph> DecodeAll(SNodeRepr* repr);
+
+}  // namespace wg
+
+#endif  // WG_SNODE_BULK_H_

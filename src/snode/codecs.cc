@@ -1,0 +1,343 @@
+#include "snode/codecs.h"
+
+#include <algorithm>
+
+#include "snode/reference_encoding.h"
+#include "util/bitstream.h"
+#include "util/coding.h"
+#include "util/rle.h"
+
+namespace wg {
+
+namespace {
+
+// Splits `list` against `ref` into copy bits + residuals.
+void Diff(const std::vector<uint32_t>& list, const std::vector<uint32_t>& ref,
+          std::vector<uint8_t>* copy_bits, std::vector<uint32_t>* residuals) {
+  copy_bits->assign(ref.size(), 0);
+  residuals->clear();
+  size_t i = 0, j = 0;
+  while (i < list.size() && j < ref.size()) {
+    if (list[i] == ref[j]) {
+      (*copy_bits)[j] = 1;
+      ++i;
+      ++j;
+    } else if (list[i] < ref[j]) {
+      residuals->push_back(list[i]);
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  for (; i < list.size(); ++i) residuals->push_back(list[i]);
+}
+
+// Stand-alone list: gamma count, first value in minimal binary over
+// [0, universe), then gamma-coded gaps-minus-one. Must stay in lockstep
+// with StandaloneCostBits (the reference planner's cost model).
+void WriteStandalone(BitWriter* w, const std::vector<uint32_t>& list,
+                     uint32_t universe) {
+  WriteGamma(w, list.size());
+  if (list.empty()) return;
+  WriteMinimalBinary(w, list[0], universe);
+  for (size_t i = 1; i < list.size(); ++i) {
+    WriteGamma(w, list[i] - list[i - 1] - 1);
+  }
+}
+
+void ReadStandalone(BitReader* r, uint32_t universe,
+                    std::vector<uint32_t>* out) {
+  uint64_t count = ReadGamma(r);
+  if (count == 0) return;
+  uint32_t v = static_cast<uint32_t>(ReadMinimalBinary(r, universe));
+  out->push_back(v);
+  for (uint64_t i = 1; i < count; ++i) {
+    v += static_cast<uint32_t>(ReadGamma(r)) + 1;
+    out->push_back(v);
+  }
+}
+
+// Merges reference copies with residuals into the decoded list.
+std::vector<uint32_t> ApplyReference(const std::vector<uint32_t>& ref,
+                                     const std::vector<uint8_t>& copy_bits,
+                                     const std::vector<uint32_t>& residuals) {
+  std::vector<uint32_t> copied;
+  copied.reserve(ref.size());
+  for (size_t j = 0; j < ref.size(); ++j) {
+    if (copy_bits[j]) copied.push_back(ref[j]);
+  }
+  std::vector<uint32_t> merged;
+  merged.reserve(copied.size() + residuals.size());
+  std::merge(copied.begin(), copied.end(), residuals.begin(), residuals.end(),
+             std::back_inserter(merged));
+  return merged;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeIntranode(
+    const std::vector<std::vector<uint32_t>>& lists,
+    const IntranodeEncodeOptions& options) {
+  uint32_t universe = static_cast<uint32_t>(lists.size());
+  ReferencePlan plan =
+      ComputeReferencePlan(lists, universe, options.reference_window,
+                           options.use_reference_encoding);
+  BitWriter w;
+  WriteGamma(&w, lists.size());
+  std::vector<uint8_t> copy_bits;
+  std::vector<uint32_t> residuals;
+  for (uint32_t local : plan.order) {
+    WriteGamma(&w, local);
+    int ref = plan.reference[local];
+    if (ref == kNoReference) {
+      w.WriteBit(false);
+      WriteStandalone(&w, lists[local], universe);
+    } else {
+      w.WriteBit(true);
+      int delta = static_cast<int>(local) - ref;
+      w.WriteBit(delta < 0);
+      WriteGamma(&w, static_cast<uint64_t>(std::abs(delta)) - 1);
+      Diff(lists[local], lists[ref], &copy_bits, &residuals);
+      WriteRleBits(&w, copy_bits);
+      WriteStandalone(&w, residuals, universe);
+    }
+  }
+  return w.Finish();
+}
+
+Status DecodeIntranode(const std::vector<uint8_t>& blob, IntranodeGraph* out) {
+  BitReader r(blob);
+  uint64_t n = ReadGamma(&r);
+  if (!r.ok() || n > (1u << 28)) {
+    return Status::Corruption("intranode: bad page count");
+  }
+  std::vector<std::vector<uint32_t>> lists(n);
+  std::vector<char> seen(n, 0);
+  std::vector<uint8_t> copy_bits;
+  std::vector<uint32_t> residuals;
+  for (uint64_t k = 0; k < n; ++k) {
+    uint64_t local = ReadGamma(&r);
+    if (!r.ok() || local >= n || seen[local]) {
+      return Status::Corruption("intranode: bad local id");
+    }
+    seen[local] = 1;
+    bool has_ref = r.ReadBit();
+    if (!has_ref) {
+      ReadStandalone(&r, static_cast<uint32_t>(n), &lists[local]);
+    } else {
+      bool forward = r.ReadBit();
+      uint64_t dist = ReadGamma(&r) + 1;
+      int64_t ref = forward ? static_cast<int64_t>(local) + dist
+                            : static_cast<int64_t>(local) - dist;
+      if (ref < 0 || ref >= static_cast<int64_t>(n) || !seen[ref]) {
+        return Status::Corruption("intranode: bad reference");
+      }
+      copy_bits.clear();
+      ReadRleBits(&r, lists[ref].size(), &copy_bits);
+      residuals.clear();
+      ReadStandalone(&r, static_cast<uint32_t>(n), &residuals);
+      lists[local] = ApplyReference(lists[ref], copy_bits, residuals);
+    }
+    if (!r.ok()) return Status::Corruption("intranode: truncated");
+  }
+  if (r.position() + 8 <= r.size_bits()) {
+    return Status::Corruption("intranode: trailing garbage");
+  }
+  out->num_pages = static_cast<uint32_t>(n);
+  out->offsets.clear();
+  out->offsets.reserve(n + 1);
+  out->offsets.push_back(0);
+  out->targets.clear();
+  for (uint64_t i = 0; i < n; ++i) {
+    for (uint32_t t : lists[i]) {
+      if (t >= n) return Status::Corruption("intranode: target out of range");
+      out->targets.push_back(t);
+    }
+    out->offsets.push_back(static_cast<uint32_t>(out->targets.size()));
+  }
+  return Status::OK();
+}
+
+void SuperedgeGraph::LinksOf(uint32_t src, std::vector<uint32_t>* out) const {
+  auto it = std::lower_bound(sources.begin(), sources.end(), src);
+  bool present = it != sources.end() && *it == src;
+  if (positive) {
+    if (!present) return;
+    size_t k = static_cast<size_t>(it - sources.begin());
+    out->insert(out->end(), targets.begin() + offsets[k],
+                targets.begin() + offsets[k + 1]);
+    return;
+  }
+  // Negative polarity: absent source points to all of N_j.
+  if (!present) {
+    for (uint32_t t = 0; t < num_target_pages; ++t) out->push_back(t);
+    return;
+  }
+  size_t k = static_cast<size_t>(it - sources.begin());
+  uint32_t next = 0;
+  for (uint32_t idx = offsets[k]; idx < offsets[k + 1]; ++idx) {
+    uint32_t missing = targets[idx];
+    for (uint32_t t = next; t < missing; ++t) out->push_back(t);
+    next = missing + 1;
+  }
+  for (uint32_t t = next; t < num_target_pages; ++t) out->push_back(t);
+}
+
+uint64_t SuperedgeGraph::NumPositiveEdges(uint32_t num_source_pages) const {
+  if (positive) return targets.size();
+  return static_cast<uint64_t>(num_source_pages) * num_target_pages -
+         targets.size();
+}
+
+std::vector<uint8_t> EncodeSuperedge(
+    const std::vector<uint32_t>& sources,
+    const std::vector<std::vector<uint32_t>>& lists,
+    uint32_t num_source_pages, uint32_t num_target_pages,
+    const SuperedgeEncodeOptions& options) {
+  uint64_t pos_edges = 0;
+  for (const auto& list : lists) pos_edges += list.size();
+  uint64_t neg_edges =
+      static_cast<uint64_t>(num_source_pages) * num_target_pages - pos_edges;
+
+  bool positive = !(options.allow_negative && neg_edges < pos_edges);
+
+  // Materialize the source set + lists actually encoded.
+  std::vector<uint32_t> enc_sources;
+  std::vector<std::vector<uint32_t>> enc_lists;
+  if (positive) {
+    enc_sources = sources;
+    enc_lists = lists;
+  } else {
+    // Complement per source over all of N_i; sources with complete links
+    // are omitted, sources with no links carry the full complement.
+    size_t k = 0;
+    for (uint32_t src = 0; src < num_source_pages; ++src) {
+      const std::vector<uint32_t>* list = nullptr;
+      if (k < sources.size() && sources[k] == src) {
+        list = &lists[k];
+        ++k;
+      }
+      std::vector<uint32_t> comp;
+      if (list == nullptr) {
+        comp.resize(num_target_pages);
+        for (uint32_t t = 0; t < num_target_pages; ++t) comp[t] = t;
+      } else {
+        comp.reserve(num_target_pages - list->size());
+        uint32_t next = 0;
+        for (uint32_t present : *list) {
+          for (uint32_t t = next; t < present; ++t) comp.push_back(t);
+          next = present + 1;
+        }
+        for (uint32_t t = next; t < num_target_pages; ++t) comp.push_back(t);
+      }
+      if (!comp.empty()) {
+        enc_sources.push_back(src);
+        enc_lists.push_back(std::move(comp));
+      }
+    }
+  }
+
+  // ni and nj are NOT stored: the resident supernode graph knows both at
+  // decode time, and with tens of superedge graphs per supernode the header
+  // savings are significant.
+  BitWriter w;
+  w.WriteBit(positive);
+  WriteGamma(&w, enc_sources.size());
+  std::vector<uint8_t> copy_bits, best_copy_bits;
+  std::vector<uint32_t> residuals, best_residuals;
+  uint32_t prev_src = 0;
+  for (size_t k = 0; k < enc_sources.size(); ++k) {
+    if (k == 0) {
+      WriteMinimalBinary(&w, enc_sources[0], num_source_pages);
+    } else {
+      WriteGamma(&w, enc_sources[k] - prev_src - 1);
+    }
+    prev_src = enc_sources[k];
+    // Choose the best reference among the previous `window` sources.
+    uint64_t best_cost = StandaloneCostBits(enc_lists[k], num_target_pages);
+    int best_ref = -1;
+    int window = std::min<int>(options.reference_window, static_cast<int>(k));
+    if (options.use_reference_encoding) {
+      for (int back = 1; back <= window; ++back) {
+        const auto& ref = enc_lists[k - back];
+        if (ref.empty()) continue;
+        Diff(enc_lists[k], ref, &copy_bits, &residuals);
+        uint64_t cost = GammaCost(back - 1) + RleBitsCost(copy_bits) +
+                        StandaloneCostBits(residuals, num_target_pages);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_ref = back;
+          best_copy_bits = copy_bits;
+          best_residuals = residuals;
+        }
+      }
+    }
+    if (best_ref < 0) {
+      w.WriteBit(false);
+      WriteStandalone(&w, enc_lists[k], num_target_pages);
+    } else {
+      w.WriteBit(true);
+      WriteGamma(&w, best_ref - 1);
+      WriteRleBits(&w, best_copy_bits);
+      WriteStandalone(&w, best_residuals, num_target_pages);
+    }
+  }
+  return w.Finish();
+}
+
+Status DecodeSuperedge(const std::vector<uint8_t>& blob,
+                       uint32_t num_source_pages, uint32_t num_target_pages,
+                       SuperedgeGraph* out) {
+  BitReader r(blob);
+  out->positive = r.ReadBit();
+  out->num_target_pages = num_target_pages;
+  uint64_t present = ReadGamma(&r);
+  if (!r.ok() || present > num_source_pages) {
+    return Status::Corruption("superedge: bad header");
+  }
+  out->sources.clear();
+  out->offsets.clear();
+  out->targets.clear();
+  out->offsets.push_back(0);
+  std::vector<std::vector<uint32_t>> lists(present);
+  uint32_t src = 0;
+  std::vector<uint8_t> copy_bits;
+  std::vector<uint32_t> residuals;
+  for (uint64_t k = 0; k < present; ++k) {
+    if (k == 0) {
+      src = static_cast<uint32_t>(ReadMinimalBinary(&r, num_source_pages));
+    } else {
+      src += static_cast<uint32_t>(ReadGamma(&r)) + 1;
+    }
+    if (src >= num_source_pages) {
+      return Status::Corruption("superedge: source out of range");
+    }
+    out->sources.push_back(src);
+    bool has_ref = r.ReadBit();
+    if (!has_ref) {
+      ReadStandalone(&r, num_target_pages, &lists[k]);
+    } else {
+      uint64_t back = ReadGamma(&r) + 1;
+      if (back > k) return Status::Corruption("superedge: bad reference");
+      const auto& ref = lists[k - back];
+      copy_bits.clear();
+      ReadRleBits(&r, ref.size(), &copy_bits);
+      residuals.clear();
+      ReadStandalone(&r, num_target_pages, &residuals);
+      lists[k] = ApplyReference(ref, copy_bits, residuals);
+    }
+    if (!r.ok()) return Status::Corruption("superedge: truncated");
+  }
+  for (auto& list : lists) {
+    for (uint32_t t : list) {
+      if (t >= out->num_target_pages) {
+        return Status::Corruption("superedge: target out of range");
+      }
+      out->targets.push_back(t);
+    }
+    out->offsets.push_back(static_cast<uint32_t>(out->targets.size()));
+  }
+  return Status::OK();
+}
+
+}  // namespace wg

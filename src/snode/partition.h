@@ -1,0 +1,56 @@
+#ifndef WG_SNODE_PARTITION_H_
+#define WG_SNODE_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/webgraph.h"
+#include "util/status.h"
+
+// A partition of the repository's pages (Section 2 of the paper): disjoint
+// non-empty elements covering every page. Elements double as the future
+// supernodes.
+
+namespace wg {
+
+struct Partition {
+  // elements[e] = page ids of element e, kept sorted by URL (the paper's
+  // within-supernode ordering rule, which also serves reference-encoding
+  // locality).
+  std::vector<std::vector<PageId>> elements;
+
+  size_t num_elements() const { return elements.size(); }
+
+  // element_of[p] for every page (recomputed O(n)).
+  std::vector<uint32_t> ElementOf(size_t num_pages) const {
+    std::vector<uint32_t> owner(num_pages, UINT32_MAX);
+    for (uint32_t e = 0; e < elements.size(); ++e) {
+      for (PageId p : elements[e]) owner[p] = e;
+    }
+    return owner;
+  }
+
+  // Verifies disjoint cover of [0, num_pages) with non-empty elements.
+  Status Validate(size_t num_pages) const {
+    std::vector<char> seen(num_pages, 0);
+    size_t total = 0;
+    for (const auto& element : elements) {
+      if (element.empty()) return Status::Internal("empty partition element");
+      for (PageId p : element) {
+        if (p >= num_pages || seen[p]) {
+          return Status::Internal("partition is not a disjoint cover");
+        }
+        seen[p] = 1;
+        ++total;
+      }
+    }
+    if (total != num_pages) {
+      return Status::Internal("partition does not cover all pages");
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace wg
+
+#endif  // WG_SNODE_PARTITION_H_

@@ -1,0 +1,73 @@
+#ifndef WG_SNODE_REFERENCE_ENCODING_H_
+#define WG_SNODE_REFERENCE_ENCODING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/webgraph.h"
+
+// Reference-encoding plan computation (Section 3.1 of the paper, after
+// Adler & Mitzenmacher [2]): given the adjacency lists of a small graph
+// (an intranode or superedge graph), build the affinity graph -- edge
+// x -> y weighted by the cost in bits of encoding y's list relative to
+// x's, plus a virtual root whose edge to y costs y's stand-alone encoding
+// -- and extract a minimum-weight arborescence rooted at the virtual root.
+// x is used as the reference for y iff x -> y is in the arborescence.
+//
+// Adler & Mitzenmacher's full affinity graph is quadratic; the paper makes
+// it tractable by only applying the scheme to small lower-level graphs and
+// by grouping similar pages first. We additionally restrict affinity-graph
+// candidates to a window of neighbours in local (URL-sorted) order, which
+// is where Property 1/3 of the paper puts the similar lists.
+
+namespace wg {
+
+inline constexpr int kNoReference = -1;
+
+struct ReferencePlan {
+  // reference[i] = index of the list used as reference for list i, or
+  // kNoReference for stand-alone encoding.
+  std::vector<int> reference;
+  // Topological order of the reference forest: every list appears after
+  // its reference. Encoders must serialize in this order so a single
+  // sequential pass can decode.
+  std::vector<uint32_t> order;
+  // Total planned cost in bits (arborescence weight).
+  uint64_t total_cost_bits = 0;
+};
+
+// Cost in bits of encoding `list` stand-alone: gamma count, first value in
+// minimal binary over [0, universe), then gamma gaps.
+uint64_t StandaloneCostBits(const std::vector<uint32_t>& list,
+                            uint32_t universe);
+
+// Cost in bits of encoding `list` with `ref` as reference (copy bit-vector
+// over ref, RLE'd, + residuals), excluding the reference-id overhead.
+uint64_t ReferencedCostBits(const std::vector<uint32_t>& list,
+                            const std::vector<uint32_t>& ref,
+                            uint32_t universe);
+
+// Computes the reference plan for `lists` (each sorted ascending).
+// Candidates for list i are the lists within `window` positions of i.
+// If `use_reference_encoding` is false (ablation), every list is root-
+// attached.
+// `universe` bounds every list entry (the target element's page count).
+ReferencePlan ComputeReferencePlan(
+    const std::vector<std::vector<uint32_t>>& lists, uint32_t universe,
+    int window, bool use_reference_encoding = true);
+
+// Exact minimum-weight arborescence (Chu-Liu/Edmonds) rooted at `root`
+// over nodes [0, n). Every non-root node must have at least one incoming
+// edge. Returns, for each node, the index into `edges` of its chosen
+// incoming edge (root gets -1). Exposed for direct testing.
+struct ArborescenceEdge {
+  int from;
+  int to;
+  int64_t weight;
+};
+std::vector<int> MinimumArborescence(int n, int root,
+                                     const std::vector<ArborescenceEdge>& edges);
+
+}  // namespace wg
+
+#endif  // WG_SNODE_REFERENCE_ENCODING_H_

@@ -1,0 +1,386 @@
+#include "snode/refinement.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+
+#include "util/rng.h"
+
+namespace wg {
+
+namespace {
+
+// One refinement element plus its URL-split progress.
+struct Element {
+  std::vector<PageId> pages;  // sorted by URL
+  int url_level = -1;  // prefix levels defining it; -1 = domain grouping
+  bool url_exhausted = false;
+};
+
+// Returns the prefix of `url` covering the host and the first `levels`
+// path directories (level 0 = host only). If the URL has fewer directory
+// levels, returns its full directory part.
+std::string UrlPrefix(const std::string& url, int levels) {
+  size_t pos = url.find("//");
+  pos = pos == std::string::npos ? 0 : pos + 2;
+  size_t slash = url.find('/', pos);
+  if (slash == std::string::npos) return url;
+  // Consume `levels` further directories.
+  size_t end = slash;
+  for (int l = 0; l < levels; ++l) {
+    size_t next = url.find('/', end + 1);
+    if (next == std::string::npos) {
+      return url.substr(0, end + 1);  // ran out of directories
+    }
+    end = next;
+  }
+  return url.substr(0, end + 1);
+}
+
+// Sorts a page list lexicographically by URL.
+void SortByUrl(const WebGraph& graph, std::vector<PageId>* pages) {
+  std::sort(pages->begin(), pages->end(), [&graph](PageId a, PageId b) {
+    return graph.url(a) < graph.url(b);
+  });
+}
+
+// Coalesces groups smaller than `min_group_size` into one residual group.
+// Keeps the partition from shattering into elements so small that the
+// superedge-graph and supernode-pointer overhead dominates the encoding.
+void CoalesceSmallGroups(size_t min_group_size,
+                         std::vector<std::vector<PageId>>* groups) {
+  std::vector<std::vector<PageId>> kept;
+  std::vector<PageId> residual;
+  for (auto& g : *groups) {
+    if (g.size() >= min_group_size) {
+      kept.push_back(std::move(g));
+    } else {
+      residual.insert(residual.end(), g.begin(), g.end());
+    }
+  }
+  if (!residual.empty()) kept.push_back(std::move(residual));
+  *groups = std::move(kept);
+}
+
+// --- URL split: groups `element` pages by a one-level-longer URL prefix.
+// Returns the groups (empty if the element cannot be subdivided further at
+// any remaining level), advancing element->url_level past trivial levels.
+std::vector<std::vector<PageId>> UrlSplit(const WebGraph& graph,
+                                          Element* element, int max_levels,
+                                          size_t min_group_size) {
+  while (element->url_level < max_levels) {
+    int level = element->url_level + 1;
+    std::map<std::string, std::vector<PageId>> groups;
+    for (PageId p : element->pages) {
+      groups[UrlPrefix(graph.url(p), level)].push_back(p);
+    }
+    element->url_level = level;
+    if (groups.size() > 1) {
+      std::vector<std::vector<PageId>> result;
+      result.reserve(groups.size());
+      for (auto& [prefix, pages] : groups) result.push_back(std::move(pages));
+      CoalesceSmallGroups(min_group_size, &result);
+      if (result.size() > 1) return result;
+      // All groups below the floor: keep probing deeper levels.
+    }
+  }
+  element->url_exhausted = true;
+  return {};
+}
+
+// --- Clustered split (k-means over supernode-adjacency bit vectors).
+
+struct ClusteredSplitResult {
+  bool success = false;
+  std::vector<std::vector<PageId>> groups;
+};
+
+ClusteredSplitResult ClusteredSplit(const WebGraph& graph,
+                                    const Element& element,
+                                    const std::vector<uint32_t>& owner,
+                                    uint32_t self_element,
+                                    const RefinementOptions& options,
+                                    Rng* rng) {
+  ClusteredSplitResult result;
+  size_t n = element.pages.size();
+
+  // Dimensions = other elements this element's pages point to, most
+  // frequent first, capped for robustness.
+  std::unordered_map<uint32_t, uint32_t> freq;
+  for (PageId p : element.pages) {
+    for (PageId q : graph.OutLinks(p)) {
+      uint32_t e = owner[q];
+      if (e != self_element) ++freq[e];
+    }
+  }
+  if (freq.empty()) return result;  // no external links: nothing to cluster
+  std::vector<std::pair<uint32_t, uint32_t>> by_freq(freq.begin(), freq.end());
+  std::sort(by_freq.begin(), by_freq.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  size_t dims = std::min(by_freq.size(), options.max_dimensions);
+  std::unordered_map<uint32_t, uint32_t> dim_of;
+  for (size_t d = 0; d < dims; ++d) dim_of[by_freq[d].first] = d;
+
+  // Sparse binary adjacency vector per page: sorted unique dim indices.
+  std::vector<std::vector<uint32_t>> vecs(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (PageId q : graph.OutLinks(element.pages[i])) {
+      auto it = dim_of.find(owner[q]);
+      if (it != dim_of.end()) vecs[i].push_back(it->second);
+    }
+    std::sort(vecs[i].begin(), vecs[i].end());
+    vecs[i].erase(std::unique(vecs[i].begin(), vecs[i].end()), vecs[i].end());
+  }
+
+  // k starts at the supernode out-degree (paper), clamped to sane bounds.
+  uint32_t k0 = static_cast<uint32_t>(by_freq.size());
+  k0 = std::min({k0, options.max_k, static_cast<uint32_t>(n / 2)});
+  if (k0 < 2) k0 = 2;
+
+  for (int attempt = 0; attempt < options.kmeans_attempts; ++attempt) {
+    uint32_t k = k0 + 2 * static_cast<uint32_t>(attempt);
+    if (k > n) break;
+
+    // Init centroids from k distinct random pages.
+    std::vector<std::vector<double>> centroids(k,
+                                               std::vector<double>(dims, 0));
+    std::vector<size_t> seeds;
+    while (seeds.size() < k) {
+      size_t cand = rng->Uniform(n);
+      if (std::find(seeds.begin(), seeds.end(), cand) == seeds.end()) {
+        seeds.push_back(cand);
+      }
+    }
+    for (uint32_t c = 0; c < k; ++c) {
+      for (uint32_t d : vecs[seeds[c]]) centroids[c][d] = 1.0;
+    }
+
+    std::vector<uint32_t> assign(n, UINT32_MAX);
+    bool converged = false;
+    for (int iter = 0; iter < options.kmeans_max_iterations; ++iter) {
+      // Squared centroid norms.
+      std::vector<double> cnorm(k, 0);
+      for (uint32_t c = 0; c < k; ++c) {
+        for (double v : centroids[c]) cnorm[c] += v * v;
+      }
+      bool changed = false;
+      for (size_t i = 0; i < n; ++i) {
+        double best = 0;
+        uint32_t best_c = 0;
+        bool first = true;
+        for (uint32_t c = 0; c < k; ++c) {
+          double dot = 0;
+          for (uint32_t d : vecs[i]) dot += centroids[c][d];
+          double dist = static_cast<double>(vecs[i].size()) - 2 * dot +
+                        cnorm[c];
+          if (first || dist < best) {
+            best = dist;
+            best_c = c;
+            first = false;
+          }
+        }
+        if (assign[i] != best_c) {
+          assign[i] = best_c;
+          changed = true;
+        }
+      }
+      if (!changed) {
+        converged = true;
+        break;
+      }
+      // Recompute centroids.
+      for (auto& c : centroids) std::fill(c.begin(), c.end(), 0.0);
+      std::vector<uint32_t> counts(k, 0);
+      for (size_t i = 0; i < n; ++i) {
+        ++counts[assign[i]];
+        for (uint32_t d : vecs[i]) centroids[assign[i]][d] += 1.0;
+      }
+      for (uint32_t c = 0; c < k; ++c) {
+        if (counts[c] > 0) {
+          for (double& v : centroids[c]) v /= counts[c];
+        }
+      }
+    }
+    if (!converged) continue;  // k += 2 and retry (paper's policy)
+
+    std::vector<std::vector<PageId>> groups(k);
+    for (size_t i = 0; i < n; ++i) {
+      groups[assign[i]].push_back(element.pages[i]);
+    }
+    groups.erase(std::remove_if(groups.begin(), groups.end(),
+                                [](const auto& g) { return g.empty(); }),
+                 groups.end());
+    CoalesceSmallGroups(options.min_group_size, &groups);
+    if (groups.size() < 2) return result;  // converged but did not split
+    result.success = true;
+    result.groups = std::move(groups);
+    return result;
+  }
+  return result;  // every attempt failed to converge: abort
+}
+
+}  // namespace
+
+Partition InitialDomainPartition(const WebGraph& graph) {
+  Partition partition;
+  std::vector<std::vector<PageId>> by_domain(graph.num_domains());
+  for (PageId p = 0; p < graph.num_pages(); ++p) {
+    by_domain[graph.domain_id(p)].push_back(p);
+  }
+  for (auto& pages : by_domain) {
+    if (!pages.empty()) {
+      SortByUrl(graph, &pages);
+      partition.elements.push_back(std::move(pages));
+    }
+  }
+  return partition;
+}
+
+Partition RefinePartition(const WebGraph& graph,
+                          const RefinementOptions& options,
+                          RefinementStats* stats) {
+  Rng rng(options.seed);
+  RefinementStats local_stats;
+
+  Partition initial = InitialDomainPartition(graph);
+  std::vector<Element> elements;
+  elements.reserve(initial.elements.size());
+  for (auto& pages : initial.elements) {
+    Element e;
+    e.pages = std::move(pages);
+    if (!options.use_url_split) e.url_exhausted = true;
+    elements.push_back(std::move(e));
+  }
+
+  // owner[p] = current element of page p, maintained across splits.
+  std::vector<uint32_t> owner(graph.num_pages(), 0);
+  for (uint32_t e = 0; e < elements.size(); ++e) {
+    for (PageId p : elements[e].pages) owner[p] = e;
+  }
+
+  auto eligible = [&](uint32_t e) {
+    if (elements[e].pages.size() < options.min_split_size) return false;
+    if (!elements[e].url_exhausted) return true;
+    return options.use_clustered_split;
+  };
+
+  std::vector<uint32_t> candidates;
+  for (uint32_t e = 0; e < elements.size(); ++e) {
+    if (eligible(e)) candidates.push_back(e);
+  }
+
+  size_t consecutive_aborts = 0;
+  while (!candidates.empty()) {
+    if (options.max_iterations > 0 &&
+        local_stats.iterations >= options.max_iterations) {
+      break;
+    }
+    size_t abort_max = std::max<size_t>(
+        1, static_cast<size_t>(options.abort_max_fraction *
+                               static_cast<double>(elements.size())));
+    if (consecutive_aborts >= abort_max) break;
+
+    // Pick an element per policy, discarding stale candidates.
+    size_t slot;
+    if (options.split_largest_first) {
+      slot = 0;
+      size_t best = 0;
+      for (size_t c = 0; c < candidates.size(); ++c) {
+        size_t size = elements[candidates[c]].pages.size();
+        if (size > best) {
+          best = size;
+          slot = c;
+        }
+      }
+    } else {
+      slot = rng.Uniform(candidates.size());
+    }
+    uint32_t e = candidates[slot];
+    if (!eligible(e)) {
+      candidates[slot] = candidates.back();
+      candidates.pop_back();
+      continue;
+    }
+    ++local_stats.iterations;
+
+    std::vector<std::vector<PageId>> groups;
+    bool was_clustered_attempt = false;
+    if (!elements[e].url_exhausted) {
+      groups = UrlSplit(graph, &elements[e], options.url_split_max_levels,
+                        options.min_group_size);
+      if (!groups.empty()) ++local_stats.url_splits;
+      // If URL split exhausted without splitting, fall through: the element
+      // stays a candidate and will be clustered-split in a later iteration.
+    } else {
+      was_clustered_attempt = true;
+      ClusteredSplitResult cs =
+          ClusteredSplit(graph, elements[e], owner, e, options, &rng);
+      if (cs.success) {
+        groups = std::move(cs.groups);
+        ++local_stats.clustered_splits;
+      } else {
+        ++local_stats.clustered_aborts;
+      }
+    }
+
+    if (groups.empty()) {
+      if (was_clustered_attempt) ++consecutive_aborts;
+      if (!eligible(e)) {
+        candidates[slot] = candidates.back();
+        candidates.pop_back();
+      }
+      continue;
+    }
+    if (was_clustered_attempt) consecutive_aborts = 0;
+
+    // Install the split: element e keeps group 0; the rest are appended.
+    int inherited_level = elements[e].url_level;
+    bool inherited_exhausted = elements[e].url_exhausted;
+    for (size_t g = 0; g < groups.size(); ++g) {
+      SortByUrl(graph, &groups[g]);
+      uint32_t id;
+      if (g == 0) {
+        id = e;
+        elements[e].pages = std::move(groups[0]);
+      } else {
+        id = static_cast<uint32_t>(elements.size());
+        Element fresh;
+        fresh.pages = std::move(groups[g]);
+        fresh.url_level = inherited_level;
+        fresh.url_exhausted = inherited_exhausted;
+        elements.push_back(std::move(fresh));
+        if (eligible(id)) candidates.push_back(id);
+      }
+      for (PageId p : elements[id].pages) owner[p] = id;
+    }
+    if (!eligible(e)) {
+      // e may have shrunk below the split threshold; lazily discarded on a
+      // future pick (slot positions may have shifted after push_back).
+    }
+  }
+
+  Partition result;
+  result.elements.reserve(elements.size());
+  for (auto& element : elements) {
+    result.elements.push_back(std::move(element.pages));
+  }
+  local_stats.final_elements = result.elements.size();
+  if (stats != nullptr) *stats = local_stats;
+  return result;
+}
+
+std::string RefinementStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "iterations=%zu url_splits=%zu clustered_splits=%zu "
+                "clustered_aborts=%zu final_elements=%zu",
+                iterations, url_splits, clustered_splits, clustered_aborts,
+                final_elements);
+  return buf;
+}
+
+}  // namespace wg

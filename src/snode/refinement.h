@@ -1,0 +1,91 @@
+#ifndef WG_SNODE_REFINEMENT_H_
+#define WG_SNODE_REFINEMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/webgraph.h"
+#include "snode/partition.h"
+
+// Iterative partition refinement (Section 3.2 of the paper):
+//
+//   P0 groups pages by domain (top two DNS levels). Each iteration picks
+//   an element (random by default -- the paper found random vs largest
+//   "almost identical"; both are implemented for the ablation) and splits
+//   it:
+//     * URL split while the element's defining URL prefix is shallower
+//       than 3 path levels: group by one-level-longer prefix;
+//     * clustered split afterwards: k-means over per-page bit vectors of
+//       supernode out-adjacency, k starting at the element's supernode
+//       out-degree, k += 2 after each non-converging attempt, aborting
+//       after a fixed number of attempts.
+//   Refinement stops when clustered split has aborted for `abort_max`
+//   consecutive iterations, with abort_max a fixed fraction (paper: 6%)
+//   of the element count.
+
+namespace wg {
+
+struct RefinementOptions {
+  uint64_t seed = 17;
+
+  // Elements smaller than this are never split (they also can't abort the
+  // stopping criterion; the paper's criterion concerns splittable work).
+  // The default keeps pages-per-supernode in the few-hundreds band the
+  // paper reports (~130k supernodes for 50M pages); a too-fine partition
+  // drowns the representation in superedge-graph and supernode-pointer
+  // overhead.
+  size_t min_split_size = 768;
+
+  // Split groups smaller than this are coalesced into a residual group, so
+  // URL split on a directory-riddled host cannot shatter an element into
+  // singletons.
+  size_t min_group_size = 192;
+
+  // URL-split depth: path levels beyond the host (paper: 3).
+  int url_split_max_levels = 3;
+
+  // Stopping criterion: consecutive aborted clustered splits as a fraction
+  // of the current element count (paper: 6%).
+  double abort_max_fraction = 0.06;
+
+  // "Upper bound on the running time" of one k-means attempt, expressed in
+  // Lloyd iterations, and the number of k += 2 retries before aborting.
+  int kmeans_max_iterations = 25;
+  int kmeans_attempts = 3;
+
+  // Cap on k and on bit-vector dimensionality, for robustness on hub
+  // elements.
+  uint32_t max_k = 48;
+  size_t max_dimensions = 512;
+
+  // Ablations.
+  bool use_clustered_split = true;   // false: URL split only
+  bool split_largest_first = false;  // paper's alternative policy
+  bool use_url_split = true;         // false: clustered split only
+
+  // Safety valve on total iterations (0 = unlimited).
+  size_t max_iterations = 0;
+};
+
+struct RefinementStats {
+  size_t iterations = 0;
+  size_t url_splits = 0;
+  size_t clustered_splits = 0;
+  size_t clustered_aborts = 0;
+  size_t final_elements = 0;
+  std::string ToString() const;
+};
+
+// Runs refinement to completion and returns the final partition. Elements
+// come out sorted by URL internally.
+Partition RefinePartition(const WebGraph& graph,
+                          const RefinementOptions& options,
+                          RefinementStats* stats = nullptr);
+
+// The initial by-domain partition P0 (exposed for tests/ablations).
+Partition InitialDomainPartition(const WebGraph& graph);
+
+}  // namespace wg
+
+#endif  // WG_SNODE_REFINEMENT_H_

@@ -1,0 +1,548 @@
+#include "snode/snode_repr.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "storage/serial.h"
+#include "util/coding.h"
+#include <unordered_map>
+
+namespace wg {
+
+Result<std::unique_ptr<SNodeRepr>> SNodeRepr::Build(
+    const WebGraph& graph, const std::string& base_path,
+    const SNodeBuildOptions& options, RefinementStats* stats) {
+  std::unique_ptr<SNodeRepr> repr(new SNodeRepr());
+  repr->options_ = options;
+  repr->base_path_ = base_path;
+  repr->buffer_budget_ = options.buffer_bytes;
+  repr->num_edges_ = graph.num_edges();
+
+  // 1. Iterative partition refinement (elements come out URL-sorted).
+  Partition partition = RefinePartition(graph, options.refinement, stats);
+  WG_RETURN_IF_ERROR(partition.Validate(graph.num_pages()));
+  uint32_t n_super = static_cast<uint32_t>(partition.num_elements());
+
+  // 2. Numbering rule: supernodes in order, pages URL-sorted within, so
+  //    each supernode owns a contiguous new-id range.
+  repr->new_of_orig_.resize(graph.num_pages());
+  repr->orig_of_new_.resize(graph.num_pages());
+  repr->supernodes_.page_start.reserve(n_super + 1);
+  PageId next_id = 0;
+  for (const auto& element : partition.elements) {
+    repr->supernodes_.page_start.push_back(next_id);
+    for (PageId orig : element) {
+      repr->new_of_orig_[orig] = next_id;
+      repr->orig_of_new_[next_id] = orig;
+      ++next_id;
+    }
+  }
+  repr->supernodes_.page_start.push_back(next_id);
+
+  std::vector<uint32_t> owner = partition.ElementOf(graph.num_pages());
+
+  // 3. Encode each supernode's intranode graph, then its outgoing
+  //    superedge graphs, appending to the store in exactly that order
+  //    (the paper's linear disk layout, Figure 8).
+  auto store = GraphStore::Create(base_path, options.store);
+  if (!store.ok()) return store.status();
+  repr->store_ = std::move(store).value();
+
+  repr->supernodes_.offsets.push_back(0);
+  for (uint32_t s = 0; s < n_super; ++s) {
+    const auto& element = partition.elements[s];
+    uint32_t n_local = static_cast<uint32_t>(element.size());
+
+    // Split adjacency into intranode lists + per-target-supernode
+    // bipartite lists, all in local ids.
+    std::vector<std::vector<uint32_t>> intra(n_local);
+    std::map<uint32_t, std::pair<std::vector<uint32_t>,
+                                 std::vector<std::vector<uint32_t>>>>
+        cross;  // j -> (sources, lists)
+    for (uint32_t local = 0; local < n_local; ++local) {
+      PageId orig = element[local];
+      for (PageId q : graph.OutLinks(orig)) {
+        uint32_t j = owner[q];
+        uint32_t q_local = repr->new_of_orig_[q] -
+                           repr->supernodes_.page_start[j];
+        if (j == s) {
+          intra[local].push_back(q_local);
+        } else {
+          auto& slot = cross[j];
+          if (slot.first.empty() || slot.first.back() != local) {
+            slot.first.push_back(local);
+            slot.second.emplace_back();
+          }
+          slot.second.back().push_back(q_local);
+        }
+      }
+    }
+    for (auto& list : intra) std::sort(list.begin(), list.end());
+
+    std::vector<uint8_t> blob = EncodeIntranode(intra, options.intranode);
+    WG_ASSIGN_OR_RETURN(uint32_t intra_id, repr->store_->Append(blob));
+    repr->supernodes_.intranode_blob.push_back(intra_id);
+
+    for (auto& [j, slot] : cross) {
+      for (auto& list : slot.second) std::sort(list.begin(), list.end());
+      std::vector<uint8_t> se_blob = EncodeSuperedge(
+          slot.first, slot.second, n_local,
+          repr->supernodes_.pages_in(j), options.superedge);
+      WG_ASSIGN_OR_RETURN(uint32_t se_id, repr->store_->Append(se_blob));
+      repr->supernodes_.targets.push_back(j);
+      repr->supernodes_.superedge_blob.push_back(se_id);
+    }
+    repr->supernodes_.offsets.push_back(
+        static_cast<uint32_t>(repr->supernodes_.targets.size()));
+  }
+
+  {
+    ReprStats scratch;
+    repr->disk_tracker_.Absorb(repr->store_->seek_ops(),
+                               repr->store_->transferred_bytes(), &scratch);
+  }
+
+  // 4. Domain index: every element stays inside one domain.
+  for (uint32_t s = 0; s < n_super; ++s) {
+    PageId first = partition.elements[s].front();
+    repr->supernodes_
+        .domain_supernodes[graph.domain_name(graph.domain_id(first))]
+        .push_back(s);
+  }
+  return repr;
+}
+
+
+namespace {
+constexpr char kMetaMagic[4] = {'S', 'N', 'M', '1'};
+}  // namespace
+
+Status SNodeRepr::SaveMeta() const {
+  std::string payload;
+  PutVarint64(&payload, new_of_orig_.size());
+  PutVarint64(&payload, num_edges_);
+  for (PageId nid : new_of_orig_) PutVarint32(&payload, nid);
+
+  const SupernodeGraph& sg = supernodes_;
+  PutVarint64(&payload, sg.num_supernodes());
+  for (size_t i = 0; i < sg.page_start.size(); ++i) {
+    PutVarint32(&payload, sg.page_start[i]);
+  }
+  for (size_t i = 0; i < sg.offsets.size(); ++i) {
+    PutVarint32(&payload, sg.offsets[i]);
+  }
+  PutVarint64(&payload, sg.targets.size());
+  for (uint32_t t : sg.targets) PutVarint32(&payload, t);
+  for (uint32_t b : sg.intranode_blob) PutVarint32(&payload, b);
+  for (uint32_t b : sg.superedge_blob) PutVarint32(&payload, b);
+  PutVarint64(&payload, sg.domain_supernodes.size());
+  for (const auto& [name, supernodes] : sg.domain_supernodes) {
+    PutVarint64(&payload, name.size());
+    payload.append(name);
+    PutVarint64(&payload, supernodes.size());
+    for (uint32_t s : supernodes) PutVarint32(&payload, s);
+  }
+  store_->SerializeDirectory(&payload);
+  return WriteFramedFile(base_path_ + ".meta", kMetaMagic, payload);
+}
+
+Result<std::unique_ptr<SNodeRepr>> SNodeRepr::Open(
+    const std::string& base_path, const SNodeBuildOptions& options) {
+  WG_ASSIGN_OR_RETURN(std::string payload,
+                      ReadFramedFile(base_path + ".meta", kMetaMagic));
+  SerialCursor cursor(payload);
+  std::unique_ptr<SNodeRepr> repr(new SNodeRepr());
+  repr->options_ = options;
+  repr->base_path_ = base_path;
+  repr->buffer_budget_ = options.buffer_bytes;
+
+  uint64_t num_pages = 0;
+  if (!cursor.ReadVarint64(&num_pages) ||
+      !cursor.ReadVarint64(&repr->num_edges_)) {
+    return Status::Corruption("snode meta: bad header");
+  }
+  repr->new_of_orig_.resize(num_pages);
+  repr->orig_of_new_.assign(num_pages, kInvalidPage);
+  for (uint64_t p = 0; p < num_pages; ++p) {
+    uint32_t nid = 0;
+    if (!cursor.ReadVarint32(&nid) || nid >= num_pages ||
+        repr->orig_of_new_[nid] != kInvalidPage) {
+      return Status::Corruption("snode meta: bad permutation");
+    }
+    repr->new_of_orig_[p] = nid;
+    repr->orig_of_new_[nid] = static_cast<PageId>(p);
+  }
+
+  SupernodeGraph& sg = repr->supernodes_;
+  uint64_t n_super = 0;
+  if (!cursor.ReadVarint64(&n_super)) {
+    return Status::Corruption("snode meta: bad supernode count");
+  }
+  sg.page_start.resize(n_super + 1);
+  for (auto& v : sg.page_start) {
+    if (!cursor.ReadVarint32(&v)) {
+      return Status::Corruption("snode meta: bad page_start");
+    }
+  }
+  sg.offsets.resize(n_super + 1);
+  for (auto& v : sg.offsets) {
+    if (!cursor.ReadVarint32(&v)) {
+      return Status::Corruption("snode meta: bad offsets");
+    }
+  }
+  uint64_t n_edges = 0;
+  if (!cursor.ReadVarint64(&n_edges)) {
+    return Status::Corruption("snode meta: bad superedge count");
+  }
+  sg.targets.resize(n_edges);
+  for (auto& v : sg.targets) {
+    if (!cursor.ReadVarint32(&v) || v >= n_super) {
+      return Status::Corruption("snode meta: bad superedge target");
+    }
+  }
+  sg.intranode_blob.resize(n_super);
+  for (auto& v : sg.intranode_blob) {
+    if (!cursor.ReadVarint32(&v)) {
+      return Status::Corruption("snode meta: bad intranode pointer");
+    }
+  }
+  sg.superedge_blob.resize(n_edges);
+  for (auto& v : sg.superedge_blob) {
+    if (!cursor.ReadVarint32(&v)) {
+      return Status::Corruption("snode meta: bad superedge pointer");
+    }
+  }
+  uint64_t n_domains = 0;
+  if (!cursor.ReadVarint64(&n_domains)) {
+    return Status::Corruption("snode meta: bad domain count");
+  }
+  for (uint64_t d = 0; d < n_domains; ++d) {
+    std::string name;
+    uint64_t count = 0;
+    if (!cursor.ReadString(&name) || !cursor.ReadVarint64(&count)) {
+      return Status::Corruption("snode meta: bad domain entry");
+    }
+    auto& list = sg.domain_supernodes[name];
+    list.resize(count);
+    for (auto& v : list) {
+      if (!cursor.ReadVarint32(&v) || v >= n_super) {
+        return Status::Corruption("snode meta: bad domain supernode");
+      }
+    }
+  }
+
+  auto store = GraphStore::OpenExisting(base_path, options.store, &cursor);
+  if (!store.ok()) return store.status();
+  repr->store_ = std::move(store).value();
+  // Sanity: every pointer must resolve inside the store.
+  for (uint32_t b : sg.intranode_blob) {
+    if (b >= repr->store_->num_blobs()) {
+      return Status::Corruption("snode meta: dangling intranode pointer");
+    }
+  }
+  for (uint32_t b : sg.superedge_blob) {
+    if (b >= repr->store_->num_blobs()) {
+      return Status::Corruption("snode meta: dangling superedge pointer");
+    }
+  }
+  return repr;
+}
+
+Result<const IntranodeGraph*> SNodeRepr::FetchIntranode(uint32_t supernode) {
+  uint32_t blob_id = supernodes_.intranode_blob[supernode];
+  auto it = cache_.find(blob_id);
+  if (it != cache_.end()) {
+    ++stats_.cache_hits;
+    lru_.erase(it->second.lru_it);
+    lru_.push_front(blob_id);
+    it->second.lru_it = lru_.begin();
+    return const_cast<const IntranodeGraph*>(it->second.intranode.get());
+  }
+  ++stats_.cache_misses;
+  ++stats_.graphs_loaded;
+  std::vector<uint8_t> blob;
+  WG_RETURN_IF_ERROR(store_->ReadBlob(blob_id, &blob));
+  stats_.disk_reads += 1;
+  stats_.bytes_read += blob.size();
+  disk_tracker_.Absorb(store_->seek_ops(), store_->transferred_bytes(),
+                       &stats_);
+  CachedGraph entry;
+  entry.intranode = std::make_unique<IntranodeGraph>();
+  WG_RETURN_IF_ERROR(DecodeIntranode(blob, entry.intranode.get()));
+  entry.bytes = entry.intranode->MemoryUsage();
+  const IntranodeGraph* result = entry.intranode.get();
+  WG_RETURN_IF_ERROR(InsertCached(blob_id, std::move(entry)));
+  return result;
+}
+
+Result<const SuperedgeGraph*> SNodeRepr::FetchSuperedge(
+    uint32_t source_supernode, uint32_t edge_index) {
+  uint32_t blob_id = supernodes_.superedge_blob[edge_index];
+  auto it = cache_.find(blob_id);
+  if (it != cache_.end()) {
+    ++stats_.cache_hits;
+    lru_.erase(it->second.lru_it);
+    lru_.push_front(blob_id);
+    it->second.lru_it = lru_.begin();
+    return const_cast<const SuperedgeGraph*>(it->second.superedge.get());
+  }
+  ++stats_.cache_misses;
+  ++stats_.graphs_loaded;
+  std::vector<uint8_t> blob;
+  WG_RETURN_IF_ERROR(store_->ReadBlob(blob_id, &blob));
+  stats_.disk_reads += 1;
+  stats_.bytes_read += blob.size();
+  disk_tracker_.Absorb(store_->seek_ops(), store_->transferred_bytes(),
+                       &stats_);
+  CachedGraph entry;
+  entry.superedge = std::make_unique<SuperedgeGraph>();
+  WG_RETURN_IF_ERROR(DecodeSuperedge(
+      blob, supernodes_.pages_in(source_supernode),
+      supernodes_.pages_in(supernodes_.targets[edge_index]),
+      entry.superedge.get()));
+  entry.bytes = entry.superedge->MemoryUsage();
+  const SuperedgeGraph* result = entry.superedge.get();
+  WG_RETURN_IF_ERROR(InsertCached(blob_id, std::move(entry)));
+  return result;
+}
+
+
+bool SNodeRepr::SectionWorthPrefetching(uint32_t supernode,
+                                        size_t graphs_needed) const {
+  size_t section_graphs =
+      1 + (supernodes_.offsets[supernode + 1] - supernodes_.offsets[supernode]);
+  // A sequential section read costs ~1 seek + the section's transfer;
+  // individual fetches cost ~1 seek each. Prefetch once a quarter of the
+  // section is wanted.
+  return graphs_needed * 4 >= section_graphs;
+}
+
+Status SNodeRepr::PrefetchSection(uint32_t supernode) {
+  uint32_t first = supernodes_.intranode_blob[supernode];
+  uint32_t last = first + (supernodes_.offsets[supernode + 1] -
+                           supernodes_.offsets[supernode]);
+  // Skip the read if everything is already cached.
+  bool all_cached = true;
+  for (uint32_t id = first; id <= last; ++id) {
+    if (cache_.find(id) == cache_.end()) {
+      all_cached = false;
+      break;
+    }
+  }
+  if (all_cached) return Status::OK();
+  std::vector<std::vector<uint8_t>> blobs;
+  WG_RETURN_IF_ERROR(store_->ReadBlobRange(first, last, &blobs));
+  stats_.disk_reads += 1;
+  disk_tracker_.Absorb(store_->seek_ops(), store_->transferred_bytes(),
+                       &stats_);
+  for (uint32_t id = first; id <= last; ++id) {
+    if (cache_.find(id) != cache_.end()) continue;
+    stats_.bytes_read += blobs[id - first].size();
+    ++stats_.graphs_loaded;
+    CachedGraph entry;
+    if (id == first) {
+      entry.intranode = std::make_unique<IntranodeGraph>();
+      WG_RETURN_IF_ERROR(
+          DecodeIntranode(blobs[id - first], entry.intranode.get()));
+      entry.bytes = entry.intranode->MemoryUsage();
+    } else {
+      uint32_t edge_index = supernodes_.offsets[supernode] + (id - first - 1);
+      entry.superedge = std::make_unique<SuperedgeGraph>();
+      WG_RETURN_IF_ERROR(DecodeSuperedge(
+          blobs[id - first], supernodes_.pages_in(supernode),
+          supernodes_.pages_in(supernodes_.targets[edge_index]),
+          entry.superedge.get()));
+      entry.bytes = entry.superedge->MemoryUsage();
+    }
+    WG_RETURN_IF_ERROR(InsertCached(id, std::move(entry)));
+  }
+  return Status::OK();
+}
+
+Status SNodeRepr::InsertCached(uint32_t blob_id, CachedGraph&& entry) {
+  if (options_.record_load_log) load_log_.push_back({blob_id, true});
+  buffer_used_ += entry.bytes;
+  lru_.push_front(blob_id);
+  entry.lru_it = lru_.begin();
+  cache_.emplace(blob_id, std::move(entry));
+  EvictToBudget();
+  return Status::OK();
+}
+
+void SNodeRepr::EvictToBudget() {
+  // Never evict the entry just inserted (front of the LRU): the caller
+  // holds a raw pointer into it.
+  while (buffer_used_ > buffer_budget_ && lru_.size() > 1) {
+    uint32_t victim = lru_.back();
+    lru_.pop_back();
+    auto it = cache_.find(victim);
+    buffer_used_ -= it->second.bytes;
+    if (options_.record_load_log) load_log_.push_back({victim, false});
+    cache_.erase(it);
+  }
+}
+
+void SNodeRepr::set_buffer_budget(size_t bytes) {
+  buffer_budget_ = bytes;
+  EvictToBudget();
+}
+
+void SNodeRepr::ClearCache() {
+  cache_.clear();
+  lru_.clear();
+  buffer_used_ = 0;
+}
+
+size_t SNodeRepr::DistinctGraphsLoaded() const {
+  std::vector<uint32_t> ids;
+  for (const auto& event : load_log_) {
+    if (event.load) ids.push_back(event.blob_id);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids.size();
+}
+
+Status SNodeRepr::GetLinks(PageId p, std::vector<PageId>* out) {
+  if (p >= new_of_orig_.size()) {
+    return Status::OutOfRange("page id out of range");
+  }
+  ++stats_.adjacency_requests;
+  PageId nid = new_of_orig_[p];
+  uint32_t s = supernodes_.SupernodeOf(nid);
+  uint32_t base = supernodes_.page_start[s];
+  uint32_t local = nid - base;
+  size_t first = out->size();
+
+  // An unrestricted adjacency needs the whole section; fetch it with one
+  // sequential read.
+  WG_RETURN_IF_ERROR(PrefetchSection(s));
+
+  // Intranode links.
+  WG_ASSIGN_OR_RETURN(const IntranodeGraph* intra, FetchIntranode(s));
+  for (uint32_t i = intra->offsets[local]; i < intra->offsets[local + 1];
+       ++i) {
+    out->push_back(orig_of_new_[base + intra->targets[i]]);
+  }
+
+  // Cross links through every outgoing superedge graph of s.
+  std::vector<uint32_t> cross;
+  for (uint32_t e = supernodes_.offsets[s]; e < supernodes_.offsets[s + 1];
+       ++e) {
+    WG_ASSIGN_OR_RETURN(const SuperedgeGraph* se, FetchSuperedge(s, e));
+    cross.clear();
+    se->LinksOf(local, &cross);
+    uint32_t tbase = supernodes_.page_start[supernodes_.targets[e]];
+    for (uint32_t t : cross) out->push_back(orig_of_new_[tbase + t]);
+  }
+
+  std::sort(out->begin() + first, out->end());
+  stats_.edges_returned += out->size() - first;
+  return Status::OK();
+}
+
+
+Status SNodeRepr::VisitLinksInto(
+    const std::vector<PageId>& sources, const std::vector<PageId>& targets,
+    const std::function<void(PageId, const std::vector<PageId>&)>& visit) {
+  // Compile the target set once: which supernodes does it touch, and which
+  // local ids within each? This is the paper's use of the supernode graph
+  // as an index -- superedge graphs into untouched supernodes are never
+  // read from disk, let alone decoded.
+  std::unordered_map<uint32_t, std::vector<uint32_t>> allowed;  // s -> locals
+  for (PageId t : targets) {
+    PageId nid = new_of_orig_[t];
+    uint32_t s = supernodes_.SupernodeOf(nid);
+    allowed[s].push_back(nid - supernodes_.page_start[s]);
+  }
+  for (auto& [s, locals] : allowed) std::sort(locals.begin(), locals.end());
+
+  std::vector<PageId> links;
+  std::vector<uint32_t> cross;
+  for (PageId p : sources) {
+    if (p >= new_of_orig_.size()) {
+      return Status::OutOfRange("page id out of range");
+    }
+    ++stats_.adjacency_requests;
+    PageId nid = new_of_orig_[p];
+    uint32_t s = supernodes_.SupernodeOf(nid);
+    uint32_t base = supernodes_.page_start[s];
+    uint32_t local = nid - base;
+    links.clear();
+
+    size_t needed = 0;
+    if (allowed.count(s) > 0) ++needed;
+    for (uint32_t e = supernodes_.offsets[s]; e < supernodes_.offsets[s + 1];
+         ++e) {
+      if (allowed.count(supernodes_.targets[e]) > 0) ++needed;
+    }
+    if (SectionWorthPrefetching(s, needed)) {
+      WG_RETURN_IF_ERROR(PrefetchSection(s));
+    }
+
+    auto allowed_it = allowed.find(s);
+    if (allowed_it != allowed.end()) {
+      WG_ASSIGN_OR_RETURN(const IntranodeGraph* intra, FetchIntranode(s));
+      const auto& locals = allowed_it->second;
+      for (uint32_t i = intra->offsets[local]; i < intra->offsets[local + 1];
+           ++i) {
+        if (std::binary_search(locals.begin(), locals.end(),
+                               intra->targets[i])) {
+          links.push_back(orig_of_new_[base + intra->targets[i]]);
+        }
+      }
+    }
+    for (uint32_t e = supernodes_.offsets[s]; e < supernodes_.offsets[s + 1];
+         ++e) {
+      uint32_t j = supernodes_.targets[e];
+      auto jt = allowed.find(j);
+      if (jt == allowed.end()) continue;  // pushdown: skip this graph
+      WG_ASSIGN_OR_RETURN(const SuperedgeGraph* se, FetchSuperedge(s, e));
+      cross.clear();
+      se->LinksOf(local, &cross);
+      uint32_t tbase = supernodes_.page_start[j];
+      const auto& locals = jt->second;
+      for (uint32_t t : cross) {
+        if (std::binary_search(locals.begin(), locals.end(), t)) {
+          links.push_back(orig_of_new_[tbase + t]);
+        }
+      }
+    }
+    std::sort(links.begin(), links.end());
+    stats_.edges_returned += links.size();
+    visit(p, links);
+  }
+  return Status::OK();
+}
+
+Status SNodeRepr::PagesInDomain(const std::string& domain,
+                                std::vector<PageId>* out) {
+  auto it = supernodes_.domain_supernodes.find(domain);
+  if (it == supernodes_.domain_supernodes.end()) return Status::OK();
+  size_t first = out->size();
+  for (uint32_t s : it->second) {
+    for (PageId nid = supernodes_.page_start[s];
+         nid < supernodes_.page_start[s + 1]; ++nid) {
+      out->push_back(orig_of_new_[nid]);
+    }
+  }
+  std::sort(out->begin() + first, out->end());
+  return Status::OK();
+}
+
+uint64_t SNodeRepr::encoded_bits() const {
+  // Store blobs + the Huffman-coded supernode adjacency. The 4-byte blob
+  // pointers are resident directory state (reported through Figure 10's
+  // HuffmanEncodedBytes and resident_memory), mirroring how the baselines'
+  // resident indexes are excluded from their bits/edge.
+  return store_->total_bytes() * 8 + supernodes_.HuffmanAdjacencyBits();
+}
+
+size_t SNodeRepr::resident_memory() const {
+  return (new_of_orig_.size() + orig_of_new_.size()) * sizeof(PageId) +
+         supernodes_.MemoryUsage() + store_->DirectoryMemoryUsage() +
+         buffer_used_;
+}
+
+}  // namespace wg

@@ -1,0 +1,150 @@
+#ifndef WG_SNODE_SNODE_REPR_H_
+#define WG_SNODE_SNODE_REPR_H_
+
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "repr/representation.h"
+#include "snode/codecs.h"
+#include "snode/refinement.h"
+#include "snode/supernode_graph.h"
+#include "storage/graph_store.h"
+#include "util/status.h"
+
+// The paper's contribution: the two-level S-Node representation, exposed
+// through the common GraphRepresentation interface so it can be compared
+// head-to-head with the baseline schemes.
+//
+// Resident (pinned) state: the supernode graph, the PageID range index,
+// the domain index, and the crawl-order <-> S-Node-order permutations.
+// Lower-level graphs live in the GraphStore on disk and are decoded into a
+// byte-budgeted LRU cache on demand; every load/evict can be recorded (the
+// instrumentation the paper used to explain Figures 11/12).
+
+namespace wg {
+
+struct SNodeBuildOptions {
+  RefinementOptions refinement;
+  IntranodeEncodeOptions intranode;
+  SuperedgeEncodeOptions superedge;
+  GraphStore::Options store;
+  // Budget for decoded lower-level graphs.
+  size_t buffer_bytes = 4 << 20;
+  bool record_load_log = false;
+};
+
+class SNodeRepr : public GraphRepresentation {
+ public:
+  // Builds the complete representation: runs iterative refinement,
+  // installs the paper's numbering rule, reference-encodes every
+  // intranode/superedge graph, and lays them out in the graph store with
+  // each intranode graph followed by its outgoing superedge graphs.
+  // Store files are created under `base_path`.
+  static Result<std::unique_ptr<SNodeRepr>> Build(
+      const WebGraph& graph, const std::string& base_path,
+      const SNodeBuildOptions& options, RefinementStats* stats = nullptr);
+
+  // Persists the resident state (permutations, supernode graph, domain
+  // index, store directory) to `<base_path>.meta`, so the representation
+  // can later be attached without rebuilding. The store files written by
+  // Build are reused as-is.
+  Status SaveMeta() const;
+
+  // Attaches to a representation previously built at `base_path` and
+  // persisted with SaveMeta. Only runtime options (buffer budget, load
+  // logging) from `options` apply; the encoded data is taken from disk.
+  static Result<std::unique_ptr<SNodeRepr>> Open(
+      const std::string& base_path, const SNodeBuildOptions& options);
+
+  std::string name() const override { return "s-node"; }
+  size_t num_pages() const override { return new_of_orig_.size(); }
+  uint64_t num_edges() const override { return num_edges_; }
+  Status GetLinks(PageId p, std::vector<PageId>* out) override;
+  Status PagesInDomain(const std::string& domain,
+                       std::vector<PageId>* out) override;
+  PageId PageInNaturalOrder(size_t i) const override {
+    return orig_of_new_[i];
+  }
+  uint64_t LocalityKey(PageId p) const override { return new_of_orig_[p]; }
+
+  // Predicate pushdown through the supernode graph: only superedge graphs
+  // whose target supernode intersects `targets` are loaded and decoded.
+  Status VisitLinksInto(
+      const std::vector<PageId>& sources, const std::vector<PageId>& targets,
+      const std::function<void(PageId, const std::vector<PageId>&)>& visit)
+      override;
+  uint64_t encoded_bits() const override;
+  size_t resident_memory() const override;
+
+  const SupernodeGraph& supernode_graph() const { return supernodes_; }
+  const GraphStore& store() const { return *store_; }
+
+  // Decoded-graph cache controls (Figure 12 sweeps the budget).
+  void set_buffer_budget(size_t bytes);
+  size_t buffer_budget() const { return buffer_budget_; }
+
+  struct LoadEvent {
+    uint32_t blob_id;
+    bool load;  // false = evict
+  };
+  const std::vector<LoadEvent>& load_log() const { return load_log_; }
+  void ClearLoadLog() { load_log_.clear(); }
+  void ClearCache();
+  void ClearBuffers() override { ClearCache(); }
+
+  // Distinct lower-level graphs touched since the last ClearLoadLog (the
+  // paper reports e.g. "8 intranode and 32 superedge graphs" for Query 1).
+  size_t DistinctGraphsLoaded() const;
+
+ private:
+  SNodeRepr() = default;
+
+  struct CachedGraph {
+    // Exactly one is set.
+    std::unique_ptr<IntranodeGraph> intranode;
+    std::unique_ptr<SuperedgeGraph> superedge;
+    size_t bytes = 0;
+    std::list<uint32_t>::iterator lru_it;
+  };
+
+  Result<const IntranodeGraph*> FetchIntranode(uint32_t supernode);
+  Result<const SuperedgeGraph*> FetchSuperedge(uint32_t source_supernode,
+                                               uint32_t edge_index);
+
+  // Loads a supernode's whole disk section (intranode graph + all its
+  // outgoing superedge graphs, which the builder laid out contiguously)
+  // with one sequential read, decoding everything into the cache. This is
+  // the payoff of the paper's Section 3.3 linear ordering: a query that
+  // needs most of a section pays one seek for it.
+  Status PrefetchSection(uint32_t supernode);
+
+  // True if enough of the section is wanted that a single sequential
+  // section read beats per-graph seeks.
+  bool SectionWorthPrefetching(uint32_t supernode, size_t graphs_needed) const;
+  Status InsertCached(uint32_t blob_id, CachedGraph&& entry);
+  void EvictToBudget();
+
+  // Immutable after Build.
+  std::string base_path_;
+  std::vector<PageId> new_of_orig_;
+  std::vector<PageId> orig_of_new_;
+  SupernodeGraph supernodes_;
+  std::unique_ptr<GraphStore> store_;
+  uint64_t num_edges_ = 0;
+  SNodeBuildOptions options_;
+
+  // Decoded-graph LRU cache, keyed by blob id.
+  size_t buffer_budget_ = 0;
+  size_t buffer_used_ = 0;
+  std::unordered_map<uint32_t, CachedGraph> cache_;
+  std::list<uint32_t> lru_;
+  std::vector<LoadEvent> load_log_;
+  DiskCounterTracker disk_tracker_;
+};
+
+}  // namespace wg
+
+#endif  // WG_SNODE_SNODE_REPR_H_

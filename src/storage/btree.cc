@@ -1,0 +1,339 @@
+#include "storage/btree.h"
+
+#include <cstring>
+
+#include "util/coding.h"
+
+namespace wg {
+
+namespace {
+
+// Page layout.
+//
+// Common header (8 bytes):
+//   [0]    node type: 1 = leaf, 2 = internal
+//   [1]    unused
+//   [2:4]  entry count (uint16)
+//   [4:8]  leaf: next-leaf page num; internal: leftmost child
+//
+// Leaf entries at offset 8: count * (key u64, value u64).
+// Internal entries at offset 8: count * (key u64, child u32); child i+1 of
+// the node, i.e. the subtree holding keys >= key i. header[4:8] is child 0.
+
+constexpr size_t kHeaderSize = 8;
+constexpr size_t kLeafEntrySize = 16;
+constexpr size_t kInternalEntrySize = 12;
+constexpr uint16_t kLeafCapacity =
+    static_cast<uint16_t>((kPageSize - kHeaderSize) / kLeafEntrySize);
+constexpr uint16_t kInternalCapacity =
+    static_cast<uint16_t>((kPageSize - kHeaderSize) / kInternalEntrySize);
+
+uint8_t NodeType(const char* p) { return static_cast<uint8_t>(p[0]); }
+void SetNodeType(char* p, uint8_t t) { p[0] = static_cast<char>(t); }
+
+uint16_t Count(const char* p) {
+  uint16_t c;
+  std::memcpy(&c, p + 2, 2);
+  return c;
+}
+void SetCount(char* p, uint16_t c) { std::memcpy(p + 2, &c, 2); }
+
+uint32_t Link(const char* p) { return DecodeFixed32(p + 4); }
+void SetLink(char* p, uint32_t v) { EncodeFixed32(p + 4, v); }
+
+uint64_t LeafKey(const char* p, uint16_t i) {
+  return DecodeFixed64(p + kHeaderSize + i * kLeafEntrySize);
+}
+uint64_t LeafValue(const char* p, uint16_t i) {
+  return DecodeFixed64(p + kHeaderSize + i * kLeafEntrySize + 8);
+}
+void SetLeafEntry(char* p, uint16_t i, uint64_t key, uint64_t value) {
+  EncodeFixed64(p + kHeaderSize + i * kLeafEntrySize, key);
+  EncodeFixed64(p + kHeaderSize + i * kLeafEntrySize + 8, value);
+}
+
+uint64_t InternalKey(const char* p, uint16_t i) {
+  return DecodeFixed64(p + kHeaderSize + i * kInternalEntrySize);
+}
+uint32_t InternalChild(const char* p, uint16_t i) {
+  // Child i+1; child 0 lives in the header link field.
+  return DecodeFixed32(p + kHeaderSize + i * kInternalEntrySize + 8);
+}
+void SetInternalEntry(char* p, uint16_t i, uint64_t key, uint32_t child) {
+  EncodeFixed64(p + kHeaderSize + i * kInternalEntrySize, key);
+  EncodeFixed32(p + kHeaderSize + i * kInternalEntrySize + 8, child);
+}
+
+// Index of the first leaf entry with key >= target.
+uint16_t LeafLowerBound(const char* p, uint64_t key) {
+  uint16_t lo = 0, hi = Count(p);
+  while (lo < hi) {
+    uint16_t mid = static_cast<uint16_t>((lo + hi) / 2);
+    if (LeafKey(p, mid) < key) {
+      lo = static_cast<uint16_t>(mid + 1);
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// Child index (0..count) to descend into for `key`.
+uint16_t InternalChildIndex(const char* p, uint64_t key) {
+  uint16_t lo = 0, hi = Count(p);
+  // Descend into the child after the last separator <= key.
+  while (lo < hi) {
+    uint16_t mid = static_cast<uint16_t>((lo + hi) / 2);
+    if (InternalKey(p, mid) <= key) {
+      lo = static_cast<uint16_t>(mid + 1);
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+uint32_t ChildAt(const char* p, uint16_t idx) {
+  return idx == 0 ? Link(p) : InternalChild(p, static_cast<uint16_t>(idx - 1));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<BTree>> BTree::Create(Pager* pager) {
+  WG_ASSIGN_OR_RETURN(PageNum root, pager->Allocate());
+  {
+    WG_ASSIGN_OR_RETURN(PageHandle h, pager->Fetch(root));
+    SetNodeType(h.data(), 1);
+    SetCount(h.data(), 0);
+    SetLink(h.data(), kInvalidPageNum);
+    h.MarkDirty();
+  }
+  return std::unique_ptr<BTree>(new BTree(pager, root));
+}
+
+std::unique_ptr<BTree> BTree::Attach(Pager* pager, PageNum root) {
+  return std::unique_ptr<BTree>(new BTree(pager, root));
+}
+
+Status BTree::Insert(uint64_t key, uint64_t value) {
+  SplitResult split;
+  WG_RETURN_IF_ERROR(InsertRecursive(root_, key, value, &split));
+  if (split.split) {
+    // Grow a new root.
+    WG_ASSIGN_OR_RETURN(PageNum new_root, pager_->Allocate());
+    WG_ASSIGN_OR_RETURN(PageHandle h, pager_->Fetch(new_root));
+    SetNodeType(h.data(), 2);
+    SetCount(h.data(), 1);
+    SetLink(h.data(), root_);
+    SetInternalEntry(h.data(), 0, split.separator, split.right);
+    h.MarkDirty();
+    root_ = new_root;
+  }
+  return Status::OK();
+}
+
+Status BTree::InsertRecursive(PageNum node, uint64_t key, uint64_t value,
+                              SplitResult* out) {
+  out->split = false;
+  WG_ASSIGN_OR_RETURN(PageHandle h, pager_->Fetch(node));
+  char* p = h.data();
+  if (NodeType(p) == 1) {
+    uint16_t count = Count(p);
+    uint16_t pos = LeafLowerBound(p, key);
+    if (pos < count && LeafKey(p, pos) == key) {
+      SetLeafEntry(p, pos, key, value);  // overwrite
+      h.MarkDirty();
+      return Status::OK();
+    }
+    if (count < kLeafCapacity) {
+      std::memmove(p + kHeaderSize + (pos + 1) * kLeafEntrySize,
+                   p + kHeaderSize + pos * kLeafEntrySize,
+                   (count - pos) * kLeafEntrySize);
+      SetLeafEntry(p, pos, key, value);
+      SetCount(p, static_cast<uint16_t>(count + 1));
+      h.MarkDirty();
+      ++num_entries_;
+      return Status::OK();
+    }
+    // Split the leaf, then insert into the proper half.
+    WG_ASSIGN_OR_RETURN(PageNum right_num, pager_->Allocate());
+    WG_ASSIGN_OR_RETURN(PageHandle rh, pager_->Fetch(right_num));
+    char* r = rh.data();
+    uint16_t mid = static_cast<uint16_t>(count / 2);
+    SetNodeType(r, 1);
+    SetCount(r, static_cast<uint16_t>(count - mid));
+    SetLink(r, Link(p));
+    std::memcpy(r + kHeaderSize, p + kHeaderSize + mid * kLeafEntrySize,
+                (count - mid) * kLeafEntrySize);
+    SetCount(p, mid);
+    SetLink(p, right_num);
+    h.MarkDirty();
+    rh.MarkDirty();
+    uint64_t sep = LeafKey(r, 0);
+    // Insert into whichever half now owns the key (capacity is available).
+    char* tgt = key < sep ? p : r;
+    PageHandle& th = key < sep ? h : rh;
+    uint16_t tcount = Count(tgt);
+    uint16_t tpos = LeafLowerBound(tgt, key);
+    std::memmove(tgt + kHeaderSize + (tpos + 1) * kLeafEntrySize,
+                 tgt + kHeaderSize + tpos * kLeafEntrySize,
+                 (tcount - tpos) * kLeafEntrySize);
+    SetLeafEntry(tgt, tpos, key, value);
+    SetCount(tgt, static_cast<uint16_t>(tcount + 1));
+    th.MarkDirty();
+    ++num_entries_;
+    out->split = true;
+    out->separator = LeafKey(r, 0);
+    out->right = right_num;
+    return Status::OK();
+  }
+
+  // Internal node.
+  uint16_t idx = InternalChildIndex(p, key);
+  PageNum child = ChildAt(p, idx);
+  // Release our pin while descending? Keep it pinned: tree height is tiny
+  // and the pool guarantees >= 8 frames.
+  SplitResult child_split;
+  WG_RETURN_IF_ERROR(InsertRecursive(child, key, value, &child_split));
+  if (!child_split.split) return Status::OK();
+
+  uint16_t count = Count(p);
+  if (count < kInternalCapacity) {
+    // Shift entries right of idx and insert (separator, right).
+    std::memmove(p + kHeaderSize + (idx + 1) * kInternalEntrySize,
+                 p + kHeaderSize + idx * kInternalEntrySize,
+                 (count - idx) * kInternalEntrySize);
+    SetInternalEntry(p, idx, child_split.separator, child_split.right);
+    SetCount(p, static_cast<uint16_t>(count + 1));
+    h.MarkDirty();
+    return Status::OK();
+  }
+
+  // Split this internal node. Build the full entry list in memory for
+  // clarity (<= capacity+1 entries).
+  struct Entry {
+    uint64_t key;
+    uint32_t child;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(count + 1);
+  for (uint16_t i = 0; i < count; ++i) {
+    entries.push_back({InternalKey(p, i), InternalChild(p, i)});
+  }
+  entries.insert(entries.begin() + idx,
+                 {child_split.separator, child_split.right});
+  uint32_t child0 = Link(p);
+
+  uint16_t total = static_cast<uint16_t>(entries.size());
+  uint16_t mid = static_cast<uint16_t>(total / 2);
+  // entries[mid].key moves up as the separator; entries[mid].child becomes
+  // the right node's child0.
+  WG_ASSIGN_OR_RETURN(PageNum right_num, pager_->Allocate());
+  WG_ASSIGN_OR_RETURN(PageHandle rh, pager_->Fetch(right_num));
+  char* r = rh.data();
+  SetNodeType(r, 2);
+  SetLink(r, entries[mid].child);
+  SetCount(r, static_cast<uint16_t>(total - mid - 1));
+  for (uint16_t i = static_cast<uint16_t>(mid + 1); i < total; ++i) {
+    SetInternalEntry(r, static_cast<uint16_t>(i - mid - 1), entries[i].key,
+                     entries[i].child);
+  }
+  SetNodeType(p, 2);
+  SetLink(p, child0);
+  SetCount(p, mid);
+  for (uint16_t i = 0; i < mid; ++i) {
+    SetInternalEntry(p, i, entries[i].key, entries[i].child);
+  }
+  h.MarkDirty();
+  rh.MarkDirty();
+  out->split = true;
+  out->separator = entries[mid].key;
+  out->right = right_num;
+  return Status::OK();
+}
+
+Status BTree::FindLeaf(uint64_t key, PageNum* leaf) {
+  PageNum node = root_;
+  for (;;) {
+    WG_ASSIGN_OR_RETURN(PageHandle h, pager_->Fetch(node));
+    const char* p = h.data();
+    if (NodeType(p) == 1) {
+      *leaf = node;
+      return Status::OK();
+    }
+    node = ChildAt(p, InternalChildIndex(p, key));
+  }
+}
+
+Status BTree::Get(uint64_t key, uint64_t* value, bool* found) {
+  *found = false;
+  PageNum leaf;
+  WG_RETURN_IF_ERROR(FindLeaf(key, &leaf));
+  WG_ASSIGN_OR_RETURN(PageHandle h, pager_->Fetch(leaf));
+  const char* p = h.data();
+  uint16_t pos = LeafLowerBound(p, key);
+  if (pos < Count(p) && LeafKey(p, pos) == key) {
+    *value = LeafValue(p, pos);
+    *found = true;
+  }
+  return Status::OK();
+}
+
+Result<BTree::Iterator> BTree::Seek(uint64_t key) {
+  Iterator it;
+  it.tree_ = this;
+  PageNum leaf;
+  WG_RETURN_IF_ERROR(FindLeaf(key, &leaf));
+  it.leaf_ = leaf;
+  {
+    WG_ASSIGN_OR_RETURN(PageHandle h, pager_->Fetch(leaf));
+    it.index_ = LeafLowerBound(h.data(), key);
+  }
+  it.valid_ = true;
+  it.Load();
+  return it;
+}
+
+void BTree::Iterator::Load() {
+  while (valid_) {
+    auto h = tree_->pager_->Fetch(leaf_);
+    if (!h.ok()) {
+      status_ = h.status();
+      valid_ = false;
+      return;
+    }
+    const char* p = h.value().data();
+    if (index_ < Count(p)) {
+      key_ = LeafKey(p, index_);
+      value_ = LeafValue(p, index_);
+      return;
+    }
+    PageNum next = Link(p);
+    if (next == kInvalidPageNum) {
+      valid_ = false;
+      return;
+    }
+    leaf_ = next;
+    index_ = 0;
+  }
+}
+
+void BTree::Iterator::Next() {
+  if (!valid_) return;
+  ++index_;
+  Load();
+}
+
+Result<uint32_t> BTree::Height() {
+  uint32_t height = 1;
+  PageNum node = root_;
+  for (;;) {
+    WG_ASSIGN_OR_RETURN(PageHandle h, pager_->Fetch(node));
+    const char* p = h.data();
+    if (NodeType(p) == 1) return height;
+    node = ChildAt(p, 0);
+    ++height;
+  }
+}
+
+}  // namespace wg

@@ -1,0 +1,90 @@
+#ifndef WG_STORAGE_BTREE_H_
+#define WG_STORAGE_BTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "storage/pager.h"
+#include "util/status.h"
+
+// A disk-resident B+tree with 64-bit keys and values, built on the shared
+// Pager. The relational baseline uses two of these, mirroring the paper's
+// PostgreSQL setup:
+//   * page-id index:  key = page id,                     value = row id
+//   * domain index:   key = (domain id << 32) | page id, value = row id
+// The composite domain key turns "all pages of domain D" into a range scan,
+// which is exactly how a (domain, page) B-tree behaves in a real RDBMS.
+//
+// Keys are unique; inserting an existing key overwrites its value. The
+// workload is bulk-build then read-only, so deletion is intentionally not
+// implemented.
+
+namespace wg {
+
+class BTree {
+ public:
+  // Creates an empty tree, allocating its root from `pager`. The pager must
+  // outlive the tree.
+  static Result<std::unique_ptr<BTree>> Create(Pager* pager);
+
+  // Re-attaches to an existing tree rooted at `root`.
+  static std::unique_ptr<BTree> Attach(Pager* pager, PageNum root);
+
+  Status Insert(uint64_t key, uint64_t value);
+
+  // Point lookup; sets *found.
+  Status Get(uint64_t key, uint64_t* value, bool* found);
+
+  // Forward iteration from the first key >= seek target.
+  class Iterator {
+   public:
+    bool Valid() const { return valid_; }
+    uint64_t key() const { return key_; }
+    uint64_t value() const { return value_; }
+    // Advances; on I/O error the iterator becomes invalid and status() is
+    // set.
+    void Next();
+    const Status& status() const { return status_; }
+
+   private:
+    friend class BTree;
+    void Load();
+
+    BTree* tree_ = nullptr;
+    PageNum leaf_ = kInvalidPageNum;
+    uint16_t index_ = 0;
+    bool valid_ = false;
+    uint64_t key_ = 0;
+    uint64_t value_ = 0;
+    Status status_;
+  };
+
+  Result<Iterator> Seek(uint64_t key);
+
+  PageNum root() const { return root_; }
+  size_t num_entries() const { return num_entries_; }
+  // Height of the tree (1 = just a leaf).
+  Result<uint32_t> Height();
+
+ private:
+  BTree(Pager* pager, PageNum root) : pager_(pager), root_(root) {}
+
+  struct SplitResult {
+    bool split = false;
+    uint64_t separator = 0;  // first key of the new right sibling
+    PageNum right = kInvalidPageNum;
+  };
+
+  Status InsertRecursive(PageNum node, uint64_t key, uint64_t value,
+                         SplitResult* out);
+  Status FindLeaf(uint64_t key, PageNum* leaf);
+
+  Pager* pager_;
+  PageNum root_;
+  size_t num_entries_ = 0;
+};
+
+}  // namespace wg
+
+#endif  // WG_STORAGE_BTREE_H_

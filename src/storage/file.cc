@@ -1,0 +1,111 @@
+#include "storage/file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace wg {
+
+Result<std::unique_ptr<RandomAccessFile>> RandomAccessFile::Open(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IOError("open " + path + ": " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("fstat " + path + ": " + std::strerror(errno));
+  }
+  return std::unique_ptr<RandomAccessFile>(new RandomAccessFile(
+      path, fd, static_cast<uint64_t>(st.st_size)));
+}
+
+RandomAccessFile::~RandomAccessFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status RandomAccessFile::Read(uint64_t offset, size_t n, char* scratch) const {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t r = ::pread(fd_, scratch + done, n - done,
+                        static_cast<off_t>(offset + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("pread " + path_ + ": " + std::strerror(errno));
+    }
+    if (r == 0) {
+      return Status::IOError("pread " + path_ + ": short read");
+    }
+    done += static_cast<size_t>(r);
+  }
+  ++read_ops_;
+  bytes_read_ += n;
+  if (offset == last_read_end_) {
+    transferred_bytes_ += n;
+  } else if (last_read_end_ != UINT64_MAX && offset > last_read_end_ &&
+             offset - last_read_end_ <= kNearGap) {
+    // Near-sequential: pay the skipped gap as transfer, not a seek.
+    transferred_bytes_ += (offset - last_read_end_) + n;
+  } else {
+    ++seek_ops_;
+    transferred_bytes_ += n;
+  }
+  last_read_end_ = offset + n;
+  return Status::OK();
+}
+
+Status RandomAccessFile::Write(uint64_t offset, const char* data, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t r = ::pwrite(fd_, data + done, n - done,
+                         static_cast<off_t>(offset + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("pwrite " + path_ + ": " + std::strerror(errno));
+    }
+    done += static_cast<size_t>(r);
+  }
+  ++write_ops_;
+  if (offset + n > size_) size_ = offset + n;
+  return Status::OK();
+}
+
+Status RandomAccessFile::Append(const char* data, size_t n) {
+  return Write(size_, data, n);
+}
+
+Status RandomAccessFile::Sync() {
+  if (::fsync(fd_) != 0) {
+    return Status::IOError("fsync " + path_ + ": " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::IOError("unlink " + path + ": " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status EnsureDirectory(const std::string& path) {
+  std::string prefix;
+  for (size_t i = 0; i <= path.size(); ++i) {
+    if (i == path.size() || path[i] == '/') {
+      prefix = path.substr(0, i);
+      if (prefix.empty()) continue;
+      if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+        return Status::IOError("mkdir " + prefix + ": " +
+                               std::strerror(errno));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace wg

@@ -1,0 +1,163 @@
+#include "storage/graph_store.h"
+
+#include <cstdio>
+
+#include "util/coding.h"
+
+namespace wg {
+
+Result<std::unique_ptr<GraphStore>> GraphStore::Create(std::string base_path,
+                                                       Options options) {
+  std::unique_ptr<GraphStore> store(
+      new GraphStore(std::move(base_path), options));
+  WG_RETURN_IF_ERROR(store->OpenNextFile());
+  return store;
+}
+
+Status GraphStore::OpenNextFile() {
+  char suffix[16];
+  std::snprintf(suffix, sizeof(suffix), ".%03zu", files_.size());
+  std::string path = base_path_ + suffix;
+  WG_RETURN_IF_ERROR(RemoveFileIfExists(path));
+  auto file = RandomAccessFile::Open(path);
+  if (!file.ok()) return file.status();
+  files_.push_back(std::move(file).value());
+  return Status::OK();
+}
+
+Result<uint32_t> GraphStore::Append(const std::vector<uint8_t>& blob) {
+  if (read_only_) {
+    return Status::InvalidArgument("graph store: attached read-only");
+  }
+  RandomAccessFile* file = files_.back().get();
+  if (file->size() > 0 &&
+      file->size() + blob.size() > options_.max_file_size) {
+    WG_RETURN_IF_ERROR(OpenNextFile());
+    file = files_.back().get();
+  }
+  BlobRef ref;
+  ref.file_index = static_cast<uint32_t>(files_.size() - 1);
+  ref.offset = file->size();
+  ref.length = static_cast<uint32_t>(blob.size());
+  if (!blob.empty()) {
+    WG_RETURN_IF_ERROR(
+        file->Append(reinterpret_cast<const char*>(blob.data()), blob.size()));
+  }
+  directory_.push_back(ref);
+  total_bytes_ += blob.size();
+  return static_cast<uint32_t>(directory_.size() - 1);
+}
+
+Status GraphStore::ReadBlob(uint32_t id, std::vector<uint8_t>* out) const {
+  if (id >= directory_.size()) {
+    return Status::OutOfRange("graph store: blob id out of range");
+  }
+  const BlobRef& ref = directory_[id];
+  out->resize(ref.length);
+  if (ref.length == 0) return Status::OK();
+  return files_[ref.file_index]->Read(
+      ref.offset, ref.length, reinterpret_cast<char*>(out->data()));
+}
+
+Status GraphStore::ReadBlobRange(uint32_t first, uint32_t last,
+                                 std::vector<std::vector<uint8_t>>* out) const {
+  if (first > last || last >= directory_.size()) {
+    return Status::OutOfRange("graph store: bad blob range");
+  }
+  out->clear();
+  out->resize(last - first + 1);
+  uint32_t id = first;
+  while (id <= last) {
+    // Greedily take the run of blobs living in the same file.
+    uint32_t file_index = directory_[id].file_index;
+    uint32_t run_end = id;
+    while (run_end < last && directory_[run_end + 1].file_index == file_index) {
+      ++run_end;
+    }
+    uint64_t begin = directory_[id].offset;
+    uint64_t end = directory_[run_end].offset + directory_[run_end].length;
+    std::vector<char> buffer(end - begin);
+    if (!buffer.empty()) {
+      WG_RETURN_IF_ERROR(
+          files_[file_index]->Read(begin, buffer.size(), buffer.data()));
+    }
+    for (uint32_t b = id; b <= run_end; ++b) {
+      const BlobRef& ref = directory_[b];
+      auto* dst = &(*out)[b - first];
+      dst->assign(buffer.begin() + (ref.offset - begin),
+                  buffer.begin() + (ref.offset - begin) + ref.length);
+    }
+    id = run_end + 1;
+  }
+  return Status::OK();
+}
+
+void GraphStore::SerializeDirectory(std::string* payload) const {
+  PutVarint64(payload, options_.max_file_size);
+  PutVarint64(payload, files_.size());
+  PutVarint64(payload, directory_.size());
+  for (const BlobRef& ref : directory_) {
+    PutVarint32(payload, ref.file_index);
+    PutVarint64(payload, ref.offset);
+    PutVarint32(payload, ref.length);
+  }
+}
+
+Result<std::unique_ptr<GraphStore>> GraphStore::OpenExisting(
+    std::string base_path, Options options, SerialCursor* cursor) {
+  std::unique_ptr<GraphStore> store(
+      new GraphStore(std::move(base_path), options));
+  store->read_only_ = true;
+  uint64_t max_file_size = 0, num_files = 0, num_blobs = 0;
+  if (!cursor->ReadVarint64(&max_file_size) ||
+      !cursor->ReadVarint64(&num_files) ||
+      !cursor->ReadVarint64(&num_blobs)) {
+    return Status::Corruption("graph store: bad directory header");
+  }
+  store->options_.max_file_size = max_file_size;
+  for (uint64_t f = 0; f < num_files; ++f) {
+    char suffix[32];
+    std::snprintf(suffix, sizeof(suffix), ".%03llu",
+                  static_cast<unsigned long long>(f));
+    auto file = RandomAccessFile::Open(store->base_path_ + suffix);
+    if (!file.ok()) return file.status();
+    store->files_.push_back(std::move(file).value());
+  }
+  store->directory_.reserve(num_blobs);
+  for (uint64_t b = 0; b < num_blobs; ++b) {
+    BlobRef ref;
+    uint64_t offset = 0;
+    if (!cursor->ReadVarint32(&ref.file_index) ||
+        !cursor->ReadVarint64(&offset) || !cursor->ReadVarint32(&ref.length) ||
+        ref.file_index >= store->files_.size()) {
+      return Status::Corruption("graph store: bad directory entry");
+    }
+    ref.offset = offset;
+    if (ref.offset + ref.length > store->files_[ref.file_index]->size()) {
+      return Status::Corruption("graph store: blob outside file");
+    }
+    store->directory_.push_back(ref);
+    store->total_bytes_ += ref.length;
+  }
+  return store;
+}
+
+uint64_t GraphStore::read_ops() const {
+  uint64_t total = 0;
+  for (const auto& f : files_) total += f->read_ops();
+  return total;
+}
+
+uint64_t GraphStore::seek_ops() const {
+  uint64_t total = 0;
+  for (const auto& f : files_) total += f->seek_ops();
+  return total;
+}
+
+uint64_t GraphStore::transferred_bytes() const {
+  uint64_t total = 0;
+  for (const auto& f : files_) total += f->transferred_bytes();
+  return total;
+}
+
+}  // namespace wg

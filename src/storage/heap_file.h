@@ -1,0 +1,49 @@
+#ifndef WG_STORAGE_HEAP_FILE_H_
+#define WG_STORAGE_HEAP_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "storage/pager.h"
+#include "util/status.h"
+
+// A heap file of variable-length rows on the shared Pager: the table store
+// of the relational baseline (one row per page adjacency list, as in the
+// paper's PostgreSQL scheme). Rows larger than one page spill into overflow
+// page chains, the way TOAST-ed rows do.
+//
+// Row ids are (page << 16 | slot) and remain stable (no deletion/vacuum in
+// this read-mostly workload).
+
+namespace wg {
+
+using RowId = uint64_t;
+
+class HeapFile {
+ public:
+  // Creates an empty heap starting a fresh page chain on `pager` (which
+  // must outlive the heap).
+  static Result<std::unique_ptr<HeapFile>> Create(Pager* pager);
+
+  // Appends a row; returns its id.
+  Result<RowId> Append(const std::string& payload);
+
+  // Reads a row into *payload.
+  Status Read(RowId row, std::string* payload);
+
+  size_t num_rows() const { return num_rows_; }
+
+ private:
+  explicit HeapFile(Pager* pager) : pager_(pager) {}
+
+  Status StartNewDataPage();
+
+  Pager* pager_;
+  PageNum current_ = kInvalidPageNum;  // page currently being filled
+  size_t num_rows_ = 0;
+};
+
+}  // namespace wg
+
+#endif  // WG_STORAGE_HEAP_FILE_H_

@@ -1,0 +1,170 @@
+#include "text/corpus.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace wg {
+
+const std::vector<Corpus::SeededPhrase>& Corpus::QueryPhrases() {
+  // Phrases from Table 3 / Section 1 of the paper, mapped to the well-known
+  // domains the queries navigate.
+  static const std::vector<SeededPhrase>* kPhrases =
+      new std::vector<SeededPhrase>{
+          {"mobile networking", "stanford.edu"},
+          {"internet censorship", nullptr},
+          {"quantum cryptography", "stanford.edu"},
+          {"quantum cryptography", "mit.edu"},
+          {"quantum cryptography", "caltech.edu"},
+          {"quantum cryptography", "berkeley.edu"},
+          {"computer music synthesis", nullptr},
+          {"optical interferometry", "stanford.edu"},
+          {"optical interferometry", "berkeley.edu"},
+          // Comic-strip vocabulary for the popularity query (Analysis 2).
+          {"dilbert", "dilbert.com"},
+          {"dogbert", "dilbert.com"},
+          {"the boss", "dilbert.com"},
+          {"doonesbury", "doonesbury.com"},
+          {"zonker", "doonesbury.com"},
+          {"duke", "doonesbury.com"},
+          {"peanuts", "peanuts.com"},
+          {"snoopy", "peanuts.com"},
+          {"charlie brown", "peanuts.com"},
+      };
+  return *kPhrases;
+}
+
+uint32_t Corpus::TermId(const std::string& token) const {
+  auto it = term_ids_.find(token);
+  return it == term_ids_.end() ? UINT32_MAX : it->second;
+}
+
+bool Corpus::PageHasTerm(PageId p, uint32_t term) const {
+  const auto& t = terms_[p];
+  return std::binary_search(t.begin(), t.end(), term);
+}
+
+Corpus Corpus::Generate(const WebGraph& graph, const CorpusOptions& options) {
+  Corpus corpus;
+  Rng rng(options.seed);
+
+  // --- Vocabulary: seeded phrases first, then synthetic background terms.
+  auto add_term = [&corpus](const std::string& token) -> uint32_t {
+    auto it = corpus.term_ids_.find(token);
+    if (it != corpus.term_ids_.end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(corpus.vocab_.size());
+    corpus.vocab_.push_back(token);
+    corpus.term_ids_[token] = id;
+    return id;
+  };
+  for (const auto& sp : QueryPhrases()) add_term(sp.phrase);
+  size_t first_background = corpus.vocab_.size();
+  while (corpus.vocab_.size() < options.vocab_size) {
+    add_term("term" + std::to_string(corpus.vocab_.size()));
+  }
+  size_t num_background = corpus.vocab_.size() - first_background;
+
+  // --- Topic bags over background terms, Zipf-weighted so common terms
+  // appear across topics (realistic df distribution).
+  ZipfSampler term_zipf(num_background, 0.8);
+  std::vector<std::vector<uint32_t>> topic_bags(options.num_topics);
+  for (auto& bag : topic_bags) {
+    while (bag.size() < options.topic_bag_size) {
+      bag.push_back(
+          static_cast<uint32_t>(first_background + term_zipf.Sample(&rng)));
+    }
+  }
+  std::vector<uint32_t> topic_of_host(graph.num_hosts());
+  for (auto& t : topic_of_host) {
+    t = static_cast<uint32_t>(rng.Uniform(options.num_topics));
+  }
+
+  // --- Per-page terms.
+  corpus.terms_.resize(graph.num_pages());
+  for (PageId p = 0; p < graph.num_pages(); ++p) {
+    auto& bag = topic_bags[topic_of_host[graph.host_id(p)]];
+    size_t count =
+        5 + rng.Uniform(static_cast<uint64_t>(2 * options.mean_terms_per_page));
+    auto& terms = corpus.terms_[p];
+    terms.reserve(count + 2);
+    for (size_t i = 0; i < count; ++i) {
+      if (rng.Bernoulli(options.topic_term_fraction)) {
+        terms.push_back(bag[rng.Uniform(bag.size())]);
+      } else {
+        terms.push_back(
+            static_cast<uint32_t>(first_background + term_zipf.Sample(&rng)));
+      }
+    }
+  }
+
+  // --- Seed the query phrases into their home domains (+ background).
+  // Topical pages cluster on a couple of hosts of the home domain (a
+  // research group's site, a comic's fan section), not uniformly across
+  // the domain: that locality is exactly what the paper's Requirement 2
+  // exploits when a query's working set lands in few lower-level graphs.
+  // Per (phrase, domain), up to 2 hosts are selected deterministically.
+  std::vector<std::vector<uint32_t>> hosts_of_domain(graph.num_domains());
+  // host -> domain map via pages (hosts without pages never match anyway).
+  std::vector<uint32_t> domain_of_host(graph.num_hosts(), UINT32_MAX);
+  for (PageId p = 0; p < graph.num_pages(); ++p) {
+    domain_of_host[graph.host_id(p)] = graph.domain_id(p);
+  }
+  for (uint32_t h = 0; h < graph.num_hosts(); ++h) {
+    if (domain_of_host[h] != UINT32_MAX) {
+      hosts_of_domain[domain_of_host[h]].push_back(h);
+    }
+  }
+  auto phrase_hash = [](const std::string& s) {
+    uint64_t x = 1469598103934665603ull;
+    for (char c : s) x = (x ^ static_cast<uint8_t>(c)) * 1099511628211ull;
+    return x;
+  };
+  for (const auto& sp : QueryPhrases()) {
+    uint32_t term = corpus.term_ids_.at(sp.phrase);
+    uint64_t hash = phrase_hash(sp.phrase);
+    // Hosts carrying this phrase at home-level density.
+    std::vector<char> hot_host(graph.num_hosts(), 0);
+    auto mark_domain = [&](uint32_t d) {
+      const auto& hosts = hosts_of_domain[d];
+      if (hosts.empty()) return;
+      size_t picks = std::min<size_t>(2, hosts.size());
+      for (size_t i = 0; i < picks; ++i) {
+        hot_host[hosts[(hash + i) % hosts.size()]] = 1;
+      }
+    };
+    if (sp.home_domain != nullptr) {
+      uint32_t home = graph.FindDomain(sp.home_domain);
+      if (home != UINT32_MAX) mark_domain(home);
+    } else {
+      // Domain-less phrases are niche topics: they concentrate in a few
+      // .edu domains (chosen deterministically per phrase), not across the
+      // whole Web.
+      std::vector<uint32_t> edu_domains;
+      for (uint32_t d = 0; d < graph.num_domains(); ++d) {
+        const std::string& name = graph.domain_name(d);
+        if (name.size() > 4 &&
+            name.compare(name.size() - 4, 4, ".edu") == 0) {
+          edu_domains.push_back(d);
+        }
+      }
+      size_t picks = std::min<size_t>(6, edu_domains.size());
+      for (size_t i = 0; i < picks; ++i) {
+        mark_domain(edu_domains[(hash / 7 + i * 31) % edu_domains.size()]);
+      }
+    }
+    for (PageId p = 0; p < graph.num_pages(); ++p) {
+      double prob = hot_host[graph.host_id(p)]
+                        ? options.phrase_home_prob
+                        : options.phrase_background_prob;
+      if (rng.Bernoulli(prob)) corpus.terms_[p].push_back(term);
+    }
+  }
+
+  for (auto& terms : corpus.terms_) {
+    std::sort(terms.begin(), terms.end());
+    terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  }
+  return corpus;
+}
+
+}  // namespace wg

@@ -1,0 +1,75 @@
+#ifndef WG_TEXT_CORPUS_H_
+#define WG_TEXT_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/webgraph.h"
+
+// Synthetic textual content for the repository. The paper's complex queries
+// combine text predicates ("pages containing 'Mobile networking'") with
+// graph navigation; the text index lived on separate machines and its cost
+// was excluded from the reported navigation times, so all we need from the
+// corpus is *selectivity structure*: topical phrases concentrated in
+// particular domains, plus background terms.
+//
+// Each host is assigned a topic; pages draw most terms from their host's
+// topic bag (so text clusters align with link clusters, as on the real Web)
+// and the rest from the global vocabulary. Multi-word phrases are modelled
+// as single tokens (e.g. "mobile networking"), which is equivalent to a
+// phrase index for our purposes. The specific phrases used by the paper's
+// Table 3 queries are seeded into their referent domains so every query has
+// a non-trivial result.
+
+namespace wg {
+
+struct CorpusOptions {
+  uint64_t seed = 99;
+  size_t vocab_size = 4000;
+  size_t num_topics = 64;
+  // Fraction of a page's terms drawn from its host topic bag.
+  double topic_term_fraction = 0.7;
+  double mean_terms_per_page = 25.0;
+  size_t topic_bag_size = 60;
+  // Probability that a page on one of a phrase's "hot" hosts (up to 2 per
+  // home domain) carries the phrase.
+  double phrase_home_prob = 0.35;
+  // Probability that any other page carries it (background noise).
+  double phrase_background_prob = 0.0001;
+};
+
+class Corpus {
+ public:
+  // Phrases referenced by the evaluation queries, seeded into the listed
+  // domains (see generator.cc's well-known domains).
+  struct SeededPhrase {
+    const char* phrase;
+    const char* home_domain;  // nullptr = every .edu domain
+  };
+  static const std::vector<SeededPhrase>& QueryPhrases();
+
+  static Corpus Generate(const WebGraph& graph, const CorpusOptions& options);
+
+  // Sorted unique term ids of a page.
+  const std::vector<uint32_t>& terms(PageId p) const { return terms_[p]; }
+
+  // Term id for a token/phrase, or UINT32_MAX if absent.
+  uint32_t TermId(const std::string& token) const;
+
+  const std::string& term_string(uint32_t id) const { return vocab_[id]; }
+  size_t vocab_size() const { return vocab_.size(); }
+  size_t num_pages() const { return terms_.size(); }
+
+  bool PageHasTerm(PageId p, uint32_t term) const;
+
+ private:
+  std::vector<std::string> vocab_;
+  std::unordered_map<std::string, uint32_t> term_ids_;
+  std::vector<std::vector<uint32_t>> terms_;  // per page, sorted unique
+};
+
+}  // namespace wg
+
+#endif  // WG_TEXT_CORPUS_H_

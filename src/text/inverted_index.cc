@@ -1,0 +1,55 @@
+#include "text/inverted_index.h"
+
+#include <algorithm>
+#include <map>
+
+namespace wg {
+
+InvertedIndex InvertedIndex::Build(const Corpus& corpus) {
+  InvertedIndex index;
+  index.postings_.resize(corpus.vocab_size());
+  for (PageId p = 0; p < corpus.num_pages(); ++p) {
+    for (uint32_t term : corpus.terms(p)) {
+      index.postings_[term].push_back(p);
+      ++index.total_postings_;
+    }
+  }
+  // Page ids were appended in increasing order, so lists are sorted.
+  return index;
+}
+
+const std::vector<PageId>& InvertedIndex::Postings(uint32_t term) const {
+  if (term >= postings_.size()) return empty_;
+  return postings_[term];
+}
+
+std::vector<PageId> InvertedIndex::Lookup(const Corpus& corpus,
+                                          const std::string& token) const {
+  uint32_t term = corpus.TermId(token);
+  if (term == UINT32_MAX) return {};
+  return postings_[term];
+}
+
+std::vector<PageId> InvertedIndex::LookupAtLeast(
+    const Corpus& corpus, const std::vector<std::string>& tokens,
+    size_t min_match) const {
+  std::map<PageId, size_t> counts;
+  for (const auto& token : tokens) {
+    uint32_t term = corpus.TermId(token);
+    if (term == UINT32_MAX) continue;
+    for (PageId p : postings_[term]) ++counts[p];
+  }
+  std::vector<PageId> result;
+  for (const auto& [page, count] : counts) {
+    if (count >= min_match) result.push_back(page);
+  }
+  return result;  // std::map iterates in sorted order
+}
+
+size_t InvertedIndex::MemoryUsage() const {
+  size_t bytes = postings_.size() * sizeof(std::vector<PageId>);
+  for (const auto& list : postings_) bytes += list.size() * sizeof(PageId);
+  return bytes;
+}
+
+}  // namespace wg

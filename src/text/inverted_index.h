@@ -1,0 +1,46 @@
+#ifndef WG_TEXT_INVERTED_INDEX_H_
+#define WG_TEXT_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "text/corpus.h"
+
+// Inverted index over the synthetic corpus — the stand-in for the WebBase
+// text index that the paper's query plans consult before navigating the
+// graph. Posting lists are sorted page-id vectors; queries return sorted
+// vectors so the query engine can merge them cheaply.
+
+namespace wg {
+
+class InvertedIndex {
+ public:
+  static InvertedIndex Build(const Corpus& corpus);
+
+  // Pages containing the term; empty for unknown ids.
+  const std::vector<PageId>& Postings(uint32_t term) const;
+
+  // Pages containing the token/phrase (empty if out of vocabulary).
+  std::vector<PageId> Lookup(const Corpus& corpus,
+                             const std::string& token) const;
+
+  // Pages containing at least `min_match` of the tokens (Analysis 2 uses
+  // "at least two of the words in Cw").
+  std::vector<PageId> LookupAtLeast(const Corpus& corpus,
+                                    const std::vector<std::string>& tokens,
+                                    size_t min_match) const;
+
+  size_t num_terms() const { return postings_.size(); }
+  uint64_t total_postings() const { return total_postings_; }
+  size_t MemoryUsage() const;
+
+ private:
+  std::vector<std::vector<PageId>> postings_;
+  std::vector<PageId> empty_;
+  uint64_t total_postings_ = 0;
+};
+
+}  // namespace wg
+
+#endif  // WG_TEXT_INVERTED_INDEX_H_

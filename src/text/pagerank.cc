@@ -1,0 +1,81 @@
+#include "text/pagerank.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace wg {
+
+std::vector<double> ComputePageRank(const WebGraph& graph,
+                                    const PageRankOptions& options) {
+  size_t n = graph.num_pages();
+  if (n == 0) return {};
+  std::vector<double> rank(n, 1.0 / n);
+  std::vector<double> next(n, 0.0);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double dangling = 0.0;
+    for (PageId p = 0; p < n; ++p) {
+      auto links = graph.OutLinks(p);
+      if (links.empty()) {
+        dangling += rank[p];
+        continue;
+      }
+      double share = rank[p] / links.size();
+      for (PageId q : links) next[q] += share;
+    }
+    double base = (1.0 - options.damping) / n +
+                  options.damping * dangling / n;
+    double change = 0.0;
+    for (PageId p = 0; p < n; ++p) {
+      double v = base + options.damping * next[p];
+      change += std::abs(v - rank[p]);
+      rank[p] = v;
+    }
+    if (change < options.tolerance) break;
+  }
+  return rank;
+}
+
+HitsScores ComputeHits(const WebGraph& graph,
+                       const std::vector<PageId>& subset, int iterations) {
+  HitsScores scores;
+  size_t n = subset.size();
+  scores.hub.assign(n, 1.0);
+  scores.authority.assign(n, 1.0);
+  if (n == 0) return scores;
+
+  // Local index + induced edge list.
+  std::unordered_map<PageId, uint32_t> local;
+  local.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) local[subset[i]] = i;
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  for (uint32_t i = 0; i < n; ++i) {
+    for (PageId q : graph.OutLinks(subset[i])) {
+      auto it = local.find(q);
+      if (it != local.end()) edges.emplace_back(i, it->second);
+    }
+  }
+
+  auto normalize = [](std::vector<double>& v) {
+    double norm = 0;
+    for (double x : v) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm > 0) {
+      for (double& x : v) x /= norm;
+    }
+  };
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    std::vector<double> new_auth(n, 0.0), new_hub(n, 0.0);
+    for (auto [i, j] : edges) new_auth[j] += scores.hub[i];
+    for (auto [i, j] : edges) new_hub[i] += new_auth[j];
+    normalize(new_auth);
+    normalize(new_hub);
+    scores.authority = std::move(new_auth);
+    scores.hub = std::move(new_hub);
+  }
+  return scores;
+}
+
+}  // namespace wg

@@ -1,0 +1,40 @@
+#ifndef WG_TEXT_PAGERANK_H_
+#define WG_TEXT_PAGERANK_H_
+
+#include <vector>
+
+#include "graph/webgraph.h"
+
+// PageRank (Brin & Page, the paper's citation [5]) and HITS (Kleinberg,
+// citation [25]). Query 1 weights pages by normalized PageRank; Query 3
+// ranks a root set by PageRank before expanding the Kleinberg base set.
+// Both are classic global-access computations the S-Node representation is
+// designed to keep in main memory.
+
+namespace wg {
+
+struct PageRankOptions {
+  double damping = 0.85;
+  int max_iterations = 60;
+  double tolerance = 1e-9;  // L1 change per iteration to stop early
+};
+
+// Returns one score per page, summing to 1 (dangling mass redistributed
+// uniformly).
+std::vector<double> ComputePageRank(const WebGraph& graph,
+                                    const PageRankOptions& options = {});
+
+struct HitsScores {
+  std::vector<double> hub;        // aligned with `subset`
+  std::vector<double> authority;  // aligned with `subset`
+};
+
+// HITS hub/authority scores restricted to the induced subgraph on `subset`
+// (sorted page ids), normalized to unit L2. `iterations` power steps.
+HitsScores ComputeHits(const WebGraph& graph,
+                       const std::vector<PageId>& subset,
+                       int iterations = 30);
+
+}  // namespace wg
+
+#endif  // WG_TEXT_PAGERANK_H_

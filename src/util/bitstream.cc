@@ -1,0 +1,94 @@
+#include "util/bitstream.h"
+
+namespace wg {
+
+void BitWriter::WriteBits(uint64_t value, int nbits) {
+  WG_DCHECK(nbits >= 0 && nbits <= 64);
+  if (nbits == 0) return;
+  if (nbits < 64) value &= (uint64_t{1} << nbits) - 1;
+  bit_count_ += static_cast<uint64_t>(nbits);
+
+  // Flush whole bytes out of the accumulator as they complete.
+  while (nbits > 0) {
+    int take = nbits;
+    int room = 8 - acc_bits_;
+    if (take > room) take = room;
+    // Top `take` bits of the remaining value.
+    uint64_t chunk = (value >> (nbits - take)) & ((uint64_t{1} << take) - 1);
+    acc_ = (acc_ << take) | chunk;
+    acc_bits_ += take;
+    nbits -= take;
+    if (acc_bits_ == 8) {
+      bytes_.push_back(static_cast<uint8_t>(acc_));
+      acc_ = 0;
+      acc_bits_ = 0;
+    }
+  }
+}
+
+std::vector<uint8_t> BitWriter::Finish() {
+  if (acc_bits_ > 0) {
+    bytes_.push_back(static_cast<uint8_t>(acc_ << (8 - acc_bits_)));
+    acc_ = 0;
+    acc_bits_ = 0;
+  }
+  return bytes_;
+}
+
+uint64_t BitReader::ReadBits(int nbits) {
+  WG_DCHECK(nbits >= 0 && nbits <= 64);
+  if (nbits == 0) return 0;
+  if (pos_ + static_cast<uint64_t>(nbits) > size_bits_) {
+    ok_ = false;
+    pos_ = size_bits_;
+    return 0;
+  }
+  uint64_t result = 0;
+  uint64_t p = pos_;
+  int remaining = nbits;
+  while (remaining > 0) {
+    uint64_t byte_idx = p >> 3;
+    int bit_off = static_cast<int>(p & 7);
+    int avail = 8 - bit_off;
+    int take = remaining < avail ? remaining : avail;
+    uint8_t byte = data_[byte_idx];
+    uint8_t chunk =
+        static_cast<uint8_t>((byte >> (avail - take)) & ((1u << take) - 1));
+    result = (result << take) | chunk;
+    p += static_cast<uint64_t>(take);
+    remaining -= take;
+  }
+  pos_ = p;
+  return result;
+}
+
+uint64_t BitReader::PeekBits(int nbits) const {
+  WG_DCHECK(nbits >= 0 && nbits <= 64);
+  if (nbits == 0) return 0;
+  uint64_t result = 0;
+  uint64_t p = pos_;
+  int remaining = nbits;
+  while (remaining > 0) {
+    int take;
+    uint8_t chunk;
+    if (p >= size_bits_) {
+      // Past the end: zero-fill.
+      take = remaining;
+      chunk = 0;
+    } else {
+      uint64_t byte_idx = p >> 3;
+      int bit_off = static_cast<int>(p & 7);
+      int avail = 8 - bit_off;
+      take = remaining < avail ? remaining : avail;
+      uint8_t byte = data_[byte_idx];
+      chunk =
+          static_cast<uint8_t>((byte >> (avail - take)) & ((1u << take) - 1));
+    }
+    result = (result << take) | chunk;
+    p += static_cast<uint64_t>(take);
+    remaining -= take;
+  }
+  return result;
+}
+
+}  // namespace wg

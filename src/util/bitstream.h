@@ -1,0 +1,81 @@
+#ifndef WG_UTIL_BITSTREAM_H_
+#define WG_UTIL_BITSTREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+// MSB-first bit streams used by every compressed graph codec in the library.
+// Writers accumulate into an in-memory byte buffer; readers decode from a
+// borrowed byte span. Both are deliberately simple and branch-light: the
+// paper's access-time experiments (Table 2) measure exactly this decode path.
+
+namespace wg {
+
+// Appends bits most-significant-first into a growable byte buffer.
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  // Writes the low `nbits` bits of `value` (MSB of the field first).
+  // nbits must be in [0, 64].
+  void WriteBits(uint64_t value, int nbits);
+
+  // Writes a single bit.
+  void WriteBit(bool bit) { WriteBits(bit ? 1 : 0, 1); }
+
+  // Number of bits written so far.
+  uint64_t bit_count() const { return bit_count_; }
+
+  // Pads the final partial byte with zero bits and returns the buffer.
+  // The writer may continue to be used afterwards (padding bits become part
+  // of the stream), so callers normally call this exactly once.
+  std::vector<uint8_t> Finish();
+
+  // Read-only view of the bytes written so far (excluding a partial byte).
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  uint64_t acc_ = 0;   // bits pending, left-aligned in the low `acc_bits_`
+  int acc_bits_ = 0;   // number of pending bits in acc_
+  uint64_t bit_count_ = 0;
+};
+
+// Reads bits most-significant-first from a borrowed buffer. Out-of-bounds
+// reads are reported via ok()/status rather than undefined behaviour.
+class BitReader {
+ public:
+  BitReader(const uint8_t* data, size_t size_bytes)
+      : data_(data), size_bits_(static_cast<uint64_t>(size_bytes) * 8) {}
+
+  explicit BitReader(const std::vector<uint8_t>& buf)
+      : BitReader(buf.data(), buf.size()) {}
+
+  // Reads `nbits` (0..64) bits; returns 0 and marks failure on overrun.
+  uint64_t ReadBits(int nbits);
+
+  bool ReadBit() { return ReadBits(1) != 0; }
+
+  // Peeks up to `nbits` bits without consuming; bits beyond the end read as
+  // zero (used by table-driven Huffman decode at the stream tail).
+  uint64_t PeekBits(int nbits) const;
+
+  void SkipBits(uint64_t nbits) { pos_ += nbits; }
+
+  uint64_t position() const { return pos_; }
+  uint64_t size_bits() const { return size_bits_; }
+  bool exhausted() const { return pos_ >= size_bits_; }
+  bool ok() const { return ok_; }
+
+ private:
+  const uint8_t* data_;
+  uint64_t size_bits_;
+  uint64_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace wg
+
+#endif  // WG_UTIL_BITSTREAM_H_

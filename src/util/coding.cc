@@ -1,0 +1,190 @@
+#include "util/coding.h"
+
+#include <bit>
+#include <cstring>
+
+namespace wg {
+
+namespace {
+
+// Position of the highest set bit (floor(log2(v))) for v >= 1.
+inline int HighBit(uint64_t v) { return 63 - std::countl_zero(v); }
+
+}  // namespace
+
+void WriteUnary(BitWriter* w, uint64_t n) {
+  while (n >= 32) {
+    w->WriteBits(0, 32);
+    n -= 32;
+  }
+  // n zero bits then a one.
+  w->WriteBits(1, static_cast<int>(n) + 1);
+}
+
+uint64_t ReadUnary(BitReader* r) {
+  uint64_t n = 0;
+  while (r->ok()) {
+    if (r->ReadBit()) return n;
+    ++n;
+  }
+  return 0;
+}
+
+void WriteGamma(BitWriter* w, uint64_t n) {
+  uint64_t v = n + 1;
+  int nb = HighBit(v);  // number of remainder bits
+  WriteUnary(w, static_cast<uint64_t>(nb));
+  if (nb > 0) w->WriteBits(v & ((uint64_t{1} << nb) - 1), nb);
+}
+
+uint64_t ReadGamma(BitReader* r) {
+  uint64_t nb = ReadUnary(r);
+  if (!r->ok() || nb > 63) return 0;
+  uint64_t rem = nb > 0 ? r->ReadBits(static_cast<int>(nb)) : 0;
+  uint64_t v = (uint64_t{1} << nb) | rem;
+  return v - 1;
+}
+
+void WriteDelta(BitWriter* w, uint64_t n) {
+  uint64_t v = n + 1;
+  int nb = HighBit(v);
+  WriteGamma(w, static_cast<uint64_t>(nb));
+  if (nb > 0) w->WriteBits(v & ((uint64_t{1} << nb) - 1), nb);
+}
+
+uint64_t ReadDelta(BitReader* r) {
+  uint64_t nb = ReadGamma(r);
+  if (!r->ok() || nb > 63) return 0;
+  uint64_t rem = nb > 0 ? r->ReadBits(static_cast<int>(nb)) : 0;
+  uint64_t v = (uint64_t{1} << nb) | rem;
+  return v - 1;
+}
+
+int MinimalBinaryWidth(uint64_t bound) {
+  if (bound <= 1) return 0;
+  return HighBit(bound - 1) + 1;
+}
+
+void WriteMinimalBinary(BitWriter* w, uint64_t n, uint64_t bound) {
+  WG_DCHECK(bound == 0 || n < bound);
+  int width = MinimalBinaryWidth(bound);
+  if (width > 0) w->WriteBits(n, width);
+}
+
+uint64_t ReadMinimalBinary(BitReader* r, uint64_t bound) {
+  int width = MinimalBinaryWidth(bound);
+  return width > 0 ? r->ReadBits(width) : 0;
+}
+
+int GammaCost(uint64_t n) {
+  int nb = HighBit(n + 1);
+  return 2 * nb + 1;
+}
+
+int DeltaCost(uint64_t n) {
+  int nb = HighBit(n + 1);
+  return GammaCost(static_cast<uint64_t>(nb)) + nb;
+}
+
+void WriteAscendingGaps(BitWriter* w, const std::vector<uint32_t>& sorted,
+                        uint32_t base) {
+  if (sorted.empty()) return;
+  WG_DCHECK(sorted.front() >= base);
+  WriteGamma(w, sorted.front() - base);
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    WG_DCHECK(sorted[i] > sorted[i - 1]);
+    WriteGamma(w, sorted[i] - sorted[i - 1] - 1);
+  }
+}
+
+void ReadAscendingGaps(BitReader* r, size_t count, uint32_t base,
+                       std::vector<uint32_t>* out) {
+  if (count == 0) return;
+  uint32_t v = base + static_cast<uint32_t>(ReadGamma(r));
+  out->push_back(v);
+  for (size_t i = 1; i < count; ++i) {
+    v += static_cast<uint32_t>(ReadGamma(r)) + 1;
+    out->push_back(v);
+  }
+}
+
+uint64_t AscendingGapsCost(const std::vector<uint32_t>& sorted,
+                           uint32_t base) {
+  if (sorted.empty()) return 0;
+  uint64_t bits = GammaCost(sorted.front() - base);
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    bits += GammaCost(sorted[i] - sorted[i - 1] - 1);
+  }
+  return bits;
+}
+
+void PutVarint32(std::string* dst, uint32_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  dst->push_back(static_cast<char>(v));
+}
+
+void PutVarint64(std::string* dst, uint64_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  dst->push_back(static_cast<char>(v));
+}
+
+size_t GetVarint32(const char* p, size_t limit, uint32_t* v) {
+  uint32_t result = 0;
+  for (size_t i = 0; i < limit && i < 5; ++i) {
+    uint8_t byte = static_cast<uint8_t>(p[i]);
+    result |= static_cast<uint32_t>(byte & 0x7f) << (7 * i);
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return i + 1;
+    }
+  }
+  return 0;
+}
+
+size_t GetVarint64(const char* p, size_t limit, uint64_t* v) {
+  uint64_t result = 0;
+  for (size_t i = 0; i < limit && i < 10; ++i) {
+    uint8_t byte = static_cast<uint8_t>(p[i]);
+    result |= static_cast<uint64_t>(byte & 0x7f) << (7 * i);
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return i + 1;
+    }
+  }
+  return 0;
+}
+
+void EncodeFixed32(char* p, uint32_t v) { std::memcpy(p, &v, 4); }
+void EncodeFixed64(char* p, uint64_t v) { std::memcpy(p, &v, 8); }
+
+void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  EncodeFixed32(buf, v);
+  dst->append(buf, 4);
+}
+
+void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  EncodeFixed64(buf, v);
+  dst->append(buf, 8);
+}
+
+uint32_t DecodeFixed32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+uint64_t DecodeFixed64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace wg

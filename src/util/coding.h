@@ -1,0 +1,71 @@
+#ifndef WG_UTIL_CODING_H_
+#define WG_UTIL_CODING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bitstream.h"
+
+// Integer codes used throughout the compressed representations: unary and
+// Elias gamma/delta on bit streams (Witten/Moffat/Bell, "Managing
+// Gigabytes", which the paper cites for its bit-level techniques), and
+// byte-oriented varints for the storage engine.
+
+namespace wg {
+
+// ---- Bit-level codes (values are >= 0; gamma/delta encode value+1 so that
+// ---- zero is representable, matching standard gap-coding practice).
+
+// Unary: n zero bits followed by a one bit.
+void WriteUnary(BitWriter* w, uint64_t n);
+uint64_t ReadUnary(BitReader* r);
+
+// Elias gamma of (n + 1): unary length prefix + binary remainder.
+void WriteGamma(BitWriter* w, uint64_t n);
+uint64_t ReadGamma(BitReader* r);
+
+// Elias delta of (n + 1): gamma-coded length + binary remainder. Better than
+// gamma for large values; used for page-id gaps across wide ranges.
+void WriteDelta(BitWriter* w, uint64_t n);
+uint64_t ReadDelta(BitReader* r);
+
+// Minimal binary code for n in [0, bound): fixed width ceil(log2(bound))
+// bits (0 bits when bound <= 1).
+void WriteMinimalBinary(BitWriter* w, uint64_t n, uint64_t bound);
+uint64_t ReadMinimalBinary(BitReader* r, uint64_t bound);
+
+// Number of bits each code would use (for cost models in reference
+// encoding, where we must compare encodings without materializing them).
+int GammaCost(uint64_t n);
+int DeltaCost(uint64_t n);
+int MinimalBinaryWidth(uint64_t bound);
+
+// Encodes a strictly increasing sequence as a gamma-coded first value
+// (relative to `base`) followed by gamma-coded gaps-minus-one. Empty
+// sequences write nothing (caller must know the count).
+void WriteAscendingGaps(BitWriter* w, const std::vector<uint32_t>& sorted,
+                        uint32_t base);
+void ReadAscendingGaps(BitReader* r, size_t count, uint32_t base,
+                       std::vector<uint32_t>* out);
+// Cost in bits of WriteAscendingGaps.
+uint64_t AscendingGapsCost(const std::vector<uint32_t>& sorted, uint32_t base);
+
+// ---- Byte-level varints (LEB128) for the storage engine and file headers.
+
+void PutVarint32(std::string* dst, uint32_t v);
+void PutVarint64(std::string* dst, uint64_t v);
+// Returns bytes consumed, or 0 on malformed/truncated input.
+size_t GetVarint32(const char* p, size_t limit, uint32_t* v);
+size_t GetVarint64(const char* p, size_t limit, uint64_t* v);
+
+void PutFixed32(std::string* dst, uint32_t v);
+void PutFixed64(std::string* dst, uint64_t v);
+uint32_t DecodeFixed32(const char* p);
+uint64_t DecodeFixed64(const char* p);
+void EncodeFixed32(char* p, uint32_t v);
+void EncodeFixed64(char* p, uint64_t v);
+
+}  // namespace wg
+
+#endif  // WG_UTIL_CODING_H_

@@ -1,0 +1,203 @@
+#include "util/huffman.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/coding.h"
+
+namespace wg {
+
+namespace {
+
+struct HeapItem {
+  uint64_t freq;
+  uint32_t node;
+  bool operator>(const HeapItem& o) const {
+    if (freq != o.freq) return freq > o.freq;
+    return node > o.node;  // deterministic tie-break
+  }
+};
+
+}  // namespace
+
+HuffmanCode HuffmanCode::Build(const std::vector<uint64_t>& freqs) {
+  HuffmanCode code;
+  size_t n = freqs.size();
+  code.lengths_.assign(n, 0);
+  if (n == 0) return code;
+
+  // Standard two-queue-free heap construction; internal nodes appended
+  // after the n leaves. parent[] lets us read off depths afterwards.
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  std::vector<uint32_t> parent;
+  parent.reserve(2 * n);
+  parent.assign(n, 0);
+  size_t live = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (freqs[i] > 0) {
+      heap.push({freqs[i], static_cast<uint32_t>(i)});
+      ++live;
+    }
+  }
+  if (live == 0) return code;
+  if (live == 1) {
+    // Degenerate alphabet: give the sole symbol a 1-bit code.
+    HeapItem only = heap.top();
+    code.lengths_[only.node] = 1;
+    code.BuildTables();
+    return code;
+  }
+
+  std::vector<uint64_t> node_freq(freqs);
+  while (heap.size() > 1) {
+    HeapItem a = heap.top();
+    heap.pop();
+    HeapItem b = heap.top();
+    heap.pop();
+    uint32_t internal = static_cast<uint32_t>(node_freq.size());
+    node_freq.push_back(a.freq + b.freq);
+    parent.resize(internal + 1);
+    parent[a.node] = internal;
+    parent[b.node] = internal;
+    parent[internal] = internal;  // provisional root marker
+    heap.push({a.freq + b.freq, internal});
+  }
+  uint32_t root = heap.top().node;
+
+  // Depth of each leaf = code length. Compute top-down by walking parents;
+  // memoize depths of internal nodes.
+  std::vector<int> depth(node_freq.size(), -1);
+  depth[root] = 0;
+  // Internal nodes were created in increasing index order and every node's
+  // parent has a larger index, so a reverse scan resolves all depths.
+  for (size_t i = node_freq.size(); i-- > 0;) {
+    if (depth[i] >= 0) continue;
+    if (i < n && freqs[i] == 0) continue;
+    uint32_t p = parent[i];
+    if (depth[p] < 0) continue;  // unreachable (zero-freq leaf)
+    depth[i] = depth[p] + 1;
+  }
+  // A single reverse scan is insufficient only if a parent appears after its
+  // child in scan order, which cannot happen (parents have larger indices),
+  // so all live leaves now have depths.
+  for (size_t i = 0; i < n; ++i) {
+    if (freqs[i] > 0) {
+      WG_CHECK(depth[i] > 0);
+      WG_CHECK(depth[i] <= 64);
+      code.lengths_[i] = static_cast<uint8_t>(depth[i]);
+    }
+  }
+  code.BuildTables();
+  return code;
+}
+
+void HuffmanCode::BuildTables() {
+  max_len_ = 0;
+  for (uint8_t l : lengths_) max_len_ = std::max<int>(max_len_, l);
+  count_.assign(max_len_ + 1, 0);
+  for (uint8_t l : lengths_) {
+    if (l > 0) ++count_[l];
+  }
+  first_code_.assign(max_len_ + 1, 0);
+  first_index_.assign(max_len_ + 1, 0);
+  uint64_t code = 0;
+  uint32_t index = 0;
+  for (int len = 1; len <= max_len_; ++len) {
+    code <<= 1;
+    first_code_[len] = code;
+    first_index_[len] = index;
+    code += count_[len];
+    index += count_[len];
+  }
+  sorted_symbols_.clear();
+  sorted_symbols_.reserve(index);
+  // Symbols in (length, symbol) order.
+  std::vector<uint32_t> next_index(first_index_);
+  sorted_symbols_.assign(index, 0);
+  for (uint32_t s = 0; s < lengths_.size(); ++s) {
+    if (lengths_[s] > 0) sorted_symbols_[next_index[lengths_[s]]++] = s;
+  }
+  // Assign canonical codes per symbol.
+  codes_.assign(lengths_.size(), 0);
+  std::vector<uint64_t> next_code(first_code_);
+  for (uint32_t s = 0; s < lengths_.size(); ++s) {
+    if (lengths_[s] > 0) codes_[s] = next_code[lengths_[s]]++;
+  }
+}
+
+uint64_t HuffmanCode::TotalCost(const std::vector<uint64_t>& freqs) const {
+  uint64_t bits = 0;
+  for (size_t i = 0; i < freqs.size() && i < lengths_.size(); ++i) {
+    bits += freqs[i] * lengths_[i];
+  }
+  return bits;
+}
+
+void HuffmanCode::Encode(BitWriter* w, uint32_t symbol) const {
+  WG_DCHECK(symbol < lengths_.size() && lengths_[symbol] > 0);
+  w->WriteBits(codes_[symbol], lengths_[symbol]);
+}
+
+uint32_t HuffmanCode::Decode(BitReader* r) const {
+  uint64_t code = 0;
+  for (int len = 1; len <= max_len_; ++len) {
+    code = (code << 1) | (r->ReadBit() ? 1 : 0);
+    if (!r->ok()) break;
+    if (count_[len] > 0 && code >= first_code_[len] &&
+        code < first_code_[len] + count_[len]) {
+      return sorted_symbols_[first_index_[len] +
+                             static_cast<uint32_t>(code - first_code_[len])];
+    }
+  }
+  return static_cast<uint32_t>(lengths_.size());
+}
+
+void HuffmanCode::Serialize(std::string* dst) const {
+  PutVarint64(dst, lengths_.size());
+  // Run-length encode the (mostly smooth) length array.
+  size_t i = 0;
+  while (i < lengths_.size()) {
+    size_t j = i;
+    while (j < lengths_.size() && lengths_[j] == lengths_[i]) ++j;
+    PutVarint32(dst, lengths_[i]);
+    PutVarint64(dst, j - i);
+    i = j;
+  }
+}
+
+Result<HuffmanCode> HuffmanCode::Deserialize(const char* data, size_t size,
+                                             size_t* consumed) {
+  size_t pos = 0;
+  uint64_t n = 0;
+  size_t used = GetVarint64(data, size, &n);
+  if (used == 0) return Status::Corruption("huffman: bad symbol count");
+  pos += used;
+  HuffmanCode code;
+  code.lengths_.reserve(n);
+  while (code.lengths_.size() < n) {
+    uint32_t len = 0;
+    uint64_t run = 0;
+    used = GetVarint32(data + pos, size - pos, &len);
+    if (used == 0) return Status::Corruption("huffman: bad run length");
+    pos += used;
+    used = GetVarint64(data + pos, size - pos, &run);
+    if (used == 0 || len > 64 ||
+        run > n - code.lengths_.size()) {
+      return Status::Corruption("huffman: bad run");
+    }
+    pos += used;
+    code.lengths_.insert(code.lengths_.end(), run,
+                         static_cast<uint8_t>(len));
+  }
+  code.BuildTables();
+  if (consumed != nullptr) *consumed = pos;
+  return code;
+}
+
+size_t HuffmanCode::MemoryUsage() const {
+  return lengths_.size() * sizeof(uint8_t) + codes_.size() * sizeof(uint64_t) +
+         sorted_symbols_.size() * sizeof(uint32_t) +
+         (first_code_.size() + count_.size()) * sizeof(uint64_t);
+}
+
+}  // namespace wg

@@ -1,0 +1,68 @@
+#ifndef WG_UTIL_HUFFMAN_H_
+#define WG_UTIL_HUFFMAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bitstream.h"
+#include "util/status.h"
+
+// Canonical Huffman coding over a dense symbol alphabet [0, n). Used for
+// (a) the paper's "plain Huffman" baseline representation, which assigns
+// shorter codes to pages with higher in-degree, and (b) the Huffman-coded
+// supernode graph of the S-Node representation (Section 3.3).
+//
+// Codes are canonical: only the code lengths need to be stored or
+// transmitted; codes are assigned in (length, symbol) order. Symbols with
+// zero frequency receive no code and must not be encoded.
+
+namespace wg {
+
+class HuffmanCode {
+ public:
+  HuffmanCode() = default;
+
+  // Builds an optimal prefix code for `freqs` (freqs[i] = frequency of
+  // symbol i; zero means the symbol never occurs). If only one symbol has
+  // nonzero frequency it gets a 1-bit code.
+  static HuffmanCode Build(const std::vector<uint64_t>& freqs);
+
+  size_t num_symbols() const { return lengths_.size(); }
+
+  // Code length in bits for `symbol` (0 if the symbol has no code).
+  int code_length(uint32_t symbol) const { return lengths_[symbol]; }
+
+  // Total bits to encode a stream with the given per-symbol counts.
+  uint64_t TotalCost(const std::vector<uint64_t>& freqs) const;
+
+  void Encode(BitWriter* w, uint32_t symbol) const;
+
+  // Decodes one symbol; returns num_symbols() on malformed input.
+  uint32_t Decode(BitReader* r) const;
+
+  // Serializes the code lengths (canonical codes are fully determined by
+  // lengths). Inverse of Deserialize.
+  void Serialize(std::string* dst) const;
+  static Result<HuffmanCode> Deserialize(const char* data, size_t size,
+                                         size_t* consumed);
+
+  // Approximate in-memory footprint of the decoder tables, in bytes.
+  size_t MemoryUsage() const;
+
+ private:
+  void BuildTables();  // derives codes_ and decode tables from lengths_
+
+  std::vector<uint8_t> lengths_;    // per-symbol code length (0 = no code)
+  std::vector<uint64_t> codes_;     // per-symbol canonical code
+  // Canonical decode state, indexed by length 1..max_len_.
+  int max_len_ = 0;
+  std::vector<uint64_t> first_code_;   // first code of each length
+  std::vector<uint32_t> first_index_;  // index into sorted_symbols_
+  std::vector<uint32_t> count_;        // #codes of each length
+  std::vector<uint32_t> sorted_symbols_;  // symbols in (length, symbol) order
+};
+
+}  // namespace wg
+
+#endif  // WG_UTIL_HUFFMAN_H_

@@ -1,0 +1,45 @@
+#include "util/rle.h"
+
+#include "util/coding.h"
+
+namespace wg {
+
+void WriteRleBits(BitWriter* w, const std::vector<uint8_t>& bits) {
+  if (bits.empty()) return;
+  w->WriteBit(bits[0] != 0);
+  size_t run_start = 0;
+  for (size_t i = 1; i <= bits.size(); ++i) {
+    if (i == bits.size() || (bits[i] != 0) != (bits[run_start] != 0)) {
+      WriteGamma(w, i - run_start - 1);
+      run_start = i;
+    }
+  }
+}
+
+void ReadRleBits(BitReader* r, size_t count, std::vector<uint8_t>* out) {
+  if (count == 0) return;
+  uint8_t value = r->ReadBit() ? 1 : 0;
+  size_t produced = 0;
+  while (produced < count && r->ok()) {
+    size_t run = static_cast<size_t>(ReadGamma(r)) + 1;
+    if (run > count - produced) run = count - produced;  // corruption guard
+    out->insert(out->end(), run, value);
+    produced += run;
+    value ^= 1;
+  }
+}
+
+uint64_t RleBitsCost(const std::vector<uint8_t>& bits) {
+  if (bits.empty()) return 0;
+  uint64_t cost = 1;
+  size_t run_start = 0;
+  for (size_t i = 1; i <= bits.size(); ++i) {
+    if (i == bits.size() || (bits[i] != 0) != (bits[run_start] != 0)) {
+      cost += GammaCost(i - run_start - 1);
+      run_start = i;
+    }
+  }
+  return cost;
+}
+
+}  // namespace wg

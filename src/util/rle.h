@@ -1,0 +1,31 @@
+#ifndef WG_UTIL_RLE_H_
+#define WG_UTIL_RLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitstream.h"
+
+// Run-length encoding of bit vectors, used for the "copy" bit vectors of
+// reference-encoded adjacency lists (Section 3.3 of the paper mentions RLE
+// bit vectors among the easy-to-decode bit-level techniques it employs).
+//
+// Format: one literal bit (value of the first run), then gamma-coded
+// (run_length - 1) for each run, alternating values. The caller supplies the
+// total number of bits, so no terminator is needed. A degenerate empty
+// vector writes nothing.
+
+namespace wg {
+
+// Encodes `bits` (values 0/1) with RLE onto `w`.
+void WriteRleBits(BitWriter* w, const std::vector<uint8_t>& bits);
+
+// Decodes `count` bits into `out` (appended).
+void ReadRleBits(BitReader* r, size_t count, std::vector<uint8_t>* out);
+
+// Bits WriteRleBits would use.
+uint64_t RleBitsCost(const std::vector<uint8_t>& bits);
+
+}  // namespace wg
+
+#endif  // WG_UTIL_RLE_H_

@@ -1,0 +1,104 @@
+#ifndef WG_UTIL_RNG_H_
+#define WG_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+// Deterministic pseudo-random generators used by the synthetic crawl
+// generator and the experiments. All experiment pipelines are seeded, so
+// every benchmark table in EXPERIMENTS.md is exactly reproducible.
+
+namespace wg {
+
+// xoshiro256** with SplitMix64 seeding; fast and high quality, no global
+// state (Google style forbids mutable globals).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    uint64_t z = seed;
+    for (auto& si : s_) {
+      // SplitMix64 step.
+      z += 0x9e3779b97f4a7c15ULL;
+      uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      si = x ^ (x >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) {
+    WG_DCHECK(bound > 0);
+    // Rejection-free multiply-shift (Lemire); slight bias is irrelevant at
+    // our bounds and determinism matters more than exactness here.
+    __uint128_t m = static_cast<__uint128_t>(Next()) * bound;
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s_[4];
+};
+
+// Zipf(n, theta) sampler over [0, n) via precomputed CDF + binary search.
+// Used for domain sizes and host popularity, which are heavy-tailed on the
+// real Web (Broder et al., cited by the paper as [8]).
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double theta) : cdf_(n) {
+    WG_CHECK(n > 0);
+    double sum = 0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+      cdf_[i] = sum;
+    }
+    for (size_t i = 0; i < n; ++i) cdf_[i] /= sum;
+  }
+
+  size_t Sample(Rng* rng) const {
+    double u = rng->NextDouble();
+    size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace wg
+
+#endif  // WG_UTIL_RNG_H_

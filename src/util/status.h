@@ -1,0 +1,121 @@
+#ifndef WG_UTIL_STATUS_H_
+#define WG_UTIL_STATUS_H_
+
+#include <cstdlib>
+#include <cstdio>
+#include <string>
+#include <utility>
+
+// Error handling for the library follows the RocksDB/Arrow idiom: fallible
+// operations return Status (or Result<T>), exceptions are never thrown by
+// library code. CHECK-style macros are reserved for programmer errors
+// (broken invariants), not for runtime failures such as I/O errors.
+
+namespace wg {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kCorruption,
+  kOutOfRange,
+  kInternal,
+  kResourceExhausted,
+};
+
+// A Status carries an error code and a human-readable message. The OK status
+// carries no message and is cheap to copy.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T> is a Status plus a value present iff the status is OK.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {}                 // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return value_; }
+  T& value() & { return value_; }
+  T&& value() && { return std::move(value_); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace wg
+
+// Propagates a non-OK status to the caller.
+#define WG_RETURN_IF_ERROR(expr)                  \
+  do {                                            \
+    ::wg::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+// Evaluates a Result<T> expression, propagating errors, else binding `lhs`.
+#define WG_ASSIGN_OR_RETURN(lhs, rexpr)           \
+  auto WG_CONCAT_(_res_, __LINE__) = (rexpr);     \
+  if (!WG_CONCAT_(_res_, __LINE__).ok())          \
+    return WG_CONCAT_(_res_, __LINE__).status();  \
+  lhs = std::move(WG_CONCAT_(_res_, __LINE__)).value()
+
+#define WG_CONCAT_INNER_(a, b) a##b
+#define WG_CONCAT_(a, b) WG_CONCAT_INNER_(a, b)
+
+// Invariant checks: abort with a message. For programmer errors only.
+#define WG_CHECK(cond)                                                   \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "WG_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                     \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#define WG_DCHECK(cond) WG_CHECK(cond)
+
+#endif  // WG_UTIL_STATUS_H_

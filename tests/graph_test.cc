@@ -1,0 +1,284 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/generator.h"
+#include "graph/stats.h"
+#include "graph/webgraph.h"
+
+namespace wg {
+namespace {
+
+// Builds a small fixed graph:
+//   0 -> 1,2   1 -> 2   2 -> 0   3 -> (none)
+WebGraph MakeDiamond() {
+  GraphBuilder b;
+  uint32_t h0 = b.AddHost("www.a.com", "a.com");
+  uint32_t h1 = b.AddHost("www.b.org", "b.org");
+  b.AddPage("http://www.a.com/0", h0);
+  b.AddPage("http://www.a.com/1", h0);
+  b.AddPage("http://www.b.org/2", h1);
+  b.AddPage("http://www.b.org/3", h1);
+  b.AddLink(0, 1);
+  b.AddLink(0, 2);
+  b.AddLink(1, 2);
+  b.AddLink(2, 0);
+  return b.Build();
+}
+
+TEST(WebGraphTest, BasicAccessors) {
+  WebGraph g = MakeDiamond();
+  EXPECT_EQ(g.num_pages(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.out_degree(3), 0u);
+  EXPECT_EQ(g.url(2), "http://www.b.org/2");
+  EXPECT_EQ(g.domain_name(g.domain_id(0)), "a.com");
+  EXPECT_EQ(g.domain_name(g.domain_id(2)), "b.org");
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  EXPECT_FALSE(g.HasEdge(2, 1));
+}
+
+TEST(WebGraphTest, FindDomain) {
+  WebGraph g = MakeDiamond();
+  EXPECT_NE(g.FindDomain("a.com"), UINT32_MAX);
+  EXPECT_EQ(g.FindDomain("zzz.gov"), UINT32_MAX);
+}
+
+TEST(WebGraphTest, BuilderDedupsAndDropsSelfLoops) {
+  GraphBuilder b;
+  uint32_t h = b.AddHost("www.x.com", "x.com");
+  b.AddPage("http://www.x.com/0", h);
+  b.AddPage("http://www.x.com/1", h);
+  b.AddLink(0, 1);
+  b.AddLink(0, 1);
+  b.AddLink(0, 0);
+  WebGraph g = b.Build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.out_degree(0), 1u);
+}
+
+TEST(WebGraphTest, OutLinksSorted) {
+  GraphBuilder b;
+  uint32_t h = b.AddHost("www.x.com", "x.com");
+  for (int i = 0; i < 5; ++i) b.AddPage("http://www.x.com/" + std::to_string(i), h);
+  b.AddLink(0, 4);
+  b.AddLink(0, 1);
+  b.AddLink(0, 3);
+  WebGraph g = b.Build();
+  auto links = g.OutLinks(0);
+  EXPECT_TRUE(std::is_sorted(links.begin(), links.end()));
+}
+
+TEST(WebGraphTest, InDegrees) {
+  WebGraph g = MakeDiamond();
+  auto in = g.InDegrees();
+  EXPECT_EQ(in[0], 1u);
+  EXPECT_EQ(in[1], 1u);
+  EXPECT_EQ(in[2], 2u);
+  EXPECT_EQ(in[3], 0u);
+}
+
+TEST(WebGraphTest, TransposeReversesEveryEdge) {
+  WebGraph g = MakeDiamond();
+  WebGraph t = g.Transpose();
+  EXPECT_EQ(t.num_edges(), g.num_edges());
+  for (PageId p = 0; p < g.num_pages(); ++p) {
+    for (PageId q : g.OutLinks(p)) {
+      EXPECT_TRUE(t.HasEdge(q, p)) << p << "->" << q;
+    }
+  }
+  // Metadata preserved.
+  EXPECT_EQ(t.url(2), g.url(2));
+}
+
+TEST(WebGraphTest, TransposeOfTransposeIsIdentity) {
+  GeneratorOptions opts;
+  opts.num_pages = 500;
+  WebGraph g = GenerateWebGraph(opts);
+  WebGraph tt = g.Transpose().Transpose();
+  ASSERT_EQ(tt.num_pages(), g.num_pages());
+  for (PageId p = 0; p < g.num_pages(); ++p) {
+    auto a = g.OutLinks(p);
+    auto b = tt.OutLinks(p);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end())) << p;
+  }
+}
+
+TEST(WebGraphTest, RenumberPreservesStructure) {
+  WebGraph g = MakeDiamond();
+  // Reverse numbering.
+  std::vector<PageId> perm = {3, 2, 1, 0};
+  WebGraph r = g.Renumber(perm);
+  EXPECT_EQ(r.num_edges(), g.num_edges());
+  for (PageId p = 0; p < g.num_pages(); ++p) {
+    for (PageId q : g.OutLinks(p)) {
+      EXPECT_TRUE(r.HasEdge(perm[p], perm[q]));
+    }
+    EXPECT_EQ(r.url(perm[p]), g.url(p));
+    EXPECT_EQ(r.host_id(perm[p]), g.host_id(p));
+  }
+}
+
+TEST(WebGraphTest, InducedPrefixKeepsOnlyPrefixEdges) {
+  WebGraph g = MakeDiamond();
+  WebGraph p2 = g.InducedPrefix(2);
+  EXPECT_EQ(p2.num_pages(), 2u);
+  EXPECT_EQ(p2.num_edges(), 1u);  // only 0 -> 1 survives
+  EXPECT_TRUE(p2.HasEdge(0, 1));
+}
+
+// ---------- Generator ----------
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  GeneratorOptions opts;
+  opts.num_pages = 1000;
+  WebGraph a = GenerateWebGraph(opts);
+  WebGraph b = GenerateWebGraph(opts);
+  ASSERT_EQ(a.num_pages(), b.num_pages());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (PageId p = 0; p < a.num_pages(); ++p) {
+    EXPECT_EQ(a.url(p), b.url(p));
+    auto la = a.OutLinks(p);
+    auto lb = b.OutLinks(p);
+    ASSERT_TRUE(std::equal(la.begin(), la.end(), lb.begin(), lb.end()));
+  }
+}
+
+TEST(GeneratorTest, LinksPointBackwardInCrawlOrder) {
+  GeneratorOptions opts;
+  opts.num_pages = 2000;
+  WebGraph g = GenerateWebGraph(opts);
+  for (PageId p = 0; p < g.num_pages(); ++p) {
+    for (PageId q : g.OutLinks(p)) EXPECT_LT(q, p);
+  }
+}
+
+TEST(GeneratorTest, MeanOutDegreeNearTarget) {
+  GeneratorOptions opts;
+  opts.num_pages = 20000;
+  WebGraph g = GenerateWebGraph(opts);
+  // Dedup and early pages lower the mean; accept a generous band around 14.
+  EXPECT_GT(g.average_out_degree(), 8.0);
+  EXPECT_LT(g.average_out_degree(), 20.0);
+}
+
+TEST(GeneratorTest, ExhibitsPaperObservations) {
+  GeneratorOptions opts;
+  opts.num_pages = 20000;
+  WebGraph g = GenerateWebGraph(opts);
+  GraphStats s = ComputeStats(g);
+  // Observation 2: domain/URL locality (paper quotes ~75% intra-host).
+  EXPECT_GT(s.intra_host_fraction, 0.5) << s.ToString();
+  // Observation 1/3: link copying => similar adjacency lists nearby.
+  EXPECT_GT(s.mean_best_jaccard, 0.15) << s.ToString();
+  // Power-law-ish in-degrees: top 1% of pages get a large in-link share.
+  EXPECT_GT(s.top1pct_inlink_share, 0.10) << s.ToString();
+}
+
+TEST(GeneratorTest, WellKnownDomainsExistAndArePopulated) {
+  GeneratorOptions opts;
+  opts.num_pages = 20000;
+  WebGraph g = GenerateWebGraph(opts);
+  for (const char* name : {"stanford.edu", "berkeley.edu", "mit.edu",
+                           "caltech.edu", "dilbert.com"}) {
+    uint32_t d = g.FindDomain(name);
+    ASSERT_NE(d, UINT32_MAX) << name;
+  }
+  // stanford.edu is rank 0 in the Zipf, so it should own many pages.
+  uint32_t stanford = g.FindDomain("stanford.edu");
+  size_t count = 0;
+  for (PageId p = 0; p < g.num_pages(); ++p) {
+    if (g.domain_id(p) == stanford) ++count;
+  }
+  EXPECT_GT(count, g.num_pages() / 100);
+}
+
+TEST(GeneratorTest, UrlsAreWellFormedAndUnique) {
+  GeneratorOptions opts;
+  opts.num_pages = 5000;
+  WebGraph g = GenerateWebGraph(opts);
+  std::set<std::string> seen;
+  for (PageId p = 0; p < g.num_pages(); ++p) {
+    const std::string& u = g.url(p);
+    EXPECT_EQ(u.rfind("http://", 0), 0u) << u;
+    EXPECT_NE(u.find(".html"), std::string::npos) << u;
+    EXPECT_TRUE(seen.insert(u).second) << "duplicate URL " << u;
+    // URL host part matches the page's host name.
+    const std::string& host = g.host_name(g.host_id(p));
+    EXPECT_EQ(u.compare(7, host.size(), host), 0) << u << " vs " << host;
+  }
+}
+
+TEST(GeneratorTest, PrefixSubsetIsSelfContained) {
+  GeneratorOptions opts;
+  opts.num_pages = 3000;
+  WebGraph g = GenerateWebGraph(opts);
+  WebGraph half = g.InducedPrefix(1500);
+  // Since links always point backward, the prefix keeps every edge of its
+  // pages.
+  uint64_t expected = 0;
+  for (PageId p = 0; p < 1500; ++p) expected += g.out_degree(p);
+  EXPECT_EQ(half.num_edges(), expected);
+}
+
+// ---------- Algorithms ----------
+
+TEST(SccTest, DiamondComponents) {
+  WebGraph g = MakeDiamond();
+  SccResult scc = ComputeScc(g);
+  // {0,2} strongly connected? 0->2, 2->0: yes. 1: 0->1->2->0 so 1 in cycle
+  // too: 0->1, 1->2, 2->0 forms a cycle containing all three.
+  EXPECT_EQ(scc.component_of[0], scc.component_of[1]);
+  EXPECT_EQ(scc.component_of[1], scc.component_of[2]);
+  EXPECT_NE(scc.component_of[3], scc.component_of[0]);
+  EXPECT_EQ(scc.num_components, 2u);
+  EXPECT_EQ(scc.largest_component_size, 3u);
+}
+
+TEST(SccTest, AcyclicGraphAllSingletons) {
+  GraphBuilder b;
+  uint32_t h = b.AddHost("www.x.com", "x.com");
+  for (int i = 0; i < 6; ++i) b.AddPage("http://www.x.com/" + std::to_string(i), h);
+  for (int i = 1; i < 6; ++i) b.AddLink(i, i - 1);
+  WebGraph g = b.Build();
+  SccResult scc = ComputeScc(g);
+  EXPECT_EQ(scc.num_components, 6u);
+  EXPECT_EQ(scc.largest_component_size, 1u);
+}
+
+TEST(SccTest, DeepChainDoesNotOverflowStack) {
+  GraphBuilder b;
+  uint32_t h = b.AddHost("www.x.com", "x.com");
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) b.AddPage("u" + std::to_string(i), h);
+  for (int i = 1; i < kN; ++i) b.AddLink(i, i - 1);
+  b.AddLink(0, kN - 1);  // close the loop: one giant SCC
+  WebGraph g = b.Build();
+  SccResult scc = ComputeScc(g);
+  EXPECT_EQ(scc.num_components, 1u);
+  EXPECT_EQ(scc.largest_component_size, static_cast<size_t>(kN));
+}
+
+TEST(BfsTest, Distances) {
+  WebGraph g = MakeDiamond();
+  auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], 1u);
+  EXPECT_EQ(dist[3], UINT32_MAX);
+}
+
+TEST(BfsTest, DiameterOfChain) {
+  GraphBuilder b;
+  uint32_t h = b.AddHost("www.x.com", "x.com");
+  for (int i = 0; i < 10; ++i) b.AddPage("u" + std::to_string(i), h);
+  for (int i = 0; i < 9; ++i) b.AddLink(i, i + 1);
+  WebGraph g = b.Build();
+  EXPECT_EQ(EstimateDiameter(g, g.num_pages(), 1), 9u);
+}
+
+}  // namespace
+}  // namespace wg

@@ -1,0 +1,134 @@
+// Unit tests for the navigation primitives (query/ops.h) against a small
+// hand-built graph, independent of the six benchmark queries.
+
+#include <gtest/gtest.h>
+
+#include "query/ops.h"
+#include "repr/huffman_repr.h"
+
+namespace wg {
+namespace {
+
+// 0 -> {1,2}, 1 -> {2,3}, 2 -> {}, 3 -> {0}, 4 -> {}.
+WebGraph SmallGraph() {
+  GraphBuilder b;
+  uint32_t h = b.AddHost("www.x.com", "x.com");
+  for (int i = 0; i < 5; ++i) {
+    b.AddPage("http://www.x.com/p" + std::to_string(i), h);
+  }
+  b.AddLink(0, 1);
+  b.AddLink(0, 2);
+  b.AddLink(1, 2);
+  b.AddLink(1, 3);
+  b.AddLink(3, 0);
+  return b.Build();
+}
+
+TEST(SetOpsTest, UnionIntersectDifference) {
+  std::vector<PageId> a = {1, 3, 5, 7};
+  std::vector<PageId> b = {3, 4, 7, 9};
+  EXPECT_EQ(SetUnion(a, b), (std::vector<PageId>{1, 3, 4, 5, 7, 9}));
+  EXPECT_EQ(SetIntersect(a, b), (std::vector<PageId>{3, 7}));
+  EXPECT_EQ(SetDifference(a, b), (std::vector<PageId>{1, 5}));
+  EXPECT_EQ(SetDifference(b, a), (std::vector<PageId>{4, 9}));
+}
+
+TEST(SetOpsTest, EmptyOperands) {
+  std::vector<PageId> a = {1, 2};
+  std::vector<PageId> empty;
+  EXPECT_EQ(SetUnion(a, empty), a);
+  EXPECT_TRUE(SetIntersect(a, empty).empty());
+  EXPECT_EQ(SetDifference(a, empty), a);
+  EXPECT_TRUE(SetDifference(empty, a).empty());
+}
+
+TEST(NeighborhoodTest, UnionOfOutLinks) {
+  WebGraph g = SmallGraph();
+  auto repr = HuffmanRepr::Build(g);
+  NavClock clock;
+  std::vector<PageId> out;
+  ASSERT_TRUE(Neighborhood(repr.get(), {0, 1}, &clock, &out).ok());
+  EXPECT_EQ(out, (std::vector<PageId>{1, 2, 3}));
+  EXPECT_GE(clock.seconds(), 0.0);
+}
+
+TEST(NeighborhoodTest, EmptySetGivesEmptyNeighborhood) {
+  WebGraph g = SmallGraph();
+  auto repr = HuffmanRepr::Build(g);
+  NavClock clock;
+  std::vector<PageId> out;
+  ASSERT_TRUE(Neighborhood(repr.get(), {}, &clock, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(CountLinksTest, CountsCrossSetLinks) {
+  WebGraph g = SmallGraph();
+  auto repr = HuffmanRepr::Build(g);
+  NavClock clock;
+  uint64_t count = 0;
+  // Links from {0,1} into {2}: 0->2 and 1->2.
+  ASSERT_TRUE(
+      CountLinksBetween(repr.get(), {0, 1}, {2}, &clock, &count).ok());
+  EXPECT_EQ(count, 2u);
+  // Links from {2,4} anywhere in {0,1,2,3}: none.
+  ASSERT_TRUE(
+      CountLinksBetween(repr.get(), {2, 4}, {0, 1, 2, 3}, &clock, &count)
+          .ok());
+  EXPECT_EQ(count, 0u);
+}
+
+TEST(InLinkCountsTest, CountsRestrictedBacklinks) {
+  WebGraph g = SmallGraph();
+  WebGraph t = g.Transpose();
+  auto backward = HuffmanRepr::Build(t);
+  NavClock clock;
+  std::vector<uint64_t> counts;
+  // In-links of {2, 0} from sources {0, 1}: page 2 <- {0,1} (2), page 0 <-
+  // none of {0,1} (3->0 is outside the source set).
+  ASSERT_TRUE(
+      InLinkCounts(backward.get(), {0, 2}, {0, 1}, &clock, &counts).ok());
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 0u);  // aligned with target 0
+  EXPECT_EQ(counts[1], 2u);  // aligned with target 2
+}
+
+TEST(VisitAdjacencyTest, VisitsEachSourceExactlyOnce) {
+  WebGraph g = SmallGraph();
+  auto repr = HuffmanRepr::Build(g);
+  NavClock clock;
+  std::vector<PageId> visited;
+  ASSERT_TRUE(VisitAdjacency(repr.get(), {3, 0, 4}, &clock,
+                             [&](PageId p, const std::vector<PageId>&) {
+                               visited.push_back(p);
+                             })
+                  .ok());
+  std::sort(visited.begin(), visited.end());
+  EXPECT_EQ(visited, (std::vector<PageId>{0, 3, 4}));
+}
+
+TEST(VisitLinksBetweenTest, CallbackGetsOnlyFilteredLinks) {
+  WebGraph g = SmallGraph();
+  auto repr = HuffmanRepr::Build(g);
+  NavClock clock;
+  std::map<PageId, std::vector<PageId>> got;
+  ASSERT_TRUE(VisitLinksBetween(repr.get(), {0, 1}, {2, 3}, &clock,
+                                [&](PageId p,
+                                    const std::vector<PageId>& links) {
+                                  got[p] = links;
+                                })
+                  .ok());
+  EXPECT_EQ(got[0], (std::vector<PageId>{2}));
+  EXPECT_EQ(got[1], (std::vector<PageId>{2, 3}));
+}
+
+TEST(NavClockTest, AccumulatesAndResets) {
+  NavClock clock;
+  clock.Add(0.5);
+  clock.Add(0.25);
+  EXPECT_DOUBLE_EQ(clock.seconds(), 0.75);
+  clock.Reset();
+  EXPECT_DOUBLE_EQ(clock.seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace wg

@@ -1,0 +1,250 @@
+#include <algorithm>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "graph/generator.h"
+#include "query/queries.h"
+#include "repr/huffman_repr.h"
+#include "repr/link3_repr.h"
+#include "repr/relational_repr.h"
+#include "repr/uncompressed_repr.h"
+#include "snode/snode_repr.h"
+#include "storage/file.h"
+#include "text/corpus.h"
+#include "text/inverted_index.h"
+#include "text/pagerank.h"
+
+namespace wg {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  static int counter = 0;
+  std::string dir = testing::TempDir() + "wg_query_" + std::to_string(getpid());
+  WG_CHECK(EnsureDirectory(dir).ok());
+  return dir + "/" + name + std::to_string(counter++);
+}
+
+// Shared workload: one graph + corpus + indexes, representations on demand.
+class QueryEnv {
+ public:
+  static QueryEnv& Get() {
+    static QueryEnv* env = new QueryEnv();
+    return *env;
+  }
+
+  QueryContext ContextFor(GraphRepresentation* fwd,
+                          GraphRepresentation* bwd) const {
+    QueryContext ctx;
+    ctx.forward = fwd;
+    ctx.backward = bwd;
+    ctx.graph = &graph;
+    ctx.corpus = &corpus;
+    ctx.index = &index;
+    ctx.pagerank = &pagerank;
+    return ctx;
+  }
+
+  WebGraph graph;
+  WebGraph transpose;
+  Corpus corpus;
+  InvertedIndex index;
+  std::vector<double> pagerank;
+
+  std::unique_ptr<HuffmanRepr> huffman_fwd, huffman_bwd;
+  std::unique_ptr<SNodeRepr> snode_fwd, snode_bwd;
+  std::unique_ptr<Link3Repr> link3_fwd, link3_bwd;
+  std::unique_ptr<RelationalRepr> rel_fwd, rel_bwd;
+  std::unique_ptr<UncompressedFileRepr> file_fwd, file_bwd;
+
+ private:
+  QueryEnv() {
+    GeneratorOptions gopts;
+    gopts.num_pages = 12000;
+    gopts.seed = 29;
+    graph = GenerateWebGraph(gopts);
+    transpose = graph.Transpose();
+    corpus = Corpus::Generate(graph, CorpusOptions());
+    index = InvertedIndex::Build(corpus);
+    pagerank = ComputePageRank(graph);
+
+    huffman_fwd = HuffmanRepr::Build(graph);
+    huffman_bwd = HuffmanRepr::Build(transpose);
+    auto sf = SNodeRepr::Build(graph, TempPath("sn_f"), {});
+    auto sb = SNodeRepr::Build(transpose, TempPath("sn_b"), {});
+    WG_CHECK(sf.ok() && sb.ok());
+    snode_fwd = std::move(sf).value();
+    snode_bwd = std::move(sb).value();
+    auto lf = Link3Repr::Build(graph, TempPath("l3_f"), {});
+    auto lb = Link3Repr::Build(transpose, TempPath("l3_b"), {});
+    WG_CHECK(lf.ok() && lb.ok());
+    link3_fwd = std::move(lf).value();
+    link3_bwd = std::move(lb).value();
+    auto rf = RelationalRepr::Build(graph, TempPath("rel_f"), {});
+    auto rb = RelationalRepr::Build(transpose, TempPath("rel_b"), {});
+    WG_CHECK(rf.ok() && rb.ok());
+    rel_fwd = std::move(rf).value();
+    rel_bwd = std::move(rb).value();
+    auto ff = UncompressedFileRepr::Build(graph, TempPath("unc_f"), {});
+    auto fb = UncompressedFileRepr::Build(transpose, TempPath("unc_b"), {});
+    WG_CHECK(ff.ok() && fb.ok());
+    file_fwd = std::move(ff).value();
+    file_bwd = std::move(fb).value();
+  }
+};
+
+// ---------- Per-query sanity on the reference (Huffman) representation ----
+
+TEST(QueryTest, Query1RanksEduDomains) {
+  auto& env = QueryEnv::Get();
+  auto ctx = env.ContextFor(env.huffman_fwd.get(), env.huffman_bwd.get());
+  auto result = RunQuery1(ctx);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result.value().ranked.empty());
+  for (const auto& [domain, weight] : result.value().ranked) {
+    EXPECT_NE(domain, "stanford.edu");
+    EXPECT_TRUE(domain.size() > 4 &&
+                domain.compare(domain.size() - 4, 4, ".edu") == 0)
+        << domain;
+    EXPECT_GE(weight, 0.0);
+  }
+  // Descending order.
+  for (size_t i = 1; i < result.value().ranked.size(); ++i) {
+    EXPECT_GE(result.value().ranked[i - 1].second,
+              result.value().ranked[i].second);
+  }
+}
+
+TEST(QueryTest, Query2ScoresAllThreeComics) {
+  auto& env = QueryEnv::Get();
+  auto ctx = env.ContextFor(env.huffman_fwd.get(), env.huffman_bwd.get());
+  auto result = RunQuery2(ctx);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().ranked.size(), 3u);
+  double total = 0;
+  for (const auto& [name, score] : result.value().ranked) total += score;
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(QueryTest, Query3BaseSetContainsRootAndNeighbors) {
+  auto& env = QueryEnv::Get();
+  auto ctx = env.ContextFor(env.huffman_fwd.get(), env.huffman_bwd.get());
+  auto result = RunQuery3(ctx);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result.value().ranked.empty());
+  EXPECT_EQ(result.value().ranked[0].first, "base-set-size");
+  // Base set must be at least as large as the root set.
+  size_t root = env.index.Lookup(env.corpus, "internet censorship").size();
+  EXPECT_GE(result.value().ranked[0].second,
+            static_cast<double>(std::min<size_t>(root, 100)));
+}
+
+TEST(QueryTest, Query4ReturnsPerUniversityRankings) {
+  auto& env = QueryEnv::Get();
+  auto ctx = env.ContextFor(env.huffman_fwd.get(), env.huffman_bwd.get());
+  auto result = RunQuery4(ctx);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().ranked.empty());
+  EXPECT_LE(result.value().ranked.size(), 40u);  // <= 10 per university
+}
+
+TEST(QueryTest, Query5ReturnsOnlyEduPages) {
+  auto& env = QueryEnv::Get();
+  auto ctx = env.ContextFor(env.huffman_fwd.get(), env.huffman_bwd.get());
+  auto result = RunQuery5(ctx);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result.value().ranked.size(), 10u);
+  for (const auto& [url, score] : result.value().ranked) {
+    EXPECT_NE(url.find(".edu"), std::string::npos) << url;
+  }
+}
+
+TEST(QueryTest, Query6ExcludesBothSourceDomains) {
+  auto& env = QueryEnv::Get();
+  auto ctx = env.ContextFor(env.huffman_fwd.get(), env.huffman_bwd.get());
+  auto result = RunQuery6(ctx);
+  ASSERT_TRUE(result.ok());
+  for (const auto& [url, score] : result.value().ranked) {
+    EXPECT_EQ(url.find("stanford.edu"), std::string::npos) << url;
+    EXPECT_EQ(url.find("berkeley.edu"), std::string::npos) << url;
+  }
+}
+
+TEST(QueryTest, InvalidQueryNumberRejected) {
+  auto& env = QueryEnv::Get();
+  auto ctx = env.ContextFor(env.huffman_fwd.get(), env.huffman_bwd.get());
+  EXPECT_FALSE(RunQuery(0, ctx).ok());
+  EXPECT_FALSE(RunQuery(7, ctx).ok());
+}
+
+// ---------- The key integration property: every representation gives the
+// ---------- same answers.
+
+TEST(QueryEquivalenceTest, AllRepresentationsAgreeOnAllQueries) {
+  auto& env = QueryEnv::Get();
+  struct Pair {
+    const char* name;
+    GraphRepresentation* fwd;
+    GraphRepresentation* bwd;
+  };
+  std::vector<Pair> pairs = {
+      {"huffman", env.huffman_fwd.get(), env.huffman_bwd.get()},
+      {"s-node", env.snode_fwd.get(), env.snode_bwd.get()},
+      {"link3", env.link3_fwd.get(), env.link3_bwd.get()},
+      {"relational", env.rel_fwd.get(), env.rel_bwd.get()},
+      {"uncompressed", env.file_fwd.get(), env.file_bwd.get()},
+  };
+  for (int q = 1; q <= kNumQueries; ++q) {
+    std::vector<std::pair<std::string, double>> reference;
+    for (const Pair& pair : pairs) {
+      auto ctx = env.ContextFor(pair.fwd, pair.bwd);
+      auto result = RunQuery(q, ctx);
+      ASSERT_TRUE(result.ok()) << pair.name << " query " << q;
+      if (reference.empty()) {
+        reference = result.value().ranked;
+        ASSERT_FALSE(reference.empty()) << "query " << q;
+      } else {
+        ASSERT_EQ(result.value().ranked.size(), reference.size())
+            << pair.name << " query " << q;
+        for (size_t i = 0; i < reference.size(); ++i) {
+          EXPECT_EQ(result.value().ranked[i].first, reference[i].first)
+              << pair.name << " query " << q << " row " << i;
+          EXPECT_NEAR(result.value().ranked[i].second, reference[i].second,
+                      1e-9)
+              << pair.name << " query " << q << " row " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(QueryTest, NavigationTimeIsMeasured) {
+  auto& env = QueryEnv::Get();
+  auto ctx = env.ContextFor(env.huffman_fwd.get(), env.huffman_bwd.get());
+  auto result = RunQuery1(ctx);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result.value().navigation_seconds, 0.0);
+  EXPECT_LT(result.value().navigation_seconds, 60.0);
+}
+
+TEST(QueryTest, SNodeTouchesFewGraphsForFocusedQuery) {
+  // The paper's Requirement 2: a focused query's pages/links live in a
+  // small number of intranode + superedge graphs (e.g. 8 + 32 for Query 1).
+  auto& env = QueryEnv::Get();
+  SNodeBuildOptions opts;
+  opts.record_load_log = true;
+  auto fwd = SNodeRepr::Build(env.graph, TempPath("sn_log"), opts);
+  ASSERT_TRUE(fwd.ok());
+  auto ctx = env.ContextFor(fwd.value().get(), env.snode_bwd.get());
+  auto result = RunQuery1(ctx);
+  ASSERT_TRUE(result.ok());
+  size_t total_graphs = fwd.value()->supernode_graph().num_supernodes() +
+                        fwd.value()->supernode_graph().num_superedges();
+  size_t touched = fwd.value()->DistinctGraphsLoaded();
+  EXPECT_GT(touched, 0u);
+  EXPECT_LT(touched, total_graphs / 2) << "focused query touched most of "
+                                          "the store";
+}
+
+}  // namespace
+}  // namespace wg

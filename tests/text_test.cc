@@ -1,0 +1,207 @@
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/generator.h"
+#include "text/corpus.h"
+#include "text/inverted_index.h"
+#include "text/pagerank.h"
+
+namespace wg {
+namespace {
+
+const WebGraph& TestGraph() {
+  static WebGraph* graph = [] {
+    GeneratorOptions opts;
+    opts.num_pages = 8000;
+    opts.seed = 3;
+    return new WebGraph(GenerateWebGraph(opts));
+  }();
+  return *graph;
+}
+
+const Corpus& TestCorpus() {
+  static Corpus* corpus =
+      new Corpus(Corpus::Generate(TestGraph(), CorpusOptions()));
+  return *corpus;
+}
+
+// ---------- Corpus ----------
+
+TEST(CorpusTest, EveryPageHasTerms) {
+  const Corpus& corpus = TestCorpus();
+  ASSERT_EQ(corpus.num_pages(), TestGraph().num_pages());
+  for (PageId p = 0; p < corpus.num_pages(); ++p) {
+    ASSERT_FALSE(corpus.terms(p).empty()) << p;
+    ASSERT_TRUE(std::is_sorted(corpus.terms(p).begin(),
+                               corpus.terms(p).end()));
+  }
+}
+
+TEST(CorpusTest, QueryPhrasesInVocabulary) {
+  const Corpus& corpus = TestCorpus();
+  for (const auto& sp : Corpus::QueryPhrases()) {
+    EXPECT_NE(corpus.TermId(sp.phrase), UINT32_MAX) << sp.phrase;
+  }
+  EXPECT_EQ(corpus.TermId("not a real term"), UINT32_MAX);
+}
+
+TEST(CorpusTest, PhrasesConcentrateInHomeDomains) {
+  const Corpus& corpus = TestCorpus();
+  const WebGraph& graph = TestGraph();
+  uint32_t term = corpus.TermId("mobile networking");
+  uint32_t stanford = graph.FindDomain("stanford.edu");
+  size_t in_home = 0, elsewhere = 0, home_pages = 0, other_pages = 0;
+  for (PageId p = 0; p < corpus.num_pages(); ++p) {
+    bool home = graph.domain_id(p) == stanford;
+    (home ? home_pages : other_pages) += 1;
+    if (corpus.PageHasTerm(p, term)) (home ? in_home : elsewhere) += 1;
+  }
+  ASSERT_GT(in_home, 0u);
+  // Rate in home domain should be much higher than background.
+  double home_rate = static_cast<double>(in_home) / home_pages;
+  double bg_rate = static_cast<double>(elsewhere) / other_pages;
+  EXPECT_GT(home_rate, 5 * bg_rate);
+}
+
+TEST(CorpusTest, DeterministicForSeed) {
+  Corpus a = Corpus::Generate(TestGraph(), CorpusOptions());
+  Corpus b = Corpus::Generate(TestGraph(), CorpusOptions());
+  for (PageId p = 0; p < a.num_pages(); p += 97) {
+    ASSERT_EQ(a.terms(p), b.terms(p));
+  }
+}
+
+// ---------- Inverted index ----------
+
+TEST(InvertedIndexTest, PostingsMatchCorpus) {
+  const Corpus& corpus = TestCorpus();
+  InvertedIndex index = InvertedIndex::Build(corpus);
+  // Spot-check several terms: postings = exactly the pages holding them.
+  for (uint32_t term = 0; term < corpus.vocab_size(); term += 131) {
+    const auto& postings = index.Postings(term);
+    ASSERT_TRUE(std::is_sorted(postings.begin(), postings.end()));
+    for (PageId p : postings) {
+      ASSERT_TRUE(corpus.PageHasTerm(p, term));
+    }
+    size_t expected = 0;
+    for (PageId p = 0; p < corpus.num_pages(); ++p) {
+      if (corpus.PageHasTerm(p, term)) ++expected;
+    }
+    ASSERT_EQ(postings.size(), expected) << term;
+  }
+}
+
+TEST(InvertedIndexTest, LookupByPhrase) {
+  const Corpus& corpus = TestCorpus();
+  InvertedIndex index = InvertedIndex::Build(corpus);
+  auto pages = index.Lookup(corpus, "internet censorship");
+  EXPECT_FALSE(pages.empty());
+  EXPECT_TRUE(index.Lookup(corpus, "zzz unknown zzz").empty());
+}
+
+TEST(InvertedIndexTest, LookupAtLeastRequiresMinMatch) {
+  const Corpus& corpus = TestCorpus();
+  InvertedIndex index = InvertedIndex::Build(corpus);
+  std::vector<std::string> words = {"dilbert", "dogbert", "the boss"};
+  auto at_least_1 = index.LookupAtLeast(corpus, words, 1);
+  auto at_least_2 = index.LookupAtLeast(corpus, words, 2);
+  auto at_least_3 = index.LookupAtLeast(corpus, words, 3);
+  EXPECT_GE(at_least_1.size(), at_least_2.size());
+  EXPECT_GE(at_least_2.size(), at_least_3.size());
+  for (PageId p : at_least_2) {
+    int matches = 0;
+    for (const auto& w : words) {
+      if (corpus.PageHasTerm(p, corpus.TermId(w))) ++matches;
+    }
+    ASSERT_GE(matches, 2) << p;
+  }
+}
+
+// ---------- PageRank ----------
+
+TEST(PageRankTest, SumsToOne) {
+  auto ranks = ComputePageRank(TestGraph());
+  double sum = 0;
+  for (double r : ranks) sum += r;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(PageRankTest, AllPositive) {
+  auto ranks = ComputePageRank(TestGraph());
+  for (double r : ranks) EXPECT_GT(r, 0.0);
+}
+
+TEST(PageRankTest, StarCenterDominates) {
+  GraphBuilder b;
+  uint32_t h = b.AddHost("www.x.com", "x.com");
+  for (int i = 0; i < 11; ++i) b.AddPage("u" + std::to_string(i), h);
+  for (int i = 1; i < 11; ++i) b.AddLink(i, 0);
+  WebGraph g = b.Build();
+  auto ranks = ComputePageRank(g);
+  for (int i = 1; i < 11; ++i) EXPECT_GT(ranks[0], ranks[i]);
+}
+
+TEST(PageRankTest, UniformOnSymmetricCycle) {
+  GraphBuilder b;
+  uint32_t h = b.AddHost("www.x.com", "x.com");
+  constexpr int kN = 8;
+  for (int i = 0; i < kN; ++i) b.AddPage("u" + std::to_string(i), h);
+  for (int i = 0; i < kN; ++i) b.AddLink(i, (i + 1) % kN);
+  auto ranks = ComputePageRank(b.Build());
+  for (int i = 0; i < kN; ++i) EXPECT_NEAR(ranks[i], 1.0 / kN, 1e-9);
+}
+
+TEST(PageRankTest, HandlesDanglingPages) {
+  GraphBuilder b;
+  uint32_t h = b.AddHost("www.x.com", "x.com");
+  b.AddPage("u0", h);
+  b.AddPage("u1", h);
+  b.AddLink(0, 1);  // page 1 dangles
+  auto ranks = ComputePageRank(b.Build());
+  EXPECT_NEAR(ranks[0] + ranks[1], 1.0, 1e-9);
+  EXPECT_GT(ranks[1], ranks[0]);
+}
+
+// ---------- HITS ----------
+
+TEST(HitsTest, HubAndAuthoritySeparateOnBipartiteStructure) {
+  // Hubs 0..2 point to authorities 3..5.
+  GraphBuilder b;
+  uint32_t h = b.AddHost("www.x.com", "x.com");
+  for (int i = 0; i < 6; ++i) b.AddPage("u" + std::to_string(i), h);
+  for (int hub = 0; hub < 3; ++hub) {
+    for (int auth = 3; auth < 6; ++auth) b.AddLink(hub, auth);
+  }
+  WebGraph g = b.Build();
+  std::vector<PageId> subset = {0, 1, 2, 3, 4, 5};
+  HitsScores scores = ComputeHits(g, subset);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_GT(scores.hub[i], scores.hub[i + 3]);
+    EXPECT_GT(scores.authority[i + 3], scores.authority[i]);
+  }
+}
+
+TEST(HitsTest, ScoresAreUnitNorm) {
+  GeneratorOptions opts;
+  opts.num_pages = 500;
+  WebGraph g = GenerateWebGraph(opts);
+  std::vector<PageId> subset;
+  for (PageId p = 0; p < 200; ++p) subset.push_back(p);
+  HitsScores scores = ComputeHits(g, subset);
+  double hub_norm = 0, auth_norm = 0;
+  for (double v : scores.hub) hub_norm += v * v;
+  for (double v : scores.authority) auth_norm += v * v;
+  EXPECT_NEAR(hub_norm, 1.0, 1e-6);
+  EXPECT_NEAR(auth_norm, 1.0, 1e-6);
+}
+
+TEST(HitsTest, EmptySubset) {
+  HitsScores scores = ComputeHits(TestGraph(), {});
+  EXPECT_TRUE(scores.hub.empty());
+  EXPECT_TRUE(scores.authority.empty());
+}
+
+}  // namespace
+}  // namespace wg

@@ -1,0 +1,203 @@
+// wgtool — command-line front end for the library.
+//
+//   wgtool generate --pages N [--seed S] --out crawl.wg
+//       Generate a synthetic crawl and save it.
+//   wgtool stats crawl.wg
+//       Print structural statistics of a saved crawl.
+//   wgtool build crawl.wg --store BASE
+//       Build an S-Node representation at BASE.{000,001,...} + BASE.meta.
+//   wgtool info BASE
+//       Print the resident structure of a persisted S-Node representation.
+//   wgtool links BASE PAGE [crawl.wg]
+//       Print the out-links of PAGE from the persisted representation
+//       (with URLs if the crawl file is given).
+//   wgtool compare crawl.wg
+//       Build all representation schemes and print bits/edge side by side.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "graph/generator.h"
+#include "graph/graph_io.h"
+#include "graph/stats.h"
+#include "repr/huffman_repr.h"
+#include "repr/link3_repr.h"
+#include "repr/relational_repr.h"
+#include "repr/uncompressed_repr.h"
+#include "snode/snode_repr.h"
+#include "storage/file.h"
+
+namespace wg {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  wgtool generate --pages N [--seed S] --out crawl.wg\n"
+      "  wgtool stats crawl.wg\n"
+      "  wgtool build crawl.wg --store BASE\n"
+      "  wgtool info BASE\n"
+      "  wgtool links BASE PAGE [crawl.wg]\n"
+      "  wgtool compare crawl.wg\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+// Returns the value following `flag`, or nullptr.
+const char* FlagValue(int argc, char** argv, const char* flag) {
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+int CmdGenerate(int argc, char** argv) {
+  const char* pages = FlagValue(argc, argv, "--pages");
+  const char* out = FlagValue(argc, argv, "--out");
+  const char* seed = FlagValue(argc, argv, "--seed");
+  if (pages == nullptr || out == nullptr) return Usage();
+  GeneratorOptions options;
+  options.num_pages = std::strtoul(pages, nullptr, 10);
+  if (seed != nullptr) options.seed = std::strtoull(seed, nullptr, 10);
+  WebGraph graph = GenerateWebGraph(options);
+  Status status = SaveWebGraph(graph, out);
+  if (!status.ok()) return Fail(status);
+  std::printf("wrote %s: %zu pages, %llu links\n", out, graph.num_pages(),
+              static_cast<unsigned long long>(graph.num_edges()));
+  return 0;
+}
+
+int CmdStats(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto graph = LoadWebGraph(argv[2]);
+  if (!graph.ok()) return Fail(graph.status());
+  std::printf("%s\n", ComputeStats(graph.value()).ToString().c_str());
+  std::printf("hosts=%zu domains=%zu memory=%.1f MB\n",
+              graph.value().num_hosts(), graph.value().num_domains(),
+              graph.value().MemoryUsage() / (1024.0 * 1024.0));
+  return 0;
+}
+
+int CmdBuild(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const char* store = FlagValue(argc, argv, "--store");
+  if (store == nullptr) return Usage();
+  auto graph = LoadWebGraph(argv[2]);
+  if (!graph.ok()) return Fail(graph.status());
+  RefinementStats stats;
+  auto repr = SNodeRepr::Build(graph.value(), store, {}, &stats);
+  if (!repr.ok()) return Fail(repr.status());
+  Status saved = repr.value()->SaveMeta();
+  if (!saved.ok()) return Fail(saved);
+  std::printf("refinement: %s\n", stats.ToString().c_str());
+  std::printf("built %s: %u supernodes, %llu superedges, %.2f bits/link, "
+              "%zu store files\n",
+              store, repr.value()->supernode_graph().num_supernodes(),
+              static_cast<unsigned long long>(
+                  repr.value()->supernode_graph().num_superedges()),
+              repr.value()->BitsPerEdge(), repr.value()->store().num_files());
+  return 0;
+}
+
+int CmdInfo(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto repr = SNodeRepr::Open(argv[2], {});
+  if (!repr.ok()) return Fail(repr.status());
+  const SupernodeGraph& sg = repr.value()->supernode_graph();
+  std::printf("pages:          %zu\n", repr.value()->num_pages());
+  std::printf("links:          %llu\n",
+              static_cast<unsigned long long>(repr.value()->num_edges()));
+  std::printf("supernodes:     %u\n", sg.num_supernodes());
+  std::printf("superedges:     %llu\n",
+              static_cast<unsigned long long>(sg.num_superedges()));
+  std::printf("bits/link:      %.2f\n", repr.value()->BitsPerEdge());
+  std::printf("top level:      %.1f KB (Huffman + pointers)\n",
+              sg.HuffmanEncodedBytes() / 1024.0);
+  std::printf("store:          %llu bytes in %zu files, %zu graphs\n",
+              static_cast<unsigned long long>(
+                  repr.value()->store().total_bytes()),
+              repr.value()->store().num_files(),
+              repr.value()->store().num_blobs());
+  std::printf("domains:        %zu\n", sg.domain_supernodes.size());
+  return 0;
+}
+
+int CmdLinks(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  auto repr = SNodeRepr::Open(argv[2], {});
+  if (!repr.ok()) return Fail(repr.status());
+  PageId page = static_cast<PageId>(std::strtoul(argv[3], nullptr, 10));
+  std::vector<PageId> links;
+  Status status = repr.value()->GetLinks(page, &links);
+  if (!status.ok()) return Fail(status);
+  WebGraph graph;
+  bool have_urls = false;
+  if (argc >= 5) {
+    auto loaded = LoadWebGraph(argv[4]);
+    if (!loaded.ok()) return Fail(loaded.status());
+    graph = std::move(loaded).value();
+    have_urls = true;
+  }
+  std::printf("page %u has %zu out-links:\n", page, links.size());
+  for (PageId q : links) {
+    if (have_urls && q < graph.num_pages()) {
+      std::printf("  %u  %s\n", q, graph.url(q).c_str());
+    } else {
+      std::printf("  %u\n", q);
+    }
+  }
+  return 0;
+}
+
+int CmdCompare(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto loaded = LoadWebGraph(argv[2]);
+  if (!loaded.ok()) return Fail(loaded.status());
+  const WebGraph& graph = loaded.value();
+  std::string dir = "/tmp/wgtool_compare";
+  Status mk = EnsureDirectory(dir);
+  if (!mk.ok()) return Fail(mk);
+
+  std::printf("%-20s %12s\n", "scheme", "bits/edge");
+  auto file = UncompressedFileRepr::Build(graph, dir + "/unc", {});
+  if (!file.ok()) return Fail(file.status());
+  std::printf("%-20s %12.2f\n", "uncompressed-file",
+              file.value()->BitsPerEdge());
+  auto rel = RelationalRepr::Build(graph, dir + "/rel", {});
+  if (!rel.ok()) return Fail(rel.status());
+  std::printf("%-20s %12.2f\n", "relational", rel.value()->BitsPerEdge());
+  auto huffman = HuffmanRepr::Build(graph);
+  std::printf("%-20s %12.2f\n", "plain-huffman", huffman->BitsPerEdge());
+  auto link3 = Link3Repr::Build(graph, dir + "/l3", {});
+  if (!link3.ok()) return Fail(link3.status());
+  std::printf("%-20s %12.2f\n", "link3", link3.value()->BitsPerEdge());
+  auto snode = SNodeRepr::Build(graph, dir + "/sn", {});
+  if (!snode.ok()) return Fail(snode.status());
+  std::printf("%-20s %12.2f\n", "s-node", snode.value()->BitsPerEdge());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "generate") return CmdGenerate(argc, argv);
+  if (command == "stats") return CmdStats(argc, argv);
+  if (command == "build") return CmdBuild(argc, argv);
+  if (command == "info") return CmdInfo(argc, argv);
+  if (command == "links") return CmdLinks(argc, argv);
+  if (command == "compare") return CmdCompare(argc, argv);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace wg
+
+int main(int argc, char** argv) { return wg::Main(argc, argv); }
