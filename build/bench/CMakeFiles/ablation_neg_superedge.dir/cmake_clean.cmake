@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_neg_superedge.dir/ablation_neg_superedge.cc.o"
+  "CMakeFiles/ablation_neg_superedge.dir/ablation_neg_superedge.cc.o.d"
+  "ablation_neg_superedge"
+  "ablation_neg_superedge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_neg_superedge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

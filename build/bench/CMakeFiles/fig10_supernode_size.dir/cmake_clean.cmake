@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_supernode_size.dir/fig10_supernode_size.cc.o"
+  "CMakeFiles/fig10_supernode_size.dir/fig10_supernode_size.cc.o.d"
+  "fig10_supernode_size"
+  "fig10_supernode_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_supernode_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

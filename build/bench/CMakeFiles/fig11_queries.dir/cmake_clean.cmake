@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_queries.dir/fig11_queries.cc.o"
+  "CMakeFiles/fig11_queries.dir/fig11_queries.cc.o.d"
+  "fig11_queries"
+  "fig11_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_access.dir/table2_access.cc.o"
+  "CMakeFiles/table2_access.dir/table2_access.cc.o.d"
+  "table2_access"
+  "table2_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

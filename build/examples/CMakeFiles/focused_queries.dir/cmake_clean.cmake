@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focused_queries.dir/focused_queries.cpp.o"
+  "CMakeFiles/focused_queries.dir/focused_queries.cpp.o.d"
+  "focused_queries"
+  "focused_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focused_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

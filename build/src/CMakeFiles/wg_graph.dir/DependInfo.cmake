@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/algorithms.cc" "src/CMakeFiles/wg_graph.dir/graph/algorithms.cc.o" "gcc" "src/CMakeFiles/wg_graph.dir/graph/algorithms.cc.o.d"
+  "/root/repo/src/graph/generator.cc" "src/CMakeFiles/wg_graph.dir/graph/generator.cc.o" "gcc" "src/CMakeFiles/wg_graph.dir/graph/generator.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "src/CMakeFiles/wg_graph.dir/graph/graph_io.cc.o" "gcc" "src/CMakeFiles/wg_graph.dir/graph/graph_io.cc.o.d"
+  "/root/repo/src/graph/stats.cc" "src/CMakeFiles/wg_graph.dir/graph/stats.cc.o" "gcc" "src/CMakeFiles/wg_graph.dir/graph/stats.cc.o.d"
+  "/root/repo/src/graph/webgraph.cc" "src/CMakeFiles/wg_graph.dir/graph/webgraph.cc.o" "gcc" "src/CMakeFiles/wg_graph.dir/graph/webgraph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wg_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wg_graph.dir/graph/algorithms.cc.o"
+  "CMakeFiles/wg_graph.dir/graph/algorithms.cc.o.d"
+  "CMakeFiles/wg_graph.dir/graph/generator.cc.o"
+  "CMakeFiles/wg_graph.dir/graph/generator.cc.o.d"
+  "CMakeFiles/wg_graph.dir/graph/graph_io.cc.o"
+  "CMakeFiles/wg_graph.dir/graph/graph_io.cc.o.d"
+  "CMakeFiles/wg_graph.dir/graph/stats.cc.o"
+  "CMakeFiles/wg_graph.dir/graph/stats.cc.o.d"
+  "CMakeFiles/wg_graph.dir/graph/webgraph.cc.o"
+  "CMakeFiles/wg_graph.dir/graph/webgraph.cc.o.d"
+  "libwg_graph.a"
+  "libwg_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wg_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

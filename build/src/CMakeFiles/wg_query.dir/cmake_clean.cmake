@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wg_query.dir/query/ops.cc.o"
+  "CMakeFiles/wg_query.dir/query/ops.cc.o.d"
+  "CMakeFiles/wg_query.dir/query/queries.cc.o"
+  "CMakeFiles/wg_query.dir/query/queries.cc.o.d"
+  "CMakeFiles/wg_query.dir/query/related.cc.o"
+  "CMakeFiles/wg_query.dir/query/related.cc.o.d"
+  "libwg_query.a"
+  "libwg_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wg_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

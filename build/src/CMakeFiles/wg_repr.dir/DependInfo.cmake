@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/repr/byte_cache.cc" "src/CMakeFiles/wg_repr.dir/repr/byte_cache.cc.o" "gcc" "src/CMakeFiles/wg_repr.dir/repr/byte_cache.cc.o.d"
+  "/root/repo/src/repr/huffman_repr.cc" "src/CMakeFiles/wg_repr.dir/repr/huffman_repr.cc.o" "gcc" "src/CMakeFiles/wg_repr.dir/repr/huffman_repr.cc.o.d"
+  "/root/repo/src/repr/link3_repr.cc" "src/CMakeFiles/wg_repr.dir/repr/link3_repr.cc.o" "gcc" "src/CMakeFiles/wg_repr.dir/repr/link3_repr.cc.o.d"
+  "/root/repo/src/repr/relational_repr.cc" "src/CMakeFiles/wg_repr.dir/repr/relational_repr.cc.o" "gcc" "src/CMakeFiles/wg_repr.dir/repr/relational_repr.cc.o.d"
+  "/root/repo/src/repr/uncompressed_repr.cc" "src/CMakeFiles/wg_repr.dir/repr/uncompressed_repr.cc.o" "gcc" "src/CMakeFiles/wg_repr.dir/repr/uncompressed_repr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wg_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

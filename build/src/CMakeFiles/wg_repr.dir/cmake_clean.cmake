@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wg_repr.dir/repr/byte_cache.cc.o"
+  "CMakeFiles/wg_repr.dir/repr/byte_cache.cc.o.d"
+  "CMakeFiles/wg_repr.dir/repr/huffman_repr.cc.o"
+  "CMakeFiles/wg_repr.dir/repr/huffman_repr.cc.o.d"
+  "CMakeFiles/wg_repr.dir/repr/link3_repr.cc.o"
+  "CMakeFiles/wg_repr.dir/repr/link3_repr.cc.o.d"
+  "CMakeFiles/wg_repr.dir/repr/relational_repr.cc.o"
+  "CMakeFiles/wg_repr.dir/repr/relational_repr.cc.o.d"
+  "CMakeFiles/wg_repr.dir/repr/uncompressed_repr.cc.o"
+  "CMakeFiles/wg_repr.dir/repr/uncompressed_repr.cc.o.d"
+  "libwg_repr.a"
+  "libwg_repr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wg_repr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

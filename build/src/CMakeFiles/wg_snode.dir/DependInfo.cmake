@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/snode/bulk.cc" "src/CMakeFiles/wg_snode.dir/snode/bulk.cc.o" "gcc" "src/CMakeFiles/wg_snode.dir/snode/bulk.cc.o.d"
+  "/root/repo/src/snode/codecs.cc" "src/CMakeFiles/wg_snode.dir/snode/codecs.cc.o" "gcc" "src/CMakeFiles/wg_snode.dir/snode/codecs.cc.o.d"
+  "/root/repo/src/snode/reference_encoding.cc" "src/CMakeFiles/wg_snode.dir/snode/reference_encoding.cc.o" "gcc" "src/CMakeFiles/wg_snode.dir/snode/reference_encoding.cc.o.d"
+  "/root/repo/src/snode/refinement.cc" "src/CMakeFiles/wg_snode.dir/snode/refinement.cc.o" "gcc" "src/CMakeFiles/wg_snode.dir/snode/refinement.cc.o.d"
+  "/root/repo/src/snode/snode_repr.cc" "src/CMakeFiles/wg_snode.dir/snode/snode_repr.cc.o" "gcc" "src/CMakeFiles/wg_snode.dir/snode/snode_repr.cc.o.d"
+  "/root/repo/src/snode/supernode_graph.cc" "src/CMakeFiles/wg_snode.dir/snode/supernode_graph.cc.o" "gcc" "src/CMakeFiles/wg_snode.dir/snode/supernode_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wg_repr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wg_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wg_snode.dir/snode/bulk.cc.o"
+  "CMakeFiles/wg_snode.dir/snode/bulk.cc.o.d"
+  "CMakeFiles/wg_snode.dir/snode/codecs.cc.o"
+  "CMakeFiles/wg_snode.dir/snode/codecs.cc.o.d"
+  "CMakeFiles/wg_snode.dir/snode/reference_encoding.cc.o"
+  "CMakeFiles/wg_snode.dir/snode/reference_encoding.cc.o.d"
+  "CMakeFiles/wg_snode.dir/snode/refinement.cc.o"
+  "CMakeFiles/wg_snode.dir/snode/refinement.cc.o.d"
+  "CMakeFiles/wg_snode.dir/snode/snode_repr.cc.o"
+  "CMakeFiles/wg_snode.dir/snode/snode_repr.cc.o.d"
+  "CMakeFiles/wg_snode.dir/snode/supernode_graph.cc.o"
+  "CMakeFiles/wg_snode.dir/snode/supernode_graph.cc.o.d"
+  "libwg_snode.a"
+  "libwg_snode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wg_snode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/btree.cc" "src/CMakeFiles/wg_storage.dir/storage/btree.cc.o" "gcc" "src/CMakeFiles/wg_storage.dir/storage/btree.cc.o.d"
+  "/root/repo/src/storage/file.cc" "src/CMakeFiles/wg_storage.dir/storage/file.cc.o" "gcc" "src/CMakeFiles/wg_storage.dir/storage/file.cc.o.d"
+  "/root/repo/src/storage/graph_store.cc" "src/CMakeFiles/wg_storage.dir/storage/graph_store.cc.o" "gcc" "src/CMakeFiles/wg_storage.dir/storage/graph_store.cc.o.d"
+  "/root/repo/src/storage/heap_file.cc" "src/CMakeFiles/wg_storage.dir/storage/heap_file.cc.o" "gcc" "src/CMakeFiles/wg_storage.dir/storage/heap_file.cc.o.d"
+  "/root/repo/src/storage/pager.cc" "src/CMakeFiles/wg_storage.dir/storage/pager.cc.o" "gcc" "src/CMakeFiles/wg_storage.dir/storage/pager.cc.o.d"
+  "/root/repo/src/storage/serial.cc" "src/CMakeFiles/wg_storage.dir/storage/serial.cc.o" "gcc" "src/CMakeFiles/wg_storage.dir/storage/serial.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wg_storage.dir/storage/btree.cc.o"
+  "CMakeFiles/wg_storage.dir/storage/btree.cc.o.d"
+  "CMakeFiles/wg_storage.dir/storage/file.cc.o"
+  "CMakeFiles/wg_storage.dir/storage/file.cc.o.d"
+  "CMakeFiles/wg_storage.dir/storage/graph_store.cc.o"
+  "CMakeFiles/wg_storage.dir/storage/graph_store.cc.o.d"
+  "CMakeFiles/wg_storage.dir/storage/heap_file.cc.o"
+  "CMakeFiles/wg_storage.dir/storage/heap_file.cc.o.d"
+  "CMakeFiles/wg_storage.dir/storage/pager.cc.o"
+  "CMakeFiles/wg_storage.dir/storage/pager.cc.o.d"
+  "CMakeFiles/wg_storage.dir/storage/serial.cc.o"
+  "CMakeFiles/wg_storage.dir/storage/serial.cc.o.d"
+  "libwg_storage.a"
+  "libwg_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wg_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

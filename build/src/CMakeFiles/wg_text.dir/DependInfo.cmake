@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/corpus.cc" "src/CMakeFiles/wg_text.dir/text/corpus.cc.o" "gcc" "src/CMakeFiles/wg_text.dir/text/corpus.cc.o.d"
+  "/root/repo/src/text/inverted_index.cc" "src/CMakeFiles/wg_text.dir/text/inverted_index.cc.o" "gcc" "src/CMakeFiles/wg_text.dir/text/inverted_index.cc.o.d"
+  "/root/repo/src/text/pagerank.cc" "src/CMakeFiles/wg_text.dir/text/pagerank.cc.o" "gcc" "src/CMakeFiles/wg_text.dir/text/pagerank.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wg_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

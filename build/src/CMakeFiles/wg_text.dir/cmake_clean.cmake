@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wg_text.dir/text/corpus.cc.o"
+  "CMakeFiles/wg_text.dir/text/corpus.cc.o.d"
+  "CMakeFiles/wg_text.dir/text/inverted_index.cc.o"
+  "CMakeFiles/wg_text.dir/text/inverted_index.cc.o.d"
+  "CMakeFiles/wg_text.dir/text/pagerank.cc.o"
+  "CMakeFiles/wg_text.dir/text/pagerank.cc.o.d"
+  "libwg_text.a"
+  "libwg_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wg_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

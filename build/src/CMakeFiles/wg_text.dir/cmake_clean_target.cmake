@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwg_text.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/bitstream.cc" "src/CMakeFiles/wg_util.dir/util/bitstream.cc.o" "gcc" "src/CMakeFiles/wg_util.dir/util/bitstream.cc.o.d"
+  "/root/repo/src/util/coding.cc" "src/CMakeFiles/wg_util.dir/util/coding.cc.o" "gcc" "src/CMakeFiles/wg_util.dir/util/coding.cc.o.d"
+  "/root/repo/src/util/huffman.cc" "src/CMakeFiles/wg_util.dir/util/huffman.cc.o" "gcc" "src/CMakeFiles/wg_util.dir/util/huffman.cc.o.d"
+  "/root/repo/src/util/rle.cc" "src/CMakeFiles/wg_util.dir/util/rle.cc.o" "gcc" "src/CMakeFiles/wg_util.dir/util/rle.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/wg_util.dir/util/status.cc.o" "gcc" "src/CMakeFiles/wg_util.dir/util/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wg_util.dir/util/bitstream.cc.o"
+  "CMakeFiles/wg_util.dir/util/bitstream.cc.o.d"
+  "CMakeFiles/wg_util.dir/util/coding.cc.o"
+  "CMakeFiles/wg_util.dir/util/coding.cc.o.d"
+  "CMakeFiles/wg_util.dir/util/huffman.cc.o"
+  "CMakeFiles/wg_util.dir/util/huffman.cc.o.d"
+  "CMakeFiles/wg_util.dir/util/rle.cc.o"
+  "CMakeFiles/wg_util.dir/util/rle.cc.o.d"
+  "CMakeFiles/wg_util.dir/util/status.cc.o"
+  "CMakeFiles/wg_util.dir/util/status.cc.o.d"
+  "libwg_util.a"
+  "libwg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

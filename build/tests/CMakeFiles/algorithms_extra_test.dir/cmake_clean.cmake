@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorithms_extra_test.dir/algorithms_extra_test.cc.o"
+  "CMakeFiles/algorithms_extra_test.dir/algorithms_extra_test.cc.o.d"
+  "algorithms_extra_test"
+  "algorithms_extra_test.pdb"
+  "algorithms_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithms_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

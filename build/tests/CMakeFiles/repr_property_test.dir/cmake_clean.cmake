@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repr_property_test.dir/repr_property_test.cc.o"
+  "CMakeFiles/repr_property_test.dir/repr_property_test.cc.o.d"
+  "repr_property_test"
+  "repr_property_test.pdb"
+  "repr_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repr_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

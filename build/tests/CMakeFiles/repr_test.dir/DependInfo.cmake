@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/repr_test.cc" "tests/CMakeFiles/repr_test.dir/repr_test.cc.o" "gcc" "tests/CMakeFiles/repr_test.dir/repr_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wg_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wg_snode.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wg_repr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wg_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wg_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

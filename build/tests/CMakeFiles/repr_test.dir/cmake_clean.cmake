@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repr_test.dir/repr_test.cc.o"
+  "CMakeFiles/repr_test.dir/repr_test.cc.o.d"
+  "repr_test"
+  "repr_test.pdb"
+  "repr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snode_test.dir/snode_test.cc.o"
+  "CMakeFiles/snode_test.dir/snode_test.cc.o.d"
+  "snode_test"
+  "snode_test.pdb"
+  "snode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

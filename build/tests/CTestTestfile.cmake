@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/algorithms_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/codec_property_test[1]_include.cmake")
+include("/root/repo/build/tests/generator_property_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/ops_test[1]_include.cmake")
+include("/root/repo/build/tests/persistence_test[1]_include.cmake")
+include("/root/repo/build/tests/query_test[1]_include.cmake")
+include("/root/repo/build/tests/refinement_property_test[1]_include.cmake")
+include("/root/repo/build/tests/repr_property_test[1]_include.cmake")
+include("/root/repo/build/tests/repr_test[1]_include.cmake")
+include("/root/repo/build/tests/snode_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/text_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")

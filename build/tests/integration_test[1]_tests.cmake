@@ -1,0 +1,3 @@
+add_test([=[PipelineIntegrationTest.FullLifecycle]=]  /root/repo/build/tests/integration_test [==[--gtest_filter=PipelineIntegrationTest.FullLifecycle]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[PipelineIntegrationTest.FullLifecycle]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  integration_test_TESTS PipelineIntegrationTest.FullLifecycle)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wgtool.dir/wgtool.cc.o"
+  "CMakeFiles/wgtool.dir/wgtool.cc.o.d"
+  "wgtool"
+  "wgtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wgtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
