@@ -1,0 +1,236 @@
+// Concurrent query service: throughput scaling of the worker pool over a
+// shared S-Node store, plus a correctness cross-check of every concurrent
+// run against the single-threaded inline path.
+//
+// Two regimes:
+//
+//  * cpu-bound -- decoded-graph navigation straight out of the sharded
+//    cache. Scaling here needs physical cores: the store's disk reads are
+//    page-cache hits at 1:1000 scale, so the workers contend for CPU, not
+//    for the spindle. On a single-core host this regime cannot speed up
+//    and the shape check documents that instead of failing.
+//
+//  * disk-wait -- each request additionally blocks for the modeled
+//    2001-era disk time of an average request (bench_common.h constants,
+//    measured off the single-threaded run). This is the paper-era serving
+//    scenario: requests spend most of their life waiting on the disk, and
+//    the pool overlaps those waits, so throughput scales with workers even
+//    on one core.
+//
+// Claim checked: >1.5x throughput at 4 workers vs 1, with results
+// identical to the single-threaded path.
+
+#include <algorithm>
+#include <deque>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "server/query_service.h"
+#include "server/workload.h"
+#include "snode/snode_repr.h"
+
+namespace wg {
+namespace {
+
+constexpr size_t kPages = 50000;
+constexpr size_t kBudget = 256 << 10;  // per direction; forces evictions
+constexpr size_t kCpuRequests = 6000;
+constexpr size_t kDiskRequests = 1200;
+const size_t kWorkerSweep[] = {1, 2, 4, 8};
+
+uint64_t HashPages(const std::vector<PageId>& pages) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (PageId p : pages) {
+    h = (h ^ p) * 1099511628211ull;
+  }
+  return h;
+}
+
+struct RunResult {
+  double seconds = 0;
+  std::vector<uint64_t> hashes;
+  server::ServiceMetrics metrics;
+};
+
+// Drives `requests` through a fresh pool of `workers`, closed-loop with at
+// most one queue's worth outstanding so nothing is rejected.
+RunResult RunPool(const QueryContext& ctx, size_t workers,
+                  const std::vector<server::Request>& requests) {
+  ctx.forward->ClearBuffers();
+  ctx.forward->stats().Reset();
+  if (ctx.backward != nullptr) {
+    ctx.backward->ClearBuffers();
+    ctx.backward->stats().Reset();
+  }
+  server::QueryServiceOptions opts;
+  opts.num_workers = workers;
+  opts.queue_capacity = 1024;
+  server::QueryService service(ctx, opts);
+
+  RunResult run;
+  run.hashes.reserve(requests.size());
+  std::deque<std::future<server::Response>> outstanding;
+  auto harvest = [&] {
+    server::Response response = outstanding.front().get();
+    outstanding.pop_front();
+    bench::CheckOk(response.code == server::ResponseCode::kOk
+                       ? Status::OK()
+                       : Status::Internal("request failed: " +
+                                          response.status.ToString()));
+    run.hashes.push_back(HashPages(response.pages));
+  };
+  bench::Timer timer;
+  for (const server::Request& request : requests) {
+    if (outstanding.size() >= opts.queue_capacity) harvest();
+    outstanding.push_back(service.Submit(request));
+  }
+  while (!outstanding.empty()) harvest();
+  run.seconds = timer.Seconds();
+  run.metrics = service.Snapshot();
+  return run;
+}
+
+// The single-threaded reference: the same requests through the inline
+// Execute path, no pool involved.
+RunResult RunInline(const QueryContext& ctx,
+                    const std::vector<server::Request>& requests) {
+  ctx.forward->ClearBuffers();
+  ctx.forward->stats().Reset();
+  if (ctx.backward != nullptr) {
+    ctx.backward->ClearBuffers();
+    ctx.backward->stats().Reset();
+  }
+  server::QueryServiceOptions opts;
+  opts.num_workers = 1;
+  server::QueryService service(ctx, opts);
+  RunResult run;
+  run.hashes.reserve(requests.size());
+  bench::Timer timer;
+  for (const server::Request& request : requests) {
+    server::Response response = service.Execute(request);
+    bench::CheckOk(response.code == server::ResponseCode::kOk
+                       ? Status::OK()
+                       : Status::Internal(response.status.ToString()));
+    run.hashes.push_back(HashPages(response.pages));
+  }
+  run.seconds = timer.Seconds();
+  return run;
+}
+
+// Runs the worker sweep for one regime; returns speedup of 4 workers over
+// 1 worker and whether every run matched the reference hashes.
+void RunRegime(const char* name, const QueryContext& ctx,
+               const std::vector<server::Request>& requests,
+               double* speedup4, bool* all_identical) {
+  RunResult reference = RunInline(ctx, requests);
+  std::printf("[%s] %zu requests, inline single-threaded: %.3f s "
+              "(%.0f req/s)\n",
+              name, requests.size(), reference.seconds,
+              requests.size() / reference.seconds);
+
+  std::printf("%-10s %10s %12s %10s %10s %10s %9s\n", "workers", "time(s)",
+              "req/s", "speedup", "p50(ms)", "p99(ms)", "hit rate");
+  double base = 0;
+  *speedup4 = 0;
+  *all_identical = true;
+  for (size_t workers : kWorkerSweep) {
+    RunResult run = RunPool(ctx, workers, requests);
+    bool identical = run.hashes == reference.hashes;
+    *all_identical = *all_identical && identical;
+    double rps = requests.size() / run.seconds;
+    if (workers == 1) base = rps;
+    double speedup = base > 0 ? rps / base : 0;
+    if (workers == 4) *speedup4 = speedup;
+    std::printf("%-10zu %10.3f %12.0f %9.2fx %10.2f %10.2f %8.1f%%%s\n",
+                workers, run.seconds, rps, speedup,
+                run.metrics.p50_seconds * 1e3, run.metrics.p99_seconds * 1e3,
+                run.metrics.cache_hit_rate * 100,
+                identical ? "" : "  RESULTS DIFFER");
+  }
+}
+
+void Run() {
+  bench::PrintHeader("service: worker-pool throughput over one S-Node store");
+  WebGraph graph = bench::FullCrawl().InducedPrefix(kPages);
+  WebGraph transpose = graph.Transpose();
+  std::string dir = bench::BenchDir();
+
+  SNodeBuildOptions opts;
+  opts.buffer_bytes = kBudget;
+  auto forward =
+      bench::UnwrapOrDie(SNodeRepr::Build(graph, dir + "/svc_f", opts));
+  auto backward =
+      bench::UnwrapOrDie(SNodeRepr::Build(transpose, dir + "/svc_b", opts));
+
+  QueryContext ctx;
+  ctx.forward = forward.get();
+  ctx.backward = backward.get();
+  ctx.graph = &graph;
+
+  server::WorkloadOptions wopts;
+  wopts.num_pages = graph.num_pages();
+  wopts.num_requests = kCpuRequests;
+  std::vector<server::Request> cpu_requests = server::SyntheticWorkload(wopts);
+
+  double cpu_speedup4 = 0;
+  bool cpu_identical = false;
+  RunRegime("cpu-bound", ctx, cpu_requests, &cpu_speedup4, &cpu_identical);
+
+  // Disk-wait regime: every request blocks for the modeled disk time of an
+  // average cold request, measured from the single-threaded run above --
+  // one seek plus the average transfer (I/O counts survive in the repr
+  // stats of the last pool run; re-measure inline for a clean read).
+  RunResult probe = RunInline(ctx, cpu_requests);
+  const ReprStats& fstats = ctx.forward->stats();
+  const ReprStats& bstats = ctx.backward->stats();
+  double modeled_io_seconds =
+      (fstats.disk_seeks + bstats.disk_seeks) * bench::kSeekSeconds +
+      static_cast<double>(fstats.disk_transfer_bytes +
+                          bstats.disk_transfer_bytes) /
+          bench::kBytesPerSecond;
+  double per_request = modeled_io_seconds / cpu_requests.size();
+  // Clamp so the regime stays disk-dominated but the sweep finishes fast.
+  per_request = std::clamp(per_request, 0.0005, 0.004);
+  std::printf("\nmodeled disk time: %.3f s over %zu requests -> %.2f ms "
+              "per request applied as blocking wait\n",
+              modeled_io_seconds, cpu_requests.size(), per_request * 1e3);
+
+  wopts.num_requests = kDiskRequests;
+  std::vector<server::Request> disk_requests = server::SyntheticWorkload(wopts);
+  for (server::Request& request : disk_requests) {
+    request.simulated_work = std::chrono::microseconds(
+        static_cast<int64_t>(per_request * 1e6));
+  }
+  double disk_speedup4 = 0;
+  bool disk_identical = false;
+  RunRegime("disk-wait", ctx, disk_requests, &disk_speedup4, &disk_identical);
+
+  std::printf("\n");
+  bench::PrintShapeCheck(cpu_identical && disk_identical,
+                         "concurrent results identical to the "
+                         "single-threaded path at every pool size");
+  unsigned cores = std::thread::hardware_concurrency();
+  if (cores >= 2) {
+    bench::PrintShapeCheck(
+        cpu_speedup4 > 1.5,
+        "cpu-bound: >1.5x throughput at 4 workers vs 1");
+  } else {
+    bench::PrintShapeCheckDocumented(
+        cpu_speedup4 > 1.5, "cpu-bound: >1.5x throughput at 4 workers vs 1",
+        "host has 1 core; the cpu-bound regime has no parallelism to "
+        "harvest, the disk-wait regime below carries the claim");
+  }
+  bench::PrintShapeCheck(disk_speedup4 > 1.5,
+                         "disk-wait: >1.5x throughput at 4 workers vs 1 "
+                         "(pool overlaps modeled disk waits)");
+}
+
+}  // namespace
+}  // namespace wg
+
+int main() {
+  wg::Run();
+  return 0;
+}

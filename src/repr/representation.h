@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "graph/webgraph.h"
+#include "util/atomic_counter.h"
 #include "util/status.h"
 
 // The common contract for all five Web-graph representation schemes the
@@ -21,19 +22,23 @@
 
 namespace wg {
 
+// Counters are AtomicCounter (relaxed atomics with value-copy semantics) so
+// representations that serve concurrent readers -- SNodeRepr under the
+// server/QueryService thread pool -- can bump them without data races.
+// Single-threaded schemes pay one uncontended atomic add per bump.
 struct ReprStats {
-  uint64_t adjacency_requests = 0;
-  uint64_t edges_returned = 0;
-  uint64_t disk_reads = 0;   // physical read ops (0 for in-memory schemes)
-  uint64_t bytes_read = 0;   // physical bytes read
+  AtomicCounter adjacency_requests;
+  AtomicCounter edges_returned;
+  AtomicCounter disk_reads;   // physical read ops (0 for in-memory schemes)
+  AtomicCounter bytes_read;   // physical bytes read
   // Disk-model accounting (see storage/file.h): non-sequential reads and
   // total transferred bytes including skipped near gaps. Experiments price
   // these with 2001-era disk constants.
-  uint64_t disk_seeks = 0;
-  uint64_t disk_transfer_bytes = 0;
-  uint64_t cache_hits = 0;
-  uint64_t cache_misses = 0;
-  uint64_t graphs_loaded = 0;  // S-Node: lower-level graphs decoded
+  AtomicCounter disk_seeks;
+  AtomicCounter disk_transfer_bytes;
+  AtomicCounter cache_hits;
+  AtomicCounter cache_misses;
+  AtomicCounter graphs_loaded;  // S-Node: lower-level graphs decoded
 
   void Reset() { *this = ReprStats(); }
 };

@@ -1,0 +1,75 @@
+#ifndef WG_SERVER_BOUNDED_QUEUE_H_
+#define WG_SERVER_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+// A bounded multi-producer/multi-consumer queue with non-blocking admission:
+// producers TryPush and get an immediate refusal when the queue is at
+// capacity (the service surfaces this as a kRejected response -- explicit
+// backpressure instead of unbounded memory growth under overload), while
+// consumers block in Pop until work arrives or the queue is closed.
+
+namespace wg::server {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Admits `item` unless the queue is full or closed. Never blocks.
+  bool TryPush(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item is available (returns true) or the queue is
+  // closed and drained (returns false).
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  // After Close, TryPush refuses and Pop drains the backlog then returns
+  // false; blocked consumers wake up.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace wg::server
+
+#endif  // WG_SERVER_BOUNDED_QUEUE_H_

@@ -1,0 +1,58 @@
+#include "server/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace wg::server {
+
+void LatencyHistogram::Record(double seconds) {
+  double micros = seconds * 1e6;
+  size_t bucket = 0;
+  if (micros >= 1.0) {
+    bucket = static_cast<size_t>(std::log2(micros));
+    if (bucket >= kBuckets) bucket = kBuckets - 1;
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  uint64_t total = 0;
+  std::array<uint64_t, kBuckets> snap;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    snap[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += snap[i];
+  }
+  if (total == 0) return 0;
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total));
+  if (rank >= total) rank = total - 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += snap[i];
+    if (seen > rank) {
+      // Upper bound of bucket i: 2^(i+1) microseconds.
+      return std::ldexp(1.0, static_cast<int>(i) + 1) * 1e-6;
+    }
+  }
+  return std::ldexp(1.0, static_cast<int>(kBuckets)) * 1e-6;
+}
+
+std::string ServiceMetrics::ToString() const {
+  char buf[384];
+  std::snprintf(
+      buf, sizeof(buf),
+      "submitted=%llu completed=%llu rejected=%llu timed_out=%llu "
+      "errors=%llu queue_depth=%zu p50=%.3fms p99=%.3fms "
+      "cache_hits=%llu cache_misses=%llu hit_rate=%.3f",
+      static_cast<unsigned long long>(submitted),
+      static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(rejected),
+      static_cast<unsigned long long>(timed_out),
+      static_cast<unsigned long long>(errors), queue_depth,
+      p50_seconds * 1e3, p99_seconds * 1e3,
+      static_cast<unsigned long long>(cache_hits),
+      static_cast<unsigned long long>(cache_misses), cache_hit_rate);
+  return buf;
+}
+
+}  // namespace wg::server

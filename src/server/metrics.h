@@ -1,0 +1,61 @@
+#ifndef WG_SERVER_METRICS_H_
+#define WG_SERVER_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+// Service-side observability: a lock-free log-bucketed latency histogram
+// (p50/p99 without storing samples) plus the snapshot struct the service
+// hands out. Counters are relaxed atomics -- they are reporting state, not
+// synchronization.
+
+namespace wg::server {
+
+// Latencies land in bucket floor(log2(micros)), covering ~1us .. ~35min.
+// Quantiles are read from bucket upper bounds, so they are exact to within
+// one power of two -- plenty for a p50-vs-p99 shape report.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 32;
+
+  void Record(double seconds);
+
+  // Value (seconds) below which a `q` fraction of recorded latencies fall;
+  // 0 if nothing was recorded. q in [0, 1].
+  double Quantile(double q) const;
+
+  uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+};
+
+// A point-in-time view of a QueryService (see query_service.h).
+struct ServiceMetrics {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;   // executed to kOk
+  uint64_t rejected = 0;    // refused at admission (queue full / shut down)
+  uint64_t timed_out = 0;   // deadline exceeded
+  uint64_t errors = 0;      // executor returned non-OK
+  size_t queue_depth = 0;   // requests waiting at snapshot time
+
+  double p50_seconds = 0;
+  double p99_seconds = 0;
+
+  // Decoded-graph cache behaviour of the forward representation (the
+  // serving hot path); hit_rate is hits / (hits + misses).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  double cache_hit_rate = 0;
+
+  std::string ToString() const;
+};
+
+}  // namespace wg::server
+
+#endif  // WG_SERVER_METRICS_H_

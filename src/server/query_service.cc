@@ -1,0 +1,202 @@
+#include "server/query_service.h"
+
+#include <algorithm>
+
+namespace wg::server {
+
+namespace {
+
+bool DeadlinePassed(const Request& request,
+                    std::chrono::steady_clock::time_point now) {
+  return request.has_deadline() && now > request.deadline;
+}
+
+}  // namespace
+
+QueryService::QueryService(const QueryContext& ctx,
+                           const QueryServiceOptions& options)
+    : ctx_(ctx),
+      options_(options),
+      queue_(std::max<size_t>(1, options.queue_capacity)) {
+  size_t n = std::max<size_t>(1, options_.num_workers);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+void QueryService::Shutdown() {
+  bool expected = false;
+  if (!shutdown_.compare_exchange_strong(expected, true)) {
+    return;  // already shut down
+  }
+  queue_.Close();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+std::future<Response> QueryService::Submit(Request request) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  Job job;
+  job.request = request;
+  job.enqueued = std::chrono::steady_clock::now();
+  std::future<Response> future = job.promise.get_future();
+  if (!queue_.TryPush(std::move(job))) {
+    // Backpressure: refuse now instead of queueing unboundedly. The caller
+    // sees kRejected and can retry with its own policy.
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    Response response;
+    response.code = ResponseCode::kRejected;
+    std::promise<Response> immediate;
+    future = immediate.get_future();
+    immediate.set_value(std::move(response));
+  }
+  return future;
+}
+
+void QueryService::WorkerLoop() {
+  Job job;
+  while (queue_.Pop(&job)) {
+    Response response;
+    auto now = std::chrono::steady_clock::now();
+    if (DeadlinePassed(job.request, now)) {
+      // Expired while waiting in the queue: don't waste the worker on it.
+      response.code = ResponseCode::kDeadlineExceeded;
+    } else {
+      response = Execute(job.request);
+    }
+    auto done = std::chrono::steady_clock::now();
+    response.latency_seconds =
+        std::chrono::duration<double>(done - job.enqueued).count();
+    latency_.Record(response.latency_seconds);
+    switch (response.code) {
+      case ResponseCode::kOk:
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ResponseCode::kDeadlineExceeded:
+        timed_out_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ResponseCode::kError:
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ResponseCode::kRejected:
+        break;  // never produced by Execute
+    }
+    job.promise.set_value(std::move(response));
+  }
+}
+
+Response QueryService::Execute(const Request& request) const {
+  Response response;
+  if (request.simulated_work.count() > 0) {
+    std::this_thread::sleep_for(request.simulated_work);
+  }
+  if (DeadlinePassed(request, std::chrono::steady_clock::now())) {
+    response.code = ResponseCode::kDeadlineExceeded;
+    return response;
+  }
+  Status status;
+  switch (request.type) {
+    case RequestType::kOutNeighbors:
+      if (ctx_.forward == nullptr) {
+        status = Status::InvalidArgument("no forward representation");
+      } else {
+        status = ctx_.forward->GetLinks(request.page, &response.pages);
+      }
+      break;
+    case RequestType::kInNeighbors:
+      if (ctx_.backward == nullptr) {
+        status = Status::InvalidArgument("no backward representation");
+      } else {
+        status = ctx_.backward->GetLinks(request.page, &response.pages);
+      }
+      break;
+    case RequestType::kKHop:
+      status = ExecuteKHop(request, &response);
+      break;
+    case RequestType::kComplexQuery: {
+      Result<QueryResult> result = RunQuery(request.query_number, ctx_);
+      if (result.ok()) {
+        response.query = std::move(result).value();
+      } else {
+        status = result.status();
+      }
+      break;
+    }
+  }
+  if (response.code == ResponseCode::kOk && !status.ok()) {
+    response.code = ResponseCode::kError;
+    response.status = std::move(status);
+  }
+  return response;
+}
+
+Status QueryService::ExecuteKHop(const Request& request,
+                                 Response* response) const {
+  if (ctx_.forward == nullptr) {
+    return Status::InvalidArgument("no forward representation");
+  }
+  GraphRepresentation* repr = ctx_.forward;
+  if (request.page >= repr->num_pages()) {
+    return Status::OutOfRange("page id out of range");
+  }
+  // Level-synchronous BFS; result = every page reachable in 1..k hops,
+  // start page excluded.
+  std::vector<uint8_t> seen(repr->num_pages(), 0);
+  std::vector<PageId> frontier = {request.page};
+  std::vector<PageId> next;
+  std::vector<PageId> links;
+  seen[request.page] = 1;
+  for (int hop = 0; hop < request.k && !frontier.empty(); ++hop) {
+    // A deadline can expire mid-expansion; check once per level so a huge
+    // neighborhood cannot hold a worker past its budget.
+    if (DeadlinePassed(request, std::chrono::steady_clock::now())) {
+      response->pages.clear();
+      response->code = ResponseCode::kDeadlineExceeded;
+      return Status::OK();
+    }
+    next.clear();
+    for (PageId p : frontier) {
+      links.clear();
+      WG_RETURN_IF_ERROR(repr->GetLinks(p, &links));
+      for (PageId q : links) {
+        if (!seen[q]) {
+          seen[q] = 1;
+          next.push_back(q);
+          response->pages.push_back(q);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  std::sort(response->pages.begin(), response->pages.end());
+  return Status::OK();
+}
+
+ServiceMetrics QueryService::Snapshot() const {
+  ServiceMetrics m;
+  m.submitted = submitted_.load(std::memory_order_relaxed);
+  m.completed = completed_.load(std::memory_order_relaxed);
+  m.rejected = rejected_.load(std::memory_order_relaxed);
+  m.timed_out = timed_out_.load(std::memory_order_relaxed);
+  m.errors = errors_.load(std::memory_order_relaxed);
+  m.queue_depth = queue_.size();
+  m.p50_seconds = latency_.Quantile(0.5);
+  m.p99_seconds = latency_.Quantile(0.99);
+  if (ctx_.forward != nullptr) {
+    const ReprStats& stats = ctx_.forward->stats();
+    m.cache_hits = stats.cache_hits;
+    m.cache_misses = stats.cache_misses;
+    uint64_t lookups = m.cache_hits + m.cache_misses;
+    m.cache_hit_rate =
+        lookups == 0 ? 0.0
+                     : static_cast<double>(m.cache_hits) /
+                           static_cast<double>(lookups);
+  }
+  return m;
+}
+
+}  // namespace wg::server

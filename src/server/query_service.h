@@ -1,0 +1,89 @@
+#ifndef WG_SERVER_QUERY_SERVICE_H_
+#define WG_SERVER_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "query/queries.h"
+#include "server/bounded_queue.h"
+#include "server/metrics.h"
+#include "server/request.h"
+
+// The serving layer over the S-Node store: a fixed-size worker pool pulls
+// typed requests (server/request.h) off a bounded MPMC queue and executes
+// them concurrently against a shared QueryContext. Admission control is
+// explicit -- when the queue is full, Submit completes the request
+// immediately with kRejected rather than queueing unboundedly -- and every
+// request may carry a deadline that is honored both at dequeue and during
+// k-hop expansion.
+//
+// Thread-safety contract: the representations in the QueryContext must be
+// safe for concurrent reads. SNodeRepr is (sharded singleflight cache,
+// atomic stats; see snode/snode_repr.h); the baseline schemes are not, so
+// serve them with num_workers = 1.
+
+namespace wg::server {
+
+struct QueryServiceOptions {
+  size_t num_workers = 4;
+  size_t queue_capacity = 256;
+};
+
+class QueryService {
+ public:
+  // `ctx` must outlive the service. `ctx.forward` is required; `backward`
+  // is needed for kInNeighbors, and corpus/index/pagerank for
+  // kComplexQuery (requests needing an absent component fail kError).
+  QueryService(const QueryContext& ctx, const QueryServiceOptions& options);
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  // Non-blocking admission. The future resolves when a worker completes
+  // the request -- or immediately with kRejected under backpressure.
+  std::future<Response> Submit(Request request);
+
+  // Executes `request` inline on the calling thread, bypassing the queue
+  // and pool. This is the single-threaded reference path: tests and
+  // benchmarks compare concurrent Submit results against it.
+  Response Execute(const Request& request) const;
+
+  // Stops admission, drains queued requests, and joins the workers.
+  // Idempotent; also run by the destructor.
+  void Shutdown();
+
+  ServiceMetrics Snapshot() const;
+
+  size_t num_workers() const { return workers_.size(); }
+
+ private:
+  struct Job {
+    Request request;
+    std::promise<Response> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void WorkerLoop();
+  Status ExecuteKHop(const Request& request, Response* response) const;
+
+  QueryContext ctx_;
+  QueryServiceOptions options_;
+  BoundedQueue<Job> queue_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> shutdown_{false};
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> timed_out_{0};
+  std::atomic<uint64_t> errors_{0};
+  LatencyHistogram latency_;
+};
+
+}  // namespace wg::server
+
+#endif  // WG_SERVER_QUERY_SERVICE_H_

@@ -1,0 +1,162 @@
+#include "snode/graph_cache.h"
+
+#include <algorithm>
+
+namespace wg {
+
+ShardedGraphCache::ShardedGraphCache(size_t num_shards, size_t budget_bytes)
+    : shards_(std::max<size_t>(1, num_shards)), budget_(budget_bytes) {}
+
+size_t ShardedGraphCache::budget() const {
+  return budget_.load(std::memory_order_relaxed);
+}
+
+size_t ShardedGraphCache::shard_budget() const {
+  return budget_.load(std::memory_order_relaxed) / shards_.size();
+}
+
+void ShardedGraphCache::set_budget(size_t bytes) {
+  budget_.store(bytes, std::memory_order_relaxed);
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    EvictToBudget(shard);
+  }
+}
+
+size_t ShardedGraphCache::bytes_used() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.used;
+  }
+  return total;
+}
+
+void ShardedGraphCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+    shard.lru.clear();
+    shard.used = 0;
+  }
+}
+
+ShardedGraphCache::EntryPtr ShardedGraphCache::Lookup(uint32_t key) {
+  Shard& shard = shard_of(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) return nullptr;
+  shard.lru.erase(it->second.lru_it);
+  shard.lru.push_front(key);
+  it->second.lru_it = shard.lru.begin();
+  return it->second.entry;
+}
+
+ShardedGraphCache::Claim ShardedGraphCache::BeginLoad(uint32_t key) {
+  Shard& shard = shard_of(key);
+  std::shared_ptr<Flight> flight;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      shard.lru.erase(it->second.lru_it);
+      shard.lru.push_front(key);
+      it->second.lru_it = shard.lru.begin();
+      return {ClaimKind::kHit, it->second.entry, Status::OK()};
+    }
+    auto fit = shard.flights.find(key);
+    if (fit == shard.flights.end()) {
+      shard.flights.emplace(key, std::make_shared<Flight>());
+      return {ClaimKind::kOwner, nullptr, Status::OK()};
+    }
+    flight = fit->second;
+  }
+  // Another thread is decoding this graph: wait for its ticket instead of
+  // duplicating the decode (singleflight).
+  std::unique_lock<std::mutex> lock(flight->mu);
+  flight->cv.wait(lock, [&] { return flight->done; });
+  if (!flight->status.ok()) {
+    return {ClaimKind::kFailed, nullptr, flight->status};
+  }
+  return {ClaimKind::kHit, flight->entry, Status::OK()};
+}
+
+std::vector<uint32_t> ShardedGraphCache::ClaimRange(uint32_t first,
+                                                    uint32_t last) {
+  std::vector<uint32_t> claimed;
+  for (uint32_t key = first; key <= last; ++key) {
+    Shard& shard = shard_of(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.map.find(key) != shard.map.end()) continue;
+    if (shard.flights.find(key) != shard.flights.end()) continue;
+    shard.flights.emplace(key, std::make_shared<Flight>());
+    claimed.push_back(key);
+  }
+  return claimed;
+}
+
+std::shared_ptr<ShardedGraphCache::Flight> ShardedGraphCache::TakeFlight(
+    Shard& shard, uint32_t key) {
+  auto it = shard.flights.find(key);
+  if (it == shard.flights.end()) return nullptr;
+  auto flight = std::move(it->second);
+  shard.flights.erase(it);
+  return flight;
+}
+
+ShardedGraphCache::EntryPtr ShardedGraphCache::Publish(uint32_t key,
+                                                       Entry&& entry) {
+  auto shared = std::make_shared<const Entry>(std::move(entry));
+  Shard& shard = shard_of(key);
+  std::shared_ptr<Flight> flight;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    flight = TakeFlight(shard, key);
+    if (shard.map.find(key) == shard.map.end()) {
+      shard.lru.push_front(key);
+      shard.map.emplace(key, Node{shared, shard.lru.begin()});
+      shard.used += shared->bytes;
+      if (event_) event_(key, true);
+      EvictToBudget(shard);
+    }
+  }
+  if (flight) {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->done = true;
+    flight->entry = shared;
+    flight->cv.notify_all();
+  }
+  return shared;
+}
+
+void ShardedGraphCache::Abort(uint32_t key, const Status& status) {
+  Shard& shard = shard_of(key);
+  std::shared_ptr<Flight> flight;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    flight = TakeFlight(shard, key);
+  }
+  if (flight) {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->done = true;
+    flight->status = status.ok() ? Status::Internal("load aborted") : status;
+    flight->cv.notify_all();
+  }
+}
+
+void ShardedGraphCache::EvictToBudget(Shard& shard) {
+  // Keep at least the most recent entry: an entry larger than the whole
+  // shard slice would otherwise be evicted on every insert and the shard
+  // would never serve a hit.
+  const size_t limit = shard_budget();
+  while (shard.used > limit && shard.lru.size() > 1) {
+    uint32_t victim = shard.lru.back();
+    shard.lru.pop_back();
+    auto it = shard.map.find(victim);
+    shard.used -= it->second.entry->bytes;
+    if (event_) event_(victim, false);
+    shard.map.erase(it);
+  }
+}
+
+}  // namespace wg

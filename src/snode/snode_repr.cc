@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <functional>
 #include <map>
+#include <unordered_map>
 
 #include "storage/serial.h"
 #include "util/coding.h"
-#include <unordered_map>
 
 namespace wg {
 
@@ -16,7 +16,9 @@ Result<std::unique_ptr<SNodeRepr>> SNodeRepr::Build(
   std::unique_ptr<SNodeRepr> repr(new SNodeRepr());
   repr->options_ = options;
   repr->base_path_ = base_path;
-  repr->buffer_budget_ = options.buffer_bytes;
+  repr->cache_ = std::make_unique<ShardedGraphCache>(options.cache_shards,
+                                                     options.buffer_bytes);
+  repr->InstallLoadLogListener();
   repr->num_edges_ = graph.num_edges();
 
   // 1. Iterative partition refinement (elements come out URL-sorted).
@@ -155,7 +157,9 @@ Result<std::unique_ptr<SNodeRepr>> SNodeRepr::Open(
   std::unique_ptr<SNodeRepr> repr(new SNodeRepr());
   repr->options_ = options;
   repr->base_path_ = base_path;
-  repr->buffer_budget_ = options.buffer_bytes;
+  repr->cache_ = std::make_unique<ShardedGraphCache>(options.cache_shards,
+                                                     options.buffer_bytes);
+  repr->InstallLoadLogListener();
 
   uint64_t num_pages = 0;
   if (!cursor.ReadVarint64(&num_pages) ||
@@ -249,64 +253,85 @@ Result<std::unique_ptr<SNodeRepr>> SNodeRepr::Open(
   return repr;
 }
 
-Result<const IntranodeGraph*> SNodeRepr::FetchIntranode(uint32_t supernode) {
+void SNodeRepr::InstallLoadLogListener() {
+  if (!options_.record_load_log) return;
+  cache_->set_event_listener([this](uint32_t blob_id, bool load) {
+    std::lock_guard<std::mutex> lock(log_mutex_);
+    load_log_.push_back({blob_id, load});
+  });
+}
+
+Status SNodeRepr::DecodeSectionBlob(uint32_t blob_id, uint32_t supernode,
+                                    uint32_t first_blob,
+                                    const std::vector<uint8_t>& raw,
+                                    ShardedGraphCache::Entry* entry) {
+  if (blob_id == first_blob) {
+    entry->intranode = std::make_unique<IntranodeGraph>();
+    WG_RETURN_IF_ERROR(DecodeIntranode(raw, entry->intranode.get()));
+    entry->bytes = entry->intranode->MemoryUsage();
+  } else {
+    // The builder lays the section out contiguously, so the (blob_id -
+    // first_blob - 1)-th outgoing superedge graph of `supernode`.
+    uint32_t edge_index =
+        supernodes_.offsets[supernode] + (blob_id - first_blob - 1);
+    entry->superedge = std::make_unique<SuperedgeGraph>();
+    WG_RETURN_IF_ERROR(DecodeSuperedge(
+        raw, supernodes_.pages_in(supernode),
+        supernodes_.pages_in(supernodes_.targets[edge_index]),
+        entry->superedge.get()));
+    entry->bytes = entry->superedge->MemoryUsage();
+  }
+  return Status::OK();
+}
+
+Result<SNodeRepr::EntryPtr> SNodeRepr::LoadBlob(uint32_t blob_id,
+                                                uint32_t supernode,
+                                                uint32_t first_blob) {
+  ShardedGraphCache::Claim claim = cache_->BeginLoad(blob_id);
+  if (claim.kind == ShardedGraphCache::ClaimKind::kHit) {
+    // Cached, or another thread's singleflight decode completed while we
+    // waited: either way no decode work was duplicated.
+    ++stats_.cache_hits;
+    return claim.entry;
+  }
+  if (claim.kind == ShardedGraphCache::ClaimKind::kFailed) {
+    return claim.status;
+  }
+  ++stats_.cache_misses;
+  std::vector<uint8_t> raw;
+  {
+    std::lock_guard<std::mutex> lock(io_mutex_);
+    Status read = store_->ReadBlob(blob_id, &raw);
+    if (!read.ok()) {
+      cache_->Abort(blob_id, read);
+      return read;
+    }
+    stats_.disk_reads += 1;
+    disk_tracker_.Absorb(store_->seek_ops(), store_->transferred_bytes(),
+                         &stats_);
+  }
+  stats_.bytes_read += raw.size();
+  ++stats_.graphs_loaded;
+  ShardedGraphCache::Entry entry;
+  Status decoded = DecodeSectionBlob(blob_id, supernode, first_blob, raw,
+                                     &entry);
+  if (!decoded.ok()) {
+    cache_->Abort(blob_id, decoded);
+    return decoded;
+  }
+  return cache_->Publish(blob_id, std::move(entry));
+}
+
+Result<SNodeRepr::EntryPtr> SNodeRepr::FetchIntranode(uint32_t supernode) {
   uint32_t blob_id = supernodes_.intranode_blob[supernode];
-  auto it = cache_.find(blob_id);
-  if (it != cache_.end()) {
-    ++stats_.cache_hits;
-    lru_.erase(it->second.lru_it);
-    lru_.push_front(blob_id);
-    it->second.lru_it = lru_.begin();
-    return const_cast<const IntranodeGraph*>(it->second.intranode.get());
-  }
-  ++stats_.cache_misses;
-  ++stats_.graphs_loaded;
-  std::vector<uint8_t> blob;
-  WG_RETURN_IF_ERROR(store_->ReadBlob(blob_id, &blob));
-  stats_.disk_reads += 1;
-  stats_.bytes_read += blob.size();
-  disk_tracker_.Absorb(store_->seek_ops(), store_->transferred_bytes(),
-                       &stats_);
-  CachedGraph entry;
-  entry.intranode = std::make_unique<IntranodeGraph>();
-  WG_RETURN_IF_ERROR(DecodeIntranode(blob, entry.intranode.get()));
-  entry.bytes = entry.intranode->MemoryUsage();
-  const IntranodeGraph* result = entry.intranode.get();
-  WG_RETURN_IF_ERROR(InsertCached(blob_id, std::move(entry)));
-  return result;
+  return LoadBlob(blob_id, supernode, blob_id);
 }
 
-Result<const SuperedgeGraph*> SNodeRepr::FetchSuperedge(
+Result<SNodeRepr::EntryPtr> SNodeRepr::FetchSuperedge(
     uint32_t source_supernode, uint32_t edge_index) {
-  uint32_t blob_id = supernodes_.superedge_blob[edge_index];
-  auto it = cache_.find(blob_id);
-  if (it != cache_.end()) {
-    ++stats_.cache_hits;
-    lru_.erase(it->second.lru_it);
-    lru_.push_front(blob_id);
-    it->second.lru_it = lru_.begin();
-    return const_cast<const SuperedgeGraph*>(it->second.superedge.get());
-  }
-  ++stats_.cache_misses;
-  ++stats_.graphs_loaded;
-  std::vector<uint8_t> blob;
-  WG_RETURN_IF_ERROR(store_->ReadBlob(blob_id, &blob));
-  stats_.disk_reads += 1;
-  stats_.bytes_read += blob.size();
-  disk_tracker_.Absorb(store_->seek_ops(), store_->transferred_bytes(),
-                       &stats_);
-  CachedGraph entry;
-  entry.superedge = std::make_unique<SuperedgeGraph>();
-  WG_RETURN_IF_ERROR(DecodeSuperedge(
-      blob, supernodes_.pages_in(source_supernode),
-      supernodes_.pages_in(supernodes_.targets[edge_index]),
-      entry.superedge.get()));
-  entry.bytes = entry.superedge->MemoryUsage();
-  const SuperedgeGraph* result = entry.superedge.get();
-  WG_RETURN_IF_ERROR(InsertCached(blob_id, std::move(entry)));
-  return result;
+  return LoadBlob(supernodes_.superedge_blob[edge_index], source_supernode,
+                  supernodes_.intranode_blob[source_supernode]);
 }
-
 
 bool SNodeRepr::SectionWorthPrefetching(uint32_t supernode,
                                         size_t graphs_needed) const {
@@ -322,82 +347,57 @@ Status SNodeRepr::PrefetchSection(uint32_t supernode) {
   uint32_t first = supernodes_.intranode_blob[supernode];
   uint32_t last = first + (supernodes_.offsets[supernode + 1] -
                            supernodes_.offsets[supernode]);
-  // Skip the read if everything is already cached.
-  bool all_cached = true;
-  for (uint32_t id = first; id <= last; ++id) {
-    if (cache_.find(id) == cache_.end()) {
-      all_cached = false;
-      break;
-    }
-  }
-  if (all_cached) return Status::OK();
+  // Claim the blobs this thread will decode; blobs already cached or in
+  // flight on another thread are skipped (their owners publish them).
+  std::vector<uint32_t> claimed = cache_->ClaimRange(first, last);
+  if (claimed.empty()) return Status::OK();
   std::vector<std::vector<uint8_t>> blobs;
-  WG_RETURN_IF_ERROR(store_->ReadBlobRange(first, last, &blobs));
-  stats_.disk_reads += 1;
-  disk_tracker_.Absorb(store_->seek_ops(), store_->transferred_bytes(),
-                       &stats_);
-  for (uint32_t id = first; id <= last; ++id) {
-    if (cache_.find(id) != cache_.end()) continue;
+  {
+    std::lock_guard<std::mutex> lock(io_mutex_);
+    Status read = store_->ReadBlobRange(first, last, &blobs);
+    if (!read.ok()) {
+      for (uint32_t id : claimed) cache_->Abort(id, read);
+      return read;
+    }
+    stats_.disk_reads += 1;
+    disk_tracker_.Absorb(store_->seek_ops(), store_->transferred_bytes(),
+                         &stats_);
+  }
+  for (size_t i = 0; i < claimed.size(); ++i) {
+    uint32_t id = claimed[i];
     stats_.bytes_read += blobs[id - first].size();
     ++stats_.graphs_loaded;
-    CachedGraph entry;
-    if (id == first) {
-      entry.intranode = std::make_unique<IntranodeGraph>();
-      WG_RETURN_IF_ERROR(
-          DecodeIntranode(blobs[id - first], entry.intranode.get()));
-      entry.bytes = entry.intranode->MemoryUsage();
-    } else {
-      uint32_t edge_index = supernodes_.offsets[supernode] + (id - first - 1);
-      entry.superedge = std::make_unique<SuperedgeGraph>();
-      WG_RETURN_IF_ERROR(DecodeSuperedge(
-          blobs[id - first], supernodes_.pages_in(supernode),
-          supernodes_.pages_in(supernodes_.targets[edge_index]),
-          entry.superedge.get()));
-      entry.bytes = entry.superedge->MemoryUsage();
+    ShardedGraphCache::Entry entry;
+    Status decoded =
+        DecodeSectionBlob(id, supernode, first, blobs[id - first], &entry);
+    if (!decoded.ok()) {
+      for (size_t j = i; j < claimed.size(); ++j) {
+        cache_->Abort(claimed[j], decoded);
+      }
+      return decoded;
     }
-    WG_RETURN_IF_ERROR(InsertCached(id, std::move(entry)));
+    cache_->Publish(id, std::move(entry));
   }
   return Status::OK();
 }
 
-Status SNodeRepr::InsertCached(uint32_t blob_id, CachedGraph&& entry) {
-  if (options_.record_load_log) load_log_.push_back({blob_id, true});
-  buffer_used_ += entry.bytes;
-  lru_.push_front(blob_id);
-  entry.lru_it = lru_.begin();
-  cache_.emplace(blob_id, std::move(entry));
-  EvictToBudget();
-  return Status::OK();
+std::vector<SNodeRepr::LoadEvent> SNodeRepr::load_log() const {
+  std::lock_guard<std::mutex> lock(log_mutex_);
+  return load_log_;
 }
 
-void SNodeRepr::EvictToBudget() {
-  // Never evict the entry just inserted (front of the LRU): the caller
-  // holds a raw pointer into it.
-  while (buffer_used_ > buffer_budget_ && lru_.size() > 1) {
-    uint32_t victim = lru_.back();
-    lru_.pop_back();
-    auto it = cache_.find(victim);
-    buffer_used_ -= it->second.bytes;
-    if (options_.record_load_log) load_log_.push_back({victim, false});
-    cache_.erase(it);
-  }
-}
-
-void SNodeRepr::set_buffer_budget(size_t bytes) {
-  buffer_budget_ = bytes;
-  EvictToBudget();
-}
-
-void SNodeRepr::ClearCache() {
-  cache_.clear();
-  lru_.clear();
-  buffer_used_ = 0;
+void SNodeRepr::ClearLoadLog() {
+  std::lock_guard<std::mutex> lock(log_mutex_);
+  load_log_.clear();
 }
 
 size_t SNodeRepr::DistinctGraphsLoaded() const {
   std::vector<uint32_t> ids;
-  for (const auto& event : load_log_) {
-    if (event.load) ids.push_back(event.blob_id);
+  {
+    std::lock_guard<std::mutex> lock(log_mutex_);
+    for (const auto& event : load_log_) {
+      if (event.load) ids.push_back(event.blob_id);
+    }
   }
   std::sort(ids.begin(), ids.end());
   ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
@@ -419,8 +419,10 @@ Status SNodeRepr::GetLinks(PageId p, std::vector<PageId>* out) {
   // sequential read.
   WG_RETURN_IF_ERROR(PrefetchSection(s));
 
-  // Intranode links.
-  WG_ASSIGN_OR_RETURN(const IntranodeGraph* intra, FetchIntranode(s));
+  // Intranode links. The EntryPtr pins the decoded graph against
+  // concurrent eviction while we walk it.
+  WG_ASSIGN_OR_RETURN(EntryPtr intra_entry, FetchIntranode(s));
+  const IntranodeGraph* intra = intra_entry->intranode.get();
   for (uint32_t i = intra->offsets[local]; i < intra->offsets[local + 1];
        ++i) {
     out->push_back(orig_of_new_[base + intra->targets[i]]);
@@ -430,7 +432,8 @@ Status SNodeRepr::GetLinks(PageId p, std::vector<PageId>* out) {
   std::vector<uint32_t> cross;
   for (uint32_t e = supernodes_.offsets[s]; e < supernodes_.offsets[s + 1];
        ++e) {
-    WG_ASSIGN_OR_RETURN(const SuperedgeGraph* se, FetchSuperedge(s, e));
+    WG_ASSIGN_OR_RETURN(EntryPtr se_entry, FetchSuperedge(s, e));
+    const SuperedgeGraph* se = se_entry->superedge.get();
     cross.clear();
     se->LinksOf(local, &cross);
     uint32_t tbase = supernodes_.page_start[supernodes_.targets[e]];
@@ -483,7 +486,8 @@ Status SNodeRepr::VisitLinksInto(
 
     auto allowed_it = allowed.find(s);
     if (allowed_it != allowed.end()) {
-      WG_ASSIGN_OR_RETURN(const IntranodeGraph* intra, FetchIntranode(s));
+      WG_ASSIGN_OR_RETURN(EntryPtr intra_entry, FetchIntranode(s));
+      const IntranodeGraph* intra = intra_entry->intranode.get();
       const auto& locals = allowed_it->second;
       for (uint32_t i = intra->offsets[local]; i < intra->offsets[local + 1];
            ++i) {
@@ -498,7 +502,8 @@ Status SNodeRepr::VisitLinksInto(
       uint32_t j = supernodes_.targets[e];
       auto jt = allowed.find(j);
       if (jt == allowed.end()) continue;  // pushdown: skip this graph
-      WG_ASSIGN_OR_RETURN(const SuperedgeGraph* se, FetchSuperedge(s, e));
+      WG_ASSIGN_OR_RETURN(EntryPtr se_entry, FetchSuperedge(s, e));
+      const SuperedgeGraph* se = se_entry->superedge.get();
       cross.clear();
       se->LinksOf(local, &cross);
       uint32_t tbase = supernodes_.page_start[j];
@@ -542,7 +547,7 @@ uint64_t SNodeRepr::encoded_bits() const {
 size_t SNodeRepr::resident_memory() const {
   return (new_of_orig_.size() + orig_of_new_.size()) * sizeof(PageId) +
          supernodes_.MemoryUsage() + store_->DirectoryMemoryUsage() +
-         buffer_used_;
+         cache_->bytes_used();
 }
 
 }  // namespace wg

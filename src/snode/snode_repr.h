@@ -1,14 +1,14 @@
 #ifndef WG_SNODE_SNODE_REPR_H_
 #define WG_SNODE_SNODE_REPR_H_
 
-#include <list>
 #include <memory>
+#include <mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "repr/representation.h"
 #include "snode/codecs.h"
+#include "snode/graph_cache.h"
 #include "snode/refinement.h"
 #include "snode/supernode_graph.h"
 #include "storage/graph_store.h"
@@ -21,8 +21,16 @@
 // Resident (pinned) state: the supernode graph, the PageID range index,
 // the domain index, and the crawl-order <-> S-Node-order permutations.
 // Lower-level graphs live in the GraphStore on disk and are decoded into a
-// byte-budgeted LRU cache on demand; every load/evict can be recorded (the
-// instrumentation the paper used to explain Figures 11/12).
+// byte-budgeted sharded LRU cache on demand; every load/evict can be
+// recorded (the instrumentation the paper used to explain Figures 11/12).
+//
+// Concurrency: after Build/Open, the read path (GetLinks, VisitLinksInto,
+// PagesInDomain) is safe to call from many threads at once -- this is what
+// the server/QueryService worker pool relies on. The resident structures
+// are immutable; the decoded-graph cache is sharded and singleflighted
+// (snode/graph_cache.h); store I/O and the disk-model tracker are
+// serialized behind io_mutex_ (one spindle in the paper's disk model);
+// ReprStats counters are atomics.
 
 namespace wg {
 
@@ -33,6 +41,9 @@ struct SNodeBuildOptions {
   GraphStore::Options store;
   // Budget for decoded lower-level graphs.
   size_t buffer_bytes = 4 << 20;
+  // Lock shards of the decoded-graph cache (concurrent readers contend
+  // only when their graphs hash to the same shard).
+  size_t cache_shards = 8;
   bool record_load_log = false;
 };
 
@@ -83,16 +94,17 @@ class SNodeRepr : public GraphRepresentation {
   const GraphStore& store() const { return *store_; }
 
   // Decoded-graph cache controls (Figure 12 sweeps the budget).
-  void set_buffer_budget(size_t bytes);
-  size_t buffer_budget() const { return buffer_budget_; }
+  void set_buffer_budget(size_t bytes) { cache_->set_budget(bytes); }
+  size_t buffer_budget() const { return cache_->budget(); }
 
   struct LoadEvent {
     uint32_t blob_id;
     bool load;  // false = evict
   };
-  const std::vector<LoadEvent>& load_log() const { return load_log_; }
-  void ClearLoadLog() { load_log_.clear(); }
-  void ClearCache();
+  // Snapshot of the load/evict log (copy: the log may grow concurrently).
+  std::vector<LoadEvent> load_log() const;
+  void ClearLoadLog();
+  void ClearCache() { cache_->Clear(); }
   void ClearBuffers() override { ClearCache(); }
 
   // Distinct lower-level graphs touched since the last ClearLoadLog (the
@@ -102,30 +114,37 @@ class SNodeRepr : public GraphRepresentation {
  private:
   SNodeRepr() = default;
 
-  struct CachedGraph {
-    // Exactly one is set.
-    std::unique_ptr<IntranodeGraph> intranode;
-    std::unique_ptr<SuperedgeGraph> superedge;
-    size_t bytes = 0;
-    std::list<uint32_t>::iterator lru_it;
-  };
+  using EntryPtr = ShardedGraphCache::EntryPtr;
 
-  Result<const IntranodeGraph*> FetchIntranode(uint32_t supernode);
-  Result<const SuperedgeGraph*> FetchSuperedge(uint32_t source_supernode,
-                                               uint32_t edge_index);
+  // Read-through fetches: cache hit, wait on another thread's in-flight
+  // decode, or claim + decode. The returned shared_ptr pins the decoded
+  // graph for the caller regardless of concurrent eviction.
+  Result<EntryPtr> FetchIntranode(uint32_t supernode);
+  Result<EntryPtr> FetchSuperedge(uint32_t source_supernode,
+                                  uint32_t edge_index);
+  Result<EntryPtr> LoadBlob(uint32_t blob_id, uint32_t supernode,
+                            uint32_t first_blob);
 
   // Loads a supernode's whole disk section (intranode graph + all its
   // outgoing superedge graphs, which the builder laid out contiguously)
   // with one sequential read, decoding everything into the cache. This is
   // the payoff of the paper's Section 3.3 linear ordering: a query that
-  // needs most of a section pays one seek for it.
+  // needs most of a section pays one seek for it. Under concurrency, only
+  // blobs this thread claimed are decoded here; blobs already in flight
+  // elsewhere are left to their owners.
   Status PrefetchSection(uint32_t supernode);
 
   // True if enough of the section is wanted that a single sequential
   // section read beats per-graph seeks.
   bool SectionWorthPrefetching(uint32_t supernode, size_t graphs_needed) const;
-  Status InsertCached(uint32_t blob_id, CachedGraph&& entry);
-  void EvictToBudget();
+
+  // Decodes store blob `blob_id` of `supernode`'s section (first_blob =
+  // the section's intranode blob id) from `raw` into *entry.
+  Status DecodeSectionBlob(uint32_t blob_id, uint32_t supernode,
+                           uint32_t first_blob, const std::vector<uint8_t>& raw,
+                           ShardedGraphCache::Entry* entry);
+
+  void InstallLoadLogListener();
 
   // Immutable after Build.
   std::string base_path_;
@@ -136,13 +155,18 @@ class SNodeRepr : public GraphRepresentation {
   uint64_t num_edges_ = 0;
   SNodeBuildOptions options_;
 
-  // Decoded-graph LRU cache, keyed by blob id.
-  size_t buffer_budget_ = 0;
-  size_t buffer_used_ = 0;
-  std::unordered_map<uint32_t, CachedGraph> cache_;
-  std::list<uint32_t> lru_;
-  std::vector<LoadEvent> load_log_;
+  // Decoded-graph cache, sharded by blob id (snode/graph_cache.h).
+  // Created in Build/Open once the options are known (shards hold
+  // mutexes, so the cache is not reassignable in place).
+  std::unique_ptr<ShardedGraphCache> cache_;
+
+  // Serializes physical store reads and the monotone disk-model tracker
+  // (the paper's testbed has one disk; concurrent readers queue on it).
+  mutable std::mutex io_mutex_;
   DiskCounterTracker disk_tracker_;
+
+  mutable std::mutex log_mutex_;
+  std::vector<LoadEvent> load_log_;
 };
 
 }  // namespace wg

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "storage/file.h"
+#include "util/atomic_counter.h"
 #include "util/status.h"
 
 // Page-granular storage with an LRU buffer pool. This is the substrate of
@@ -25,11 +26,15 @@ inline constexpr size_t kPageSize = 8192;
 using PageNum = uint32_t;
 inline constexpr PageNum kInvalidPageNum = UINT32_MAX;
 
+// AtomicCounter keeps the counters data-race-free if a future concurrent
+// reader shares the pool; the pager's structural state itself is still
+// single-threaded (see server/ for the concurrent path, which goes through
+// SNodeRepr's sharded cache instead).
 struct PagerStats {
-  uint64_t hits = 0;
-  uint64_t misses = 0;     // buffer-pool misses => physical reads
-  uint64_t evictions = 0;
-  uint64_t writes = 0;     // physical page writes
+  AtomicCounter hits;
+  AtomicCounter misses;     // buffer-pool misses => physical reads
+  AtomicCounter evictions;
+  AtomicCounter writes;     // physical page writes
 };
 
 class Pager;

@@ -1,0 +1,56 @@
+#ifndef WG_UTIL_ATOMIC_COUNTER_H_
+#define WG_UTIL_ATOMIC_COUNTER_H_
+
+#include <atomic>
+#include <cstdint>
+
+// A monotonic statistics counter that is safe to bump from many threads.
+// Drop-in for the plain uint64_t fields of ReprStats/PagerStats: it copies
+// (snapshotting the value), converts implicitly to uint64_t, and supports
+// ++/+=/= exactly like the integer it replaces. All operations are relaxed:
+// these are observability counters, never used for synchronization.
+
+namespace wg {
+
+class AtomicCounter {
+ public:
+  AtomicCounter(uint64_t v = 0) noexcept : v_(v) {}  // NOLINT
+
+  AtomicCounter(const AtomicCounter& other) noexcept : v_(other.value()) {}
+  AtomicCounter& operator=(const AtomicCounter& other) noexcept {
+    v_.store(other.value(), std::memory_order_relaxed);
+    return *this;
+  }
+  AtomicCounter& operator=(uint64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+
+  uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  operator uint64_t() const noexcept { return value(); }  // NOLINT
+
+  AtomicCounter& operator++() noexcept {
+    v_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  uint64_t operator++(int) noexcept {
+    return v_.fetch_add(1, std::memory_order_relaxed);
+  }
+  AtomicCounter& operator+=(uint64_t d) noexcept {
+    v_.fetch_add(d, std::memory_order_relaxed);
+    return *this;
+  }
+  AtomicCounter& operator-=(uint64_t d) noexcept {
+    v_.fetch_sub(d, std::memory_order_relaxed);
+    return *this;
+  }
+
+ private:
+  std::atomic<uint64_t> v_;
+};
+
+}  // namespace wg
+
+#endif  // WG_UTIL_ATOMIC_COUNTER_H_

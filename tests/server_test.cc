@@ -1,0 +1,441 @@
+#include <algorithm>
+#include <atomic>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/generator.h"
+#include "server/bounded_queue.h"
+#include "server/metrics.h"
+#include "server/query_service.h"
+#include "server/workload.h"
+#include "snode/snode_repr.h"
+#include "storage/file.h"
+#include "text/corpus.h"
+#include "text/inverted_index.h"
+#include "text/pagerank.h"
+
+namespace wg {
+namespace {
+
+using server::BoundedQueue;
+using server::LatencyHistogram;
+using server::QueryService;
+using server::QueryServiceOptions;
+using server::Request;
+using server::RequestType;
+using server::Response;
+using server::ResponseCode;
+
+std::string TempPath(const std::string& name) {
+  static int counter = 0;
+  std::string dir =
+      testing::TempDir() + "wg_server_" + std::to_string(getpid());
+  WG_CHECK(EnsureDirectory(dir).ok());
+  return dir + "/" + name + std::to_string(counter++);
+}
+
+// ---------- BoundedQueue ----------
+
+TEST(BoundedQueueTest, RefusesWhenFullAndDrainsOnClose) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));  // full
+  queue.Close();
+  EXPECT_FALSE(queue.TryPush(4));  // closed
+  int v = 0;
+  EXPECT_TRUE(queue.Pop(&v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(queue.Pop(&v));
+  EXPECT_EQ(v, 2);
+  EXPECT_FALSE(queue.Pop(&v));  // drained + closed
+}
+
+TEST(BoundedQueueTest, ManyProducersManyConsumersDeliverEverything) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 2000;
+  BoundedQueue<int> queue(64);
+  std::atomic<int64_t> sum{0};
+  std::atomic<int> popped{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      int v;
+      while (queue.Pop(&v)) {
+        sum.fetch_add(v);
+        popped.fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        int v = p * kPerProducer + i;
+        while (!queue.TryPush(std::move(v))) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  queue.Close();
+  for (auto& t : threads) t.join();
+  int total = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), total);
+  EXPECT_EQ(sum.load(), static_cast<int64_t>(total) * (total - 1) / 2);
+}
+
+// ---------- LatencyHistogram ----------
+
+TEST(LatencyHistogramTest, QuantilesAreOrderedAndBracketSamples) {
+  LatencyHistogram hist;
+  for (int i = 0; i < 99; ++i) hist.Record(100e-6);  // ~100us
+  hist.Record(50e-3);                                // one 50ms outlier
+  EXPECT_EQ(hist.count(), 100u);
+  double p50 = hist.Quantile(0.5);
+  double p99 = hist.Quantile(0.99);
+  EXPECT_LE(p50, p99);
+  EXPECT_GE(p50, 100e-6 / 2);
+  EXPECT_LE(p50, 1e-3);
+  EXPECT_GE(p99, 25e-3);
+}
+
+// ---------- Workload ----------
+
+TEST(WorkloadTest, SyntheticIsDeterministicAndInRange) {
+  server::WorkloadOptions opts;
+  opts.num_requests = 500;
+  opts.num_pages = 1234;
+  auto a = server::SyntheticWorkload(opts);
+  auto b = server::SyntheticWorkload(opts);
+  ASSERT_EQ(a.size(), 500u);
+  bool saw_out = false, saw_in = false, saw_khop = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].type, b[i].type);
+    EXPECT_EQ(a[i].page, b[i].page);
+    EXPECT_LT(a[i].page, opts.num_pages);
+    saw_out |= a[i].type == RequestType::kOutNeighbors;
+    saw_in |= a[i].type == RequestType::kInNeighbors;
+    saw_khop |= a[i].type == RequestType::kKHop;
+  }
+  EXPECT_TRUE(saw_out);
+  EXPECT_TRUE(saw_in);
+  EXPECT_TRUE(saw_khop);
+}
+
+TEST(WorkloadTest, ParsesRequestFileAndRejectsGarbage) {
+  std::string path = TempPath("reqs");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("# comment\nout 7\nin 9\nkhop 3 2\nquery 4\n\n", f);
+  std::fclose(f);
+  auto parsed = server::ParseRequestFile(path, 100);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().size(), 4u);
+  EXPECT_EQ(parsed.value()[0].type, RequestType::kOutNeighbors);
+  EXPECT_EQ(parsed.value()[0].page, 7u);
+  EXPECT_EQ(parsed.value()[2].k, 2);
+  EXPECT_EQ(parsed.value()[3].query_number, 4);
+
+  std::string bad_path = TempPath("bad_reqs");
+  f = std::fopen(bad_path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("out 7\nfrobnicate 1\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(server::ParseRequestFile(bad_path, 100).ok());
+  // Out-of-range page ids are rejected too.
+  f = std::fopen(bad_path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("out 100\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(server::ParseRequestFile(bad_path, 100).ok());
+}
+
+// ---------- QueryService over a shared SNodeRepr ----------
+
+// One graph + forward/backward S-Node representations + text stack,
+// shared by all service tests (building is the expensive part).
+class ServerEnv {
+ public:
+  static ServerEnv& Get() {
+    static ServerEnv* env = new ServerEnv();
+    return *env;
+  }
+
+  QueryContext Context() {
+    QueryContext ctx;
+    ctx.forward = forward.get();
+    ctx.backward = backward.get();
+    ctx.graph = &graph;
+    ctx.corpus = &corpus;
+    ctx.index = &index;
+    ctx.pagerank = &pagerank;
+    return ctx;
+  }
+
+  WebGraph graph;
+  WebGraph transpose;
+  Corpus corpus;
+  InvertedIndex index;
+  std::vector<double> pagerank;
+  std::unique_ptr<SNodeRepr> forward;
+  std::unique_ptr<SNodeRepr> backward;
+
+ private:
+  ServerEnv() {
+    GeneratorOptions gopts;
+    gopts.num_pages = 6000;
+    gopts.seed = 71;
+    graph = GenerateWebGraph(gopts);
+    transpose = graph.Transpose();
+    corpus = Corpus::Generate(graph, CorpusOptions());
+    index = InvertedIndex::Build(corpus);
+    pagerank = ComputePageRank(graph);
+    SNodeBuildOptions opts;
+    // Small enough to force evictions while the pool is serving.
+    opts.buffer_bytes = 256 << 10;
+    auto fwd = SNodeRepr::Build(graph, TempPath("srv_f"), opts);
+    auto bwd = SNodeRepr::Build(transpose, TempPath("srv_b"), opts);
+    WG_CHECK(fwd.ok() && bwd.ok());
+    forward = std::move(fwd).value();
+    backward = std::move(bwd).value();
+  }
+};
+
+std::vector<PageId> GroundTruthKHop(const WebGraph& graph, PageId start,
+                                    int k) {
+  std::vector<uint8_t> seen(graph.num_pages(), 0);
+  std::vector<PageId> frontier = {start}, next, result;
+  seen[start] = 1;
+  for (int hop = 0; hop < k && !frontier.empty(); ++hop) {
+    next.clear();
+    for (PageId p : frontier) {
+      for (PageId q : graph.OutLinks(p)) {
+        if (!seen[q]) {
+          seen[q] = 1;
+          next.push_back(q);
+          result.push_back(q);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+TEST(QueryServiceTest, ConcurrentMixedQueriesMatchGroundTruth) {
+  ServerEnv& env = ServerEnv::Get();
+  QueryServiceOptions opts;
+  opts.num_workers = 4;
+  opts.queue_capacity = 4096;
+  QueryService service(env.Context(), opts);
+
+  server::WorkloadOptions wopts;
+  wopts.num_requests = 1500;
+  wopts.num_pages = env.graph.num_pages();
+  wopts.seed = 7;
+  std::vector<Request> requests = server::SyntheticWorkload(wopts);
+
+  std::vector<std::future<Response>> futures;
+  futures.reserve(requests.size());
+  for (const Request& request : requests) {
+    futures.push_back(service.Submit(request));
+  }
+  for (size_t i = 0; i < requests.size(); ++i) {
+    Response response = futures[i].get();
+    ASSERT_EQ(response.code, ResponseCode::kOk)
+        << "request " << i << ": " << response.status.ToString();
+    const Request& request = requests[i];
+    switch (request.type) {
+      case RequestType::kOutNeighbors: {
+        auto expected = env.graph.OutLinks(request.page);
+        ASSERT_EQ(response.pages.size(), expected.size()) << "request " << i;
+        EXPECT_TRUE(std::equal(response.pages.begin(), response.pages.end(),
+                               expected.begin()))
+            << "request " << i;
+        break;
+      }
+      case RequestType::kInNeighbors: {
+        auto expected = env.transpose.OutLinks(request.page);
+        ASSERT_EQ(response.pages.size(), expected.size()) << "request " << i;
+        EXPECT_TRUE(std::equal(response.pages.begin(), response.pages.end(),
+                               expected.begin()))
+            << "request " << i;
+        break;
+      }
+      case RequestType::kKHop:
+        EXPECT_EQ(response.pages,
+                  GroundTruthKHop(env.graph, request.page, request.k))
+            << "request " << i;
+        break;
+      case RequestType::kComplexQuery:
+        break;  // not in the synthetic mix
+    }
+  }
+  server::ServiceMetrics metrics = service.Snapshot();
+  EXPECT_EQ(metrics.submitted, requests.size());
+  EXPECT_EQ(metrics.completed, requests.size());
+  EXPECT_EQ(metrics.rejected, 0u);
+  EXPECT_LE(metrics.p50_seconds, metrics.p99_seconds);
+  EXPECT_GT(metrics.cache_hits, 0u);
+}
+
+TEST(QueryServiceTest, ConcurrentComplexQueriesMatchSingleThreadedRun) {
+  ServerEnv& env = ServerEnv::Get();
+  QueryServiceOptions opts;
+  opts.num_workers = 4;
+  QueryService service(env.Context(), opts);
+
+  // Single-threaded reference results via the inline path.
+  std::vector<QueryResult> reference;
+  for (int q = 1; q <= kNumQueries; ++q) {
+    Request request;
+    request.type = RequestType::kComplexQuery;
+    request.query_number = q;
+    Response response = service.Execute(request);
+    ASSERT_EQ(response.code, ResponseCode::kOk)
+        << "query " << q << ": " << response.status.ToString();
+    reference.push_back(std::move(response.query));
+  }
+
+  // All six queries, three rounds each, racing on the same two reprs.
+  std::vector<std::future<Response>> futures;
+  std::vector<int> numbers;
+  for (int round = 0; round < 3; ++round) {
+    for (int q = 1; q <= kNumQueries; ++q) {
+      Request request;
+      request.type = RequestType::kComplexQuery;
+      request.query_number = q;
+      numbers.push_back(q);
+      futures.push_back(service.Submit(request));
+    }
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    Response response = futures[i].get();
+    ASSERT_EQ(response.code, ResponseCode::kOk) << "query " << numbers[i];
+    EXPECT_EQ(response.query.ranked, reference[numbers[i] - 1].ranked)
+        << "query " << numbers[i];
+  }
+}
+
+TEST(QueryServiceTest, SingleflightDecodesEachGraphOnce) {
+  // A fresh repr so stats/caches are exclusively ours.
+  ServerEnv& env = ServerEnv::Get();
+  auto built = SNodeRepr::Build(env.graph, TempPath("srv_sf"), {});
+  ASSERT_TRUE(built.ok());
+  std::unique_ptr<SNodeRepr> repr = std::move(built).value();
+
+  // The whole section of page 42's supernode: 1 intranode graph + one
+  // superedge graph per outgoing superedge.
+  const SupernodeGraph& sg = repr->supernode_graph();
+  uint32_t s = sg.SupernodeOf(static_cast<PageId>(repr->LocalityKey(42)));
+  uint64_t section_graphs = 1 + (sg.offsets[s + 1] - sg.offsets[s]);
+
+  QueryContext ctx;
+  ctx.forward = repr.get();
+  QueryServiceOptions opts;
+  opts.num_workers = 8;
+  QueryService service(ctx, opts);
+
+  // 32 concurrent identical requests; without singleflight, racing misses
+  // would decode the same lower-level graphs repeatedly.
+  Request request;
+  request.type = RequestType::kOutNeighbors;
+  request.page = 42;
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 32; ++i) futures.push_back(service.Submit(request));
+  std::vector<PageId> expected(env.graph.OutLinks(42).begin(),
+                               env.graph.OutLinks(42).end());
+  for (auto& future : futures) {
+    Response response = future.get();
+    ASSERT_EQ(response.code, ResponseCode::kOk);
+    EXPECT_EQ(response.pages, expected);
+  }
+  EXPECT_EQ(repr->stats().graphs_loaded, section_graphs);
+  EXPECT_EQ(repr->stats().cache_misses + repr->stats().cache_hits,
+            32u * section_graphs);
+}
+
+TEST(QueryServiceTest, QueueFullRequestsAreRejectedWithStatus) {
+  ServerEnv& env = ServerEnv::Get();
+  QueryServiceOptions opts;
+  opts.num_workers = 1;
+  opts.queue_capacity = 2;
+  QueryService service(env.Context(), opts);
+
+  // The worker parks on the first request for 200ms; the queue holds two
+  // more; everything past that must be refused at admission.
+  Request slow;
+  slow.type = RequestType::kOutNeighbors;
+  slow.page = 1;
+  slow.simulated_work = std::chrono::milliseconds(200);
+  std::vector<std::future<Response>> futures;
+  futures.push_back(service.Submit(slow));
+  Request fast;
+  fast.type = RequestType::kOutNeighbors;
+  fast.page = 2;
+  for (int i = 0; i < 8; ++i) futures.push_back(service.Submit(fast));
+
+  size_t rejected = 0, ok = 0;
+  for (auto& future : futures) {
+    Response response = future.get();
+    if (response.code == ResponseCode::kRejected) {
+      ++rejected;
+    } else {
+      ASSERT_EQ(response.code, ResponseCode::kOk);
+      ++ok;
+    }
+  }
+  EXPECT_GE(rejected, 6u);  // capacity 2 + the in-flight slow request
+  EXPECT_GE(ok, 1u);
+  server::ServiceMetrics metrics = service.Snapshot();
+  EXPECT_EQ(metrics.rejected, rejected);
+  EXPECT_EQ(metrics.submitted, futures.size());
+}
+
+TEST(QueryServiceTest, ExpiredDeadlineSkipsExecution) {
+  ServerEnv& env = ServerEnv::Get();
+  QueryServiceOptions opts;
+  opts.num_workers = 1;
+  opts.queue_capacity = 16;
+  QueryService service(env.Context(), opts);
+
+  Request slow;
+  slow.type = RequestType::kOutNeighbors;
+  slow.page = 1;
+  slow.simulated_work = std::chrono::milliseconds(100);
+  auto slow_future = service.Submit(slow);
+
+  // Expires while waiting behind the slow request.
+  Request doomed;
+  doomed.type = RequestType::kOutNeighbors;
+  doomed.page = 2;
+  doomed.deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
+  auto doomed_future = service.Submit(doomed);
+
+  EXPECT_EQ(slow_future.get().code, ResponseCode::kOk);
+  Response response = doomed_future.get();
+  EXPECT_EQ(response.code, ResponseCode::kDeadlineExceeded);
+  EXPECT_TRUE(response.pages.empty());
+  EXPECT_EQ(service.Snapshot().timed_out, 1u);
+}
+
+TEST(QueryServiceTest, SubmitAfterShutdownIsRejected) {
+  ServerEnv& env = ServerEnv::Get();
+  QueryService service(env.Context(), {});
+  service.Shutdown();
+  Request request;
+  request.type = RequestType::kOutNeighbors;
+  request.page = 0;
+  Response response = service.Submit(request).get();
+  EXPECT_EQ(response.code, ResponseCode::kRejected);
+}
+
+}  // namespace
+}  // namespace wg

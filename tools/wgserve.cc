@@ -1,0 +1,202 @@
+// wgserve — drive the concurrent query service over an S-Node store.
+//
+//   wgserve --pages N [--seed S] [options]
+//       Generate a synthetic crawl, build forward/backward S-Node
+//       representations, then serve a workload against them.
+//   wgserve --crawl crawl.wg [options]
+//       Same, starting from a saved crawl.
+//
+// options:
+//   --workers W       worker threads (default 4)
+//   --queue C         admission queue capacity (default 256)
+//   --requests R      synthetic workload size (default 20000)
+//   --theta T         Zipf skew of the synthetic workload (default 0.8)
+//   --khop K          hop count for k-hop requests (default 2)
+//   --file PATH       replay a request file instead of the synthetic mix
+//                     (lines: "out <page>", "in <page>", "khop <page> <k>",
+//                      "query <1..6>"; '#' comments)
+//   --deadline-ms D   attach a deadline of now+D ms to every request
+//   --buffer BYTES    decoded-graph cache budget per representation
+//   --shards N        cache shards per representation (default 8)
+//
+// Prints a per-outcome tally, service metrics (queue depth, p50/p99,
+// cache hit rate), and end-to-end throughput.
+
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "graph/generator.h"
+#include "graph/graph_io.h"
+#include "server/query_service.h"
+#include "server/workload.h"
+#include "snode/snode_repr.h"
+#include "storage/file.h"
+#include "text/corpus.h"
+#include "text/inverted_index.h"
+#include "text/pagerank.h"
+
+namespace wg {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: wgserve (--pages N [--seed S] | --crawl crawl.wg)\n"
+               "               [--workers W] [--queue C] [--requests R]\n"
+               "               [--theta T] [--khop K] [--file PATH]\n"
+               "               [--deadline-ms D] [--buffer BYTES]\n"
+               "               [--shards N]\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+const char* FlagValue(int argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+int Main(int argc, char** argv) {
+  const char* pages = FlagValue(argc, argv, "--pages");
+  const char* crawl = FlagValue(argc, argv, "--crawl");
+  if ((pages == nullptr) == (crawl == nullptr)) return Usage();
+
+  WebGraph graph;
+  if (crawl != nullptr) {
+    auto loaded = LoadWebGraph(crawl);
+    if (!loaded.ok()) return Fail(loaded.status());
+    graph = std::move(loaded).value();
+  } else {
+    GeneratorOptions gopts;
+    gopts.num_pages = std::strtoul(pages, nullptr, 10);
+    if (const char* seed = FlagValue(argc, argv, "--seed")) {
+      gopts.seed = std::strtoull(seed, nullptr, 10);
+    }
+    graph = GenerateWebGraph(gopts);
+  }
+  std::printf("graph: %zu pages, %llu links\n", graph.num_pages(),
+              static_cast<unsigned long long>(graph.num_edges()));
+
+  WebGraph transpose = graph.Transpose();
+  Corpus corpus = Corpus::Generate(graph, CorpusOptions());
+  InvertedIndex index = InvertedIndex::Build(corpus);
+  std::vector<double> pagerank = ComputePageRank(graph);
+
+  SNodeBuildOptions bopts;
+  if (const char* buffer = FlagValue(argc, argv, "--buffer")) {
+    bopts.buffer_bytes = std::strtoull(buffer, nullptr, 10);
+  }
+  if (const char* shards = FlagValue(argc, argv, "--shards")) {
+    bopts.cache_shards = std::strtoul(shards, nullptr, 10);
+  }
+  std::string dir = "/tmp/wgserve_" + std::to_string(getpid());
+  Status mk = EnsureDirectory(dir);
+  if (!mk.ok()) return Fail(mk);
+  auto forward = SNodeRepr::Build(graph, dir + "/fwd", bopts);
+  if (!forward.ok()) return Fail(forward.status());
+  auto backward = SNodeRepr::Build(transpose, dir + "/bwd", bopts);
+  if (!backward.ok()) return Fail(backward.status());
+  std::printf("s-node: %u supernodes, cache budget %zu bytes x%zu shards\n",
+              forward.value()->supernode_graph().num_supernodes(),
+              bopts.buffer_bytes, bopts.cache_shards);
+
+  QueryContext ctx;
+  ctx.forward = forward.value().get();
+  ctx.backward = backward.value().get();
+  ctx.graph = &graph;
+  ctx.corpus = &corpus;
+  ctx.index = &index;
+  ctx.pagerank = &pagerank;
+
+  server::QueryServiceOptions sopts;
+  if (const char* workers = FlagValue(argc, argv, "--workers")) {
+    sopts.num_workers = std::strtoul(workers, nullptr, 10);
+  }
+  if (const char* queue = FlagValue(argc, argv, "--queue")) {
+    sopts.queue_capacity = std::strtoul(queue, nullptr, 10);
+  }
+
+  std::vector<server::Request> requests;
+  if (const char* file = FlagValue(argc, argv, "--file")) {
+    auto parsed = server::ParseRequestFile(file, graph.num_pages());
+    if (!parsed.ok()) return Fail(parsed.status());
+    requests = std::move(parsed).value();
+  } else {
+    server::WorkloadOptions wopts;
+    wopts.num_pages = graph.num_pages();
+    if (const char* n = FlagValue(argc, argv, "--requests")) {
+      wopts.num_requests = std::strtoul(n, nullptr, 10);
+    }
+    if (const char* theta = FlagValue(argc, argv, "--theta")) {
+      wopts.zipf_theta = std::strtod(theta, nullptr);
+    }
+    if (const char* k = FlagValue(argc, argv, "--khop")) {
+      wopts.khop_k = std::atoi(k);
+    }
+    requests = server::SyntheticWorkload(wopts);
+  }
+  long deadline_ms = 0;
+  if (const char* d = FlagValue(argc, argv, "--deadline-ms")) {
+    deadline_ms = std::strtol(d, nullptr, 10);
+  }
+
+  server::QueryService service(ctx, sopts);
+  std::printf("serving %zu requests on %zu workers (queue %zu)...\n",
+              requests.size(), sopts.num_workers, sopts.queue_capacity);
+
+  // Closed-loop driver: keep at most one queue's worth of requests
+  // outstanding so the admission queue exercises depth, not overflow.
+  // (Overflow behaviour is what --deadline-ms and the tests poke at.)
+  auto start = std::chrono::steady_clock::now();
+  size_t tally[4] = {0, 0, 0, 0};
+  uint64_t pages_returned = 0;
+  size_t total = requests.size();
+  std::deque<std::future<server::Response>> outstanding;
+  auto harvest = [&] {
+    server::Response response = outstanding.front().get();
+    outstanding.pop_front();
+    ++tally[static_cast<int>(response.code)];
+    pages_returned += response.pages.size();
+  };
+  for (server::Request request : requests) {
+    if (deadline_ms > 0) {
+      request.deadline = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(deadline_ms);
+    }
+    if (outstanding.size() >= sopts.queue_capacity) harvest();
+    outstanding.push_back(service.Submit(request));
+  }
+  while (!outstanding.empty()) harvest();
+  double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  service.Shutdown();
+
+  std::printf("\noutcome:\n");
+  for (int c = 0; c < 4; ++c) {
+    std::printf("  %-18s %zu\n",
+                server::ResponseCodeName(static_cast<server::ResponseCode>(c)),
+                tally[c]);
+  }
+  std::printf("pages returned:     %llu\n",
+              static_cast<unsigned long long>(pages_returned));
+  std::printf("wall time:          %.3f s (%.0f req/s)\n", seconds,
+              total / seconds);
+  std::printf("\n%s\n", service.Snapshot().ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace wg
+
+int main(int argc, char** argv) { return wg::Main(argc, argv); }
