@@ -21,6 +21,8 @@ void Run() {
 
   SNodeBuildOptions with_neg;
   SNodeBuildOptions pos_only;
+  with_neg.threads = 0;  // build with all cores; output is invariant
+  pos_only.threads = 0;
   pos_only.superedge.allow_negative = false;
 
   auto a = bench::UnwrapOrDie(

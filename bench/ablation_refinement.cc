@@ -28,6 +28,7 @@ struct Row {
 Row Build(const WebGraph& graph, const std::string& tag, bool clustered,
           bool reference) {
   SNodeBuildOptions opts;
+  opts.threads = 0;  // build with all cores; output is thread-count invariant
   opts.refinement.use_clustered_split = clustered;
   // Finer floors than the production default so the clustered-split phase
   // actually engages at this scale (with the default floors URL split

@@ -25,6 +25,7 @@ Outcome RunPolicy(bool largest_first, const WebGraph& graph,
                   const InvertedIndex& index,
                   const std::vector<double>& pagerank) {
   SNodeBuildOptions opts;
+  opts.threads = 0;  // build with all cores; output is thread-count invariant
   opts.refinement.split_largest_first = largest_first;
   std::string tag = largest_first ? "largest" : "random";
   auto fwd = bench::UnwrapOrDie(SNodeRepr::Build(

@@ -159,6 +159,7 @@ void Run() {
 
   SNodeBuildOptions opts;
   opts.buffer_bytes = kBudget;
+  opts.threads = 0;  // build with all cores; output is thread-count invariant
   auto forward =
       bench::UnwrapOrDie(SNodeRepr::Build(graph, dir + "/svc_f", opts));
   auto backward =

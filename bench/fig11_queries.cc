@@ -89,6 +89,7 @@ void Run() {
 
   SNodeBuildOptions sn_opts;
   sn_opts.buffer_bytes = half;
+  sn_opts.threads = 0;  // build with all cores; output is invariant
   auto sn_fwd = bench::UnwrapOrDie(
       SNodeRepr::Build(graph, dir + "/f11_sn_f", sn_opts));
   auto sn_bwd = bench::UnwrapOrDie(

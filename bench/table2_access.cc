@@ -52,6 +52,7 @@ Workload& GetWorkload() {
         Link3Repr::Build(wl->graph, bench::BenchDir() + "/t2_l3", l3));
     SNodeBuildOptions sn;
     sn.buffer_bytes = 64 << 20;
+    sn.threads = 0;  // build with all cores; output is thread-count invariant
     wl->snode = bench::UnwrapOrDie(
         SNodeRepr::Build(wl->graph, bench::BenchDir() + "/t2_sn", sn));
     // Warm the disk-backed schemes: the paper measures decode time

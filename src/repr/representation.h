@@ -39,6 +39,11 @@ struct ReprStats {
   AtomicCounter cache_hits;
   AtomicCounter cache_misses;
   AtomicCounter graphs_loaded;  // S-Node: lower-level graphs decoded
+  // Build-side counters, bumped by SNodeRepr::Build's encode workers (many
+  // threads at once when SNodeBuildOptions::threads > 1) -- they must stay
+  // AtomicCounter like the read-path counters above.
+  AtomicCounter graphs_encoded;  // lower-level graphs compressed
+  AtomicCounter encoded_bytes;   // bytes produced by the encoders
 
   void Reset() { *this = ReprStats(); }
 };

@@ -22,6 +22,13 @@
 //    from a negative graph points to ALL of N_j (Figure 4 semantics).
 //    Source lists are reference-encoded against the previous encoded
 //    source within a small window.
+//
+// Thread-safety contract: every Encode/Decode function here is a pure
+// function of its arguments -- no global or function-local mutable state
+// -- and is deterministic for a given input. SNodeRepr::Build relies on
+// this to encode many graphs concurrently (util/parallel.h) while keeping
+// the store files byte-identical to a serial build. Keep new codecs pure;
+// anything cached must be per-call.
 
 namespace wg {
 

@@ -19,6 +19,11 @@
 // by grouping similar pages first. We additionally restrict affinity-graph
 // candidates to a window of neighbours in local (URL-sorted) order, which
 // is where Property 1/3 of the paper puts the similar lists.
+//
+// Thread-safety contract: plan computation is a pure, deterministic
+// function of the input lists (no globals, no RNG). The parallel encode
+// phase of SNodeRepr::Build calls it from worker threads on disjoint
+// graphs and depends on both properties for byte-identical output.
 
 namespace wg {
 

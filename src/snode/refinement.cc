@@ -1,10 +1,12 @@
 #include "snode/refinement.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <unordered_map>
 
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace wg {
@@ -223,6 +225,20 @@ ClusteredSplitResult ClusteredSplit(const WebGraph& graph,
   return result;  // every attempt failed to converge: abort
 }
 
+// RNG stream for one candidate evaluation: a deterministic function of
+// (run seed, pass number, element id), so the draw sequence a split sees
+// does not depend on which thread evaluates it or in what order.
+uint64_t SplitSeed(uint64_t seed, size_t pass, uint32_t element) {
+  return seed ^ (0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(pass) + 1)) ^
+         (0xc2b2ae3d27d4eb4fULL * (static_cast<uint64_t>(element) + 1));
+}
+
+// What one candidate's evaluation produced, to be installed at merge time.
+struct SplitOutcome {
+  std::vector<std::vector<PageId>> groups;  // empty = no split
+  bool clustered_attempt = false;
+};
+
 }  // namespace
 
 Partition InitialDomainPartition(const WebGraph& graph) {
@@ -243,8 +259,9 @@ Partition InitialDomainPartition(const WebGraph& graph) {
 Partition RefinePartition(const WebGraph& graph,
                           const RefinementOptions& options,
                           RefinementStats* stats) {
-  Rng rng(options.seed);
+  auto t0 = std::chrono::steady_clock::now();
   RefinementStats local_stats;
+  ParallelExecutor executor(options.threads);
 
   Partition initial = InitialDomainPartition(graph);
   std::vector<Element> elements;
@@ -274,92 +291,105 @@ Partition RefinePartition(const WebGraph& graph,
   }
 
   size_t consecutive_aborts = 0;
-  while (!candidates.empty()) {
-    if (options.max_iterations > 0 &&
-        local_stats.iterations >= options.max_iterations) {
-      break;
-    }
-    size_t abort_max = std::max<size_t>(
-        1, static_cast<size_t>(options.abort_max_fraction *
-                               static_cast<double>(elements.size())));
-    if (consecutive_aborts >= abort_max) break;
-
-    // Pick an element per policy, discarding stale candidates.
-    size_t slot;
+  bool stopped = false;
+  while (!candidates.empty() && !stopped) {
+    // Merge (= install) order of this pass: by size for the
+    // largest-first policy, by element id otherwise.
     if (options.split_largest_first) {
-      slot = 0;
-      size_t best = 0;
-      for (size_t c = 0; c < candidates.size(); ++c) {
-        size_t size = elements[candidates[c]].pages.size();
-        if (size > best) {
-          best = size;
-          slot = c;
+      std::sort(candidates.begin(), candidates.end(),
+                [&](uint32_t a, uint32_t b) {
+                  if (elements[a].pages.size() != elements[b].pages.size()) {
+                    return elements[a].pages.size() > elements[b].pages.size();
+                  }
+                  return a < b;
+                });
+    } else {
+      std::sort(candidates.begin(), candidates.end());
+    }
+    if (options.max_iterations > 0) {
+      size_t budget = options.max_iterations - local_stats.iterations;
+      if (candidates.size() > budget) candidates.resize(budget);
+      if (candidates.empty()) break;
+    }
+    size_t pass = local_stats.passes++;
+
+    // Evaluate every candidate against the pass-start partition. Each
+    // worker owns its candidate's Element exclusively (URL-split level
+    // advancement mutates it); `elements`, `owner`, and the graph are
+    // read-only until the merge below.
+    std::vector<SplitOutcome> outcomes(candidates.size());
+    executor.ParallelFor(0, candidates.size(), [&](size_t i) {
+      uint32_t e = candidates[i];
+      SplitOutcome& out = outcomes[i];
+      if (!elements[e].url_exhausted) {
+        out.groups = UrlSplit(graph, &elements[e],
+                              options.url_split_max_levels,
+                              options.min_group_size);
+        // If URL split exhausted without splitting, the element stays a
+        // candidate and is clustered-split in a later pass.
+      } else {
+        out.clustered_attempt = true;
+        Rng rng(SplitSeed(options.seed, pass, e));
+        ClusteredSplitResult cs =
+            ClusteredSplit(graph, elements[e], owner, e, options, &rng);
+        if (cs.success) out.groups = std::move(cs.groups);
+      }
+      for (auto& group : out.groups) SortByUrl(graph, &group);
+    });
+
+    // Ordered merge: install results one candidate at a time, evolving the
+    // abort counter and stats exactly as a serial run of the same pass
+    // would. Results past the stopping point are discarded.
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      size_t abort_max = std::max<size_t>(
+          1, static_cast<size_t>(options.abort_max_fraction *
+                                 static_cast<double>(elements.size())));
+      if (consecutive_aborts >= abort_max) {
+        stopped = true;
+        break;
+      }
+      uint32_t e = candidates[i];
+      SplitOutcome& out = outcomes[i];
+      ++local_stats.iterations;
+
+      if (out.groups.empty()) {
+        if (out.clustered_attempt) {
+          ++local_stats.clustered_aborts;
+          ++consecutive_aborts;
         }
+        continue;
       }
-    } else {
-      slot = rng.Uniform(candidates.size());
-    }
-    uint32_t e = candidates[slot];
-    if (!eligible(e)) {
-      candidates[slot] = candidates.back();
-      candidates.pop_back();
-      continue;
-    }
-    ++local_stats.iterations;
-
-    std::vector<std::vector<PageId>> groups;
-    bool was_clustered_attempt = false;
-    if (!elements[e].url_exhausted) {
-      groups = UrlSplit(graph, &elements[e], options.url_split_max_levels,
-                        options.min_group_size);
-      if (!groups.empty()) ++local_stats.url_splits;
-      // If URL split exhausted without splitting, fall through: the element
-      // stays a candidate and will be clustered-split in a later iteration.
-    } else {
-      was_clustered_attempt = true;
-      ClusteredSplitResult cs =
-          ClusteredSplit(graph, elements[e], owner, e, options, &rng);
-      if (cs.success) {
-        groups = std::move(cs.groups);
+      if (out.clustered_attempt) {
         ++local_stats.clustered_splits;
+        consecutive_aborts = 0;
       } else {
-        ++local_stats.clustered_aborts;
+        ++local_stats.url_splits;
+      }
+
+      // Install the split: element e keeps group 0; the rest are appended.
+      int inherited_level = elements[e].url_level;
+      bool inherited_exhausted = elements[e].url_exhausted;
+      for (size_t g = 0; g < out.groups.size(); ++g) {
+        uint32_t id;
+        if (g == 0) {
+          id = e;
+          elements[e].pages = std::move(out.groups[0]);
+        } else {
+          id = static_cast<uint32_t>(elements.size());
+          Element fresh;
+          fresh.pages = std::move(out.groups[g]);
+          fresh.url_level = inherited_level;
+          fresh.url_exhausted = inherited_exhausted;
+          elements.push_back(std::move(fresh));
+        }
+        for (PageId p : elements[id].pages) owner[p] = id;
       }
     }
 
-    if (groups.empty()) {
-      if (was_clustered_attempt) ++consecutive_aborts;
-      if (!eligible(e)) {
-        candidates[slot] = candidates.back();
-        candidates.pop_back();
-      }
-      continue;
-    }
-    if (was_clustered_attempt) consecutive_aborts = 0;
-
-    // Install the split: element e keeps group 0; the rest are appended.
-    int inherited_level = elements[e].url_level;
-    bool inherited_exhausted = elements[e].url_exhausted;
-    for (size_t g = 0; g < groups.size(); ++g) {
-      SortByUrl(graph, &groups[g]);
-      uint32_t id;
-      if (g == 0) {
-        id = e;
-        elements[e].pages = std::move(groups[0]);
-      } else {
-        id = static_cast<uint32_t>(elements.size());
-        Element fresh;
-        fresh.pages = std::move(groups[g]);
-        fresh.url_level = inherited_level;
-        fresh.url_exhausted = inherited_exhausted;
-        elements.push_back(std::move(fresh));
-        if (eligible(id)) candidates.push_back(id);
-      }
-      for (PageId p : elements[id].pages) owner[p] = id;
-    }
-    if (!eligible(e)) {
-      // e may have shrunk below the split threshold; lazily discarded on a
-      // future pick (slot positions may have shifted after push_back).
+    // Next pass: everything still (or newly) splittable.
+    candidates.clear();
+    for (uint32_t e = 0; e < elements.size(); ++e) {
+      if (eligible(e)) candidates.push_back(e);
     }
   }
 
@@ -369,17 +399,22 @@ Partition RefinePartition(const WebGraph& graph,
     result.elements.push_back(std::move(element.pages));
   }
   local_stats.final_elements = result.elements.size();
+  local_stats.refine_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
   if (stats != nullptr) *stats = local_stats;
   return result;
 }
 
 std::string RefinementStats::ToString() const {
-  char buf[256];
+  char buf[384];
   std::snprintf(buf, sizeof(buf),
-                "iterations=%zu url_splits=%zu clustered_splits=%zu "
-                "clustered_aborts=%zu final_elements=%zu",
-                iterations, url_splits, clustered_splits, clustered_aborts,
-                final_elements);
+                "iterations=%zu passes=%zu url_splits=%zu "
+                "clustered_splits=%zu clustered_aborts=%zu "
+                "final_elements=%zu refine=%.3fs encode=%.3fs layout=%.3fs",
+                iterations, passes, url_splits, clustered_splits,
+                clustered_aborts, final_elements, refine_seconds,
+                encode_seconds, layout_seconds);
   return buf;
 }
 

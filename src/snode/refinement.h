@@ -23,6 +23,18 @@
 //   Refinement stops when clustered split has aborted for `abort_max`
 //   consecutive iterations, with abort_max a fixed fraction (paper: 6%)
 //   of the element count.
+//
+// Scheduling: refinement proceeds in passes. Each pass snapshots the
+// current candidate set, evaluates every candidate's split independently
+// (in parallel when options.threads > 1 -- splits only read the pass-start
+// partition, and each candidate draws from its own (seed, pass, element)
+// RNG stream), then installs the results one candidate at a time in a
+// deterministic merge order. The abort counter, stats, and the partition
+// itself therefore evolve identically for every thread count; `threads`
+// changes wall-clock time only. split_largest_first orders a pass's merge
+// by element size (descending) instead of element id -- the paper found
+// the two policies "almost identical", and both remain available for the
+// ablation.
 
 namespace wg {
 
@@ -66,6 +78,12 @@ struct RefinementOptions {
 
   // Safety valve on total iterations (0 = unlimited).
   size_t max_iterations = 0;
+
+  // Worker threads for evaluating a pass's candidate splits. <= 1 runs
+  // serially; the output is identical either way (see the scheduling note
+  // above). SNodeRepr::Build overwrites this with its own resolved
+  // `threads` option.
+  int threads = 1;
 };
 
 struct RefinementStats {
@@ -74,6 +92,16 @@ struct RefinementStats {
   size_t clustered_splits = 0;
   size_t clustered_aborts = 0;
   size_t final_elements = 0;
+  size_t passes = 0;
+
+  // Per-phase wall-clock of the S-Node build. RefinePartition fills
+  // refine_seconds; SNodeRepr::Build fills encode_seconds (parallel graph
+  // compression) and layout_seconds (ordered store writes). Timings are
+  // the only fields that vary across runs/thread counts.
+  double refine_seconds = 0;
+  double encode_seconds = 0;
+  double layout_seconds = 0;
+
   std::string ToString() const;
 };
 

@@ -1,14 +1,40 @@
 #include "snode/snode_repr.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <map>
 #include <unordered_map>
 
 #include "storage/serial.h"
 #include "util/coding.h"
+#include "util/parallel.h"
 
 namespace wg {
+
+namespace {
+
+// One supernode's encoded section, produced by a worker thread and written
+// out later in supernode order: the intranode graph followed by the
+// outgoing superedge graphs sorted by target (the paper's linear disk
+// layout, Figure 8).
+struct EncodedSection {
+  std::vector<uint8_t> intranode;
+  std::vector<uint32_t> targets;                 // ascending
+  std::vector<std::vector<uint8_t>> superedges;  // parallel to targets
+};
+
+inline double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Encode workers hold many sections in memory before the layout phase
+// drains them; windowing bounds that footprint without serializing
+// anything inside a window.
+constexpr uint32_t kEncodeWindow = 4096;
+
+}  // namespace
 
 Result<std::unique_ptr<SNodeRepr>> SNodeRepr::Build(
     const WebGraph& graph, const std::string& base_path,
@@ -21,8 +47,14 @@ Result<std::unique_ptr<SNodeRepr>> SNodeRepr::Build(
   repr->InstallLoadLogListener();
   repr->num_edges_ = graph.num_edges();
 
+  int threads = options.threads > 0 ? options.threads
+                                    : ParallelExecutor::HardwareThreads();
+  ParallelExecutor executor(threads);
+
   // 1. Iterative partition refinement (elements come out URL-sorted).
-  Partition partition = RefinePartition(graph, options.refinement, stats);
+  RefinementOptions refinement = options.refinement;
+  refinement.threads = threads;
+  Partition partition = RefinePartition(graph, refinement, stats);
   WG_RETURN_IF_ERROR(partition.Validate(graph.num_pages()));
   uint32_t n_super = static_cast<uint32_t>(partition.num_elements());
 
@@ -44,59 +76,102 @@ Result<std::unique_ptr<SNodeRepr>> SNodeRepr::Build(
 
   std::vector<uint32_t> owner = partition.ElementOf(graph.num_pages());
 
-  // 3. Encode each supernode's intranode graph, then its outgoing
-  //    superedge graphs, appending to the store in exactly that order
-  //    (the paper's linear disk layout, Figure 8).
+  // 3. Encode each supernode's intranode graph and its outgoing superedge
+  //    graphs into per-graph byte buffers -- independent per supernode, so
+  //    a window of sections is compressed in parallel -- then append the
+  //    buffers to the store serially in exactly the paper's order: each
+  //    intranode graph immediately followed by its superedge graphs (the
+  //    linear disk layout, Figure 8). Because the layout loop below is the
+  //    only writer and walks supernodes in order, the store files are
+  //    byte-identical for every thread count.
   auto store = GraphStore::Create(base_path, options.store);
   if (!store.ok()) return store.status();
   repr->store_ = std::move(store).value();
 
+  double encode_seconds = 0;
+  double layout_seconds = 0;
   repr->supernodes_.offsets.push_back(0);
-  for (uint32_t s = 0; s < n_super; ++s) {
-    const auto& element = partition.elements[s];
-    uint32_t n_local = static_cast<uint32_t>(element.size());
+  std::vector<EncodedSection> sections(
+      std::min<uint32_t>(n_super, kEncodeWindow));
+  for (uint32_t window = 0; window < n_super; window += kEncodeWindow) {
+    uint32_t window_end = std::min(n_super, window + kEncodeWindow);
 
-    // Split adjacency into intranode lists + per-target-supernode
-    // bipartite lists, all in local ids.
-    std::vector<std::vector<uint32_t>> intra(n_local);
-    std::map<uint32_t, std::pair<std::vector<uint32_t>,
-                                 std::vector<std::vector<uint32_t>>>>
-        cross;  // j -> (sources, lists)
-    for (uint32_t local = 0; local < n_local; ++local) {
-      PageId orig = element[local];
-      for (PageId q : graph.OutLinks(orig)) {
-        uint32_t j = owner[q];
-        uint32_t q_local = repr->new_of_orig_[q] -
-                           repr->supernodes_.page_start[j];
-        if (j == s) {
-          intra[local].push_back(q_local);
-        } else {
-          auto& slot = cross[j];
-          if (slot.first.empty() || slot.first.back() != local) {
-            slot.first.push_back(local);
-            slot.second.emplace_back();
+    // Parallel encode: workers read only immutable state (the graph, the
+    // partition, owner, the numbering built in step 2) and write disjoint
+    // sections; the stats bumps are relaxed atomics.
+    auto t_encode = std::chrono::steady_clock::now();
+    executor.ParallelFor(window, window_end, [&](size_t s_index) {
+      uint32_t s = static_cast<uint32_t>(s_index);
+      const auto& element = partition.elements[s];
+      uint32_t n_local = static_cast<uint32_t>(element.size());
+
+      // Split adjacency into intranode lists + per-target-supernode
+      // bipartite lists, all in local ids.
+      std::vector<std::vector<uint32_t>> intra(n_local);
+      std::map<uint32_t, std::pair<std::vector<uint32_t>,
+                                   std::vector<std::vector<uint32_t>>>>
+          cross;  // j -> (sources, lists)
+      for (uint32_t local = 0; local < n_local; ++local) {
+        PageId orig = element[local];
+        for (PageId q : graph.OutLinks(orig)) {
+          uint32_t j = owner[q];
+          uint32_t q_local = repr->new_of_orig_[q] -
+                             repr->supernodes_.page_start[j];
+          if (j == s) {
+            intra[local].push_back(q_local);
+          } else {
+            auto& slot = cross[j];
+            if (slot.first.empty() || slot.first.back() != local) {
+              slot.first.push_back(local);
+              slot.second.emplace_back();
+            }
+            slot.second.back().push_back(q_local);
           }
-          slot.second.back().push_back(q_local);
         }
       }
-    }
-    for (auto& list : intra) std::sort(list.begin(), list.end());
+      for (auto& list : intra) std::sort(list.begin(), list.end());
 
-    std::vector<uint8_t> blob = EncodeIntranode(intra, options.intranode);
-    WG_ASSIGN_OR_RETURN(uint32_t intra_id, repr->store_->Append(blob));
-    repr->supernodes_.intranode_blob.push_back(intra_id);
+      EncodedSection& section = sections[s - window];
+      section.intranode = EncodeIntranode(intra, options.intranode);
+      section.targets.clear();
+      section.superedges.clear();
+      section.targets.reserve(cross.size());
+      section.superedges.reserve(cross.size());
+      for (auto& [j, slot] : cross) {
+        for (auto& list : slot.second) std::sort(list.begin(), list.end());
+        section.targets.push_back(j);
+        section.superedges.push_back(EncodeSuperedge(
+            slot.first, slot.second, n_local,
+            repr->supernodes_.pages_in(j), options.superedge));
+        repr->stats_.encoded_bytes += section.superedges.back().size();
+      }
+      ++repr->stats_.graphs_encoded;
+      repr->stats_.encoded_bytes += section.intranode.size();
+      repr->stats_.graphs_encoded += section.superedges.size();
+    });
+    encode_seconds += SecondsSince(t_encode);
 
-    for (auto& [j, slot] : cross) {
-      for (auto& list : slot.second) std::sort(list.begin(), list.end());
-      std::vector<uint8_t> se_blob = EncodeSuperedge(
-          slot.first, slot.second, n_local,
-          repr->supernodes_.pages_in(j), options.superedge);
-      WG_ASSIGN_OR_RETURN(uint32_t se_id, repr->store_->Append(se_blob));
-      repr->supernodes_.targets.push_back(j);
-      repr->supernodes_.superedge_blob.push_back(se_id);
+    // Ordered layout: single-threaded, supernode order, intranode first.
+    auto t_layout = std::chrono::steady_clock::now();
+    for (uint32_t s = window; s < window_end; ++s) {
+      EncodedSection& section = sections[s - window];
+      WG_ASSIGN_OR_RETURN(uint32_t intra_id,
+                          repr->store_->Append(section.intranode));
+      repr->supernodes_.intranode_blob.push_back(intra_id);
+      for (size_t k = 0; k < section.targets.size(); ++k) {
+        WG_ASSIGN_OR_RETURN(uint32_t se_id,
+                            repr->store_->Append(section.superedges[k]));
+        repr->supernodes_.targets.push_back(section.targets[k]);
+        repr->supernodes_.superedge_blob.push_back(se_id);
+      }
+      repr->supernodes_.offsets.push_back(
+          static_cast<uint32_t>(repr->supernodes_.targets.size()));
     }
-    repr->supernodes_.offsets.push_back(
-        static_cast<uint32_t>(repr->supernodes_.targets.size()));
+    layout_seconds += SecondsSince(t_layout);
+  }
+  if (stats != nullptr) {
+    stats->encode_seconds = encode_seconds;
+    stats->layout_seconds = layout_seconds;
   }
 
   {

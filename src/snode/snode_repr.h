@@ -39,6 +39,13 @@ struct SNodeBuildOptions {
   IntranodeEncodeOptions intranode;
   SuperedgeEncodeOptions superedge;
   GraphStore::Options store;
+  // Worker threads for the build: refinement-pass evaluation and
+  // intranode/superedge graph encoding. <= 0 means
+  // ParallelExecutor::HardwareThreads(). Overrides refinement.threads.
+  // The store files and the resident structures are byte-for-byte
+  // identical for every value (encode into per-graph buffers, write in
+  // supernode order); threads changes build wall-clock only.
+  int threads = 1;
   // Budget for decoded lower-level graphs.
   size_t buffer_bytes = 4 << 20;
   // Lock shards of the decoded-graph cache (concurrent readers contend

@@ -1,0 +1,108 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+
+namespace wg {
+
+int ParallelExecutor::HardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ParallelExecutor::ParallelExecutor(int threads)
+    : threads_(std::max(1, threads)), slots_(threads_) {
+  workers_.reserve(threads_ - 1);
+  for (int t = 1; t < threads_; ++t) {
+    workers_.emplace_back([this, t] { WorkerLoop(t); });
+  }
+}
+
+ParallelExecutor::~ParallelExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  job_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ParallelExecutor::WorkerLoop(int self) {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      job_cv_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+    }
+    RunJob(self);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ParallelExecutor::RunJob(int self) {
+  const std::function<void(size_t)>& body = *body_;
+  // Own slot first, then steal round-robin from the others. Claims use the
+  // same fetch_add either way, so an index runs exactly once no matter who
+  // takes it.
+  for (int v = 0; v < threads_; ++v) {
+    Slot& slot = slots_[(self + v) % threads_];
+    for (;;) {
+      if (cancelled_.load(std::memory_order_relaxed)) return;
+      size_t i = slot.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= slot.end) break;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (first_exception_ == nullptr) {
+          first_exception_ = std::current_exception();
+        }
+        cancelled_.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+}
+
+void ParallelExecutor::ParallelFor(size_t begin, size_t end,
+                                   const std::function<void(size_t)>& body) {
+  if (end <= begin) return;
+  if (threads_ == 1) {  // serial fallback: no pool, exceptions propagate
+    for (size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  size_t n = end - begin;
+  size_t lo = begin;
+  for (int t = 0; t < threads_; ++t) {
+    size_t share = n / threads_ + (static_cast<size_t>(t) < n % threads_);
+    slots_[t].next.store(lo, std::memory_order_relaxed);
+    slots_[t].end = lo + share;
+    lo += share;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body_ = &body;
+    cancelled_.store(false, std::memory_order_relaxed);
+    first_exception_ = nullptr;
+    active_ = threads_ - 1;
+    ++epoch_;
+  }
+  job_cv_.notify_all();
+  RunJob(0);  // the caller is participant 0
+  std::exception_ptr eptr;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return active_ == 0; });
+    body_ = nullptr;
+    eptr = first_exception_;
+    first_exception_ = nullptr;
+  }
+  if (eptr != nullptr) std::rethrow_exception(eptr);
+}
+
+}  // namespace wg

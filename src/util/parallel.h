@@ -1,0 +1,88 @@
+#ifndef WG_UTIL_PARALLEL_H_
+#define WG_UTIL_PARALLEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+// Reusable work-stealing executor for data-parallel index ranges. This is
+// the engine behind the parallel S-Node build: refinement evaluates all
+// candidate splits of a pass concurrently, and the encoder compresses all
+// intranode/superedge graphs of a window concurrently. Both callers merge
+// results in a deterministic order afterwards, so the executor only needs
+// to guarantee that every index runs exactly once -- never in which order
+// or on which thread.
+//
+// Scheduling: the range is pre-partitioned into one contiguous slot per
+// worker; a worker claims indices from its own slot with a fetch_add and,
+// once it runs dry, steals indices from the other slots the same way.
+// Pre-partitioning keeps claims contention-free while the load is even;
+// stealing fixes the skew when items are wildly uneven (a hub element's
+// k-means next to a hundred tiny ones).
+//
+// threads == 1 is a true serial fallback: no pool is spawned and
+// ParallelFor runs the body inline on the calling thread.
+
+namespace wg {
+
+class ParallelExecutor {
+ public:
+  // threads <= 1 means serial. The pool (threads - 1 workers; the caller
+  // of ParallelFor is the remaining participant) is spawned once and
+  // reused across ParallelFor calls.
+  explicit ParallelExecutor(int threads);
+  ~ParallelExecutor();
+
+  ParallelExecutor(const ParallelExecutor&) = delete;
+  ParallelExecutor& operator=(const ParallelExecutor&) = delete;
+
+  int threads() const { return threads_; }
+
+  // Runs body(i) for every i in [begin, end), exactly once each, blocking
+  // until all are done. If any invocation throws, the first exception is
+  // captured, no further indices are claimed, and the exception is
+  // rethrown on the calling thread once in-flight items finish. Not
+  // reentrant: one ParallelFor at a time per executor.
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& body);
+
+  // std::thread::hardware_concurrency with a floor of 1.
+  static int HardwareThreads();
+
+ private:
+  // Per-worker claim window into the current range. Padded so claim
+  // traffic on neighbouring slots does not false-share.
+  struct alignas(64) Slot {
+    std::atomic<size_t> next{0};
+    size_t end = 0;
+  };
+
+  void WorkerLoop(int self);
+  // Drains the current job from slot `self` first, then steals.
+  void RunJob(int self);
+
+  const int threads_;
+  std::vector<std::thread> workers_;
+  std::vector<Slot> slots_;
+
+  std::mutex mu_;
+  std::condition_variable job_cv_;   // workers wait for a new epoch
+  std::condition_variable done_cv_;  // caller waits for active_ == 0
+  uint64_t epoch_ = 0;               // bumped per ParallelFor
+  int active_ = 0;                   // workers still inside RunJob
+  bool shutdown_ = false;
+
+  // Job state, published under mu_ before the epoch bump.
+  const std::function<void(size_t)>* body_ = nullptr;
+  std::atomic<bool> cancelled_{false};
+  std::exception_ptr first_exception_;
+};
+
+}  // namespace wg
+
+#endif  // WG_UTIL_PARALLEL_H_

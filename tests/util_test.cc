@@ -1,5 +1,8 @@
 #include <algorithm>
+#include <atomic>
 #include <random>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -7,6 +10,7 @@
 #include "util/bitstream.h"
 #include "util/coding.h"
 #include "util/huffman.h"
+#include "util/parallel.h"
 #include "util/rle.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -406,6 +410,77 @@ TEST(ZipfTest, RankZeroMostPopular) {
   EXPECT_GT(counts[0], counts[49]);
   // Rough Zipf shape: rank 0 is ~10x rank 9 at theta=1.
   EXPECT_GT(counts[0], 4 * counts[9]);
+}
+
+// ---------- ParallelExecutor ----------
+
+TEST(ParallelExecutorTest, RunsEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 5, 16}) {
+    ParallelExecutor executor(threads);
+    constexpr size_t kN = 5000;
+    std::vector<std::atomic<int>> hits(kN);
+    for (auto& h : hits) h.store(0);
+    executor.ParallelFor(3, 3 + kN, [&](size_t i) {
+      ASSERT_GE(i, 3u);
+      hits[i - 3].fetch_add(1);
+    });
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(ParallelExecutorTest, EmptyAndSingletonRanges) {
+  ParallelExecutor executor(4);
+  int calls = 0;
+  executor.ParallelFor(7, 7, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  executor.ParallelFor(7, 8, [&](size_t i) {
+    EXPECT_EQ(i, 7u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelExecutorTest, SerialFallbackRunsInline) {
+  ParallelExecutor executor(1);
+  EXPECT_EQ(executor.threads(), 1);
+  std::thread::id caller = std::this_thread::get_id();
+  size_t next = 0;
+  executor.ParallelFor(0, 100, [&](size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(i, next++);  // strictly in order: it is a plain loop
+  });
+  EXPECT_EQ(next, 100u);
+}
+
+TEST(ParallelExecutorTest, PropagatesFirstException) {
+  for (int threads : {1, 4}) {
+    ParallelExecutor executor(threads);
+    EXPECT_THROW(
+        executor.ParallelFor(0, 1000,
+                             [&](size_t i) {
+                               if (i == 500) throw std::runtime_error("boom");
+                             }),
+        std::runtime_error);
+    // The executor survives a throwing job and is reusable.
+    std::atomic<size_t> count{0};
+    executor.ParallelFor(0, 100, [&](size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 100u);
+  }
+}
+
+TEST(ParallelExecutorTest, ExecutorIsReusableAcrossManyJobs) {
+  ParallelExecutor executor(3);
+  std::atomic<uint64_t> sum{0};
+  for (int round = 0; round < 50; ++round) {
+    executor.ParallelFor(0, 64, [&](size_t i) { sum.fetch_add(i); });
+  }
+  EXPECT_EQ(sum.load(), 50u * (63u * 64u / 2));
+}
+
+TEST(ParallelExecutorTest, HardwareThreadsIsPositive) {
+  EXPECT_GE(ParallelExecutor::HardwareThreads(), 1);
 }
 
 }  // namespace

@@ -4,8 +4,10 @@
 //       Generate a synthetic crawl and save it.
 //   wgtool stats crawl.wg
 //       Print structural statistics of a saved crawl.
-//   wgtool build crawl.wg --store BASE
+//   wgtool build crawl.wg --store BASE [--threads N]
 //       Build an S-Node representation at BASE.{000,001,...} + BASE.meta.
+//       N worker threads (default: all hardware threads); the output is
+//       byte-identical for every N.
 //   wgtool info BASE
 //       Print the resident structure of a persisted S-Node representation.
 //   wgtool links BASE PAGE [crawl.wg]
@@ -29,6 +31,7 @@
 #include "repr/uncompressed_repr.h"
 #include "snode/snode_repr.h"
 #include "storage/file.h"
+#include "util/parallel.h"
 
 namespace wg {
 namespace {
@@ -39,7 +42,7 @@ int Usage() {
       "usage:\n"
       "  wgtool generate --pages N [--seed S] --out crawl.wg\n"
       "  wgtool stats crawl.wg\n"
-      "  wgtool build crawl.wg --store BASE\n"
+      "  wgtool build crawl.wg --store BASE [--threads N]\n"
       "  wgtool info BASE\n"
       "  wgtool links BASE PAGE [crawl.wg]\n"
       "  wgtool compare crawl.wg\n");
@@ -90,20 +93,31 @@ int CmdBuild(int argc, char** argv) {
   if (argc < 3) return Usage();
   const char* store = FlagValue(argc, argv, "--store");
   if (store == nullptr) return Usage();
+  SNodeBuildOptions options;
+  options.threads = ParallelExecutor::HardwareThreads();
+  const char* threads = FlagValue(argc, argv, "--threads");
+  if (threads != nullptr) {
+    options.threads = static_cast<int>(std::strtol(threads, nullptr, 10));
+    if (options.threads < 1) {
+      std::fprintf(stderr, "error: --threads must be >= 1\n");
+      return 2;
+    }
+  }
   auto graph = LoadWebGraph(argv[2]);
   if (!graph.ok()) return Fail(graph.status());
   RefinementStats stats;
-  auto repr = SNodeRepr::Build(graph.value(), store, {}, &stats);
+  auto repr = SNodeRepr::Build(graph.value(), store, options, &stats);
   if (!repr.ok()) return Fail(repr.status());
   Status saved = repr.value()->SaveMeta();
   if (!saved.ok()) return Fail(saved);
   std::printf("refinement: %s\n", stats.ToString().c_str());
   std::printf("built %s: %u supernodes, %llu superedges, %.2f bits/link, "
-              "%zu store files\n",
+              "%zu store files, %d threads\n",
               store, repr.value()->supernode_graph().num_supernodes(),
               static_cast<unsigned long long>(
                   repr.value()->supernode_graph().num_superedges()),
-              repr.value()->BitsPerEdge(), repr.value()->store().num_files());
+              repr.value()->BitsPerEdge(), repr.value()->store().num_files(),
+              options.threads);
   return 0;
 }
 
