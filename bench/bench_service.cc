@@ -19,8 +19,12 @@
 //
 // Claim checked: >1.5x throughput at 4 workers vs 1, with results
 // identical to the single-threaded path.
+//
+// --metrics-json FILE additionally writes the sweep as machine-readable
+// JSON in the same schema family as BENCH_build.json.
 
 #include <algorithm>
+#include <cstring>
 #include <deque>
 #include <future>
 #include <thread>
@@ -119,39 +123,111 @@ RunResult RunInline(const QueryContext& ctx,
   return run;
 }
 
-// Runs the worker sweep for one regime; returns speedup of 4 workers over
+// One sweep row, kept for the optional --metrics-json dump.
+struct SweepRow {
+  size_t workers = 0;
+  double seconds = 0;
+  double rps = 0;
+  double speedup_vs_1 = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double cache_hit_rate = 0;
+};
+
+struct RegimeResult {
+  const char* name = nullptr;
+  size_t requests = 0;
+  double inline_rps = 0;
+  bool all_identical = true;
+  double speedup4 = 0;
+  std::vector<SweepRow> rows;
+};
+
+// Runs the worker sweep for one regime; records speedup of 4 workers over
 // 1 worker and whether every run matched the reference hashes.
-void RunRegime(const char* name, const QueryContext& ctx,
-               const std::vector<server::Request>& requests,
-               double* speedup4, bool* all_identical) {
+RegimeResult RunRegime(const char* name, const QueryContext& ctx,
+                       const std::vector<server::Request>& requests) {
+  RegimeResult regime;
+  regime.name = name;
+  regime.requests = requests.size();
   RunResult reference = RunInline(ctx, requests);
+  regime.inline_rps = requests.size() / reference.seconds;
   std::printf("[%s] %zu requests, inline single-threaded: %.3f s "
               "(%.0f req/s)\n",
-              name, requests.size(), reference.seconds,
-              requests.size() / reference.seconds);
+              name, requests.size(), reference.seconds, regime.inline_rps);
 
   std::printf("%-10s %10s %12s %10s %10s %10s %9s\n", "workers", "time(s)",
               "req/s", "speedup", "p50(ms)", "p99(ms)", "hit rate");
   double base = 0;
-  *speedup4 = 0;
-  *all_identical = true;
   for (size_t workers : kWorkerSweep) {
     RunResult run = RunPool(ctx, workers, requests);
     bool identical = run.hashes == reference.hashes;
-    *all_identical = *all_identical && identical;
-    double rps = requests.size() / run.seconds;
-    if (workers == 1) base = rps;
-    double speedup = base > 0 ? rps / base : 0;
-    if (workers == 4) *speedup4 = speedup;
+    regime.all_identical = regime.all_identical && identical;
+    SweepRow row;
+    row.workers = workers;
+    row.seconds = run.seconds;
+    row.rps = requests.size() / run.seconds;
+    if (workers == 1) base = row.rps;
+    row.speedup_vs_1 = base > 0 ? row.rps / base : 0;
+    if (workers == 4) regime.speedup4 = row.speedup_vs_1;
+    row.p50_us = run.metrics.p50_seconds * 1e6;
+    row.p99_us = run.metrics.p99_seconds * 1e6;
+    row.cache_hit_rate = run.metrics.cache_hit_rate;
+    regime.rows.push_back(row);
     std::printf("%-10zu %10.3f %12.0f %9.2fx %10.2f %10.2f %8.1f%%%s\n",
-                workers, run.seconds, rps, speedup,
+                workers, run.seconds, row.rps, row.speedup_vs_1,
                 run.metrics.p50_seconds * 1e3, run.metrics.p99_seconds * 1e3,
                 run.metrics.cache_hit_rate * 100,
                 identical ? "" : "  RESULTS DIFFER");
   }
+  return regime;
 }
 
-void Run() {
+// Machine-readable dump in the BENCH_build.json schema family.
+void WriteMetricsJson(const char* path, const WebGraph& graph,
+                      const std::vector<RegimeResult>& regimes) {
+  std::FILE* json = std::fopen(path, "w");
+  bench::CheckOk(json != nullptr
+                     ? Status::OK()
+                     : Status::IOError(std::string("cannot write ") + path));
+  std::fprintf(json,
+               "{\n"
+               "  \"bench\": \"bench_service\",\n"
+               "  \"pages\": %zu,\n"
+               "  \"edges\": %llu,\n"
+               "  \"hardware_threads\": %u,\n"
+               "  \"regimes\": [\n",
+               graph.num_pages(),
+               static_cast<unsigned long long>(graph.num_edges()),
+               std::thread::hardware_concurrency());
+  for (size_t r = 0; r < regimes.size(); ++r) {
+    const RegimeResult& regime = regimes[r];
+    std::fprintf(json,
+                 "    {\"name\": \"%s\", \"requests\": %zu,\n"
+                 "     \"inline_rps\": %.1f, \"identical\": %s,\n"
+                 "     \"speedup_4_over_1\": %.3f,\n"
+                 "     \"runs\": [\n",
+                 regime.name, regime.requests, regime.inline_rps,
+                 regime.all_identical ? "true" : "false", regime.speedup4);
+    for (size_t i = 0; i < regime.rows.size(); ++i) {
+      const SweepRow& row = regime.rows[i];
+      std::fprintf(json,
+                   "      {\"workers\": %zu, \"seconds\": %.4f, "
+                   "\"rps\": %.1f, \"speedup_vs_1\": %.3f, "
+                   "\"p50_us\": %.1f, \"p99_us\": %.1f, "
+                   "\"cache_hit_rate\": %.4f}%s\n",
+                   row.workers, row.seconds, row.rps, row.speedup_vs_1,
+                   row.p50_us, row.p99_us, row.cache_hit_rate,
+                   i + 1 < regime.rows.size() ? "," : "");
+    }
+    std::fprintf(json, "     ]}%s\n", r + 1 < regimes.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote %s\n", path);
+}
+
+void Run(const char* metrics_json) {
   bench::PrintHeader("service: worker-pool throughput over one S-Node store");
   WebGraph graph = bench::FullCrawl().InducedPrefix(kPages);
   WebGraph transpose = graph.Transpose();
@@ -175,9 +251,7 @@ void Run() {
   wopts.num_requests = kCpuRequests;
   std::vector<server::Request> cpu_requests = server::SyntheticWorkload(wopts);
 
-  double cpu_speedup4 = 0;
-  bool cpu_identical = false;
-  RunRegime("cpu-bound", ctx, cpu_requests, &cpu_speedup4, &cpu_identical);
+  RegimeResult cpu = RunRegime("cpu-bound", ctx, cpu_requests);
 
   // Disk-wait regime: every request blocks for the modeled disk time of an
   // average cold request, measured from the single-threaded run above --
@@ -204,34 +278,42 @@ void Run() {
     request.simulated_work = std::chrono::microseconds(
         static_cast<int64_t>(per_request * 1e6));
   }
-  double disk_speedup4 = 0;
-  bool disk_identical = false;
-  RunRegime("disk-wait", ctx, disk_requests, &disk_speedup4, &disk_identical);
+  RegimeResult disk = RunRegime("disk-wait", ctx, disk_requests);
 
   std::printf("\n");
-  bench::PrintShapeCheck(cpu_identical && disk_identical,
+  bench::PrintShapeCheck(cpu.all_identical && disk.all_identical,
                          "concurrent results identical to the "
                          "single-threaded path at every pool size");
   unsigned cores = std::thread::hardware_concurrency();
   if (cores >= 2) {
     bench::PrintShapeCheck(
-        cpu_speedup4 > 1.5,
+        cpu.speedup4 > 1.5,
         "cpu-bound: >1.5x throughput at 4 workers vs 1");
   } else {
     bench::PrintShapeCheckDocumented(
-        cpu_speedup4 > 1.5, "cpu-bound: >1.5x throughput at 4 workers vs 1",
+        cpu.speedup4 > 1.5, "cpu-bound: >1.5x throughput at 4 workers vs 1",
         "host has 1 core; the cpu-bound regime has no parallelism to "
         "harvest, the disk-wait regime below carries the claim");
   }
-  bench::PrintShapeCheck(disk_speedup4 > 1.5,
+  bench::PrintShapeCheck(disk.speedup4 > 1.5,
                          "disk-wait: >1.5x throughput at 4 workers vs 1 "
                          "(pool overlaps modeled disk waits)");
+
+  if (metrics_json != nullptr) {
+    WriteMetricsJson(metrics_json, graph, {cpu, disk});
+  }
 }
 
 }  // namespace
 }  // namespace wg
 
-int main() {
-  wg::Run();
+int main(int argc, char** argv) {
+  const char* metrics_json = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-json") == 0) {
+      metrics_json = argv[i + 1];
+    }
+  }
+  wg::Run(metrics_json);
   return 0;
 }

@@ -1,0 +1,175 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace wg::obs {
+
+namespace {
+
+// Microseconds since process start (steady clock); trace timestamps share
+// one origin so spans from different threads line up in the viewer.
+double NowMicros() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Per-thread trace context: the sampled-trace flag the hot path checks,
+// plus the span-id allocator and the current parent (top of the lexical
+// span stack).
+struct ThreadTrace {
+  bool active = false;
+  uint64_t trace_id = 0;
+  uint32_t next_span_id = 1;
+  uint32_t parent = 0;  // 0 = root has no parent
+  uint32_t tid = 0;     // stable small id for the viewer's track
+};
+
+ThreadTrace& CurrentThread() {
+  thread_local ThreadTrace state;
+  return state;
+}
+
+uint32_t ThreadTid(ThreadTrace& state) {
+  if (state.tid == 0) {
+    static std::atomic<uint32_t> next{0};
+    state.tid = next.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  return state.tid;
+}
+
+constexpr size_t kFlushThreshold = 64 << 10;
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+Status Tracer::OpenSink(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_ != nullptr) {
+    std::fclose(static_cast<std::FILE*>(sink_));
+    sink_ = nullptr;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace sink " + path);
+  }
+  sink_ = f;
+  buffer_.clear();
+  open_.store(true, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status Tracer::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  open_.store(false, std::memory_order_relaxed);
+  if (sink_ == nullptr) return Status::OK();
+  std::FILE* f = static_cast<std::FILE*>(sink_);
+  bool ok = true;
+  if (!buffer_.empty()) {
+    ok = std::fwrite(buffer_.data(), 1, buffer_.size(), f) == buffer_.size();
+    buffer_.clear();
+  }
+  ok = std::fclose(f) == 0 && ok;
+  sink_ = nullptr;
+  return ok ? Status::OK() : Status::IOError("trace sink write failed");
+}
+
+bool Tracer::SampleRoot() {
+  if (!open_.load(std::memory_order_relaxed)) return false;
+  uint64_t interval = interval_.load(std::memory_order_relaxed);
+  if (interval == 0) return false;
+  return seq_.fetch_add(1, std::memory_order_relaxed) % interval == 0;
+}
+
+void Tracer::EmitLine(const char* line, size_t len) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_ == nullptr) return;  // closed between span start and end
+  buffer_.append(line, len);
+  spans_.fetch_add(1, std::memory_order_relaxed);
+  if (buffer_.size() >= kFlushThreshold) {
+    std::fwrite(buffer_.data(), 1, buffer_.size(),
+                static_cast<std::FILE*>(sink_));
+    buffer_.clear();
+  }
+}
+
+void Span::Begin(const char* name, const char* category) {
+  ThreadTrace& state = CurrentThread();
+  active_ = true;
+  name_ = name;
+  category_ = category;
+  span_id_ = state.next_span_id++;
+  parent_id_ = state.parent;
+  state.parent = span_id_;
+  start_us_ = NowMicros();
+}
+
+Span::Span(const char* name, const char* category) {
+  if (!CurrentThread().active) return;
+  Begin(name, category);
+}
+
+Span::Span(const char* name, const char* category, RootTag) {
+  ThreadTrace& state = CurrentThread();
+  if (state.active) {
+    // Nested entry point (e.g. Execute under an already-traced caller):
+    // record as a child instead of starting a second trace.
+    Begin(name, category);
+    return;
+  }
+  if (!Tracer::Global().SampleRoot()) return;
+  state.active = true;
+  state.trace_id = Tracer::Global().NextTraceId();
+  state.next_span_id = 1;
+  state.parent = 0;
+  owns_trace_ = true;
+  Begin(name, category);
+}
+
+void Span::AddArg(const char* key, uint64_t value) {
+  if (!active_ || num_args_ >= kMaxArgs) return;
+  arg_keys_[num_args_] = key;
+  arg_values_[num_args_] = value;
+  ++num_args_;
+}
+
+Span::~Span() {
+  if (!active_) return;
+  ThreadTrace& state = CurrentThread();
+  double end_us = NowMicros();
+  state.parent = parent_id_;
+
+  char line[512];
+  int n = std::snprintf(
+      line, sizeof(line),
+      "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
+      "\"dur\":%.3f,\"pid\":1,\"tid\":%u,\"args\":{\"trace\":%llu,"
+      "\"span\":%u,\"parent\":%u",
+      name_, category_, start_us_, end_us - start_us_, ThreadTid(state),
+      static_cast<unsigned long long>(state.trace_id), span_id_, parent_id_);
+  for (size_t i = 0; i < num_args_ && n < static_cast<int>(sizeof(line));
+       ++i) {
+    n += std::snprintf(line + n, sizeof(line) - n, ",\"%s\":%llu",
+                       arg_keys_[i],
+                       static_cast<unsigned long long>(arg_values_[i]));
+  }
+  if (n < static_cast<int>(sizeof(line)) - 3) {
+    n += std::snprintf(line + n, sizeof(line) - n, "}}\n");
+    Tracer::Global().EmitLine(line, n);
+  }
+
+  if (owns_trace_) {
+    state.active = false;
+    state.trace_id = 0;
+    state.next_span_id = 1;
+    state.parent = 0;
+  }
+}
+
+}  // namespace wg::obs

@@ -1,0 +1,139 @@
+#ifndef WG_OBS_TRACE_H_
+#define WG_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "util/status.h"
+
+// Sampling request tracer: a per-request trace context threaded through
+// QueryService -> Representation -> GraphCache -> Pager via a thread-local
+// span stack, emitting Chrome trace-event JSONL (one complete event per
+// line) that loads directly in Perfetto / chrome://tracing.
+//
+// Usage:
+//   * A serving entry point opens a *root* span:
+//       obs::Span trace("out-neighbors", "service", obs::Span::RootTag{});
+//     The root consults the global Tracer's sampler; if the request is
+//     sampled, a trace context is installed on the current thread and
+//     every nested Span on that thread records into it.
+//   * Lower layers open plain child spans unconditionally:
+//       obs::Span span("cache.miss_load", "cache");
+//     When no sampled trace is active on the thread this is two loads and
+//     a branch -- tracing is compiled in but near-zero cost when off.
+//
+// Span nesting is per-thread and lexical (constructor/destructor), which
+// matches both the serving path (one worker executes one request) and the
+// build pipeline (phases nest on the building thread). Events carry
+// trace/span/parent ids in `args`, and Perfetto reconstructs the same
+// nesting from ts/dur on each tid.
+//
+// Cost model: with no sink open, a root span is one relaxed atomic load;
+// a child span is a thread-local load and a branch. With a sink open but
+// a request unsampled, the root adds one fetch_add on the sample
+// sequence. Only sampled spans take the emit mutex (buffered, flushed in
+// 64 KiB chunks).
+
+namespace wg::obs {
+
+class Span;
+
+class Tracer {
+ public:
+  // The process-wide tracer every span records into.
+  static Tracer& Global();
+
+  // Opens (truncates) the JSONL sink and enables sampling. The sample
+  // interval persists across Open/Close.
+  Status OpenSink(const std::string& path);
+
+  // Flushes buffered spans and closes the sink; further spans are
+  // dropped. Idempotent.
+  Status Close();
+
+  // Trace every `n`-th root span; 0 disables sampling entirely, 1 traces
+  // every request.
+  void set_sample_interval(uint64_t n) {
+    interval_.store(n, std::memory_order_relaxed);
+  }
+  uint64_t sample_interval() const {
+    return interval_.load(std::memory_order_relaxed);
+  }
+
+  bool sink_open() const { return open_.load(std::memory_order_relaxed); }
+  uint64_t spans_written() const {
+    return spans_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Span;
+
+  // Root-span sampling decision; bumps the sequence only when a sink is
+  // open.
+  bool SampleRoot();
+  uint64_t NextTraceId() {
+    return next_trace_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  void EmitLine(const char* line, size_t len);
+
+  std::atomic<bool> open_{false};
+  std::atomic<uint64_t> interval_{1};
+  std::atomic<uint64_t> seq_{0};
+  std::atomic<uint64_t> next_trace_{0};
+  std::atomic<uint64_t> spans_{0};
+
+  std::mutex mu_;  // guards sink_ + buffer_
+  void* sink_ = nullptr;  // std::FILE*, kept void* to avoid <cstdio> here
+  std::string buffer_;
+};
+
+// RAII span. Construction captures the start time and pushes the span on
+// the thread's stack; destruction pops it and emits one Chrome
+// complete-event ("ph":"X") line. Inactive spans (no sampled trace on
+// this thread) cost a branch.
+class Span {
+ public:
+  static constexpr size_t kMaxArgs = 4;
+
+  struct RootTag {};
+
+  // Child span: active iff a sampled trace is running on this thread.
+  Span(const char* name, const char* category);
+
+  // Root span: starts a new sampled trace on this thread if the tracer's
+  // sampler fires. If a trace is already active (nested serving entry
+  // points, e.g. Execute under a traced tool), degrades to a child span.
+  Span(const char* name, const char* category, RootTag);
+
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  // Attaches a numeric argument to the event (dropped beyond kMaxArgs or
+  // when the span is inactive). `key` must outlive the span (use string
+  // literals).
+  void AddArg(const char* key, uint64_t value);
+
+  bool active() const { return active_; }
+
+ private:
+  void Begin(const char* name, const char* category);
+
+  const char* name_ = nullptr;
+  const char* category_ = nullptr;
+  double start_us_ = 0;
+  uint32_t span_id_ = 0;
+  uint32_t parent_id_ = 0;
+  bool active_ = false;
+  bool owns_trace_ = false;
+  size_t num_args_ = 0;
+  const char* arg_keys_[kMaxArgs];
+  uint64_t arg_values_[kMaxArgs];
+};
+
+}  // namespace wg::obs
+
+#endif  // WG_OBS_TRACE_H_

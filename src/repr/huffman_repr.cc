@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/bitstream.h"
 #include "util/coding.h"
 
@@ -28,6 +29,7 @@ std::unique_ptr<HuffmanRepr> HuffmanRepr::Build(const WebGraph& graph) {
   repr->data_ = writer.Finish();
   repr->num_edges_ = graph.num_edges();
   repr->domains_ = DomainIndex(graph);
+  repr->RegisterStats("huffman");
   return repr;
 }
 
@@ -35,6 +37,8 @@ Status HuffmanRepr::GetLinks(PageId p, std::vector<PageId>* out) {
   if (p + 1 >= bit_offsets_.size()) {
     return Status::OutOfRange("page id out of range");
   }
+  obs::Span span("huffman.get_links", "repr");
+  span.AddArg("page", p);
   ++stats_.adjacency_requests;
   BitReader reader(data_.data(), data_.size());
   reader.SkipBits(bit_offsets_[p]);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/trace.h"
 #include "util/bitstream.h"
 #include "util/coding.h"
 #include "util/rle.h"
@@ -210,6 +211,7 @@ Result<std::unique_ptr<Link3Repr>> Link3Repr::Build(const WebGraph& graph,
       options.buffer_bytes, [raw](uint32_t block, std::vector<uint8_t>* blob) {
         return raw->LoadBlock(block, blob);
       });
+  repr->RegisterStats("link3");
   return repr;
 }
 
@@ -282,6 +284,8 @@ Status Link3Repr::GetLinks(PageId p, std::vector<PageId>* out) {
   if (p >= sorted_of_orig_.size()) {
     return Status::OutOfRange("page id out of range");
   }
+  obs::Span span("link3.get_links", "repr");
+  span.AddArg("page", p);
   ++stats_.adjacency_requests;
   PageId s = sorted_of_orig_[p];
   auto it = std::upper_bound(block_first_.begin(), block_first_.end(), s);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/coding.h"
 
 namespace wg {
@@ -72,11 +73,14 @@ Result<std::unique_ptr<RelationalRepr>> RelationalRepr::Build(
   repr->disk_tracker_.Absorb(repr->pager_->file().seek_ops(),
                              repr->pager_->file().transferred_bytes(),
                              &scratch);
+  repr->RegisterStats("relational");
   return repr;
 }
 
 Status RelationalRepr::GetLinks(PageId p, std::vector<PageId>* out) {
   if (p >= num_pages_) return Status::OutOfRange("page id out of range");
+  obs::Span span("relational.get_links", "repr");
+  span.AddArg("page", p);
   ++stats_.adjacency_requests;
   uint64_t rid = 0;
   bool found = false;

@@ -1,0 +1,32 @@
+#include "repr/representation.h"
+
+namespace wg {
+
+void ReprStats::Register(obs::MetricRegistry& registry,
+                         const obs::Labels& labels) {
+  adjacency_requests.Bind(registry, "wg_repr_adjacency_requests_total",
+                          labels, "Adjacency queries served");
+  edges_returned.Bind(registry, "wg_repr_edges_returned_total", labels,
+                      "Edges returned by adjacency queries");
+  disk_reads.Bind(registry, "wg_repr_disk_reads_total", labels,
+                  "Physical read operations");
+  bytes_read.Bind(registry, "wg_repr_bytes_read_total", labels,
+                  "Physical bytes read");
+  disk_seeks.Bind(registry, "wg_repr_disk_seeks_total", labels,
+                  "Non-sequential reads under the disk model");
+  disk_transfer_bytes.Bind(registry, "wg_repr_disk_transfer_bytes_total",
+                           labels,
+                           "Bytes transferred under the disk model");
+  cache_hits.Bind(registry, "wg_repr_cache_hits_total", labels,
+                  "Decoded-graph / page cache hits");
+  cache_misses.Bind(registry, "wg_repr_cache_misses_total", labels,
+                    "Decoded-graph / page cache misses");
+  graphs_loaded.Bind(registry, "wg_repr_graphs_loaded_total", labels,
+                     "Lower-level graphs decoded from the store");
+  graphs_encoded.Bind(registry, "wg_repr_graphs_encoded_total", labels,
+                      "Lower-level graphs compressed at build time");
+  encoded_bytes.Bind(registry, "wg_repr_encoded_bytes_total", labels,
+                     "Bytes produced by the build-time encoders");
+}
+
+}  // namespace wg

@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "graph/webgraph.h"
-#include "util/atomic_counter.h"
+#include "obs/metrics.h"
 #include "util/status.h"
 
 // The common contract for all five Web-graph representation schemes the
@@ -22,28 +22,37 @@
 
 namespace wg {
 
-// Counters are AtomicCounter (relaxed atomics with value-copy semantics) so
-// representations that serve concurrent readers -- SNodeRepr under the
-// server/QueryService thread pool -- can bump them without data races.
-// Single-threaded schemes pay one uncontended atomic add per bump.
+// Counters are obs::Counter handles (relaxed atomics with value-copy
+// semantics, see obs/metrics.h) so representations that serve concurrent
+// readers -- SNodeRepr under the server/QueryService thread pool -- can
+// bump them without data races, and so every instance can publish its
+// counters into the process metric registry. Single-threaded schemes pay
+// one uncontended atomic add per bump.
 struct ReprStats {
-  AtomicCounter adjacency_requests;
-  AtomicCounter edges_returned;
-  AtomicCounter disk_reads;   // physical read ops (0 for in-memory schemes)
-  AtomicCounter bytes_read;   // physical bytes read
+  obs::Counter adjacency_requests;
+  obs::Counter edges_returned;
+  obs::Counter disk_reads;   // physical read ops (0 for in-memory schemes)
+  obs::Counter bytes_read;   // physical bytes read
   // Disk-model accounting (see storage/file.h): non-sequential reads and
   // total transferred bytes including skipped near gaps. Experiments price
   // these with 2001-era disk constants.
-  AtomicCounter disk_seeks;
-  AtomicCounter disk_transfer_bytes;
-  AtomicCounter cache_hits;
-  AtomicCounter cache_misses;
-  AtomicCounter graphs_loaded;  // S-Node: lower-level graphs decoded
+  obs::Counter disk_seeks;
+  obs::Counter disk_transfer_bytes;
+  obs::Counter cache_hits;
+  obs::Counter cache_misses;
+  obs::Counter graphs_loaded;  // S-Node: lower-level graphs decoded
   // Build-side counters, bumped by SNodeRepr::Build's encode workers (many
   // threads at once when SNodeBuildOptions::threads > 1) -- they must stay
-  // AtomicCounter like the read-path counters above.
-  AtomicCounter graphs_encoded;  // lower-level graphs compressed
-  AtomicCounter encoded_bytes;   // bytes produced by the encoders
+  // atomic like the read-path counters above.
+  obs::Counter graphs_encoded;  // lower-level graphs compressed
+  obs::Counter encoded_bytes;   // bytes produced by the encoders
+
+  // Binds every counter to `registry` series named wg_repr_*_total with
+  // the given base labels (each scheme instance adds {"scheme",name()} +
+  // a unique {"instance",N}, so concurrent instances never share cells).
+  // Values accumulated before the bind are folded into the registry
+  // cells; Reset() keeps the binding (it zeroes the cells in place).
+  void Register(obs::MetricRegistry& registry, const obs::Labels& labels);
 
   void Reset() { *this = ReprStats(); }
 };
@@ -142,6 +151,16 @@ class GraphRepresentation {
   const ReprStats& stats() const { return stats_; }
 
  protected:
+  // Publishes this instance's counters into the default metric registry
+  // under {scheme=<scheme>, instance=<unique ordinal>}. Each scheme's
+  // Build/Open calls this once the instance identity is known.
+  void RegisterStats(const std::string& scheme) {
+    stats_.Register(
+        obs::MetricRegistry::Default(),
+        {{"scheme", scheme},
+         {"instance", std::to_string(obs::NextInstanceId())}});
+  }
+
   ReprStats stats_;
 };
 

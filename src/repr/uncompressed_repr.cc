@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "obs/trace.h"
 #include "util/coding.h"
 
 namespace wg {
@@ -65,6 +66,7 @@ Result<std::unique_ptr<UncompressedFileRepr>> UncompressedFileRepr::Build(
       [raw](uint32_t block, std::vector<uint8_t>* blob) {
         return raw->LoadIndexBlock(block, blob);
       });
+  repr->RegisterStats("uncompressed");
   return repr;
 }
 
@@ -122,6 +124,8 @@ Status UncompressedFileRepr::GetLinks(PageId p, std::vector<PageId>* out) {
   if (p >= num_pages_) {
     return Status::OutOfRange("page id out of range");
   }
+  obs::Span span("uncompressed.get_links", "repr");
+  span.AddArg("page", p);
   ++stats_.adjacency_requests;
   uint64_t begin, end;
   WG_RETURN_IF_ERROR(LookupOffsets(p, &begin, &end));

@@ -1,41 +1,8 @@
 #include "server/metrics.h"
 
-#include <cmath>
 #include <cstdio>
 
 namespace wg::server {
-
-void LatencyHistogram::Record(double seconds) {
-  double micros = seconds * 1e6;
-  size_t bucket = 0;
-  if (micros >= 1.0) {
-    bucket = static_cast<size_t>(std::log2(micros));
-    if (bucket >= kBuckets) bucket = kBuckets - 1;
-  }
-  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-}
-
-double LatencyHistogram::Quantile(double q) const {
-  uint64_t total = 0;
-  std::array<uint64_t, kBuckets> snap;
-  for (size_t i = 0; i < kBuckets; ++i) {
-    snap[i] = buckets_[i].load(std::memory_order_relaxed);
-    total += snap[i];
-  }
-  if (total == 0) return 0;
-  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total));
-  if (rank >= total) rank = total - 1;
-  uint64_t seen = 0;
-  for (size_t i = 0; i < kBuckets; ++i) {
-    seen += snap[i];
-    if (seen > rank) {
-      // Upper bound of bucket i: 2^(i+1) microseconds.
-      return std::ldexp(1.0, static_cast<int>(i) + 1) * 1e-6;
-    }
-  }
-  return std::ldexp(1.0, static_cast<int>(kBuckets)) * 1e-6;
-}
 
 std::string ServiceMetrics::ToString() const {
   char buf[384];

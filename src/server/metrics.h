@@ -1,41 +1,59 @@
 #ifndef WG_SERVER_METRICS_H_
 #define WG_SERVER_METRICS_H_
 
-#include <array>
-#include <atomic>
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.h"
+
 // Service-side observability: a lock-free log-bucketed latency histogram
 // (p50/p99 without storing samples) plus the snapshot struct the service
-// hands out. Counters are relaxed atomics -- they are reporting state, not
-// synchronization.
+// hands out. Since the observability PR both are thin views over
+// obs/metrics.h registry cells -- the service's counters and latency
+// distribution are queryable from the process-wide exposition endpoints
+// as well as through Snapshot().
 
 namespace wg::server {
 
-// Latencies land in bucket floor(log2(micros)), covering ~1us .. ~35min.
-// Quantiles are read from bucket upper bounds, so they are exact to within
-// one power of two -- plenty for a p50-vs-p99 shape report.
+// Latencies land in bucket floor(log2(micros)), covering ~1us .. ~35min,
+// with everything beyond 2^31 us collapsed into the last (overflow)
+// bucket. Quantiles are read from bucket upper bounds, giving the
+// power-of-two exactness bound:
+//
+//   * for a true quantile t >= 1us the reported value v is the enclosing
+//     bucket's upper bound, so t <= v <= 2t -- never an under-report, at
+//     worst doubled (v = 2t exactly when t is a power of two);
+//   * latencies below 1us share the first bucket and report as 2us;
+//   * latencies at or beyond 2^31 us (~35.8 min) land in the overflow
+//     bucket and report as its upper bound 2^32 us (~71.6 min).
+//
+// Plenty for a p50-vs-p99 shape report; see server_histogram_test.cc for
+// the edge cases that pin this contract down.
 class LatencyHistogram {
  public:
-  static constexpr size_t kBuckets = 32;
+  void Record(double seconds) { hist_.Record(seconds * 1e6); }
 
-  void Record(double seconds);
+  // Value (seconds) below which a `q` fraction of recorded latencies
+  // fall, subject to the bucket bound above; 0 if nothing was recorded.
+  // q in [0, 1]; q=1 reports the bucket of the largest recorded sample.
+  double Quantile(double q) const { return hist_.Quantile(q) * 1e-6; }
 
-  // Value (seconds) below which a `q` fraction of recorded latencies fall;
-  // 0 if nothing was recorded. q in [0, 1].
-  double Quantile(double q) const;
+  uint64_t count() const { return hist_.count(); }
 
-  uint64_t count() const {
-    return count_.load(std::memory_order_relaxed);
+  // Re-points the underlying cell at a registry-owned series (recorded
+  // unit: microseconds), so the distribution shows up in the exposition.
+  void Bind(obs::MetricRegistry& registry, const std::string& name,
+            const obs::Labels& labels, const std::string& help = "") {
+    hist_ = registry.GetHistogram(name, labels, help);
   }
 
  private:
-  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
-  std::atomic<uint64_t> count_{0};
+  obs::Histogram hist_;
 };
 
-// A point-in-time view of a QueryService (see query_service.h).
+// A point-in-time view of a QueryService (see query_service.h). Since the
+// service's counters live in the metric registry, this is a convenience
+// snapshot -- the same numbers are exported by MetricRegistry dumps.
 struct ServiceMetrics {
   uint64_t submitted = 0;
   uint64_t completed = 0;   // executed to kOk

@@ -1,6 +1,9 @@
 #include "server/query_service.h"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/trace.h"
 
 namespace wg::server {
 
@@ -18,6 +21,24 @@ QueryService::QueryService(const QueryContext& ctx,
     : ctx_(ctx),
       options_(options),
       queue_(std::max<size_t>(1, options.queue_capacity)) {
+  obs::MetricRegistry& registry = obs::MetricRegistry::Default();
+  obs::Labels labels = {
+      {"service", std::to_string(obs::NextInstanceId())}};
+  auto outcome = [&](const char* name) {
+    obs::Labels with = labels;
+    with.emplace_back("outcome", name);
+    return registry.GetCounter("wg_service_requests_total", with,
+                               "Requests by admission/execution outcome");
+  };
+  submitted_ = outcome("submitted");
+  completed_ = outcome("completed");
+  rejected_ = outcome("rejected");
+  timed_out_ = outcome("timed_out");
+  errors_ = outcome("error");
+  queue_depth_ = registry.GetGauge("wg_service_queue_depth", labels,
+                                   "Requests waiting at last snapshot");
+  latency_.Bind(registry, "wg_service_latency_us", labels,
+                "Enqueue-to-completion latency (microseconds)");
   size_t n = std::max<size_t>(1, options_.num_workers);
   workers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
@@ -39,7 +60,7 @@ void QueryService::Shutdown() {
 }
 
 std::future<Response> QueryService::Submit(Request request) {
-  submitted_.fetch_add(1, std::memory_order_relaxed);
+  ++submitted_;
   Job job;
   job.request = request;
   job.enqueued = std::chrono::steady_clock::now();
@@ -47,7 +68,7 @@ std::future<Response> QueryService::Submit(Request request) {
   if (!queue_.TryPush(std::move(job))) {
     // Backpressure: refuse now instead of queueing unboundedly. The caller
     // sees kRejected and can retry with its own policy.
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+    ++rejected_;
     Response response;
     response.code = ResponseCode::kRejected;
     std::promise<Response> immediate;
@@ -74,13 +95,13 @@ void QueryService::WorkerLoop() {
     latency_.Record(response.latency_seconds);
     switch (response.code) {
       case ResponseCode::kOk:
-        completed_.fetch_add(1, std::memory_order_relaxed);
+        ++completed_;
         break;
       case ResponseCode::kDeadlineExceeded:
-        timed_out_.fetch_add(1, std::memory_order_relaxed);
+        ++timed_out_;
         break;
       case ResponseCode::kError:
-        errors_.fetch_add(1, std::memory_order_relaxed);
+        ++errors_;
         break;
       case ResponseCode::kRejected:
         break;  // never produced by Execute
@@ -90,6 +111,13 @@ void QueryService::WorkerLoop() {
 }
 
 Response QueryService::Execute(const Request& request) const {
+  // Root of the cross-layer request trace: spans opened below this frame
+  // (repr access, cache miss, store read, pager load) nest under it when
+  // the sampler selects this request. Covers both the worker-pool path
+  // and inline callers.
+  obs::Span trace(RequestTypeName(request.type), "service",
+                  obs::Span::RootTag{});
+  trace.AddArg("page", request.page);
   Response response;
   if (request.simulated_work.count() > 0) {
     std::this_thread::sleep_for(request.simulated_work);
@@ -178,12 +206,13 @@ Status QueryService::ExecuteKHop(const Request& request,
 
 ServiceMetrics QueryService::Snapshot() const {
   ServiceMetrics m;
-  m.submitted = submitted_.load(std::memory_order_relaxed);
-  m.completed = completed_.load(std::memory_order_relaxed);
-  m.rejected = rejected_.load(std::memory_order_relaxed);
-  m.timed_out = timed_out_.load(std::memory_order_relaxed);
-  m.errors = errors_.load(std::memory_order_relaxed);
+  m.submitted = submitted_;
+  m.completed = completed_;
+  m.rejected = rejected_;
+  m.timed_out = timed_out_;
+  m.errors = errors_;
   m.queue_depth = queue_.size();
+  queue_depth_.Set(static_cast<double>(m.queue_depth));
   m.p50_seconds = latency_.Quantile(0.5);
   m.p99_seconds = latency_.Quantile(0.99);
   if (ctx_.forward != nullptr) {

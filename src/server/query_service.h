@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "query/queries.h"
 #include "server/bounded_queue.h"
 #include "server/metrics.h"
@@ -76,11 +77,17 @@ class QueryService {
   std::vector<std::thread> workers_;
   std::atomic<bool> shutdown_{false};
 
-  std::atomic<uint64_t> submitted_{0};
-  std::atomic<uint64_t> completed_{0};
-  std::atomic<uint64_t> rejected_{0};
-  std::atomic<uint64_t> timed_out_{0};
-  std::atomic<uint64_t> errors_{0};
+  // Registry-backed outcome counters and latency distribution: one
+  // wg_service_requests_total{service=<id>,outcome=...} series each plus
+  // wg_service_latency_us{service=<id>}, bound in the constructor.
+  // Snapshot() is a thin view over these cells; the metric registry
+  // exposition sees the same numbers.
+  obs::Counter submitted_;
+  obs::Counter completed_;
+  obs::Counter rejected_;
+  obs::Counter timed_out_;
+  obs::Counter errors_;
+  obs::Gauge queue_depth_;
   LatencyHistogram latency_;
 };
 

@@ -44,6 +44,16 @@ struct Request {
   }
 };
 
+inline const char* RequestTypeName(RequestType type) {
+  switch (type) {
+    case RequestType::kOutNeighbors: return "out-neighbors";
+    case RequestType::kInNeighbors: return "in-neighbors";
+    case RequestType::kKHop: return "k-hop";
+    case RequestType::kComplexQuery: return "complex-query";
+  }
+  return "unknown";
+}
+
 enum class ResponseCode {
   kOk = 0,
   kRejected,          // bounded queue full (backpressure) or shut down

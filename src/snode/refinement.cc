@@ -6,6 +6,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "obs/trace.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 
@@ -313,6 +314,13 @@ Partition RefinePartition(const WebGraph& graph,
     }
     size_t pass = local_stats.passes++;
 
+    // One span per pass (evaluate + ordered merge), not per candidate:
+    // a pass can hold thousands of candidates and the trace should show
+    // convergence shape, not drown in it.
+    obs::Span pass_span("refine.pass", "build");
+    pass_span.AddArg("pass", pass);
+    pass_span.AddArg("candidates", candidates.size());
+
     // Evaluate every candidate against the pass-start partition. Each
     // worker owns its candidate's Element exclusively (URL-split level
     // advancement mutates it); `elements`, `owner`, and the graph are
@@ -416,6 +424,37 @@ std::string RefinementStats::ToString() const {
                 clustered_aborts, final_elements, refine_seconds,
                 encode_seconds, layout_seconds);
   return buf;
+}
+
+void RefinementStats::PublishTo(obs::MetricRegistry& registry,
+                                const obs::Labels& labels) const {
+  auto count = [&](const char* name, size_t v, const char* help) {
+    registry.GetCounter(name, labels, help) += v;
+  };
+  count("wg_build_iterations_total", iterations,
+        "Refinement iterations (candidate splits evaluated)");
+  count("wg_build_passes_total", passes, "Refinement passes");
+  count("wg_build_url_splits_total", url_splits, "Successful URL splits");
+  count("wg_build_clustered_splits_total", clustered_splits,
+        "Successful clustered (k-means) splits");
+  count("wg_build_clustered_aborts_total", clustered_aborts,
+        "Aborted clustered split attempts");
+  registry
+      .GetGauge("wg_build_final_elements", labels,
+                "Partition elements (supernodes) after refinement")
+      .Set(static_cast<double>(final_elements));
+  registry
+      .GetGauge("wg_build_refine_seconds", labels,
+                "Wall-clock of the refinement phase")
+      .Set(refine_seconds);
+  registry
+      .GetGauge("wg_build_encode_seconds", labels,
+                "Wall-clock of the parallel encode phase")
+      .Set(encode_seconds);
+  registry
+      .GetGauge("wg_build_layout_seconds", labels,
+                "Wall-clock of the ordered layout phase")
+      .Set(layout_seconds);
 }
 
 }  // namespace wg

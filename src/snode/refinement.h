@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "graph/webgraph.h"
+#include "obs/metrics.h"
 #include "snode/partition.h"
 
 // Iterative partition refinement (Section 3.2 of the paper):
@@ -103,6 +104,14 @@ struct RefinementStats {
   double layout_seconds = 0;
 
   std::string ToString() const;
+
+  // Publishes the final numbers into `registry` under the given labels:
+  // counts as wg_build_*_total counters, per-phase wall-clock as
+  // wg_build_*_seconds gauges. One build = one label set (callers pass a
+  // unique {"build",N}), so successive builds in one process stay
+  // distinguishable in the exposition output.
+  void PublishTo(obs::MetricRegistry& registry,
+                 const obs::Labels& labels) const;
 };
 
 // Runs refinement to completion and returns the final partition. Elements

@@ -6,6 +6,8 @@
 #include <map>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/serial.h"
 #include "util/coding.h"
 #include "util/parallel.h"
@@ -45,6 +47,7 @@ Result<std::unique_ptr<SNodeRepr>> SNodeRepr::Build(
   repr->cache_ = std::make_unique<ShardedGraphCache>(options.cache_shards,
                                                      options.buffer_bytes);
   repr->InstallLoadLogListener();
+  repr->RegisterStats("s-node");
   repr->num_edges_ = graph.num_edges();
 
   int threads = options.threads > 0 ? options.threads
@@ -54,7 +57,11 @@ Result<std::unique_ptr<SNodeRepr>> SNodeRepr::Build(
   // 1. Iterative partition refinement (elements come out URL-sorted).
   RefinementOptions refinement = options.refinement;
   refinement.threads = threads;
-  Partition partition = RefinePartition(graph, refinement, stats);
+  Partition partition;
+  {
+    obs::Span span("build.refine", "build");
+    partition = RefinePartition(graph, refinement, stats);
+  }
   WG_RETURN_IF_ERROR(partition.Validate(graph.num_pages()));
   uint32_t n_super = static_cast<uint32_t>(partition.num_elements());
 
@@ -98,9 +105,10 @@ Result<std::unique_ptr<SNodeRepr>> SNodeRepr::Build(
 
     // Parallel encode: workers read only immutable state (the graph, the
     // partition, owner, the numbering built in step 2) and write disjoint
-    // sections; the stats bumps are relaxed atomics.
+    // sections; the stats bumps are relaxed atomics. The span covers the
+    // whole window on the building thread (worker internals are inside).
     auto t_encode = std::chrono::steady_clock::now();
-    executor.ParallelFor(window, window_end, [&](size_t s_index) {
+    auto encode_one = [&](size_t s_index) {
       uint32_t s = static_cast<uint32_t>(s_index);
       const auto& element = partition.elements[s];
       uint32_t n_local = static_cast<uint32_t>(element.size());
@@ -148,11 +156,19 @@ Result<std::unique_ptr<SNodeRepr>> SNodeRepr::Build(
       ++repr->stats_.graphs_encoded;
       repr->stats_.encoded_bytes += section.intranode.size();
       repr->stats_.graphs_encoded += section.superedges.size();
-    });
+    };
+    {
+      obs::Span encode_span("build.encode", "build");
+      encode_span.AddArg("window_first", window);
+      encode_span.AddArg("window_size", window_end - window);
+      executor.ParallelFor(window, window_end, encode_one);
+    }
     encode_seconds += SecondsSince(t_encode);
 
     // Ordered layout: single-threaded, supernode order, intranode first.
     auto t_layout = std::chrono::steady_clock::now();
+    obs::Span layout_span("build.layout", "build");
+    layout_span.AddArg("window_first", window);
     for (uint32_t s = window; s < window_end; ++s) {
       EncodedSection& section = sections[s - window];
       WG_ASSIGN_OR_RETURN(uint32_t intra_id,
@@ -172,6 +188,9 @@ Result<std::unique_ptr<SNodeRepr>> SNodeRepr::Build(
   if (stats != nullptr) {
     stats->encode_seconds = encode_seconds;
     stats->layout_seconds = layout_seconds;
+    stats->PublishTo(
+        obs::MetricRegistry::Default(),
+        {{"build", std::to_string(obs::NextInstanceId())}});
   }
 
   {
@@ -235,6 +254,7 @@ Result<std::unique_ptr<SNodeRepr>> SNodeRepr::Open(
   repr->cache_ = std::make_unique<ShardedGraphCache>(options.cache_shards,
                                                      options.buffer_bytes);
   repr->InstallLoadLogListener();
+  repr->RegisterStats("s-node");
 
   uint64_t num_pages = 0;
   if (!cursor.ReadVarint64(&num_pages) ||
@@ -373,9 +393,12 @@ Result<SNodeRepr::EntryPtr> SNodeRepr::LoadBlob(uint32_t blob_id,
     return claim.status;
   }
   ++stats_.cache_misses;
+  obs::Span miss_span("cache.miss_load", "cache");
+  miss_span.AddArg("blob", blob_id);
   std::vector<uint8_t> raw;
   {
     std::lock_guard<std::mutex> lock(io_mutex_);
+    obs::Span read_span("store.read_blob", "storage");
     Status read = store_->ReadBlob(blob_id, &raw);
     if (!read.ok()) {
       cache_->Abort(blob_id, read);
@@ -388,8 +411,11 @@ Result<SNodeRepr::EntryPtr> SNodeRepr::LoadBlob(uint32_t blob_id,
   stats_.bytes_read += raw.size();
   ++stats_.graphs_loaded;
   ShardedGraphCache::Entry entry;
-  Status decoded = DecodeSectionBlob(blob_id, supernode, first_blob, raw,
-                                     &entry);
+  Status decoded;
+  {
+    obs::Span decode_span("snode.decode", "cache");
+    decoded = DecodeSectionBlob(blob_id, supernode, first_blob, raw, &entry);
+  }
   if (!decoded.ok()) {
     cache_->Abort(blob_id, decoded);
     return decoded;
@@ -426,9 +452,13 @@ Status SNodeRepr::PrefetchSection(uint32_t supernode) {
   // flight on another thread are skipped (their owners publish them).
   std::vector<uint32_t> claimed = cache_->ClaimRange(first, last);
   if (claimed.empty()) return Status::OK();
+  obs::Span prefetch_span("cache.prefetch_section", "cache");
+  prefetch_span.AddArg("supernode", supernode);
+  prefetch_span.AddArg("blobs", claimed.size());
   std::vector<std::vector<uint8_t>> blobs;
   {
     std::lock_guard<std::mutex> lock(io_mutex_);
+    obs::Span read_span("store.read_range", "storage");
     Status read = store_->ReadBlobRange(first, last, &blobs);
     if (!read.ok()) {
       for (uint32_t id : claimed) cache_->Abort(id, read);
@@ -483,6 +513,8 @@ Status SNodeRepr::GetLinks(PageId p, std::vector<PageId>* out) {
   if (p >= new_of_orig_.size()) {
     return Status::OutOfRange("page id out of range");
   }
+  obs::Span span("snode.get_links", "repr");
+  span.AddArg("page", p);
   ++stats_.adjacency_requests;
   PageId nid = new_of_orig_[p];
   uint32_t s = supernodes_.SupernodeOf(nid);
@@ -529,6 +561,9 @@ Status SNodeRepr::VisitLinksInto(
   // as an index -- superedge graphs into untouched supernodes are never
   // read from disk, let alone decoded.
   std::unordered_map<uint32_t, std::vector<uint32_t>> allowed;  // s -> locals
+  obs::Span span("snode.visit_links_into", "repr");
+  span.AddArg("sources", sources.size());
+  span.AddArg("targets", targets.size());
   for (PageId t : targets) {
     PageId nid = new_of_orig_[t];
     uint32_t s = supernodes_.SupernodeOf(nid);

@@ -3,7 +3,20 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/trace.h"
+
 namespace wg {
+
+void PagerStats::Register(obs::MetricRegistry& registry,
+                          const obs::Labels& labels) {
+  hits.Bind(registry, "wg_pager_hits_total", labels, "Buffer-pool hits");
+  misses.Bind(registry, "wg_pager_misses_total", labels,
+              "Buffer-pool misses (physical page reads)");
+  evictions.Bind(registry, "wg_pager_evictions_total", labels,
+                 "Frames evicted to make room");
+  writes.Bind(registry, "wg_pager_writes_total", labels,
+              "Physical page writes");
+}
 
 PageHandle::PageHandle(Pager* pager, uint32_t frame)
     : pager_(pager), frame_(frame) {}
@@ -54,8 +67,13 @@ Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path,
   auto file = RandomAccessFile::Open(path);
   if (!file.ok()) return file.status();
   size_t num_frames = std::max<size_t>(8, budget_bytes / kPageSize);
-  return std::unique_ptr<Pager>(
-      new Pager(std::move(file).value(), num_frames));
+  auto pager =
+      std::unique_ptr<Pager>(new Pager(std::move(file).value(), num_frames));
+  pager->stats_.Register(
+      obs::MetricRegistry::Default(),
+      {{"file", path},
+       {"instance", std::to_string(obs::NextInstanceId())}});
+  return pager;
 }
 
 Result<PageNum> Pager::Allocate() {
@@ -95,6 +113,11 @@ Result<uint32_t> Pager::PinFrame(PageNum page) {
     return frame;
   }
   ++stats_.misses;
+  // Traced as the bottom of the request chain: service request -> repr
+  // access -> (cache miss ->) pager load. Covers eviction write-back and
+  // the physical read.
+  obs::Span span("pager.load_page", "storage");
+  span.AddArg("page", page);
   if (free_frames_.empty()) {
     WG_RETURN_IF_ERROR(EvictOne());
   }

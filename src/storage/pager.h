@@ -8,8 +8,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "storage/file.h"
-#include "util/atomic_counter.h"
 #include "util/status.h"
 
 // Page-granular storage with an LRU buffer pool. This is the substrate of
@@ -26,15 +26,22 @@ inline constexpr size_t kPageSize = 8192;
 using PageNum = uint32_t;
 inline constexpr PageNum kInvalidPageNum = UINT32_MAX;
 
-// AtomicCounter keeps the counters data-race-free if a future concurrent
-// reader shares the pool; the pager's structural state itself is still
-// single-threaded (see server/ for the concurrent path, which goes through
-// SNodeRepr's sharded cache instead).
+// obs::Counter keeps the counters data-race-free: page loads bump them on
+// the pager's (single structural) thread while monitoring threads --
+// wgserve metric dumps, test snapshots -- read them concurrently. The
+// pager's structural state itself is still single-threaded (see server/
+// for the concurrent path, which goes through SNodeRepr's sharded cache
+// instead). Open() registers each instance's counters with the default
+// metric registry (wg_pager_*_total{file=...,instance=...}).
 struct PagerStats {
-  AtomicCounter hits;
-  AtomicCounter misses;     // buffer-pool misses => physical reads
-  AtomicCounter evictions;
-  AtomicCounter writes;     // physical page writes
+  obs::Counter hits;
+  obs::Counter misses;     // buffer-pool misses => physical reads
+  obs::Counter evictions;
+  obs::Counter writes;     // physical page writes
+
+  // Binds the counters to registry-backed series; Reset-style whole-struct
+  // assignment afterwards zeroes the cells but keeps the binding.
+  void Register(obs::MetricRegistry& registry, const obs::Labels& labels);
 };
 
 class Pager;

@@ -1,0 +1,389 @@
+// Metric registry and tracer: handle value semantics, exposition formats,
+// trace JSONL well-formedness and span nesting. Carries the `concurrency`
+// ctest label (obs_* name) so the TSan preset covers the multi-threaded
+// cases.
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace wg::obs {
+namespace {
+
+// --- minimal JSON well-formedness checker (no dependency) ----------------
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool Number() {
+    size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Literal(const char* lit) {
+    size_t len = std::string(lit).size();
+    if (s_.compare(pos_, len, lit) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+// --- counters ------------------------------------------------------------
+
+TEST(CounterTest, AtomicCounterCompatibleSemantics) {
+  Counter c;
+  EXPECT_EQ(0u, c.value());
+  ++c;
+  c += 5;
+  EXPECT_EQ(6u, static_cast<uint64_t>(c));
+  c -= 2;
+  EXPECT_EQ(4u, c.value());
+  c = 10;
+  EXPECT_EQ(10u, c.value());
+
+  // Copy construction snapshots into a private cell.
+  Counter copy = c;
+  ++copy;
+  EXPECT_EQ(10u, c.value());
+  EXPECT_EQ(11u, copy.value());
+}
+
+TEST(CounterTest, AssignmentStoresValueKeepingBinding) {
+  MetricRegistry registry;
+  Counter c = registry.GetCounter("test_total", {{"k", "v"}});
+  c += 7;
+  // The Reset() idiom of the stats structs: whole-struct assignment from a
+  // default-constructed value must zero the registry cell, not re-point
+  // the handle at a private one.
+  c = Counter();
+  EXPECT_EQ(0u, c.value());
+  ++c;
+  Counter again = registry.GetCounter("test_total", {{"k", "v"}});
+  EXPECT_EQ(1u, again.value());
+}
+
+TEST(CounterTest, BindFoldsAccumulatedValue) {
+  MetricRegistry registry;
+  Counter c;
+  c += 42;
+  c.Bind(registry, "bound_total", {{"instance", "1"}});
+  Counter view = registry.GetCounter("bound_total", {{"instance", "1"}});
+  EXPECT_EQ(42u, view.value());
+  ++c;
+  EXPECT_EQ(43u, view.value());
+}
+
+TEST(CounterTest, SharedCellAcrossHandles) {
+  MetricRegistry registry;
+  Counter a = registry.GetCounter("shared_total");
+  Counter b = registry.GetCounter("shared_total");
+  a += 3;
+  b += 4;
+  EXPECT_EQ(7u, a.value());
+  EXPECT_EQ(7u, b.value());
+  EXPECT_EQ(1u, registry.num_series());
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreLossless) {
+  MetricRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      Counter c = registry.GetCounter("mt_total");
+      for (int i = 0; i < kIncrements; ++i) ++c;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(static_cast<uint64_t>(kThreads) * kIncrements,
+            registry.GetCounter("mt_total").value());
+}
+
+// --- gauges & histograms -------------------------------------------------
+
+TEST(GaugeTest, SetAndAdd) {
+  MetricRegistry registry;
+  Gauge g = registry.GetGauge("depth");
+  g.Set(4.5);
+  EXPECT_DOUBLE_EQ(4.5, g.value());
+  g.Add(0.5);
+  EXPECT_DOUBLE_EQ(5.0, g.value());
+}
+
+TEST(HistogramTest, PowerOfTwoQuantiles) {
+  Histogram h;
+  EXPECT_EQ(0.0, h.Quantile(0.5));  // empty
+  h.Record(3.0);  // bucket 1 -> upper bound 4
+  EXPECT_DOUBLE_EQ(4.0, h.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(4.0, h.Quantile(1.0));
+  for (int i = 0; i < 99; ++i) h.Record(100.0);  // bucket 6 -> bound 128
+  EXPECT_DOUBLE_EQ(4.0, h.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(128.0, h.Quantile(0.5));
+  EXPECT_DOUBLE_EQ(128.0, h.Quantile(1.0));
+  EXPECT_EQ(100u, h.count());
+}
+
+// --- exposition ----------------------------------------------------------
+
+TEST(RegistryTest, PrometheusText) {
+  MetricRegistry registry;
+  Counter c = registry.GetCounter("wg_test_requests_total",
+                                  {{"outcome", "ok"}}, "Requests");
+  c += 12;
+  registry.GetGauge("wg_test_depth", {}, "Depth").Set(3);
+  Histogram h = registry.GetHistogram("wg_test_latency_us");
+  h.Record(5.0);
+
+  std::string text = registry.PrometheusText();
+  EXPECT_NE(std::string::npos, text.find("# HELP wg_test_requests_total "
+                                         "Requests"));
+  EXPECT_NE(std::string::npos, text.find("# TYPE wg_test_requests_total "
+                                         "counter"));
+  EXPECT_NE(std::string::npos,
+            text.find("wg_test_requests_total{outcome=\"ok\"} 12"));
+  EXPECT_NE(std::string::npos, text.find("# TYPE wg_test_depth gauge"));
+  EXPECT_NE(std::string::npos, text.find("wg_test_depth 3"));
+  EXPECT_NE(std::string::npos, text.find("# TYPE wg_test_latency_us "
+                                         "histogram"));
+  EXPECT_NE(std::string::npos,
+            text.find("wg_test_latency_us_bucket{le=\"+Inf\"} 1"));
+  EXPECT_NE(std::string::npos, text.find("wg_test_latency_us_count 1"));
+  EXPECT_NE(std::string::npos, text.find("wg_test_latency_us_sum 5"));
+}
+
+TEST(RegistryTest, JsonTextIsWellFormed) {
+  MetricRegistry registry;
+  registry.GetCounter("a_total", {{"x", "quote\"backslash\\"}}) += 1;
+  registry.GetGauge("b").Set(2.5);
+  registry.GetHistogram("c_us").Record(9.0);
+  std::string json = registry.JsonText();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(std::string::npos, json.find("\"a_total\""));
+  EXPECT_NE(std::string::npos, json.find("\"p99\""));
+}
+
+TEST(RegistryTest, ClearDropsSeriesButHandlesSurvive) {
+  MetricRegistry registry;
+  Counter c = registry.GetCounter("gone_total");
+  c += 5;
+  registry.Clear();
+  EXPECT_EQ(0u, registry.num_series());
+  ++c;  // must not crash; cell is kept alive by the handle
+  EXPECT_EQ(6u, c.value());
+}
+
+// --- tracer --------------------------------------------------------------
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+// Extracts the numeric value of `key` from a single JSONL event line.
+double JsonNumber(const std::string& line, const std::string& key) {
+  size_t pos = line.find("\"" + key + "\":");
+  EXPECT_NE(std::string::npos, pos) << key << " missing in " << line;
+  return std::strtod(line.c_str() + pos + key.size() + 3, nullptr);
+}
+
+std::string TempPath(const char* name) {
+  return "/tmp/wg_obs_test_" + std::to_string(getpid()) + "_" + name;
+}
+
+TEST(TracerTest, SpansInactiveWithoutSink) {
+  ASSERT_FALSE(Tracer::Global().sink_open());
+  Span root("root", "test", Span::RootTag{});
+  EXPECT_FALSE(root.active());
+  Span child("child", "test");
+  EXPECT_FALSE(child.active());
+}
+
+TEST(TracerTest, EmitsNestedJsonlSpans) {
+  Tracer& tracer = Tracer::Global();
+  std::string path = TempPath("nested.jsonl");
+  tracer.set_sample_interval(1);
+  ASSERT_TRUE(tracer.OpenSink(path).ok());
+  {
+    Span root("request", "service", Span::RootTag{});
+    ASSERT_TRUE(root.active());
+    root.AddArg("page", 7);
+    {
+      Span mid("repr.get_links", "repr");
+      ASSERT_TRUE(mid.active());
+      Span leaf("pager.load_page", "storage");
+      ASSERT_TRUE(leaf.active());
+    }
+  }
+  ASSERT_TRUE(tracer.Close().ok());
+
+  std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(3u, lines.size());
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(JsonChecker(line).Valid()) << line;
+    EXPECT_NE(std::string::npos, line.find("\"ph\":\"X\""));
+  }
+  // Destructor order: leaf, mid, root. Same trace, chained parents.
+  EXPECT_NE(std::string::npos, lines[0].find("\"name\":\"pager.load_page\""));
+  EXPECT_NE(std::string::npos, lines[2].find("\"name\":\"request\""));
+  EXPECT_NE(std::string::npos, lines[2].find("\"page\":7"));
+  double trace0 = JsonNumber(lines[0], "trace");
+  EXPECT_EQ(trace0, JsonNumber(lines[1], "trace"));
+  EXPECT_EQ(trace0, JsonNumber(lines[2], "trace"));
+  EXPECT_EQ(JsonNumber(lines[0], "parent"), JsonNumber(lines[1], "span"));
+  EXPECT_EQ(JsonNumber(lines[1], "parent"), JsonNumber(lines[2], "span"));
+  EXPECT_EQ(0.0, JsonNumber(lines[2], "parent"));
+  // Child intervals nest inside the parent interval.
+  for (int child = 0; child < 2; ++child) {
+    double cs = JsonNumber(lines[child], "ts");
+    double ce = cs + JsonNumber(lines[child], "dur");
+    double ps = JsonNumber(lines[child + 1], "ts");
+    double pe = ps + JsonNumber(lines[child + 1], "dur");
+    EXPECT_GE(cs, ps);
+    EXPECT_LE(ce, pe);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TracerTest, SamplingTracesEveryNthRoot) {
+  Tracer& tracer = Tracer::Global();
+  std::string path = TempPath("sampled.jsonl");
+  tracer.set_sample_interval(4);
+  ASSERT_TRUE(tracer.OpenSink(path).ok());
+  for (int i = 0; i < 8; ++i) {
+    Span root("request", "service", Span::RootTag{});
+    Span child("inner", "test");
+    EXPECT_EQ(root.active(), child.active());
+  }
+  ASSERT_TRUE(tracer.Close().ok());
+  // Any 8 consecutive sample-sequence values contain exactly two multiples
+  // of 4, each contributing a root + child event.
+  EXPECT_EQ(4u, ReadLines(path).size());
+  tracer.set_sample_interval(1);
+  std::remove(path.c_str());
+}
+
+TEST(TracerTest, ConcurrentRootsKeepLinesIntact) {
+  Tracer& tracer = Tracer::Global();
+  std::string path = TempPath("mt.jsonl");
+  tracer.set_sample_interval(1);
+  ASSERT_TRUE(tracer.OpenSink(path).ok());
+  constexpr int kThreads = 4;
+  constexpr int kRequests = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kRequests; ++i) {
+        Span root("request", "service", Span::RootTag{});
+        Span child("inner", "test");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_TRUE(tracer.Close().ok());
+  std::vector<std::string> lines = ReadLines(path);
+  EXPECT_EQ(static_cast<size_t>(kThreads) * kRequests * 2, lines.size());
+  for (const std::string& line : lines) {
+    ASSERT_TRUE(JsonChecker(line).Valid()) << line;
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace wg::obs

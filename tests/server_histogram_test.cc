@@ -1,0 +1,69 @@
+// LatencyHistogram quantile edge cases: the power-of-two exactness bound
+// documented in server/metrics.h (empty, single sample, q=0/q=1, sub-unit
+// samples, overflow bucket).
+
+#include "gtest/gtest.h"
+#include "server/metrics.h"
+
+namespace wg::server {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyReportsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(0u, h.count());
+  EXPECT_DOUBLE_EQ(0.0, h.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(0.0, h.Quantile(0.5));
+  EXPECT_DOUBLE_EQ(0.0, h.Quantile(1.0));
+}
+
+TEST(LatencyHistogramTest, SingleSampleBucketUpperBound) {
+  LatencyHistogram h;
+  h.Record(3e-6);  // 3us -> bucket [2us, 4us) -> reports 4us
+  EXPECT_EQ(1u, h.count());
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(4e-6, h.Quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, ExactnessBoundNeverUnderReports) {
+  // For t >= 1us the report v satisfies t <= v <= 2t.
+  for (double t : {1e-6, 1.5e-6, 7e-6, 100e-6, 0.25, 30.0}) {
+    LatencyHistogram fresh;
+    fresh.Record(t);
+    double v = fresh.Quantile(1.0);
+    EXPECT_GE(v, t) << t;
+    EXPECT_LE(v, 2 * t + 1e-12) << t;
+  }
+}
+
+TEST(LatencyHistogramTest, QuantileEndpointsOnMixedData) {
+  LatencyHistogram h;
+  // 90 fast samples at ~3us, 10 slow at ~1ms.
+  for (int i = 0; i < 90; ++i) h.Record(3e-6);
+  for (int i = 0; i < 10; ++i) h.Record(1e-3);
+  EXPECT_EQ(100u, h.count());
+  EXPECT_DOUBLE_EQ(4e-6, h.Quantile(0.0));    // first bucket's bound
+  EXPECT_DOUBLE_EQ(4e-6, h.Quantile(0.5));
+  EXPECT_DOUBLE_EQ(4e-6, h.Quantile(0.89));
+  // Rank 90 of 100 is the first slow sample: 1ms -> bucket [512us, 1024us)
+  // -> reports 1024us.
+  EXPECT_DOUBLE_EQ(1024e-6, h.Quantile(0.9));
+  EXPECT_DOUBLE_EQ(1024e-6, h.Quantile(0.99));
+  EXPECT_DOUBLE_EQ(1024e-6, h.Quantile(1.0));
+}
+
+TEST(LatencyHistogramTest, SubMicrosecondSharesFirstBucket) {
+  LatencyHistogram h;
+  h.Record(5e-7);  // 0.5us -> bucket 0 -> reports 2us
+  EXPECT_DOUBLE_EQ(2e-6, h.Quantile(1.0));
+}
+
+TEST(LatencyHistogramTest, OverflowBucketCapsTheReport) {
+  LatencyHistogram h;
+  h.Record(4000.0);  // 4e9 us, beyond 2^31 us -> overflow bucket
+  // Overflow reports the last bucket's upper bound 2^32 us (~71.6 min).
+  EXPECT_DOUBLE_EQ(4294.967296, h.Quantile(1.0));
+}
+
+}  // namespace
+}  // namespace wg::server

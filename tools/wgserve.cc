@@ -18,6 +18,13 @@
 //   --deadline-ms D   attach a deadline of now+D ms to every request
 //   --buffer BYTES    decoded-graph cache budget per representation
 //   --shards N        cache shards per representation (default 8)
+//   --metrics-out F   dump the metric registry to F at exit; ".json"
+//                     suffix selects the JSON form, anything else the
+//                     Prometheus text form
+//   --trace-out F     write sampled request traces to F as Chrome
+//                     trace-event JSONL (open in Perfetto or
+//                     chrome://tracing)
+//   --trace-sample N  trace every Nth request (default 16; 1 = all)
 //
 // Prints a per-outcome tally, service metrics (queue depth, p50/p99,
 // cache hit rate), and end-to-end throughput.
@@ -33,6 +40,8 @@
 
 #include "graph/generator.h"
 #include "graph/graph_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/query_service.h"
 #include "server/workload.h"
 #include "snode/snode_repr.h"
@@ -50,7 +59,8 @@ int Usage() {
                "               [--workers W] [--queue C] [--requests R]\n"
                "               [--theta T] [--khop K] [--file PATH]\n"
                "               [--deadline-ms D] [--buffer BYTES]\n"
-               "               [--shards N]\n");
+               "               [--shards N] [--metrics-out FILE]\n"
+               "               [--trace-out FILE] [--trace-sample N]\n");
   return 2;
 }
 
@@ -150,6 +160,20 @@ int Main(int argc, char** argv) {
     deadline_ms = std::strtol(d, nullptr, 10);
   }
 
+  obs::Tracer& tracer = obs::Tracer::Global();
+  const char* trace_out = FlagValue(argc, argv, "--trace-out");
+  if (trace_out != nullptr) {
+    uint64_t interval = 16;
+    if (const char* s = FlagValue(argc, argv, "--trace-sample")) {
+      interval = std::strtoull(s, nullptr, 10);
+    }
+    tracer.set_sample_interval(interval);
+    Status opened = tracer.OpenSink(trace_out);
+    if (!opened.ok()) return Fail(opened);
+    std::printf("tracing 1-in-%llu requests to %s\n",
+                static_cast<unsigned long long>(interval), trace_out);
+  }
+
   server::QueryService service(ctx, sopts);
   std::printf("serving %zu requests on %zu workers (queue %zu)...\n",
               requests.size(), sopts.num_workers, sopts.queue_capacity);
@@ -193,6 +217,29 @@ int Main(int argc, char** argv) {
   std::printf("wall time:          %.3f s (%.0f req/s)\n", seconds,
               total / seconds);
   std::printf("\n%s\n", service.Snapshot().ToString().c_str());
+
+  if (trace_out != nullptr) {
+    uint64_t spans = tracer.spans_written();
+    Status closed = tracer.Close();
+    if (!closed.ok()) return Fail(closed);
+    std::printf("trace: %llu spans -> %s\n",
+                static_cast<unsigned long long>(spans), trace_out);
+  }
+  if (const char* metrics_out = FlagValue(argc, argv, "--metrics-out")) {
+    std::string path = metrics_out;
+    bool json = path.size() >= 5 &&
+                path.compare(path.size() - 5, 5, ".json") == 0;
+    obs::MetricRegistry& registry = obs::MetricRegistry::Default();
+    std::string dump = json ? registry.JsonText() : registry.PrometheusText();
+    std::FILE* f = std::fopen(metrics_out, "w");
+    if (f == nullptr) {
+      return Fail(Status::IOError("open " + path + " failed"));
+    }
+    std::fwrite(dump.data(), 1, dump.size(), f);
+    std::fclose(f);
+    std::printf("metrics: %zu series -> %s (%s)\n", registry.num_series(),
+                metrics_out, json ? "json" : "prometheus");
+  }
   return 0;
 }
 

@@ -4,10 +4,12 @@
 //       Generate a synthetic crawl and save it.
 //   wgtool stats crawl.wg
 //       Print structural statistics of a saved crawl.
-//   wgtool build crawl.wg --store BASE [--threads N]
+//   wgtool build crawl.wg --store BASE [--threads N] [--trace-out F]
 //       Build an S-Node representation at BASE.{000,001,...} + BASE.meta.
 //       N worker threads (default: all hardware threads); the output is
-//       byte-identical for every N.
+//       byte-identical for every N. --trace-out writes the build's phase
+//       spans (refine passes, encode windows, layout) as Chrome
+//       trace-event JSONL, viewable in Perfetto.
 //   wgtool info BASE
 //       Print the resident structure of a persisted S-Node representation.
 //   wgtool links BASE PAGE [crawl.wg]
@@ -25,6 +27,7 @@
 #include "graph/generator.h"
 #include "graph/graph_io.h"
 #include "graph/stats.h"
+#include "obs/trace.h"
 #include "repr/huffman_repr.h"
 #include "repr/link3_repr.h"
 #include "repr/relational_repr.h"
@@ -42,7 +45,7 @@ int Usage() {
       "usage:\n"
       "  wgtool generate --pages N [--seed S] --out crawl.wg\n"
       "  wgtool stats crawl.wg\n"
-      "  wgtool build crawl.wg --store BASE [--threads N]\n"
+      "  wgtool build crawl.wg --store BASE [--threads N] [--trace-out F]\n"
       "  wgtool info BASE\n"
       "  wgtool links BASE PAGE [crawl.wg]\n"
       "  wgtool compare crawl.wg\n");
@@ -105,11 +108,28 @@ int CmdBuild(int argc, char** argv) {
   }
   auto graph = LoadWebGraph(argv[2]);
   if (!graph.ok()) return Fail(graph.status());
+  obs::Tracer& tracer = obs::Tracer::Global();
+  const char* trace_out = FlagValue(argc, argv, "--trace-out");
+  if (trace_out != nullptr) {
+    tracer.set_sample_interval(1);  // one build = one trace; keep it all
+    Status opened = tracer.OpenSink(trace_out);
+    if (!opened.ok()) return Fail(opened);
+  }
   RefinementStats stats;
-  auto repr = SNodeRepr::Build(graph.value(), store, options, &stats);
+  Result<std::unique_ptr<SNodeRepr>> repr = [&] {
+    obs::Span root("wgtool.build", "build", obs::Span::RootTag{});
+    return SNodeRepr::Build(graph.value(), store, options, &stats);
+  }();
   if (!repr.ok()) return Fail(repr.status());
   Status saved = repr.value()->SaveMeta();
   if (!saved.ok()) return Fail(saved);
+  if (trace_out != nullptr) {
+    uint64_t spans = tracer.spans_written();
+    Status closed = tracer.Close();
+    if (!closed.ok()) return Fail(closed);
+    std::printf("trace: %llu spans -> %s\n",
+                static_cast<unsigned long long>(spans), trace_out);
+  }
   std::printf("refinement: %s\n", stats.ToString().c_str());
   std::printf("built %s: %u supernodes, %llu superedges, %.2f bits/link, "
               "%zu store files, %d threads\n",
