@@ -18,7 +18,13 @@ namespace internal {
 void HistogramCell::Record(double value) {
   size_t bucket = 0;
   if (value >= 1.0) {
-    bucket = static_cast<size_t>(std::log2(value));
+    int exp = 0;
+    double mantissa = std::frexp(value, &exp);
+    bucket = static_cast<size_t>(exp - 1);  // floor(log2(value))
+    // A value exactly at a bucket's upper bound 2^k counts in that lower
+    // bucket, keeping the Prometheus le="2^k" series' inclusive (<=)
+    // contract.
+    if (mantissa == 0.5 && bucket > 0) --bucket;
     if (bucket >= kBuckets) bucket = kBuckets - 1;
   }
   buckets[bucket].fetch_add(1, std::memory_order_relaxed);

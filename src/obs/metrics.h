@@ -23,6 +23,15 @@
 // process (Prometheus series semantics), so handles stay valid even if
 // the registry is cleared while an instrumented component still runs.
 //
+// Series lifetime: registered series are never removed (short of
+// Clear()), so a process that keeps constructing components which
+// register per-instance series -- each Pager::Open, SNodeRepr build, or
+// QueryService adds {instance=<ordinal>} series to the Default registry
+// -- grows registry memory and exposition size without bound. That
+// matches the intended shape (a serving process opens its stores once);
+// a component opened in a loop should either reuse one registry-backed
+// stats struct or record into an unbound (private-cell) one.
+//
 // Handle value semantics deliberately mirror util/atomic_counter.h so the
 // existing stats structs (ReprStats, PagerStats) can swap AtomicCounter
 // for obs::Counter without touching any call site:
@@ -54,13 +63,15 @@ struct GaugeCell {
   std::atomic<double> value{0};
 };
 
-// Log-bucketed histogram: values land in bucket floor(log2(v)), covering
-// [1, 2^31) in powers of two with bucket 0 also absorbing v < 1 and
-// bucket 31 absorbing the overflow. This is the LatencyHistogram design
-// from server/metrics.h, generalized to unit-agnostic values so one cell
-// type serves latencies (recorded in microseconds), byte sizes, and
-// counts. Quantiles are read from bucket upper bounds, so they are exact
-// to within one power of two.
+// Log-bucketed histogram: bucket i counts values in (2^i, 2^(i+1)], with
+// bucket 0 also absorbing v <= 1 and bucket 31 the overflow. Upper
+// bounds are *inclusive* — a value exactly at 2^(i+1) lands in bucket i
+// — so the Prometheus `le="2^(i+1)"` cumulative series keeps its <=
+// contract. This is the LatencyHistogram design from server/metrics.h,
+// generalized to unit-agnostic values so one cell type serves latencies
+// (recorded in microseconds), byte sizes, and counts. Quantiles are
+// read from bucket upper bounds, so they are exact to within one power
+// of two.
 struct HistogramCell {
   static constexpr size_t kBuckets = 32;
 
@@ -70,10 +81,11 @@ struct HistogramCell {
 
   void Record(double value);
 
-  // Value below which a `q` fraction of recorded values fall; 0 if
-  // nothing was recorded. The result is the upper bound 2^(i+1) of the
-  // bucket holding the rank-floor(q*count) sample, so for a true
-  // quantile t >= 1 the returned value v satisfies t <= v <= 2t.
+  // Value at or below which a `q` fraction of recorded values fall; 0
+  // if nothing was recorded. The result is the inclusive upper bound
+  // 2^(i+1) of the bucket holding the rank-floor(q*count) sample, so
+  // for a true quantile t >= 1 the returned value v satisfies
+  // t <= v <= 2t, with v == t exactly when t is a power of two.
   double Quantile(double q) const;
 };
 

@@ -61,6 +61,7 @@ Status Tracer::OpenSink(const std::string& path) {
   }
   sink_ = f;
   buffer_.clear();
+  write_failed_ = false;
   open_.store(true, std::memory_order_relaxed);
   return Status::OK();
 }
@@ -70,13 +71,15 @@ Status Tracer::Close() {
   open_.store(false, std::memory_order_relaxed);
   if (sink_ == nullptr) return Status::OK();
   std::FILE* f = static_cast<std::FILE*>(sink_);
-  bool ok = true;
+  bool ok = !write_failed_;
   if (!buffer_.empty()) {
-    ok = std::fwrite(buffer_.data(), 1, buffer_.size(), f) == buffer_.size();
+    ok = std::fwrite(buffer_.data(), 1, buffer_.size(), f) == buffer_.size() &&
+         ok;
     buffer_.clear();
   }
   ok = std::fclose(f) == 0 && ok;
   sink_ = nullptr;
+  write_failed_ = false;
   return ok ? Status::OK() : Status::IOError("trace sink write failed");
 }
 
@@ -93,8 +96,10 @@ void Tracer::EmitLine(const char* line, size_t len) {
   buffer_.append(line, len);
   spans_.fetch_add(1, std::memory_order_relaxed);
   if (buffer_.size() >= kFlushThreshold) {
-    std::fwrite(buffer_.data(), 1, buffer_.size(),
-                static_cast<std::FILE*>(sink_));
+    if (std::fwrite(buffer_.data(), 1, buffer_.size(),
+                    static_cast<std::FILE*>(sink_)) != buffer_.size()) {
+      write_failed_ = true;  // surfaced by Close()
+    }
     buffer_.clear();
   }
 }

@@ -50,7 +50,10 @@ class Tracer {
   Status OpenSink(const std::string& path);
 
   // Flushes buffered spans and closes the sink; further spans are
-  // dropped. Idempotent.
+  // dropped. Returns an error if this flush, the close, or any earlier
+  // mid-run buffer flush failed (the write error is sticky, so a full
+  // disk surfaces here even when the final flush happens to succeed).
+  // Idempotent.
   Status Close();
 
   // Trace every `n`-th root span; 0 disables sampling entirely, 1 traces
@@ -84,9 +87,10 @@ class Tracer {
   std::atomic<uint64_t> next_trace_{0};
   std::atomic<uint64_t> spans_{0};
 
-  std::mutex mu_;  // guards sink_ + buffer_
+  std::mutex mu_;  // guards sink_ + buffer_ + write_failed_
   void* sink_ = nullptr;  // std::FILE*, kept void* to avoid <cstdio> here
   std::string buffer_;
+  bool write_failed_ = false;  // sticky: any flush came up short
 };
 
 // RAII span. Construction captures the start time and pushes the span on

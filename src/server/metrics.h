@@ -15,14 +15,15 @@
 
 namespace wg::server {
 
-// Latencies land in bucket floor(log2(micros)), covering ~1us .. ~35min,
-// with everything beyond 2^31 us collapsed into the last (overflow)
-// bucket. Quantiles are read from bucket upper bounds, giving the
-// power-of-two exactness bound:
+// Latencies land in power-of-two buckets (bucket i holds micros in
+// (2^i, 2^(i+1)], upper bound inclusive), covering ~1us .. ~35min, with
+// everything beyond 2^31 us collapsed into the last (overflow) bucket.
+// Quantiles are read from bucket upper bounds, giving the power-of-two
+// exactness bound:
 //
 //   * for a true quantile t >= 1us the reported value v is the enclosing
-//     bucket's upper bound, so t <= v <= 2t -- never an under-report, at
-//     worst doubled (v = 2t exactly when t is a power of two);
+//     bucket's inclusive upper bound, so t <= v <= 2t -- never an
+//     under-report, at worst doubled, exact when t is a power of two;
 //   * latencies below 1us share the first bucket and report as 2us;
 //   * latencies at or beyond 2^31 us (~35.8 min) land in the overflow
 //     bucket and report as its upper bound 2^32 us (~71.6 min).

@@ -24,17 +24,20 @@ QueryService::QueryService(const QueryContext& ctx,
   obs::MetricRegistry& registry = obs::MetricRegistry::Default();
   obs::Labels labels = {
       {"service", std::to_string(obs::NextInstanceId())}};
-  auto outcome = [&](const char* name) {
+  // Bind (not assign): Counter assignment is value-semantic, so
+  // `counter = registry.GetCounter(...)` would copy the registry cell's
+  // value into the private cell and leave the registry series dead.
+  auto bind = [&](obs::Counter& counter, const char* name) {
     obs::Labels with = labels;
     with.emplace_back("outcome", name);
-    return registry.GetCounter("wg_service_requests_total", with,
-                               "Requests by admission/execution outcome");
+    counter.Bind(registry, "wg_service_requests_total", with,
+                 "Requests by admission/execution outcome");
   };
-  submitted_ = outcome("submitted");
-  completed_ = outcome("completed");
-  rejected_ = outcome("rejected");
-  timed_out_ = outcome("timed_out");
-  errors_ = outcome("error");
+  bind(submitted_, "submitted");
+  bind(completed_, "completed");
+  bind(rejected_, "rejected");
+  bind(timed_out_, "timed_out");
+  bind(errors_, "error");
   queue_depth_ = registry.GetGauge("wg_service_queue_depth", labels,
                                    "Requests waiting at last snapshot");
   latency_.Bind(registry, "wg_service_latency_us", labels,

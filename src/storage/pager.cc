@@ -69,6 +69,10 @@ Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path,
   size_t num_frames = std::max<size_t>(8, budget_bytes / kPageSize);
   auto pager =
       std::unique_ptr<Pager>(new Pager(std::move(file).value(), num_frames));
+  // Registers immortal {file,instance} series in the default registry
+  // (see the series-lifetime note in obs/metrics.h): fine for a serving
+  // process that opens its stores once, but a loop that churns pagers
+  // grows the exposition without bound.
   pager->stats_.Register(
       obs::MetricRegistry::Default(),
       {{"file", path},

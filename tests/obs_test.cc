@@ -215,6 +215,23 @@ TEST(HistogramTest, PowerOfTwoQuantiles) {
   EXPECT_EQ(100u, h.count());
 }
 
+TEST(HistogramTest, PowerOfTwoSamplesLandInInclusiveBucket) {
+  // A sample exactly at a bucket's upper bound 2^k counts as <= that
+  // bound, matching the Prometheus `le` contract (and making quantiles
+  // exact at powers of two).
+  Histogram h;
+  h.Record(4.0);
+  EXPECT_DOUBLE_EQ(4.0, h.Quantile(1.0));
+  h.Record(1024.0);
+  EXPECT_DOUBLE_EQ(1024.0, h.Quantile(1.0));
+
+  MetricRegistry registry;
+  Histogram reg = registry.GetHistogram("bound_us");
+  reg.Record(4.0);
+  std::string text = registry.PrometheusText();
+  EXPECT_NE(std::string::npos, text.find("bound_us_bucket{le=\"4\"} 1"));
+}
+
 // --- exposition ----------------------------------------------------------
 
 TEST(RegistryTest, PrometheusText) {
@@ -356,6 +373,28 @@ TEST(TracerTest, SamplingTracesEveryNthRoot) {
   // of 4, each contributing a root + child event.
   EXPECT_EQ(4u, ReadLines(path).size());
   tracer.set_sample_interval(1);
+  std::remove(path.c_str());
+}
+
+TEST(TracerTest, WriteFailureIsStickyAndSurfacesOnClose) {
+  // /dev/full fails every write with ENOSPC, standing in for a disk that
+  // fills mid-run; enough spans to cross the 64 KiB flush threshold make
+  // a buffer flush fail before Close(), and the sticky error must reach
+  // the Close() status.
+  std::ifstream probe("/dev/full");
+  if (!probe.good()) GTEST_SKIP() << "no /dev/full on this platform";
+  Tracer& tracer = Tracer::Global();
+  tracer.set_sample_interval(1);
+  ASSERT_TRUE(tracer.OpenSink("/dev/full").ok());
+  for (int i = 0; i < 2000; ++i) {
+    Span root("request", "service", Span::RootTag{});
+  }
+  EXPECT_FALSE(tracer.Close().ok());
+  // The error must not leak into the next sink.
+  std::string path = TempPath("after_failure.jsonl");
+  ASSERT_TRUE(tracer.OpenSink(path).ok());
+  { Span root("request", "service", Span::RootTag{}); }
+  EXPECT_TRUE(tracer.Close().ok());
   std::remove(path.c_str());
 }
 

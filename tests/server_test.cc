@@ -1,13 +1,17 @@
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <future>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "graph/generator.h"
+#include "obs/metrics.h"
 #include "server/bounded_queue.h"
 #include "server/metrics.h"
 #include "server/query_service.h"
@@ -435,6 +439,50 @@ TEST(QueryServiceTest, SubmitAfterShutdownIsRejected) {
   request.page = 0;
   Response response = service.Submit(request).get();
   EXPECT_EQ(response.code, ResponseCode::kRejected);
+}
+
+// Sums `wg_service_requests_total{...,outcome="<outcome>"}` across every
+// service instance in a Prometheus text dump.
+uint64_t SumOutcome(const std::string& text, const std::string& outcome) {
+  uint64_t sum = 0;
+  std::istringstream in(text);
+  std::string line;
+  const std::string want = "outcome=\"" + outcome + "\"";
+  while (std::getline(in, line)) {
+    if (line.rfind("wg_service_requests_total{", 0) != 0) continue;
+    if (line.find(want) == std::string::npos) continue;
+    sum += std::strtoull(line.c_str() + line.rfind(' ') + 1, nullptr, 10);
+  }
+  return sum;
+}
+
+TEST(QueryServiceTest, OutcomeCountersReachRegistryExposition) {
+  // The constructor must *bind* the outcome counters to the registry, not
+  // value-assign them: Snapshot() and the exposition have to read the
+  // same cells. Each service labels its own series, so diff the summed
+  // totals against whatever earlier tests left in the Default registry.
+  ServerEnv& env = ServerEnv::Get();
+  obs::MetricRegistry& registry = obs::MetricRegistry::Default();
+  uint64_t submitted_before = SumOutcome(registry.PrometheusText(),
+                                         "submitted");
+  uint64_t completed_before = SumOutcome(registry.PrometheusText(),
+                                         "completed");
+  constexpr uint64_t kRequests = 7;
+  {
+    QueryService service(env.Context(), {});
+    for (uint64_t i = 0; i < kRequests; ++i) {
+      Request request;
+      request.type = RequestType::kOutNeighbors;
+      request.page = static_cast<PageId>(i);
+      ASSERT_EQ(service.Submit(request).get().code, ResponseCode::kOk);
+    }
+    server::ServiceMetrics snapshot = service.Snapshot();
+    EXPECT_EQ(snapshot.submitted, kRequests);
+    EXPECT_EQ(snapshot.completed, kRequests);
+  }
+  std::string text = registry.PrometheusText();
+  EXPECT_EQ(SumOutcome(text, "submitted") - submitted_before, kRequests);
+  EXPECT_EQ(SumOutcome(text, "completed") - completed_before, kRequests);
 }
 
 }  // namespace

@@ -24,7 +24,8 @@
 //   --trace-out F     write sampled request traces to F as Chrome
 //                     trace-event JSONL (open in Perfetto or
 //                     chrome://tracing)
-//   --trace-sample N  trace every Nth request (default 16; 1 = all)
+//   --trace-sample N  trace every Nth request (default 16; 1 = all;
+//                     must be >= 1)
 //
 // Prints a per-outcome tally, service metrics (queue depth, p50/p99,
 // cache hit rate), and end-to-end throughput.
@@ -80,6 +81,22 @@ int Main(int argc, char** argv) {
   const char* pages = FlagValue(argc, argv, "--pages");
   const char* crawl = FlagValue(argc, argv, "--crawl");
   if ((pages == nullptr) == (crawl == nullptr)) return Usage();
+
+  // Validate before the expensive store build so a bad flag fails fast.
+  uint64_t trace_interval = 16;
+  if (const char* s = FlagValue(argc, argv, "--trace-sample")) {
+    char* end = nullptr;
+    trace_interval = std::strtoull(s, &end, 10);
+    // 0 would disable sampling entirely, silently producing an empty
+    // trace despite --trace-out; reject it along with garbage input.
+    if (end == s || *end != '\0' || trace_interval == 0) {
+      std::fprintf(stderr,
+                   "error: --trace-sample wants a positive integer, "
+                   "got \"%s\"\n",
+                   s);
+      return Usage();
+    }
+  }
 
   WebGraph graph;
   if (crawl != nullptr) {
@@ -163,15 +180,11 @@ int Main(int argc, char** argv) {
   obs::Tracer& tracer = obs::Tracer::Global();
   const char* trace_out = FlagValue(argc, argv, "--trace-out");
   if (trace_out != nullptr) {
-    uint64_t interval = 16;
-    if (const char* s = FlagValue(argc, argv, "--trace-sample")) {
-      interval = std::strtoull(s, nullptr, 10);
-    }
-    tracer.set_sample_interval(interval);
+    tracer.set_sample_interval(trace_interval);
     Status opened = tracer.OpenSink(trace_out);
     if (!opened.ok()) return Fail(opened);
     std::printf("tracing 1-in-%llu requests to %s\n",
-                static_cast<unsigned long long>(interval), trace_out);
+                static_cast<unsigned long long>(trace_interval), trace_out);
   }
 
   server::QueryService service(ctx, sopts);
