@@ -22,12 +22,13 @@ namespace {
 
 void Profile(const char* name, wg::GraphRepresentation* repr,
              const wg::WebGraph& graph) {
-  // Sample navigation: the out-neighborhood of every 97th page.
+  // Sample navigation: the out-neighborhood of every 97th page, streamed
+  // through one cursor.
   repr->stats().Reset();
-  std::vector<wg::PageId> links;
+  auto cursor = repr->NewCursor();
+  wg::LinkView links;
   for (wg::PageId p = 0; p < graph.num_pages(); p += 97) {
-    links.clear();
-    WG_CHECK(repr->GetLinks(p, &links).ok());
+    WG_CHECK(cursor->Links(p, &links).ok());
   }
   std::printf("%-20s %10.2f %14.1f %12llu %12llu\n", name,
               repr->BitsPerEdge(), repr->resident_memory() / 1024.0,

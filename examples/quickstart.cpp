@@ -7,7 +7,7 @@
 // Walks through the core public API end to end:
 //   1. GenerateWebGraph      -- a crawl with realistic link structure
 //   2. SNodeRepr::Build      -- refinement, encoding, disk layout
-//   3. GetLinks / PagesInDomain -- navigation through the representation
+//   3. NewCursor / PagesInDomain -- navigation through the representation
 
 #include <cstdio>
 #include <vector>
@@ -47,10 +47,13 @@ int main() {
                   snode->supernode_graph().num_superedges()),
               snode->BitsPerEdge());
 
-  // 3. Navigate: out-links of one page...
+  // 3. Navigate: out-links of one page, served as a borrowed zero-copy
+  // view through a cursor (hold one cursor for a whole visit; the view is
+  // valid until the cursor's next Links call).
   wg::PageId page = 4242;
-  std::vector<wg::PageId> links;
-  WG_CHECK(snode->GetLinks(page, &links).ok());
+  auto cursor = snode->NewCursor();
+  wg::LinkView links;
+  WG_CHECK(cursor->Links(page, &links).ok());
   std::printf("\n%s links to %zu pages, e.g.:\n", graph.url(page).c_str(),
               links.size());
   for (size_t i = 0; i < links.size() && i < 5; ++i) {

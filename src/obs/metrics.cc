@@ -64,6 +64,14 @@ void Counter::Bind(MetricRegistry& registry, const std::string& name,
   cell_ = std::move(bound.cell_);
 }
 
+void Gauge::Bind(MetricRegistry& registry, const std::string& name,
+                 const Labels& labels, const std::string& help) {
+  Gauge bound = registry.GetGauge(name, labels, help);
+  double carried = value();
+  if (carried != 0) bound.Add(carried);
+  cell_ = std::move(bound.cell_);
+}
+
 MetricRegistry& MetricRegistry::Default() {
   static MetricRegistry* registry = new MetricRegistry();
   return *registry;

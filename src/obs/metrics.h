@@ -168,6 +168,13 @@ class Gauge {
     return cell_->value.load(std::memory_order_relaxed);
   }
 
+  // Re-points this handle at the registry-owned series (name, labels),
+  // adding any value accumulated in the private cell into the shared one
+  // (mirrors Counter::Bind; a gauge that counted live objects before the
+  // bind keeps its balance).
+  void Bind(MetricRegistry& registry, const std::string& name,
+            const Labels& labels, const std::string& help = "");
+
  private:
   friend class MetricRegistry;
   explicit Gauge(std::shared_ptr<internal::GaugeCell> cell)

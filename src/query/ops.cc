@@ -65,16 +65,15 @@ std::vector<PageId> LocalityOrder(GraphRepresentation* repr,
   return ordered;
 }
 
-Status VisitAdjacency(
-    GraphRepresentation* repr, const std::vector<PageId>& set,
-    NavClock* clock,
-    const std::function<void(PageId, const std::vector<PageId>&)>& visit) {
+Status VisitAdjacency(GraphRepresentation* repr, const std::vector<PageId>& set,
+                      NavClock* clock,
+                      const std::function<void(PageId, const LinkView&)>& visit) {
   std::vector<PageId> ordered = LocalityOrder(repr, set);
   ScopedTimer timer(clock);
-  std::vector<PageId> links;
+  std::unique_ptr<AdjacencyCursor> cursor = repr->NewCursor();
+  LinkView links;
   for (PageId p : ordered) {
-    links.clear();
-    WG_RETURN_IF_ERROR(repr->GetLinks(p, &links));
+    WG_RETURN_IF_ERROR(cursor->Links(p, &links));
     visit(p, links);
   }
   return Status::OK();
@@ -92,10 +91,9 @@ Status VisitLinksBetween(
 Status Neighborhood(GraphRepresentation* repr, const std::vector<PageId>& set,
                     NavClock* clock, std::vector<PageId>* out) {
   std::vector<PageId> collected;
-  WG_RETURN_IF_ERROR(VisitAdjacency(
-      repr, set, clock,
-      [&collected](PageId, const std::vector<PageId>& links) {
-        collected.insert(collected.end(), links.begin(), links.end());
+  WG_RETURN_IF_ERROR(
+      VisitAdjacency(repr, set, clock, [&collected](PageId, const LinkView& links) {
+        links.AppendTo(&collected);
       }));
   std::sort(collected.begin(), collected.end());
   collected.erase(std::unique(collected.begin(), collected.end()),

@@ -41,11 +41,12 @@ Status Neighborhood(GraphRepresentation* repr, const std::vector<PageId>& set,
                     NavClock* clock, std::vector<PageId>* out);
 
 // Per-source adjacency visit: calls `visit(source, links)` for each page.
-// The workhorse behind counting and weighting primitives.
-Status VisitAdjacency(
-    GraphRepresentation* repr, const std::vector<PageId>& set,
-    NavClock* clock,
-    const std::function<void(PageId, const std::vector<PageId>&)>& visit);
+// The workhorse behind counting and weighting primitives. The whole batch
+// streams through one cursor in locality order, so the view passed to the
+// callback is borrowed -- valid only for the duration of that call.
+Status VisitAdjacency(GraphRepresentation* repr, const std::vector<PageId>& set,
+                      NavClock* clock,
+                      const std::function<void(PageId, const LinkView&)>& visit);
 
 // Visits, for each source, its links restricted to the sorted `targets`
 // set, using the representation's filtered path (S-Node prunes whole

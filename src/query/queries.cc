@@ -169,7 +169,7 @@ Result<QueryResult> RunQuery4(const QueryContext& ctx) {
     scored.reserve(candidates.size());
     WG_RETURN_IF_ERROR(VisitAdjacency(
         ctx.backward, candidates, &clock,
-        [&](PageId p, const std::vector<PageId>& backlinks) {
+        [&](PageId p, const LinkView& backlinks) {
           uint64_t external = 0;
           for (PageId q : backlinks) {
             if (!std::binary_search(dom_pages.begin(), dom_pages.end(), q)) {

@@ -43,7 +43,7 @@ Result<std::vector<RelatedPage>> RelatedByCocitation(
   std::unordered_map<PageId, double> scores;
   WG_RETURN_IF_ERROR(VisitAdjacency(
       forward, referrers, clock,
-      [&scores](PageId, const std::vector<PageId>& links) {
+      [&scores](PageId, const LinkView& links) {
         for (PageId q : links) scores[q] += 1.0;
       }));
   return TopK(scores, seed, options.max_results);

@@ -33,32 +33,47 @@ std::unique_ptr<HuffmanRepr> HuffmanRepr::Build(const WebGraph& graph) {
   return repr;
 }
 
-Status HuffmanRepr::GetLinks(PageId p, std::vector<PageId>* out) {
-  if (p + 1 >= bit_offsets_.size()) {
-    return Status::OutOfRange("page id out of range");
-  }
-  obs::Span span("huffman.get_links", "repr");
-  span.AddArg("page", p);
-  ++stats_.adjacency_requests;
-  BitReader reader(data_.data(), data_.size());
-  reader.SkipBits(bit_offsets_[p]);
-  uint64_t count = ReadGamma(&reader);
-  size_t first = out->size();
-  out->reserve(first + count);
-  for (uint64_t i = 0; i < count; ++i) {
-    uint32_t q = code_.Decode(&reader);
-    if (q >= num_pages() || !reader.ok()) {
-      return Status::Corruption("huffman repr: bad stream");
+// Decodes each list into a per-cursor scratch array reused across calls.
+class HuffmanRepr::Cursor : public AdjacencyCursor {
+ public:
+  explicit Cursor(HuffmanRepr* repr) : repr_(repr) {}
+
+  Status Links(PageId p, LinkView* view) override {
+    if (p + 1 >= repr_->bit_offsets_.size()) {
+      return Status::OutOfRange("page id out of range");
     }
-    out->push_back(q);
+    obs::Span span("huffman.get_links", "repr");
+    span.AddArg("page", p);
+    ++repr_->stats_.adjacency_requests;
+    BitReader reader(repr_->data_.data(), repr_->data_.size());
+    reader.SkipBits(repr_->bit_offsets_[p]);
+    uint64_t count = ReadGamma(&reader);
+    links_.clear();
+    links_.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      uint32_t q = repr_->code_.Decode(&reader);
+      if (q >= repr_->num_pages() || !reader.ok()) {
+        return Status::Corruption("huffman repr: bad stream");
+      }
+      links_.push_back(q);
+    }
+    // The stream stores targets in sorted order already; keep the contract
+    // even if a future encoder changes that.
+    if (!std::is_sorted(links_.begin(), links_.end())) {
+      std::sort(links_.begin(), links_.end());
+    }
+    repr_->stats_.edges_returned += count;
+    *view = LinkView(links_.data(), links_.size());
+    return Status::OK();
   }
-  // The stream stores targets in sorted order already; keep the contract
-  // even if a future encoder changes that.
-  if (!std::is_sorted(out->begin() + first, out->end())) {
-    std::sort(out->begin() + first, out->end());
-  }
-  stats_.edges_returned += count;
-  return Status::OK();
+
+ private:
+  HuffmanRepr* repr_;
+  std::vector<PageId> links_;
+};
+
+std::unique_ptr<AdjacencyCursor> HuffmanRepr::NewCursor() {
+  return std::make_unique<Cursor>(this);
 }
 
 Status HuffmanRepr::PagesInDomain(const std::string& domain,

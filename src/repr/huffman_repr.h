@@ -26,13 +26,15 @@ class HuffmanRepr : public GraphRepresentation {
   std::string name() const override { return "plain-huffman"; }
   size_t num_pages() const override { return bit_offsets_.size() - 1; }
   uint64_t num_edges() const override { return num_edges_; }
-  Status GetLinks(PageId p, std::vector<PageId>* out) override;
+  std::unique_ptr<AdjacencyCursor> NewCursor() override;
   Status PagesInDomain(const std::string& domain,
                        std::vector<PageId>* out) override;
   uint64_t encoded_bits() const override { return encoded_bits_; }
   size_t resident_memory() const override;
 
  private:
+  class Cursor;
+
   HuffmanRepr() = default;
 
   HuffmanCode code_;

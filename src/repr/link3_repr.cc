@@ -260,7 +260,10 @@ Status Link3Repr::DecodeList(const std::vector<uint8_t>& blob,
     // The recursion used its own reader; ours continues where it left off.
     std::vector<uint8_t> copy_bits;
     ReadRleBits(&reader, ref_list.size(), &copy_bits);
-    for (size_t j = 0; j < ref_list.size(); ++j) {
+    // copy_bits comes up short on truncated input (the !ok check below
+    // rejects the record) -- don't read past it.
+    size_t nbits = std::min(ref_list.size(), copy_bits.size());
+    for (size_t j = 0; j < nbits; ++j) {
       if (copy_bits[j]) result.push_back(ref_list[j]);
     }
     std::vector<PageId> residuals;
@@ -280,33 +283,59 @@ Status Link3Repr::DecodeList(const std::vector<uint8_t>& blob,
   return Status::OK();
 }
 
-Status Link3Repr::GetLinks(PageId p, std::vector<PageId>* out) {
-  if (p >= sorted_of_orig_.size()) {
-    return Status::OutOfRange("page id out of range");
+// Per-cursor scratch plus a block-level decode memo: consecutive Links()
+// calls landing in the same block (URL-order locality makes this the
+// common case) reuse already-decoded reference chains instead of
+// re-walking them, and reuse all buffers instead of reallocating.
+class Link3Repr::Cursor : public AdjacencyCursor {
+ public:
+  explicit Cursor(Link3Repr* repr) : repr_(repr) {}
+
+  Status Links(PageId p, LinkView* view) override {
+    if (p >= repr_->sorted_of_orig_.size()) {
+      return Status::OutOfRange("page id out of range");
+    }
+    obs::Span span("link3.get_links", "repr");
+    span.AddArg("page", p);
+    ReprStats& stats = repr_->stats_;
+    ++stats.adjacency_requests;
+    PageId s = repr_->sorted_of_orig_[p];
+    const auto& block_first = repr_->block_first_;
+    auto it = std::upper_bound(block_first.begin(), block_first.end(), s);
+    uint32_t block = static_cast<uint32_t>((it - block_first.begin()) - 1);
+    PageId base = block_first[block];
+    uint32_t index = s - base;
+    WG_ASSIGN_OR_RETURN(const std::vector<uint8_t>* blob,
+                        repr_->cache_->Get(block, &block_scratch_));
+    if (block != memo_block_) {
+      memo_.lists.resize(repr_->options_.pages_per_block);
+      memo_.decoded.assign(repr_->options_.pages_per_block, 0);
+      memo_block_ = block;
+    }
+    WG_RETURN_IF_ERROR(
+        repr_->DecodeList(*blob, base, index, &memo_, &sorted_space_));
+    links_.clear();
+    links_.reserve(sorted_space_.size());
+    for (PageId q : sorted_space_) links_.push_back(repr_->orig_of_sorted_[q]);
+    std::sort(links_.begin(), links_.end());
+    stats.edges_returned += sorted_space_.size();
+    stats.cache_hits = repr_->cache_->hits();
+    stats.cache_misses = repr_->cache_->misses();
+    *view = LinkView(links_.data(), links_.size());
+    return Status::OK();
   }
-  obs::Span span("link3.get_links", "repr");
-  span.AddArg("page", p);
-  ++stats_.adjacency_requests;
-  PageId s = sorted_of_orig_[p];
-  auto it = std::upper_bound(block_first_.begin(), block_first_.end(), s);
-  uint32_t block = static_cast<uint32_t>((it - block_first_.begin()) - 1);
-  PageId base = block_first_[block];
-  uint32_t index = s - base;
-  std::vector<uint8_t> scratch;
-  WG_ASSIGN_OR_RETURN(const std::vector<uint8_t>* blob,
-                      cache_->Get(block, &scratch));
-  BlockMemo memo;
-  memo.lists.resize(options_.pages_per_block);
-  memo.decoded.assign(options_.pages_per_block, 0);
-  std::vector<PageId> sorted_space;
-  WG_RETURN_IF_ERROR(DecodeList(*blob, base, index, &memo, &sorted_space));
-  size_t first = out->size();
-  for (PageId q : sorted_space) out->push_back(orig_of_sorted_[q]);
-  std::sort(out->begin() + first, out->end());
-  stats_.edges_returned += sorted_space.size();
-  stats_.cache_hits = cache_->hits();
-  stats_.cache_misses = cache_->misses();
-  return Status::OK();
+
+ private:
+  Link3Repr* repr_;
+  uint32_t memo_block_ = UINT32_MAX;
+  BlockMemo memo_;
+  std::vector<uint8_t> block_scratch_;
+  std::vector<PageId> sorted_space_;
+  std::vector<PageId> links_;
+};
+
+std::unique_ptr<AdjacencyCursor> Link3Repr::NewCursor() {
+  return std::make_unique<Cursor>(this);
 }
 
 Status Link3Repr::PagesInDomain(const std::string& domain,

@@ -43,7 +43,7 @@ class Link3Repr : public GraphRepresentation {
   std::string name() const override { return "link3"; }
   size_t num_pages() const override { return sorted_of_orig_.size(); }
   uint64_t num_edges() const override { return num_edges_; }
-  Status GetLinks(PageId p, std::vector<PageId>* out) override;
+  std::unique_ptr<AdjacencyCursor> NewCursor() override;
   Status PagesInDomain(const std::string& domain,
                        std::vector<PageId>* out) override;
   PageId PageInNaturalOrder(size_t i) const override {
@@ -56,6 +56,8 @@ class Link3Repr : public GraphRepresentation {
   void ClearBuffers() override { cache_->Clear(); }
 
  private:
+  class Cursor;
+
   Link3Repr() = default;
 
   Status LoadBlock(uint32_t block, std::vector<uint8_t>* blob);

@@ -77,39 +77,62 @@ Result<std::unique_ptr<RelationalRepr>> RelationalRepr::Build(
   return repr;
 }
 
-Status RelationalRepr::GetLinks(PageId p, std::vector<PageId>* out) {
-  if (p >= num_pages_) return Status::OutOfRange("page id out of range");
-  obs::Span span("relational.get_links", "repr");
-  span.AddArg("page", p);
-  ++stats_.adjacency_requests;
-  uint64_t rid = 0;
-  bool found = false;
-  WG_RETURN_IF_ERROR(page_index_->Get(p, &rid, &found));
-  if (!found) return Status::NotFound("relational: page missing");
-  std::string row;
-  WG_RETURN_IF_ERROR(heap_->Read(rid, &row));
-  size_t pos = 0;
-  uint32_t count = 0;
-  size_t used = GetVarint32(row.data(), row.size(), &count);
-  if (used == 0) return Status::Corruption("relational: bad row");
-  pos += used;
-  PageId prev = 0;
-  for (uint32_t i = 0; i < count; ++i) {
-    uint32_t gap = 0;
-    used = GetVarint32(row.data() + pos, row.size() - pos, &gap);
+// Per-cursor scratch: the heap row bytes and the gap-decoded id array are
+// reused across Links() calls.
+class RelationalRepr::Cursor : public AdjacencyCursor {
+ public:
+  explicit Cursor(RelationalRepr* repr) : repr_(repr) {}
+
+  Status Links(PageId p, LinkView* view) override {
+    if (p >= repr_->num_pages_) {
+      return Status::OutOfRange("page id out of range");
+    }
+    obs::Span span("relational.get_links", "repr");
+    span.AddArg("page", p);
+    ReprStats& stats = repr_->stats_;
+    ++stats.adjacency_requests;
+    uint64_t rid = 0;
+    bool found = false;
+    WG_RETURN_IF_ERROR(repr_->page_index_->Get(p, &rid, &found));
+    if (!found) return Status::NotFound("relational: page missing");
+    row_.clear();
+    WG_RETURN_IF_ERROR(repr_->heap_->Read(rid, &row_));
+    size_t pos = 0;
+    uint32_t count = 0;
+    size_t used = GetVarint32(row_.data(), row_.size(), &count);
     if (used == 0) return Status::Corruption("relational: bad row");
     pos += used;
-    prev += gap;
-    out->push_back(prev);
+    PageId prev = 0;
+    links_.clear();
+    links_.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      uint32_t gap = 0;
+      used = GetVarint32(row_.data() + pos, row_.size() - pos, &gap);
+      if (used == 0) return Status::Corruption("relational: bad row");
+      pos += used;
+      prev += gap;
+      links_.push_back(prev);
+    }
+    stats.edges_returned += count;
+    stats.disk_reads = repr_->pager_->stats().misses;
+    stats.bytes_read = repr_->pager_->stats().misses * kPageSize;
+    repr_->disk_tracker_.Absorb(repr_->pager_->file().seek_ops(),
+                                repr_->pager_->file().transferred_bytes(),
+                                &stats);
+    stats.cache_hits = repr_->pager_->stats().hits;
+    stats.cache_misses = repr_->pager_->stats().misses;
+    *view = LinkView(links_.data(), links_.size());
+    return Status::OK();
   }
-  stats_.edges_returned += count;
-  stats_.disk_reads = pager_->stats().misses;
-  stats_.bytes_read = pager_->stats().misses * kPageSize;
-  disk_tracker_.Absorb(pager_->file().seek_ops(),
-                       pager_->file().transferred_bytes(), &stats_);
-  stats_.cache_hits = pager_->stats().hits;
-  stats_.cache_misses = pager_->stats().misses;
-  return Status::OK();
+
+ private:
+  RelationalRepr* repr_;
+  std::string row_;
+  std::vector<PageId> links_;
+};
+
+std::unique_ptr<AdjacencyCursor> RelationalRepr::NewCursor() {
+  return std::make_unique<Cursor>(this);
 }
 
 Status RelationalRepr::PagesInDomain(const std::string& domain,

@@ -36,7 +36,7 @@ class RelationalRepr : public GraphRepresentation {
   std::string name() const override { return "relational"; }
   size_t num_pages() const override { return num_pages_; }
   uint64_t num_edges() const override { return num_edges_; }
-  Status GetLinks(PageId p, std::vector<PageId>* out) override;
+  std::unique_ptr<AdjacencyCursor> NewCursor() override;
   Status PagesInDomain(const std::string& domain,
                        std::vector<PageId>* out) override;
   uint64_t encoded_bits() const override;
@@ -46,6 +46,8 @@ class RelationalRepr : public GraphRepresentation {
   void ClearBuffers() override { (void)pager_->DropUnpinned(); }
 
  private:
+  class Cursor;
+
   RelationalRepr() = default;
 
   size_t num_pages_ = 0;

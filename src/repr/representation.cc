@@ -27,6 +27,16 @@ void ReprStats::Register(obs::MetricRegistry& registry,
                       "Lower-level graphs compressed at build time");
   encoded_bytes.Bind(registry, "wg_repr_encoded_bytes_total", labels,
                      "Bytes produced by the build-time encoders");
+  views_pinned.Bind(registry, "wg_repr_views_pinned", labels,
+                    "Live LinkViews pinning a cache-resident decoded block");
+}
+
+Status GraphRepresentation::GetLinks(PageId p, std::vector<PageId>* out) {
+  std::unique_ptr<AdjacencyCursor> cursor = NewCursor();
+  LinkView view;
+  WG_RETURN_IF_ERROR(cursor->Links(p, &view));
+  view.AppendTo(out);
+  return Status::OK();
 }
 
 }  // namespace wg

@@ -6,6 +6,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/webgraph.h"
@@ -19,6 +20,11 @@
 // its own I/O and decode work. Direction is baked in at build time: to
 // navigate backlinks, build a second representation over
 // WebGraph::Transpose(), exactly as the paper does for WG^T.
+//
+// Adjacency is served through a cursor/view API (AdjacencyCursor /
+// LinkView below): the hot path hands out borrowed spans over decoded
+// data instead of copying every neighbor list into a caller-owned vector.
+// GetLinks survives as a thin compatibility wrapper on top of it.
 
 namespace wg {
 
@@ -47,14 +53,35 @@ struct ReprStats {
   obs::Counter graphs_encoded;  // lower-level graphs compressed
   obs::Counter encoded_bytes;   // bytes produced by the encoders
 
-  // Binds every counter to `registry` series named wg_repr_*_total with
-  // the given base labels (each scheme instance adds {"scheme",name()} +
-  // a unique {"instance",N}, so concurrent instances never share cells).
-  // Values accumulated before the bind are folded into the registry
-  // cells; Reset() keeps the binding (it zeroes the cells in place).
+  // Live pinned LinkViews handed out by this representation: views whose
+  // pin keeps a cache-resident decoded block alive. Maintained by
+  // LinkView's RAII accounting; must read 0 once every view is dropped.
+  obs::Gauge views_pinned;
+
+  // Binds every counter to `registry` series named wg_repr_*_total (plus
+  // the wg_repr_views_pinned gauge) with the given base labels (each
+  // scheme instance adds {"scheme",name()} + a unique {"instance",N}, so
+  // concurrent instances never share cells). Values accumulated before
+  // the bind are folded into the registry cells; Reset() keeps the
+  // binding (it zeroes the cells in place).
   void Register(obs::MetricRegistry& registry, const obs::Labels& labels);
 
-  void Reset() { *this = ReprStats(); }
+  // Zeroes the cumulative counters in place (registry bindings survive).
+  // views_pinned is deliberately left alone: it tracks live views, not
+  // cumulative work, and outstanding views still decrement it on drop.
+  void Reset() {
+    adjacency_requests = 0;
+    edges_returned = 0;
+    disk_reads = 0;
+    bytes_read = 0;
+    disk_seeks = 0;
+    disk_transfer_bytes = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    graphs_loaded = 0;
+    graphs_encoded = 0;
+    encoded_bytes = 0;
+  }
 };
 
 // Tracks a monotone (seeks, transferred) counter pair and feeds deltas into
@@ -70,6 +97,114 @@ struct DiskCounterTracker {
   }
 };
 
+// A borrowed, sorted neighbor list: a span over PageIds owned elsewhere.
+// Two backing modes:
+//
+//  * Cursor-scratch backed (no pin): the data lives in the producing
+//    cursor's reusable scratch buffer and stays valid until the next
+//    Links() call on that cursor (or the cursor's destruction).
+//  * Pinned (pin() != nullptr): the refcounted pin keeps the backing
+//    decoded block -- typically an S-Node cache entry -- alive for the
+//    life of the view, so the view survives cursor reuse and concurrent
+//    cache eviction. Pinned views must still not outlive the
+//    representation itself (the pin protects the decoded block, not the
+//    repr's resident structures or its stats).
+//
+// Pinned views maintain the owning scheme's wg_repr_views_pinned gauge:
+// construction/copy increment it, destruction decrements it, so the
+// metric exposition shows outstanding pins at any instant.
+class LinkView {
+ public:
+  LinkView() = default;
+
+  // Unpinned view over cursor scratch (or any longer-lived array).
+  LinkView(const PageId* data, size_t size) : data_(data), size_(size) {}
+
+  // Pinned view: `pin` keeps the backing block alive; `pin_gauge` (may be
+  // nullptr) is the owning scheme's live-pin gauge.
+  LinkView(const PageId* data, size_t size, std::shared_ptr<const void> pin,
+           const obs::Gauge* pin_gauge = nullptr)
+      : data_(data), size_(size), pin_(std::move(pin)), gauge_(pin_gauge) {
+    if (gauge_ != nullptr) gauge_->Add(1);
+  }
+
+  LinkView(const LinkView& other)
+      : data_(other.data_),
+        size_(other.size_),
+        pin_(other.pin_),
+        gauge_(other.gauge_) {
+    if (gauge_ != nullptr) gauge_->Add(1);
+  }
+
+  LinkView(LinkView&& other) noexcept
+      : data_(other.data_),
+        size_(other.size_),
+        pin_(std::move(other.pin_)),
+        gauge_(other.gauge_) {
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.gauge_ = nullptr;
+  }
+
+  // Unified copy/move assignment: the by-value parameter does the gauge
+  // bookkeeping through the constructors above.
+  LinkView& operator=(LinkView other) noexcept {
+    std::swap(data_, other.data_);
+    std::swap(size_, other.size_);
+    std::swap(pin_, other.pin_);
+    std::swap(gauge_, other.gauge_);
+    return *this;
+  }
+
+  ~LinkView() {
+    if (gauge_ != nullptr) gauge_->Add(-1);
+  }
+
+  const PageId* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const PageId* begin() const { return data_; }
+  const PageId* end() const { return data_ + size_; }
+  PageId operator[](size_t i) const { return data_[i]; }
+  PageId front() const { return data_[0]; }
+  PageId back() const { return data_[size_ - 1]; }
+
+  // Non-null iff the view holds a pin on a cache-resident block.
+  const std::shared_ptr<const void>& pin() const { return pin_; }
+  bool pinned() const { return pin_ != nullptr; }
+
+  void AppendTo(std::vector<PageId>* out) const {
+    out->insert(out->end(), begin(), end());
+  }
+  std::vector<PageId> ToVector() const {
+    return std::vector<PageId>(begin(), end());
+  }
+
+ private:
+  const PageId* data_ = nullptr;
+  size_t size_ = 0;
+  std::shared_ptr<const void> pin_;
+  const obs::Gauge* gauge_ = nullptr;
+};
+
+// A streaming adjacency reader over one representation. Cursors own the
+// scratch buffers the unpinned views point into, so a multi-page visit
+// (BFS level, neighborhood union, bulk export, one server request) pays
+// zero per-page allocations once the scratch is warm. Cursors are
+// single-threaded objects -- one per visiting thread/request -- but any
+// number of cursors may read one representation concurrently when the
+// scheme itself is concurrent-safe (S-Node; the baselines are not).
+class AdjacencyCursor {
+ public:
+  virtual ~AdjacencyCursor() = default;
+
+  // Points *view at the sorted out-links of `p`. The view stays valid
+  // until the next Links() call on this cursor -- longer if it carries a
+  // pin (see LinkView). Bumps the scheme's adjacency_requests and
+  // edges_returned stats.
+  virtual Status Links(PageId p, LinkView* view) = 0;
+};
+
 class GraphRepresentation {
  public:
   virtual ~GraphRepresentation() = default;
@@ -78,9 +213,14 @@ class GraphRepresentation {
   virtual size_t num_pages() const = 0;
   virtual uint64_t num_edges() const = 0;
 
-  // Appends the links of `p` (out-links of the graph this representation
-  // was built over) to *out; the result is sorted ascending.
-  virtual Status GetLinks(PageId p, std::vector<PageId>* out) = 0;
+  // Creates a streaming reader; the canonical adjacency read path.
+  virtual std::unique_ptr<AdjacencyCursor> NewCursor() = 0;
+
+  // Compatibility wrapper over NewCursor()/Links(): appends the links of
+  // `p` (out-links of the graph this representation was built over) to
+  // *out, sorted ascending. One cursor per call; hot paths should hold a
+  // cursor instead.
+  Status GetLinks(PageId p, std::vector<PageId>* out);
 
   // All pages belonging to `domain`, sorted (the domain index every scheme
   // carries in the paper's setup).
@@ -89,17 +229,19 @@ class GraphRepresentation {
 
   // Visits the links of each page of `sources` (any order of visitation;
   // one callback per source) that fall inside the sorted page set
-  // `targets`. The default decodes full adjacency lists and intersects;
-  // schemes with a structural index (S-Node's supernode graph) override
-  // this to skip encoded graphs that cannot contain matching links --
-  // the paper's "top-level graph serves the role of an index".
+  // `targets`. The default streams full adjacency views through one
+  // cursor and intersects into a reused buffer; schemes with a structural
+  // index (S-Node's supernode graph) override this to skip encoded graphs
+  // that cannot contain matching links -- the paper's "top-level graph
+  // serves the role of an index".
   virtual Status VisitLinksInto(
       const std::vector<PageId>& sources, const std::vector<PageId>& targets,
       const std::function<void(PageId, const std::vector<PageId>&)>& visit) {
-    std::vector<PageId> links, filtered;
+    std::unique_ptr<AdjacencyCursor> cursor = NewCursor();
+    std::vector<PageId> filtered;
+    LinkView links;
     for (PageId p : sources) {
-      links.clear();
-      WG_RETURN_IF_ERROR(GetLinks(p, &links));
+      WG_RETURN_IF_ERROR(cursor->Links(p, &links));
       filtered.clear();
       for (PageId q : links) {
         if (std::binary_search(targets.begin(), targets.end(), q)) {

@@ -120,45 +120,68 @@ Status UncompressedFileRepr::LookupOffsets(PageId p, uint64_t* begin,
   return Status::OK();
 }
 
-Status UncompressedFileRepr::GetLinks(PageId p, std::vector<PageId>* out) {
-  if (p >= num_pages_) {
-    return Status::OutOfRange("page id out of range");
+// Per-cursor scratch: the assembled record bytes and the decoded id array
+// are reused across Links() calls, so a multi-page visit allocates only
+// until the scratch reaches the largest list seen.
+class UncompressedFileRepr::Cursor : public AdjacencyCursor {
+ public:
+  explicit Cursor(UncompressedFileRepr* repr) : repr_(repr) {}
+
+  Status Links(PageId p, LinkView* view) override {
+    if (p >= repr_->num_pages_) {
+      return Status::OutOfRange("page id out of range");
+    }
+    obs::Span span("uncompressed.get_links", "repr");
+    span.AddArg("page", p);
+    ReprStats& stats = repr_->stats_;
+    ++stats.adjacency_requests;
+    uint64_t begin, end;
+    WG_RETURN_IF_ERROR(repr_->LookupOffsets(p, &begin, &end));
+    if (end < begin || end > repr_->file_bytes_) {
+      return Status::Corruption("uncompressed: bad index entry");
+    }
+    // Assemble the record bytes from one or more cached blocks.
+    const size_t block_bytes = repr_->options_.block_bytes;
+    record_.clear();
+    record_.reserve(end - begin);
+    uint64_t pos = begin;
+    while (pos < end) {
+      uint32_t block = static_cast<uint32_t>(pos / block_bytes);
+      uint64_t block_start = static_cast<uint64_t>(block) * block_bytes;
+      WG_ASSIGN_OR_RETURN(const std::vector<uint8_t>* blob,
+                          repr_->cache_->Get(block, &block_scratch_));
+      uint64_t off = pos - block_start;
+      uint64_t take = std::min(end - pos, blob->size() - off);
+      record_.append(reinterpret_cast<const char*>(blob->data()) + off, take);
+      pos += take;
+    }
+    uint32_t count = DecodeFixed32(record_.data());
+    if (record_.size() != 4 + 4 * static_cast<size_t>(count)) {
+      return Status::Corruption("uncompressed: bad record");
+    }
+    links_.clear();
+    links_.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      links_.push_back(DecodeFixed32(record_.data() + 4 + 4 * i));
+    }
+    stats.edges_returned += count;
+    stats.cache_hits =
+        repr_->cache_->hits() + repr_->index_cache_->hits();
+    stats.cache_misses =
+        repr_->cache_->misses() + repr_->index_cache_->misses();
+    *view = LinkView(links_.data(), links_.size());
+    return Status::OK();
   }
-  obs::Span span("uncompressed.get_links", "repr");
-  span.AddArg("page", p);
-  ++stats_.adjacency_requests;
-  uint64_t begin, end;
-  WG_RETURN_IF_ERROR(LookupOffsets(p, &begin, &end));
-  if (end < begin || end > file_bytes_) {
-    return Status::Corruption("uncompressed: bad index entry");
-  }
-  // Assemble the record bytes from one or more cached blocks.
-  std::string record;
-  record.reserve(end - begin);
-  uint64_t pos = begin;
-  std::vector<uint8_t> scratch;
-  while (pos < end) {
-    uint32_t block = static_cast<uint32_t>(pos / options_.block_bytes);
-    uint64_t block_start = static_cast<uint64_t>(block) * options_.block_bytes;
-    WG_ASSIGN_OR_RETURN(const std::vector<uint8_t>* blob,
-                        cache_->Get(block, &scratch));
-    uint64_t off = pos - block_start;
-    uint64_t take = std::min(end - pos, blob->size() - off);
-    record.append(reinterpret_cast<const char*>(blob->data()) + off, take);
-    pos += take;
-  }
-  uint32_t count = DecodeFixed32(record.data());
-  if (record.size() != 4 + 4 * static_cast<size_t>(count)) {
-    return Status::Corruption("uncompressed: bad record");
-  }
-  out->reserve(out->size() + count);
-  for (uint32_t i = 0; i < count; ++i) {
-    out->push_back(DecodeFixed32(record.data() + 4 + 4 * i));
-  }
-  stats_.edges_returned += count;
-  stats_.cache_hits = cache_->hits() + index_cache_->hits();
-  stats_.cache_misses = cache_->misses() + index_cache_->misses();
-  return Status::OK();
+
+ private:
+  UncompressedFileRepr* repr_;
+  std::vector<uint8_t> block_scratch_;
+  std::string record_;
+  std::vector<PageId> links_;
+};
+
+std::unique_ptr<AdjacencyCursor> UncompressedFileRepr::NewCursor() {
+  return std::make_unique<Cursor>(this);
 }
 
 Status UncompressedFileRepr::PagesInDomain(const std::string& domain,

@@ -36,7 +36,7 @@ class UncompressedFileRepr : public GraphRepresentation {
   std::string name() const override { return "uncompressed-file"; }
   size_t num_pages() const override { return num_pages_; }
   uint64_t num_edges() const override { return num_edges_; }
-  Status GetLinks(PageId p, std::vector<PageId>* out) override;
+  std::unique_ptr<AdjacencyCursor> NewCursor() override;
   Status PagesInDomain(const std::string& domain,
                        std::vector<PageId>* out) override;
   uint64_t encoded_bits() const override { return file_bytes_ * 8; }
@@ -52,6 +52,8 @@ class UncompressedFileRepr : public GraphRepresentation {
   }
 
  private:
+  class Cursor;
+
   UncompressedFileRepr() = default;
 
   Status LoadBlock(uint32_t block, std::vector<uint8_t>* blob);

@@ -135,14 +135,14 @@ Response QueryService::Execute(const Request& request) const {
       if (ctx_.forward == nullptr) {
         status = Status::InvalidArgument("no forward representation");
       } else {
-        status = ctx_.forward->GetLinks(request.page, &response.pages);
+        status = CollectNeighbors(ctx_.forward, request.page, &response.pages);
       }
       break;
     case RequestType::kInNeighbors:
       if (ctx_.backward == nullptr) {
         status = Status::InvalidArgument("no backward representation");
       } else {
-        status = ctx_.backward->GetLinks(request.page, &response.pages);
+        status = CollectNeighbors(ctx_.backward, request.page, &response.pages);
       }
       break;
     case RequestType::kKHop:
@@ -165,6 +165,15 @@ Response QueryService::Execute(const Request& request) const {
   return response;
 }
 
+Status QueryService::CollectNeighbors(GraphRepresentation* repr, PageId page,
+                                      std::vector<PageId>* out) {
+  std::unique_ptr<AdjacencyCursor> cursor = repr->NewCursor();
+  LinkView links;
+  WG_RETURN_IF_ERROR(cursor->Links(page, &links));
+  links.AppendTo(out);
+  return Status::OK();
+}
+
 Status QueryService::ExecuteKHop(const Request& request,
                                  Response* response) const {
   if (ctx_.forward == nullptr) {
@@ -175,11 +184,15 @@ Status QueryService::ExecuteKHop(const Request& request,
     return Status::OutOfRange("page id out of range");
   }
   // Level-synchronous BFS; result = every page reachable in 1..k hops,
-  // start page excluded.
+  // start page excluded. The whole expansion streams through one cursor,
+  // and each frontier is visited in locality-key order, so pages of one
+  // S-Node supernode arrive back-to-back and are served from the cursor's
+  // assembled zero-copy views.
+  std::unique_ptr<AdjacencyCursor> cursor = repr->NewCursor();
   std::vector<uint8_t> seen(repr->num_pages(), 0);
   std::vector<PageId> frontier = {request.page};
   std::vector<PageId> next;
-  std::vector<PageId> links;
+  LinkView links;
   seen[request.page] = 1;
   for (int hop = 0; hop < request.k && !frontier.empty(); ++hop) {
     // A deadline can expire mid-expansion; check once per level so a huge
@@ -189,10 +202,12 @@ Status QueryService::ExecuteKHop(const Request& request,
       response->code = ResponseCode::kDeadlineExceeded;
       return Status::OK();
     }
+    std::sort(frontier.begin(), frontier.end(), [repr](PageId a, PageId b) {
+      return repr->LocalityKey(a) < repr->LocalityKey(b);
+    });
     next.clear();
     for (PageId p : frontier) {
-      links.clear();
-      WG_RETURN_IF_ERROR(repr->GetLinks(p, &links));
+      WG_RETURN_IF_ERROR(cursor->Links(p, &links));
       for (PageId q : links) {
         if (!seen[q]) {
           seen[q] = 1;

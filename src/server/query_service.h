@@ -69,6 +69,8 @@ class QueryService {
   };
 
   void WorkerLoop();
+  static Status CollectNeighbors(GraphRepresentation* repr, PageId page,
+                                 std::vector<PageId>* out);
   Status ExecuteKHop(const Request& request, Response* response) const;
 
   QueryContext ctx_;

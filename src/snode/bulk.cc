@@ -1,33 +1,41 @@
 #include "snode/bulk.h"
 
 #include <algorithm>
+#include <memory>
 
 namespace wg {
 
 Result<BulkGraph> DecodeAll(SNodeRepr* repr) {
   size_t n = repr->num_pages();
 
-  // Accumulate per-external-page adjacency. The sweep visits pages in
-  // internal (supernode) order, so we gather in internal order and remap
-  // at the end -- that keeps the store access strictly sequential.
-  std::vector<std::vector<PageId>> adjacency(n);
-  std::vector<PageId> links;
+  // Sweep pages in internal (supernode) order through one cursor, so the
+  // store access is strictly sequential and every supernode is served from
+  // the cursor's assembled block after its first page. Rows accumulate
+  // into one internal-order CSR -- no per-page vectors.
+  std::vector<uint64_t> internal_offsets;
+  internal_offsets.reserve(n + 1);
+  internal_offsets.push_back(0);
+  std::vector<PageId> internal_targets;
+  std::unique_ptr<AdjacencyCursor> cursor = repr->NewCursor();
+  LinkView links;
   for (size_t i = 0; i < n; ++i) {
     PageId external = repr->PageInNaturalOrder(i);
-    links.clear();
-    WG_RETURN_IF_ERROR(repr->GetLinks(external, &links));
-    adjacency[external] = links;
+    WG_RETURN_IF_ERROR(cursor->Links(external, &links));
+    links.AppendTo(&internal_targets);
+    internal_offsets.push_back(internal_targets.size());
   }
 
+  // Remap rows to external id order: page p's row is the internal row at
+  // its locality key (its supernode-order position).
   BulkGraph bulk;
   bulk.offsets.reserve(n + 1);
   bulk.offsets.push_back(0);
-  uint64_t total = 0;
-  for (size_t p = 0; p < n; ++p) total += adjacency[p].size();
-  bulk.targets.reserve(total);
-  for (size_t p = 0; p < n; ++p) {
-    bulk.targets.insert(bulk.targets.end(), adjacency[p].begin(),
-                        adjacency[p].end());
+  bulk.targets.reserve(internal_targets.size());
+  for (PageId p = 0; p < n; ++p) {
+    uint64_t row = repr->LocalityKey(p);
+    bulk.targets.insert(bulk.targets.end(),
+                        internal_targets.begin() + internal_offsets[row],
+                        internal_targets.begin() + internal_offsets[row + 1]);
     bulk.offsets.push_back(bulk.targets.size());
   }
   if (bulk.num_edges() != repr->num_edges()) {

@@ -58,12 +58,16 @@ void ReadStandalone(BitReader* r, uint32_t universe,
 }
 
 // Merges reference copies with residuals into the decoded list.
+// copy_bits can come up short on truncated input (ReadRleBits stops when
+// the reader fails; the caller rejects the record right after) -- treat
+// missing bits as 0 instead of reading past the vector.
 std::vector<uint32_t> ApplyReference(const std::vector<uint32_t>& ref,
                                      const std::vector<uint8_t>& copy_bits,
                                      const std::vector<uint32_t>& residuals) {
   std::vector<uint32_t> copied;
   copied.reserve(ref.size());
-  for (size_t j = 0; j < ref.size(); ++j) {
+  size_t n = std::min(ref.size(), copy_bits.size());
+  for (size_t j = 0; j < n; ++j) {
     if (copy_bits[j]) copied.push_back(ref[j]);
   }
   std::vector<uint32_t> merged;

@@ -35,6 +35,11 @@ size_t ShardedGraphCache::bytes_used() const {
 void ShardedGraphCache::Clear() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, node] : shard.map) {
+      if (node.entry.use_count() > 1) {
+        shard.evicted_pinned.emplace_back(node.entry);
+      }
+    }
     shard.map.clear();
     shard.lru.clear();
     shard.used = 0;
@@ -155,8 +160,39 @@ void ShardedGraphCache::EvictToBudget(Shard& shard) {
     auto it = shard.map.find(victim);
     shard.used -= it->second.entry->bytes;
     if (event_) event_(victim, false);
+    // A reader (or a pinned LinkView) may still hold this entry; shared
+    // ownership keeps its bytes alive past eviction, so remember it
+    // weakly for PinnedEntries().
+    if (it->second.entry.use_count() > 1) {
+      shard.evicted_pinned.emplace_back(it->second.entry);
+    }
     shard.map.erase(it);
   }
+}
+
+size_t ShardedGraphCache::PinnedEntries() const {
+  size_t pinned = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    // Resident entries: the map itself holds one reference, so any extra
+    // count is an outside pin.
+    for (const auto& [key, node] : shard.map) {
+      if (node.entry.use_count() > 1) ++pinned;
+    }
+    // Evicted-but-held entries: drop the expired trackers as we go.
+    auto& evicted =
+        const_cast<std::vector<std::weak_ptr<const Entry>>&>(
+            shard.evicted_pinned);
+    size_t live = 0;
+    for (auto& weak : evicted) {
+      if (!weak.expired()) {
+        evicted[live++] = std::move(weak);
+        ++pinned;
+      }
+    }
+    evicted.resize(live);
+  }
+  return pinned;
 }
 
 }  // namespace wg

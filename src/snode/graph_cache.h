@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "graph/webgraph.h"
 #include "snode/codecs.h"
 #include "util/status.h"
 
@@ -32,10 +33,27 @@ namespace wg {
 
 class ShardedGraphCache {
  public:
-  // A decoded lower-level graph; exactly one of the two pointers is set.
+  // An assembled per-supernode adjacency: the fully remapped, sorted
+  // external out-links of every page in one supernode, laid out as a
+  // small CSR. SNodeRepr caches these (keyed past the blob-id space) so
+  // warm cursor reads can hand out LinkViews straight into `targets`
+  // with a refcounted pin on the owning Entry -- no decode, no remap, no
+  // copy per request.
+  struct AssembledAdjacency {
+    std::vector<uint32_t> offsets;  // per local page, size pages+1
+    std::vector<PageId> targets;    // external ids, sorted per page
+    size_t MemoryUsage() const {
+      return offsets.capacity() * sizeof(uint32_t) +
+             targets.capacity() * sizeof(PageId);
+    }
+  };
+
+  // A decoded lower-level graph (exactly one of intranode/superedge set)
+  // or an assembled adjacency block.
   struct Entry {
     std::unique_ptr<IntranodeGraph> intranode;
     std::unique_ptr<SuperedgeGraph> superedge;
+    std::unique_ptr<AssembledAdjacency> assembled;
     size_t bytes = 0;
   };
   using EntryPtr = std::shared_ptr<const Entry>;
@@ -53,6 +71,12 @@ class ShardedGraphCache {
   size_t budget() const;
   size_t bytes_used() const;
   size_t num_shards() const { return shards_.size(); }
+
+  // Entries whose shared_ptr is held outside the cache right now (a
+  // LinkView pin or a reader mid-walk). Eviction never frees these --
+  // shared ownership keeps the bytes alive until the last pin drops --
+  // so this must return 0 once all views are gone.
+  size_t PinnedEntries() const;
 
   // Drops every cached entry (in-flight loads are unaffected and will
   // publish into the emptied cache).
@@ -108,6 +132,9 @@ class ShardedGraphCache {
     std::list<uint32_t> lru;  // front = most recently used
     size_t used = 0;
     std::unordered_map<uint32_t, std::shared_ptr<Flight>> flights;
+    // Entries evicted while a reader still held them; tracked weakly so
+    // PinnedEntries() stays honest about bytes kept alive past eviction.
+    std::vector<std::weak_ptr<const Entry>> evicted_pinned;
   };
 
   Shard& shard_of(uint32_t key) { return shards_[key % shards_.size()]; }

@@ -80,7 +80,16 @@ class SNodeRepr : public GraphRepresentation {
   std::string name() const override { return "s-node"; }
   size_t num_pages() const override { return new_of_orig_.size(); }
   uint64_t num_edges() const override { return num_edges_; }
-  Status GetLinks(PageId p, std::vector<PageId>* out) override;
+
+  // Streaming cursor (repr/representation.h). Single Links() probes run
+  // the classic per-graph decode into cursor scratch; once a cursor sees
+  // a second consecutive page in the same supernode it assembles that
+  // supernode's full external adjacency into a cache-resident CSR block
+  // and serves zero-copy pinned views straight out of it. Assembled
+  // blocks share the decoded-graph cache (budget, LRU, singleflight);
+  // eviction cannot invalidate live views because the view's pin shares
+  // ownership of the entry.
+  std::unique_ptr<AdjacencyCursor> NewCursor() override;
   Status PagesInDomain(const std::string& domain,
                        std::vector<PageId>* out) override;
   PageId PageInNaturalOrder(size_t i) const override {
@@ -114,14 +123,39 @@ class SNodeRepr : public GraphRepresentation {
   void ClearCache() { cache_->Clear(); }
   void ClearBuffers() override { ClearCache(); }
 
+  // Cache entries currently held outside the cache (live LinkView pins or
+  // readers mid-walk); 0 once every view is dropped.
+  size_t PinnedCacheEntries() const { return cache_->PinnedEntries(); }
+
   // Distinct lower-level graphs touched since the last ClearLoadLog (the
   // paper reports e.g. "8 intranode and 32 superedge graphs" for Query 1).
   size_t DistinctGraphsLoaded() const;
 
  private:
+  class Cursor;
+
   SNodeRepr() = default;
 
   using EntryPtr = ShardedGraphCache::EntryPtr;
+
+  // Cache key of supernode s's assembled-adjacency block. Blob ids occupy
+  // [0, num_blobs); assembled blocks live past them in the same key space
+  // so they share the cache's sharding, budget, and singleflight. The
+  // load-log listener filters these keys out -- load_log() and
+  // DistinctGraphsLoaded() keep reporting store blobs only.
+  uint32_t AssembledKey(uint32_t supernode) const;
+
+  // Fully remapped, sorted external adjacency of every page in
+  // `supernode`, built through the ordinary read path (section prefetch +
+  // cache fetches, so disk/cache counters stay honest) and published into
+  // the cache under AssembledKey (singleflighted).
+  Result<EntryPtr> AssembleSupernode(uint32_t supernode);
+
+  // Appends the full external adjacency of page `p` (sorted) to *out: the
+  // classic S-Node read -- section prefetch, intranode walk, one pass per
+  // outgoing superedge graph. Bumps I/O and cache counters but not the
+  // request/edge counters (callers own those).
+  Status CollectPageLinks(PageId p, std::vector<PageId>* out);
 
   // Read-through fetches: cache hit, wait on another thread's in-flight
   // decode, or claim + decode. The returned shared_ptr pins the decoded

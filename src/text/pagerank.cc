@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <unordered_map>
 
 namespace wg {
@@ -17,6 +18,42 @@ std::vector<double> ComputePageRank(const WebGraph& graph,
     double dangling = 0.0;
     for (PageId p = 0; p < n; ++p) {
       auto links = graph.OutLinks(p);
+      if (links.empty()) {
+        dangling += rank[p];
+        continue;
+      }
+      double share = rank[p] / links.size();
+      for (PageId q : links) next[q] += share;
+    }
+    double base = (1.0 - options.damping) / n +
+                  options.damping * dangling / n;
+    double change = 0.0;
+    for (PageId p = 0; p < n; ++p) {
+      double v = base + options.damping * next[p];
+      change += std::abs(v - rank[p]);
+      rank[p] = v;
+    }
+    if (change < options.tolerance) break;
+  }
+  return rank;
+}
+
+Result<std::vector<double>> ComputePageRank(GraphRepresentation* repr,
+                                            const PageRankOptions& options) {
+  size_t n = repr->num_pages();
+  if (n == 0) return std::vector<double>{};
+  std::vector<double> rank(n, 1.0 / n);
+  std::vector<double> next(n, 0.0);
+  std::unique_ptr<AdjacencyCursor> cursor = repr->NewCursor();
+  LinkView links;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double dangling = 0.0;
+    // Natural storage order keeps each iteration's reads sequential (and,
+    // for S-Node, each supernode's pages contiguous under one cursor).
+    for (size_t i = 0; i < n; ++i) {
+      PageId p = repr->PageInNaturalOrder(i);
+      WG_RETURN_IF_ERROR(cursor->Links(p, &links));
       if (links.empty()) {
         dangling += rank[p];
         continue;

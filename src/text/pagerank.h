@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "graph/webgraph.h"
+#include "repr/representation.h"
 
 // PageRank (Brin & Page, the paper's citation [5]) and HITS (Kleinberg,
 // citation [25]). Query 1 weights pages by normalized PageRank; Query 3
@@ -23,6 +24,14 @@ struct PageRankOptions {
 // uniformly).
 std::vector<double> ComputePageRank(const WebGraph& graph,
                                     const PageRankOptions& options = {});
+
+// Same computation driven off an encoded representation instead of the
+// ground-truth graph: each iteration streams every adjacency list through
+// one cursor in the scheme's natural (storage) order, the access pattern
+// the paper's Section 3.3 layout is built for. Scores are indexed by
+// external page id, identical to the WebGraph overload's.
+Result<std::vector<double>> ComputePageRank(GraphRepresentation* repr,
+                                            const PageRankOptions& options = {});
 
 struct HitsScores {
   std::vector<double> hub;        // aligned with `subset`

@@ -98,7 +98,7 @@ TEST(VisitAdjacencyTest, VisitsEachSourceExactlyOnce) {
   NavClock clock;
   std::vector<PageId> visited;
   ASSERT_TRUE(VisitAdjacency(repr.get(), {3, 0, 4}, &clock,
-                             [&](PageId p, const std::vector<PageId>&) {
+                             [&](PageId p, const LinkView&) {
                                visited.push_back(p);
                              })
                   .ok());

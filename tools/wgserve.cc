@@ -229,6 +229,12 @@ int Main(int argc, char** argv) {
               static_cast<unsigned long long>(pages_returned));
   std::printf("wall time:          %.3f s (%.0f req/s)\n", seconds,
               total / seconds);
+  // Every request's views were dropped with its response, so no cache
+  // entry may still be pinned (and the live-view gauges must be back to
+  // zero); nonzero here means a leaked pin.
+  std::printf("pinned cache entries after drain: %zu fwd, %zu bwd\n",
+              forward.value()->PinnedCacheEntries(),
+              backward.value()->PinnedCacheEntries());
   std::printf("\n%s\n", service.Snapshot().ToString().c_str());
 
   if (trace_out != nullptr) {

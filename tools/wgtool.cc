@@ -15,12 +15,17 @@
 //   wgtool links BASE PAGE [crawl.wg]
 //       Print the out-links of PAGE from the persisted representation
 //       (with URLs if the crawl file is given).
+//   wgtool pagerank BASE [--top K]
+//       Compute PageRank over the persisted representation by streaming
+//       every adjacency list through a cursor, and print the top K pages.
 //   wgtool compare crawl.wg
 //       Build all representation schemes and print bits/edge side by side.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -34,6 +39,7 @@
 #include "repr/uncompressed_repr.h"
 #include "snode/snode_repr.h"
 #include "storage/file.h"
+#include "text/pagerank.h"
 #include "util/parallel.h"
 
 namespace wg {
@@ -48,6 +54,7 @@ int Usage() {
       "  wgtool build crawl.wg --store BASE [--threads N] [--trace-out F]\n"
       "  wgtool info BASE\n"
       "  wgtool links BASE PAGE [crawl.wg]\n"
+      "  wgtool pagerank BASE [--top K]\n"
       "  wgtool compare crawl.wg\n");
   return 2;
 }
@@ -169,8 +176,9 @@ int CmdLinks(int argc, char** argv) {
   auto repr = SNodeRepr::Open(argv[2], {});
   if (!repr.ok()) return Fail(repr.status());
   PageId page = static_cast<PageId>(std::strtoul(argv[3], nullptr, 10));
-  std::vector<PageId> links;
-  Status status = repr.value()->GetLinks(page, &links);
+  std::unique_ptr<AdjacencyCursor> cursor = repr.value()->NewCursor();
+  LinkView links;
+  Status status = cursor->Links(page, &links);
   if (!status.ok()) return Fail(status);
   WebGraph graph;
   bool have_urls = false;
@@ -187,6 +195,33 @@ int CmdLinks(int argc, char** argv) {
     } else {
       std::printf("  %u\n", q);
     }
+  }
+  return 0;
+}
+
+int CmdPageRank(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto repr = SNodeRepr::Open(argv[2], {});
+  if (!repr.ok()) return Fail(repr.status());
+  size_t top = 10;
+  const char* top_flag = FlagValue(argc, argv, "--top");
+  if (top_flag != nullptr) top = std::strtoul(top_flag, nullptr, 10);
+  auto ranks = ComputePageRank(repr.value().get());
+  if (!ranks.ok()) return Fail(ranks.status());
+  const std::vector<double>& rank = ranks.value();
+  std::vector<PageId> order(rank.size());
+  for (PageId p = 0; p < order.size(); ++p) order[p] = p;
+  std::sort(order.begin(), order.end(), [&rank](PageId a, PageId b) {
+    if (rank[a] != rank[b]) return rank[a] > rank[b];
+    return a < b;
+  });
+  if (top > order.size()) top = order.size();
+  std::printf("pagerank over %zu pages (%llu adjacency reads):\n",
+              rank.size(),
+              static_cast<unsigned long long>(
+                  repr.value()->stats().adjacency_requests.value()));
+  for (size_t i = 0; i < top; ++i) {
+    std::printf("  %2zu. page %-10u %.8f\n", i + 1, order[i], rank[order[i]]);
   }
   return 0;
 }
@@ -227,6 +262,7 @@ int Main(int argc, char** argv) {
   if (command == "build") return CmdBuild(argc, argv);
   if (command == "info") return CmdInfo(argc, argv);
   if (command == "links") return CmdLinks(argc, argv);
+  if (command == "pagerank") return CmdPageRank(argc, argv);
   if (command == "compare") return CmdCompare(argc, argv);
   return Usage();
 }
