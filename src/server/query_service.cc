@@ -113,6 +113,16 @@ void QueryService::WorkerLoop() {
   }
 }
 
+void QueryService::SwapForward(std::shared_ptr<GraphRepresentation> forward) {
+  std::lock_guard<std::mutex> lock(forward_mu_);
+  forward_override_ = std::move(forward);
+}
+
+std::shared_ptr<GraphRepresentation> QueryService::CurrentForward() const {
+  std::lock_guard<std::mutex> lock(forward_mu_);
+  return forward_override_;
+}
+
 Response QueryService::Execute(const Request& request) const {
   // Root of the cross-layer request trace: spans opened below this frame
   // (repr access, cache miss, store read, pager load) nest under it when
@@ -121,6 +131,10 @@ Response QueryService::Execute(const Request& request) const {
   obs::Span trace(RequestTypeName(request.type), "service",
                   obs::Span::RootTag{});
   trace.AddArg("page", request.page);
+  // Pin the forward representation once per request: a SwapForward racing
+  // with this request flips later requests, never this one mid-flight.
+  std::shared_ptr<GraphRepresentation> pinned = CurrentForward();
+  GraphRepresentation* forward = pinned ? pinned.get() : ctx_.forward;
   Response response;
   if (request.simulated_work.count() > 0) {
     std::this_thread::sleep_for(request.simulated_work);
@@ -132,10 +146,10 @@ Response QueryService::Execute(const Request& request) const {
   Status status;
   switch (request.type) {
     case RequestType::kOutNeighbors:
-      if (ctx_.forward == nullptr) {
+      if (forward == nullptr) {
         status = Status::InvalidArgument("no forward representation");
       } else {
-        status = CollectNeighbors(ctx_.forward, request.page, &response.pages);
+        status = CollectNeighbors(forward, request.page, &response.pages);
       }
       break;
     case RequestType::kInNeighbors:
@@ -146,10 +160,16 @@ Response QueryService::Execute(const Request& request) const {
       }
       break;
     case RequestType::kKHop:
-      status = ExecuteKHop(request, &response);
+      if (forward == nullptr) {
+        status = Status::InvalidArgument("no forward representation");
+      } else {
+        status = ExecuteKHop(request, forward, &response);
+      }
       break;
     case RequestType::kComplexQuery: {
-      Result<QueryResult> result = RunQuery(request.query_number, ctx_);
+      QueryContext ctx = ctx_;  // per-request view with the pinned forward
+      ctx.forward = forward;
+      Result<QueryResult> result = RunQuery(request.query_number, ctx);
       if (result.ok()) {
         response.query = std::move(result).value();
       } else {
@@ -175,11 +195,8 @@ Status QueryService::CollectNeighbors(GraphRepresentation* repr, PageId page,
 }
 
 Status QueryService::ExecuteKHop(const Request& request,
+                                 GraphRepresentation* repr,
                                  Response* response) const {
-  if (ctx_.forward == nullptr) {
-    return Status::InvalidArgument("no forward representation");
-  }
-  GraphRepresentation* repr = ctx_.forward;
   if (request.page >= repr->num_pages()) {
     return Status::OutOfRange("page id out of range");
   }
@@ -233,8 +250,10 @@ ServiceMetrics QueryService::Snapshot() const {
   queue_depth_.Set(static_cast<double>(m.queue_depth));
   m.p50_seconds = latency_.Quantile(0.5);
   m.p99_seconds = latency_.Quantile(0.99);
-  if (ctx_.forward != nullptr) {
-    const ReprStats& stats = ctx_.forward->stats();
+  std::shared_ptr<GraphRepresentation> pinned = CurrentForward();
+  GraphRepresentation* forward = pinned ? pinned.get() : ctx_.forward;
+  if (forward != nullptr) {
+    const ReprStats& stats = forward->stats();
     m.cache_hits = stats.cache_hits;
     m.cache_misses = stats.cache_misses;
     uint64_t lookups = m.cache_hits + m.cache_misses;

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -53,6 +55,20 @@ class QueryService {
   // benchmarks compare concurrent Submit results against it.
   Response Execute(const Request& request) const;
 
+  // Atomically replaces the forward representation for all requests that
+  // *start* after this call; in-flight requests keep the representation
+  // they pinned at entry (the shared_ptr holds it alive until they
+  // drain). This is how the versioned snapshot store flips a serving
+  // process between generations without stopping the world -- pass
+  // version::ReprOf(generation) so the whole generation (repr + store +
+  // manifest) lives as long as the last request using it. Passing nullptr
+  // reverts to the constructor-supplied ctx.forward.
+  void SwapForward(std::shared_ptr<GraphRepresentation> forward);
+
+  // The forward override currently installed (nullptr when serving the
+  // constructor-supplied representation).
+  std::shared_ptr<GraphRepresentation> CurrentForward() const;
+
   // Stops admission, drains queued requests, and joins the workers.
   // Idempotent; also run by the destructor.
   void Shutdown();
@@ -71,9 +87,14 @@ class QueryService {
   void WorkerLoop();
   static Status CollectNeighbors(GraphRepresentation* repr, PageId page,
                                  std::vector<PageId>* out);
-  Status ExecuteKHop(const Request& request, Response* response) const;
+  Status ExecuteKHop(const Request& request, GraphRepresentation* repr,
+                     Response* response) const;
 
   QueryContext ctx_;
+  // Forward-representation hot swap (SwapForward). Requests pin a copy at
+  // entry, so an old generation drains naturally after a flip.
+  mutable std::mutex forward_mu_;
+  std::shared_ptr<GraphRepresentation> forward_override_;
   QueryServiceOptions options_;
   BoundedQueue<Job> queue_;
   std::vector<std::thread> workers_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <deque>
 #include <map>
 #include <unordered_map>
 
@@ -414,15 +415,59 @@ Partition RefinePartition(const WebGraph& graph,
   return result;
 }
 
+std::vector<std::vector<PageId>> RefineNewElement(
+    std::vector<PageId> pages,
+    const std::function<const std::string&(PageId)>& url_of,
+    const RefinementOptions& options) {
+  std::sort(pages.begin(), pages.end(), [&url_of](PageId a, PageId b) {
+    return url_of(a) < url_of(b);
+  });
+  std::vector<std::vector<PageId>> done;
+  // FIFO over (group, deepest prefix level already probed); map iteration
+  // emits groups in prefix order, which over URL-sorted input is URL order.
+  std::deque<std::pair<std::vector<PageId>, int>> work;
+  work.emplace_back(std::move(pages), 0);
+  while (!work.empty()) {
+    auto [group, level] = std::move(work.front());
+    work.pop_front();
+    bool split = false;
+    if (options.use_url_split && group.size() >= options.min_split_size) {
+      while (level < options.url_split_max_levels) {
+        ++level;
+        std::map<std::string, std::vector<PageId>> by_prefix;
+        for (PageId p : group) {
+          by_prefix[UrlPrefix(url_of(p), level)].push_back(p);
+        }
+        if (by_prefix.size() > 1) {
+          std::vector<std::vector<PageId>> groups;
+          groups.reserve(by_prefix.size());
+          for (auto& [prefix, members] : by_prefix) {
+            groups.push_back(std::move(members));
+          }
+          CoalesceSmallGroups(options.min_group_size, &groups);
+          if (groups.size() > 1) {
+            for (auto& g : groups) work.emplace_back(std::move(g), level);
+            split = true;
+            break;
+          }
+        }
+      }
+    }
+    if (!split) done.push_back(std::move(group));
+  }
+  return done;
+}
+
 std::string RefinementStats::ToString() const {
   char buf[384];
   std::snprintf(buf, sizeof(buf),
                 "iterations=%zu passes=%zu url_splits=%zu "
                 "clustered_splits=%zu clustered_aborts=%zu "
-                "final_elements=%zu refine=%.3fs encode=%.3fs layout=%.3fs",
+                "final_elements=%zu refine=%.3fs encode=%.3fs layout=%.3fs "
+                "total=%.3fs",
                 iterations, passes, url_splits, clustered_splits,
                 clustered_aborts, final_elements, refine_seconds,
-                encode_seconds, layout_seconds);
+                encode_seconds, layout_seconds, total_seconds);
   return buf;
 }
 
@@ -455,6 +500,10 @@ void RefinementStats::PublishTo(obs::MetricRegistry& registry,
       .GetGauge("wg_build_layout_seconds", labels,
                 "Wall-clock of the ordered layout phase")
       .Set(layout_seconds);
+  registry
+      .GetGauge("wg_build_total_seconds", labels,
+                "Wall-clock of the whole build (all phases)")
+      .Set(total_seconds);
 }
 
 }  // namespace wg

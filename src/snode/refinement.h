@@ -2,6 +2,7 @@
 #define WG_SNODE_REFINEMENT_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -97,11 +98,16 @@ struct RefinementStats {
 
   // Per-phase wall-clock of the S-Node build. RefinePartition fills
   // refine_seconds; SNodeRepr::Build fills encode_seconds (parallel graph
-  // compression) and layout_seconds (ordered store writes). Timings are
-  // the only fields that vary across runs/thread counts.
+  // compression) and layout_seconds (ordered store writes), plus
+  // total_seconds for the whole build (refine + numbering + encode +
+  // layout + domain index). The incremental maintenance path fills the
+  // same fields for a partial rebuild, so full-vs-incremental savings are
+  // directly comparable per phase. Timings are the only fields that vary
+  // across runs/thread counts.
   double refine_seconds = 0;
   double encode_seconds = 0;
   double layout_seconds = 0;
+  double total_seconds = 0;
 
   std::string ToString() const;
 
@@ -122,6 +128,21 @@ Partition RefinePartition(const WebGraph& graph,
 
 // The initial by-domain partition P0 (exposed for tests/ablations).
 Partition InitialDomainPartition(const WebGraph& graph);
+
+// Partial-refinement entry point for incremental S-Node maintenance:
+// refines one page group that arrived via crawl deltas (the pages of a new
+// supernode-to-be) using the URL-split rule alone, with the same
+// min_split_size / min_group_size / url_split_max_levels thresholds as
+// full refinement. Clustered split is deliberately absent -- it clusters
+// over supernode out-adjacency bit vectors, global context that only a
+// full rebuild recomputes. `url_of` supplies page URLs (delta pages live
+// outside the base WebGraph). Deterministic: output groups are URL-sorted
+// internally and emitted in URL order, so an incremental build and a
+// from-scratch rebuild over the same maintained partition agree exactly.
+std::vector<std::vector<PageId>> RefineNewElement(
+    std::vector<PageId> pages,
+    const std::function<const std::string&(PageId)>& url_of,
+    const RefinementOptions& options);
 
 }  // namespace wg
 

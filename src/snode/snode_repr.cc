@@ -8,6 +8,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "snode/section_encode.h"
 #include "storage/serial.h"
 #include "util/coding.h"
 #include "util/parallel.h"
@@ -15,16 +16,6 @@
 namespace wg {
 
 namespace {
-
-// One supernode's encoded section, produced by a worker thread and written
-// out later in supernode order: the intranode graph followed by the
-// outgoing superedge graphs sorted by target (the paper's linear disk
-// layout, Figure 8).
-struct EncodedSection {
-  std::vector<uint8_t> intranode;
-  std::vector<uint32_t> targets;                 // ascending
-  std::vector<std::vector<uint8_t>> superedges;  // parallel to targets
-};
 
 inline double SecondsSince(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -41,6 +32,24 @@ constexpr uint32_t kEncodeWindow = 4096;
 Result<std::unique_ptr<SNodeRepr>> SNodeRepr::Build(
     const WebGraph& graph, const std::string& base_path,
     const SNodeBuildOptions& options, RefinementStats* stats) {
+  // 1. Iterative partition refinement (elements come out URL-sorted).
+  SNodeBuildOptions resolved = options;
+  resolved.threads = options.threads > 0 ? options.threads
+                                         : ParallelExecutor::HardwareThreads();
+  resolved.refinement.threads = resolved.threads;
+  Partition partition;
+  {
+    obs::Span span("build.refine", "build");
+    partition = RefinePartition(graph, resolved.refinement, stats);
+  }
+  return BuildFromPartition(graph, partition, base_path, resolved, stats);
+}
+
+Result<std::unique_ptr<SNodeRepr>> SNodeRepr::BuildFromPartition(
+    const WebGraph& graph, const Partition& partition,
+    const std::string& base_path, const SNodeBuildOptions& options,
+    RefinementStats* stats) {
+  auto t_total = std::chrono::steady_clock::now();
   std::unique_ptr<SNodeRepr> repr(new SNodeRepr());
   repr->options_ = options;
   repr->base_path_ = base_path;
@@ -54,14 +63,6 @@ Result<std::unique_ptr<SNodeRepr>> SNodeRepr::Build(
                                     : ParallelExecutor::HardwareThreads();
   ParallelExecutor executor(threads);
 
-  // 1. Iterative partition refinement (elements come out URL-sorted).
-  RefinementOptions refinement = options.refinement;
-  refinement.threads = threads;
-  Partition partition;
-  {
-    obs::Span span("build.refine", "build");
-    partition = RefinePartition(graph, refinement, stats);
-  }
   WG_RETURN_IF_ERROR(partition.Validate(graph.num_pages()));
   uint32_t n_super = static_cast<uint32_t>(partition.num_elements());
 
@@ -90,16 +91,25 @@ Result<std::unique_ptr<SNodeRepr>> SNodeRepr::Build(
   //    intranode graph immediately followed by its superedge graphs (the
   //    linear disk layout, Figure 8). Because the layout loop below is the
   //    only writer and walks supernodes in order, the store files are
-  //    byte-identical for every thread count.
+  //    byte-identical for every thread count. The per-section work lives
+  //    in EncodeSupernodeSection, shared with the incremental maintenance
+  //    path (src/version) so both produce identical bytes.
   auto store = GraphStore::Create(base_path, options.store);
   if (!store.ok()) return store.status();
   repr->store_ = std::move(store).value();
+
+  SectionLinksFn links_of = [&graph](PageId p, std::vector<PageId>* out) {
+    for (PageId q : graph.OutLinks(p)) out->push_back(q);
+    return Status::OK();
+  };
 
   double encode_seconds = 0;
   double layout_seconds = 0;
   repr->supernodes_.offsets.push_back(0);
   std::vector<EncodedSection> sections(
       std::min<uint32_t>(n_super, kEncodeWindow));
+  std::mutex encode_mutex;
+  Status encode_status;
   for (uint32_t window = 0; window < n_super; window += kEncodeWindow) {
     uint32_t window_end = std::min(n_super, window + kEncodeWindow);
 
@@ -110,52 +120,18 @@ Result<std::unique_ptr<SNodeRepr>> SNodeRepr::Build(
     auto t_encode = std::chrono::steady_clock::now();
     auto encode_one = [&](size_t s_index) {
       uint32_t s = static_cast<uint32_t>(s_index);
-      const auto& element = partition.elements[s];
-      uint32_t n_local = static_cast<uint32_t>(element.size());
-
-      // Split adjacency into intranode lists + per-target-supernode
-      // bipartite lists, all in local ids.
-      std::vector<std::vector<uint32_t>> intra(n_local);
-      std::map<uint32_t, std::pair<std::vector<uint32_t>,
-                                   std::vector<std::vector<uint32_t>>>>
-          cross;  // j -> (sources, lists)
-      for (uint32_t local = 0; local < n_local; ++local) {
-        PageId orig = element[local];
-        for (PageId q : graph.OutLinks(orig)) {
-          uint32_t j = owner[q];
-          uint32_t q_local = repr->new_of_orig_[q] -
-                             repr->supernodes_.page_start[j];
-          if (j == s) {
-            intra[local].push_back(q_local);
-          } else {
-            auto& slot = cross[j];
-            if (slot.first.empty() || slot.first.back() != local) {
-              slot.first.push_back(local);
-              slot.second.emplace_back();
-            }
-            slot.second.back().push_back(q_local);
-          }
-        }
-      }
-      for (auto& list : intra) std::sort(list.begin(), list.end());
-
       EncodedSection& section = sections[s - window];
-      section.intranode = EncodeIntranode(intra, options.intranode);
-      section.targets.clear();
-      section.superedges.clear();
-      section.targets.reserve(cross.size());
-      section.superedges.reserve(cross.size());
-      for (auto& [j, slot] : cross) {
-        for (auto& list : slot.second) std::sort(list.begin(), list.end());
-        section.targets.push_back(j);
-        section.superedges.push_back(EncodeSuperedge(
-            slot.first, slot.second, n_local,
-            repr->supernodes_.pages_in(j), options.superedge));
-        repr->stats_.encoded_bytes += section.superedges.back().size();
+      Status encoded = EncodeSupernodeSection(
+          s, partition.elements[s], links_of, owner, repr->new_of_orig_,
+          repr->supernodes_.page_start, options.intranode, options.superedge,
+          &section);
+      if (!encoded.ok()) {
+        std::lock_guard<std::mutex> lock(encode_mutex);
+        if (encode_status.ok()) encode_status = encoded;
+        return;
       }
-      ++repr->stats_.graphs_encoded;
-      repr->stats_.encoded_bytes += section.intranode.size();
-      repr->stats_.graphs_encoded += section.superedges.size();
+      repr->stats_.encoded_bytes += section.total_bytes();
+      repr->stats_.graphs_encoded += section.num_blobs();
     };
     {
       obs::Span encode_span("build.encode", "build");
@@ -163,6 +139,7 @@ Result<std::unique_ptr<SNodeRepr>> SNodeRepr::Build(
       encode_span.AddArg("window_size", window_end - window);
       executor.ParallelFor(window, window_end, encode_one);
     }
+    WG_RETURN_IF_ERROR(encode_status);
     encode_seconds += SecondsSince(t_encode);
 
     // Ordered layout: single-threaded, supernode order, intranode first.
@@ -185,14 +162,6 @@ Result<std::unique_ptr<SNodeRepr>> SNodeRepr::Build(
     }
     layout_seconds += SecondsSince(t_layout);
   }
-  if (stats != nullptr) {
-    stats->encode_seconds = encode_seconds;
-    stats->layout_seconds = layout_seconds;
-    stats->PublishTo(
-        obs::MetricRegistry::Default(),
-        {{"build", std::to_string(obs::NextInstanceId())}});
-  }
-
   {
     ReprStats scratch;
     repr->disk_tracker_.Absorb(repr->store_->seek_ops(),
@@ -206,6 +175,18 @@ Result<std::unique_ptr<SNodeRepr>> SNodeRepr::Build(
         .domain_supernodes[graph.domain_name(graph.domain_id(first))]
         .push_back(s);
   }
+
+  if (stats != nullptr) {
+    stats->encode_seconds = encode_seconds;
+    stats->layout_seconds = layout_seconds;
+    // Refinement (if the caller ran it) happened before this function, so
+    // total = its wall-clock plus everything from numbering through the
+    // domain index.
+    stats->total_seconds = stats->refine_seconds + SecondsSince(t_total);
+    stats->PublishTo(
+        obs::MetricRegistry::Default(),
+        {{"build", std::to_string(obs::NextInstanceId())}});
+  }
   return repr;
 }
 
@@ -214,31 +195,119 @@ namespace {
 constexpr char kMetaMagic[4] = {'S', 'N', 'M', '1'};
 }  // namespace
 
-Status SNodeRepr::SaveMeta() const {
-  std::string payload;
-  PutVarint64(&payload, new_of_orig_.size());
-  PutVarint64(&payload, num_edges_);
-  for (PageId nid : new_of_orig_) PutVarint32(&payload, nid);
+void SNodeResidentState::Serialize(std::string* out) const {
+  PutVarint64(out, new_of_orig.size());
+  PutVarint64(out, num_edges);
+  for (PageId nid : new_of_orig) PutVarint32(out, nid);
 
-  const SupernodeGraph& sg = supernodes_;
-  PutVarint64(&payload, sg.num_supernodes());
+  const SupernodeGraph& sg = supernodes;
+  PutVarint64(out, sg.num_supernodes());
   for (size_t i = 0; i < sg.page_start.size(); ++i) {
-    PutVarint32(&payload, sg.page_start[i]);
+    PutVarint32(out, sg.page_start[i]);
   }
   for (size_t i = 0; i < sg.offsets.size(); ++i) {
-    PutVarint32(&payload, sg.offsets[i]);
+    PutVarint32(out, sg.offsets[i]);
   }
-  PutVarint64(&payload, sg.targets.size());
-  for (uint32_t t : sg.targets) PutVarint32(&payload, t);
-  for (uint32_t b : sg.intranode_blob) PutVarint32(&payload, b);
-  for (uint32_t b : sg.superedge_blob) PutVarint32(&payload, b);
-  PutVarint64(&payload, sg.domain_supernodes.size());
-  for (const auto& [name, supernodes] : sg.domain_supernodes) {
-    PutVarint64(&payload, name.size());
-    payload.append(name);
-    PutVarint64(&payload, supernodes.size());
-    for (uint32_t s : supernodes) PutVarint32(&payload, s);
+  PutVarint64(out, sg.targets.size());
+  for (uint32_t t : sg.targets) PutVarint32(out, t);
+  for (uint32_t b : sg.intranode_blob) PutVarint32(out, b);
+  for (uint32_t b : sg.superedge_blob) PutVarint32(out, b);
+  PutVarint64(out, sg.domain_supernodes.size());
+  for (const auto& [name, supernodes_in] : sg.domain_supernodes) {
+    PutVarint64(out, name.size());
+    out->append(name);
+    PutVarint64(out, supernodes_in.size());
+    for (uint32_t s : supernodes_in) PutVarint32(out, s);
   }
+}
+
+Result<SNodeResidentState> SNodeResidentState::Parse(SerialCursor* cursor) {
+  SNodeResidentState state;
+  uint64_t num_pages = 0;
+  if (!cursor->ReadVarint64(&num_pages) ||
+      !cursor->ReadVarint64(&state.num_edges)) {
+    return Status::Corruption("snode meta: bad header");
+  }
+  state.new_of_orig.resize(num_pages);
+  state.orig_of_new.assign(num_pages, kInvalidPage);
+  for (uint64_t p = 0; p < num_pages; ++p) {
+    uint32_t nid = 0;
+    if (!cursor->ReadVarint32(&nid) || nid >= num_pages ||
+        state.orig_of_new[nid] != kInvalidPage) {
+      return Status::Corruption("snode meta: bad permutation");
+    }
+    state.new_of_orig[p] = nid;
+    state.orig_of_new[nid] = static_cast<PageId>(p);
+  }
+
+  SupernodeGraph& sg = state.supernodes;
+  uint64_t n_super = 0;
+  if (!cursor->ReadVarint64(&n_super)) {
+    return Status::Corruption("snode meta: bad supernode count");
+  }
+  sg.page_start.resize(n_super + 1);
+  for (auto& v : sg.page_start) {
+    if (!cursor->ReadVarint32(&v)) {
+      return Status::Corruption("snode meta: bad page_start");
+    }
+  }
+  sg.offsets.resize(n_super + 1);
+  for (auto& v : sg.offsets) {
+    if (!cursor->ReadVarint32(&v)) {
+      return Status::Corruption("snode meta: bad offsets");
+    }
+  }
+  uint64_t n_edges = 0;
+  if (!cursor->ReadVarint64(&n_edges)) {
+    return Status::Corruption("snode meta: bad superedge count");
+  }
+  sg.targets.resize(n_edges);
+  for (auto& v : sg.targets) {
+    if (!cursor->ReadVarint32(&v) || v >= n_super) {
+      return Status::Corruption("snode meta: bad superedge target");
+    }
+  }
+  sg.intranode_blob.resize(n_super);
+  for (auto& v : sg.intranode_blob) {
+    if (!cursor->ReadVarint32(&v)) {
+      return Status::Corruption("snode meta: bad intranode pointer");
+    }
+  }
+  sg.superedge_blob.resize(n_edges);
+  for (auto& v : sg.superedge_blob) {
+    if (!cursor->ReadVarint32(&v)) {
+      return Status::Corruption("snode meta: bad superedge pointer");
+    }
+  }
+  uint64_t n_domains = 0;
+  if (!cursor->ReadVarint64(&n_domains)) {
+    return Status::Corruption("snode meta: bad domain count");
+  }
+  for (uint64_t d = 0; d < n_domains; ++d) {
+    std::string name;
+    uint64_t count = 0;
+    if (!cursor->ReadString(&name) || !cursor->ReadVarint64(&count)) {
+      return Status::Corruption("snode meta: bad domain entry");
+    }
+    auto& list = sg.domain_supernodes[name];
+    list.resize(count);
+    for (auto& v : list) {
+      if (!cursor->ReadVarint32(&v) || v >= n_super) {
+        return Status::Corruption("snode meta: bad domain supernode");
+      }
+    }
+  }
+  return state;
+}
+
+Status SNodeRepr::SaveMeta() const {
+  std::string payload;
+  SNodeResidentState state;
+  state.new_of_orig = new_of_orig_;
+  state.orig_of_new = orig_of_new_;
+  state.supernodes = supernodes_;
+  state.num_edges = num_edges_;
+  state.Serialize(&payload);
   store_->SerializeDirectory(&payload);
   return WriteFramedFile(base_path_ + ".meta", kMetaMagic, payload);
 }
@@ -248,6 +317,17 @@ Result<std::unique_ptr<SNodeRepr>> SNodeRepr::Open(
   WG_ASSIGN_OR_RETURN(std::string payload,
                       ReadFramedFile(base_path + ".meta", kMetaMagic));
   SerialCursor cursor(payload);
+  WG_ASSIGN_OR_RETURN(SNodeResidentState state,
+                      SNodeResidentState::Parse(&cursor));
+  auto store = GraphStore::OpenExisting(base_path, options.store, &cursor);
+  if (!store.ok()) return store.status();
+  return FromParts(std::move(state), std::move(store).value(), base_path,
+                   options);
+}
+
+Result<std::unique_ptr<SNodeRepr>> SNodeRepr::FromParts(
+    SNodeResidentState state, std::unique_ptr<GraphStore> store,
+    const std::string& base_path, const SNodeBuildOptions& options) {
   std::unique_ptr<SNodeRepr> repr(new SNodeRepr());
   repr->options_ = options;
   repr->base_path_ = base_path;
@@ -255,92 +335,18 @@ Result<std::unique_ptr<SNodeRepr>> SNodeRepr::Open(
                                                      options.buffer_bytes);
   repr->InstallLoadLogListener();
   repr->RegisterStats("s-node");
-
-  uint64_t num_pages = 0;
-  if (!cursor.ReadVarint64(&num_pages) ||
-      !cursor.ReadVarint64(&repr->num_edges_)) {
-    return Status::Corruption("snode meta: bad header");
-  }
-  repr->new_of_orig_.resize(num_pages);
-  repr->orig_of_new_.assign(num_pages, kInvalidPage);
-  for (uint64_t p = 0; p < num_pages; ++p) {
-    uint32_t nid = 0;
-    if (!cursor.ReadVarint32(&nid) || nid >= num_pages ||
-        repr->orig_of_new_[nid] != kInvalidPage) {
-      return Status::Corruption("snode meta: bad permutation");
-    }
-    repr->new_of_orig_[p] = nid;
-    repr->orig_of_new_[nid] = static_cast<PageId>(p);
-  }
-
-  SupernodeGraph& sg = repr->supernodes_;
-  uint64_t n_super = 0;
-  if (!cursor.ReadVarint64(&n_super)) {
-    return Status::Corruption("snode meta: bad supernode count");
-  }
-  sg.page_start.resize(n_super + 1);
-  for (auto& v : sg.page_start) {
-    if (!cursor.ReadVarint32(&v)) {
-      return Status::Corruption("snode meta: bad page_start");
-    }
-  }
-  sg.offsets.resize(n_super + 1);
-  for (auto& v : sg.offsets) {
-    if (!cursor.ReadVarint32(&v)) {
-      return Status::Corruption("snode meta: bad offsets");
-    }
-  }
-  uint64_t n_edges = 0;
-  if (!cursor.ReadVarint64(&n_edges)) {
-    return Status::Corruption("snode meta: bad superedge count");
-  }
-  sg.targets.resize(n_edges);
-  for (auto& v : sg.targets) {
-    if (!cursor.ReadVarint32(&v) || v >= n_super) {
-      return Status::Corruption("snode meta: bad superedge target");
-    }
-  }
-  sg.intranode_blob.resize(n_super);
-  for (auto& v : sg.intranode_blob) {
-    if (!cursor.ReadVarint32(&v)) {
-      return Status::Corruption("snode meta: bad intranode pointer");
-    }
-  }
-  sg.superedge_blob.resize(n_edges);
-  for (auto& v : sg.superedge_blob) {
-    if (!cursor.ReadVarint32(&v)) {
-      return Status::Corruption("snode meta: bad superedge pointer");
-    }
-  }
-  uint64_t n_domains = 0;
-  if (!cursor.ReadVarint64(&n_domains)) {
-    return Status::Corruption("snode meta: bad domain count");
-  }
-  for (uint64_t d = 0; d < n_domains; ++d) {
-    std::string name;
-    uint64_t count = 0;
-    if (!cursor.ReadString(&name) || !cursor.ReadVarint64(&count)) {
-      return Status::Corruption("snode meta: bad domain entry");
-    }
-    auto& list = sg.domain_supernodes[name];
-    list.resize(count);
-    for (auto& v : list) {
-      if (!cursor.ReadVarint32(&v) || v >= n_super) {
-        return Status::Corruption("snode meta: bad domain supernode");
-      }
-    }
-  }
-
-  auto store = GraphStore::OpenExisting(base_path, options.store, &cursor);
-  if (!store.ok()) return store.status();
-  repr->store_ = std::move(store).value();
+  repr->new_of_orig_ = std::move(state.new_of_orig);
+  repr->orig_of_new_ = std::move(state.orig_of_new);
+  repr->supernodes_ = std::move(state.supernodes);
+  repr->num_edges_ = state.num_edges;
+  repr->store_ = std::move(store);
   // Sanity: every pointer must resolve inside the store.
-  for (uint32_t b : sg.intranode_blob) {
+  for (uint32_t b : repr->supernodes_.intranode_blob) {
     if (b >= repr->store_->num_blobs()) {
       return Status::Corruption("snode meta: dangling intranode pointer");
     }
   }
-  for (uint32_t b : sg.superedge_blob) {
+  for (uint32_t b : repr->supernodes_.superedge_blob) {
     if (b >= repr->store_->num_blobs()) {
       return Status::Corruption("snode meta: dangling superedge pointer");
     }

@@ -12,6 +12,7 @@
 #include "snode/refinement.h"
 #include "snode/supernode_graph.h"
 #include "storage/graph_store.h"
+#include "storage/serial.h"
 #include "util/status.h"
 
 // The paper's contribution: the two-level S-Node representation, exposed
@@ -54,6 +55,22 @@ struct SNodeBuildOptions {
   bool record_load_log = false;
 };
 
+// The resident half of an S-Node representation, separated from the repr
+// object so the versioned-snapshot layer (src/version) can assemble a
+// generation from a manifest: the crawl-order <-> S-Node-order
+// permutations, the supernode graph (with its blob pointers and domain
+// index), and the edge count. Serialize/Parse use the exact byte format
+// SaveMeta has always written, so `.meta` files round-trip unchanged.
+struct SNodeResidentState {
+  std::vector<PageId> new_of_orig;
+  std::vector<PageId> orig_of_new;
+  SupernodeGraph supernodes;
+  uint64_t num_edges = 0;
+
+  void Serialize(std::string* out) const;
+  static Result<SNodeResidentState> Parse(SerialCursor* cursor);
+};
+
 class SNodeRepr : public GraphRepresentation {
  public:
   // Builds the complete representation: runs iterative refinement,
@@ -64,6 +81,29 @@ class SNodeRepr : public GraphRepresentation {
   static Result<std::unique_ptr<SNodeRepr>> Build(
       const WebGraph& graph, const std::string& base_path,
       const SNodeBuildOptions& options, RefinementStats* stats = nullptr);
+
+  // The second half of Build: numbering, encode, and layout over an
+  // already-refined partition. Exposed for the versioned-snapshot layer,
+  // whose byte-identity contract ("incremental generation == from-scratch
+  // rebuild, per blob") is defined against this entry point with the
+  // deterministically maintained partition -- both paths then funnel
+  // through EncodeSupernodeSection and the pure codecs, so equal inputs
+  // give equal bytes. Fills stats->encode/layout/total_seconds (adding any
+  // refine_seconds the caller already recorded into total).
+  static Result<std::unique_ptr<SNodeRepr>> BuildFromPartition(
+      const WebGraph& graph, const Partition& partition,
+      const std::string& base_path, const SNodeBuildOptions& options,
+      RefinementStats* stats = nullptr);
+
+  // Assembles a repr from parts produced elsewhere: a resident state and
+  // an open store whose blob ids the state's pointers index. This is how
+  // a snapshot generation becomes queryable -- the manifest supplies the
+  // store (possibly spanning pack files from several generations) and the
+  // embedded resident payload. Only runtime options (buffer budget, cache
+  // shards, load logging) from `options` apply.
+  static Result<std::unique_ptr<SNodeRepr>> FromParts(
+      SNodeResidentState state, std::unique_ptr<GraphStore> store,
+      const std::string& base_path, const SNodeBuildOptions& options);
 
   // Persists the resident state (permutations, supernode graph, domain
   // index, store directory) to `<base_path>.meta`, so the representation

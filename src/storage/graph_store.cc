@@ -68,10 +68,16 @@ Status GraphStore::ReadBlobRange(uint32_t first, uint32_t last,
   out->resize(last - first + 1);
   uint32_t id = first;
   while (id <= last) {
-    // Greedily take the run of blobs living in the same file.
+    // Greedily take the run of blobs laid out back to back in one file.
+    // Manifest-composed stores (version layer) can place consecutive ids
+    // in different files or at non-adjacent offsets -- such neighbors get
+    // their own read instead of one mis-sized span.
     uint32_t file_index = directory_[id].file_index;
     uint32_t run_end = id;
-    while (run_end < last && directory_[run_end + 1].file_index == file_index) {
+    while (run_end < last &&
+           directory_[run_end + 1].file_index == file_index &&
+           directory_[run_end + 1].offset ==
+               directory_[run_end].offset + directory_[run_end].length) {
       ++run_end;
     }
     uint64_t begin = directory_[id].offset;
@@ -138,6 +144,30 @@ Result<std::unique_ptr<GraphStore>> GraphStore::OpenExisting(
     }
     store->directory_.push_back(ref);
     store->total_bytes_ += ref.length;
+  }
+  return store;
+}
+
+Result<std::unique_ptr<GraphStore>> GraphStore::OpenFiles(
+    const std::vector<std::string>& paths,
+    std::vector<BlobLocation> directory) {
+  std::unique_ptr<GraphStore> store(new GraphStore("", Options()));
+  store->read_only_ = true;
+  for (const std::string& path : paths) {
+    auto file = RandomAccessFile::Open(path);
+    if (!file.ok()) return file.status();
+    store->files_.push_back(std::move(file).value());
+  }
+  store->directory_.reserve(directory.size());
+  for (const BlobLocation& loc : directory) {
+    if (loc.file_index >= store->files_.size()) {
+      return Status::Corruption("graph store: blob references unknown file");
+    }
+    if (loc.offset + loc.length > store->files_[loc.file_index]->size()) {
+      return Status::Corruption("graph store: blob outside file");
+    }
+    store->directory_.push_back({loc.file_index, loc.length, loc.offset});
+    store->total_bytes_ += loc.length;
   }
   return store;
 }

@@ -32,6 +32,16 @@ class GraphStore {
     uint64_t max_file_size = 512 * 1024;
   };
 
+  // Physical home of one blob, exposed so the version subsystem's
+  // manifests can reference blobs across store generations (a manifest
+  // maps dense per-generation blob ids onto an arbitrary set of pack
+  // files, sharing unchanged blobs byte-identically between generations).
+  struct BlobLocation {
+    uint32_t file_index;
+    uint64_t offset;
+    uint32_t length;
+  };
+
   // Creates a store writing files `<base_path>.000`, `<base_path>.001`, ...
   // Existing files with those names are truncated.
   static Result<std::unique_ptr<GraphStore>> Create(std::string base_path,
@@ -43,6 +53,16 @@ class GraphStore {
   // other reader and is rejected).
   static Result<std::unique_ptr<GraphStore>> OpenExisting(
       std::string base_path, Options options, SerialCursor* cursor);
+
+  // Read-only store over an explicit set of files with an explicit
+  // directory: blob i lives at directory[i] inside paths[file_index].
+  // This is how a versioned snapshot generation reads: its manifest's
+  // blob table spans pack files written by several earlier generations,
+  // so blob ids stay dense and section-contiguous while the bytes are
+  // shared with whichever generation first wrote them.
+  static Result<std::unique_ptr<GraphStore>> OpenFiles(
+      const std::vector<std::string>& paths,
+      std::vector<BlobLocation> directory);
 
   // Appends the blob directory to *payload (varints), for the owner's
   // metadata file.
@@ -65,6 +85,15 @@ class GraphStore {
   size_t num_files() const { return files_.size(); }
   uint64_t total_bytes() const { return total_bytes_; }
   uint64_t blob_size(uint32_t id) const { return directory_[id].length; }
+
+  // Physical placement of blob `id` (for manifest composition).
+  BlobLocation Location(uint32_t id) const {
+    const BlobRef& ref = directory_[id];
+    return {ref.file_index, ref.offset, ref.length};
+  }
+  const std::string& FilePath(uint32_t file_index) const {
+    return files_[file_index]->path();
+  }
 
   // In-memory size of the directory (a resident index).
   size_t DirectoryMemoryUsage() const {

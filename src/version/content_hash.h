@@ -1,0 +1,64 @@
+#ifndef WG_VERSION_CONTENT_HASH_H_
+#define WG_VERSION_CONTENT_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+// Content addressing for store blobs, in the style of memodb's CID store:
+// a blob's identity is a hash of its bytes, so two generations that encode
+// the same intranode or superedge graph share one physical copy. 128 bits
+// of FNV-1a (two independent streams) keeps accidental collisions out of
+// reach at any realistic blob count while staying dependency-free and
+// deterministic across platforms.
+
+namespace wg::version {
+
+struct ContentHash {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  bool operator==(const ContentHash& other) const {
+    return hi == other.hi && lo == other.lo;
+  }
+  bool operator!=(const ContentHash& other) const { return !(*this == other); }
+
+  std::string ToHex() const {
+    char buf[36];
+    std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                  static_cast<unsigned long long>(hi),
+                  static_cast<unsigned long long>(lo));
+    return buf;
+  }
+};
+
+inline ContentHash HashBytes(const uint8_t* data, size_t n) {
+  // Two FNV-1a streams with distinct offset bases; the second also folds
+  // in the length so same-content-different-length (impossible here, but
+  // cheap insurance) cannot alias.
+  uint64_t a = 0xcbf29ce484222325ull;
+  uint64_t b = 0x84222325cbf29ce4ull ^ (0x9e3779b97f4a7c15ull * n);
+  for (size_t i = 0; i < n; ++i) {
+    a = (a ^ data[i]) * 0x100000001b3ull;
+    b = (b ^ data[i]) * 0x00000100000001b3ull;
+    b ^= b >> 29;
+  }
+  return {a, b};
+}
+
+inline ContentHash HashBlob(const std::vector<uint8_t>& blob) {
+  return HashBytes(blob.data(), blob.size());
+}
+
+struct ContentHashHasher {
+  size_t operator()(const ContentHash& h) const {
+    return static_cast<size_t>(h.hi ^ (h.lo * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+}  // namespace wg::version
+
+#endif  // WG_VERSION_CONTENT_HASH_H_

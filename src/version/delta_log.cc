@@ -1,0 +1,164 @@
+#include "version/delta_log.h"
+
+#include <unistd.h>
+
+#include <utility>
+
+#include "storage/serial.h"
+#include "util/coding.h"
+#include "util/crc32.h"
+
+namespace wg::version {
+
+namespace {
+
+constexpr size_t kFrameHeader = 8;  // fixed32 length + fixed32 crc
+// A delta record is a handful of varints plus three short strings; a frame
+// claiming more than this is torn-length garbage, not a record.
+constexpr uint32_t kMaxPayload = 1 << 20;
+
+void EncodeRecord(const DeltaRecord& r, std::string* out) {
+  PutVarint32(out, static_cast<uint32_t>(r.kind));
+  switch (r.kind) {
+    case DeltaRecord::Kind::kAddPage:
+      PutVarint32(out, r.page);
+      PutVarint64(out, r.url.size());
+      out->append(r.url);
+      PutVarint64(out, r.host.size());
+      out->append(r.host);
+      PutVarint64(out, r.domain.size());
+      out->append(r.domain);
+      break;
+    case DeltaRecord::Kind::kRemovePage:
+      PutVarint32(out, r.page);
+      break;
+    case DeltaRecord::Kind::kAddLink:
+    case DeltaRecord::Kind::kRemoveLink:
+      PutVarint32(out, r.from);
+      PutVarint32(out, r.to);
+      break;
+  }
+}
+
+bool DecodeRecord(const char* data, size_t size, DeltaRecord* r) {
+  SerialCursor cursor(data, size);
+  uint32_t kind = 0;
+  if (!cursor.ReadVarint32(&kind)) return false;
+  switch (static_cast<DeltaRecord::Kind>(kind)) {
+    case DeltaRecord::Kind::kAddPage:
+      r->kind = DeltaRecord::Kind::kAddPage;
+      if (!cursor.ReadVarint32(&r->page) || !cursor.ReadString(&r->url) ||
+          !cursor.ReadString(&r->host) || !cursor.ReadString(&r->domain)) {
+        return false;
+      }
+      break;
+    case DeltaRecord::Kind::kRemovePage:
+      r->kind = DeltaRecord::Kind::kRemovePage;
+      if (!cursor.ReadVarint32(&r->page)) return false;
+      break;
+    case DeltaRecord::Kind::kAddLink:
+    case DeltaRecord::Kind::kRemoveLink:
+      r->kind = static_cast<DeltaRecord::Kind>(kind);
+      if (!cursor.ReadVarint32(&r->from) || !cursor.ReadVarint32(&r->to)) {
+        return false;
+      }
+      break;
+    default:
+      return false;
+  }
+  // A valid frame holds exactly one record; trailing bytes mean the CRC
+  // matched garbage (or a future, unknown format) -- reject either way.
+  return cursor.exhausted();
+}
+
+// Walks the frames in `data`, calling `fn` for each fully valid record
+// until the first invalid frame. Returns via *stats the valid prefix
+// length, its record count, and the discarded remainder.
+Status ScanFrames(const std::string& data,
+                  const std::function<Status(const DeltaRecord&)>& fn,
+                  DeltaLogRecoveryStats* stats) {
+  size_t pos = 0;
+  uint64_t records = 0;
+  while (pos + kFrameHeader <= data.size()) {
+    uint32_t length = DecodeFixed32(data.data() + pos);
+    uint32_t crc = DecodeFixed32(data.data() + pos + 4);
+    if (length > kMaxPayload || pos + kFrameHeader + length > data.size()) {
+      break;  // torn length field or torn payload
+    }
+    const char* payload = data.data() + pos + kFrameHeader;
+    if (Crc32(payload, length) != crc) break;  // torn or corrupt payload
+    DeltaRecord record;
+    if (!DecodeRecord(payload, length, &record)) break;
+    if (fn != nullptr) WG_RETURN_IF_ERROR(fn(record));
+    pos += kFrameHeader + length;
+    ++records;
+  }
+  if (stats != nullptr) {
+    stats->records = records;
+    stats->valid_bytes = pos;
+    stats->dropped_bytes = data.size() - pos;
+  }
+  return Status::OK();
+}
+
+Status ReadWholeFile(const std::string& path, std::string* out) {
+  WG_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> file,
+                      RandomAccessFile::Open(path));
+  out->resize(file->size());
+  if (file->size() == 0) return Status::OK();
+  return file->Read(0, out->size(), out->data());
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DeltaLog>> DeltaLog::Open(
+    const std::string& path, DeltaLogRecoveryStats* stats) {
+  std::string data;
+  WG_RETURN_IF_ERROR(ReadWholeFile(path, &data));
+  DeltaLogRecoveryStats recovery;
+  WG_RETURN_IF_ERROR(ScanFrames(data, nullptr, &recovery));
+  if (recovery.dropped_bytes > 0) {
+    // Cut the torn tail off on disk before appending over it; reopen so
+    // the file handle's cached size matches the truncated file.
+    if (::truncate(path.c_str(),
+                   static_cast<off_t>(recovery.valid_bytes)) != 0) {
+      return Status::IOError("delta log: truncate failed: " + path);
+    }
+  }
+  WG_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> file,
+                      RandomAccessFile::Open(path));
+  if (stats != nullptr) *stats = recovery;
+  std::unique_ptr<DeltaLog> log(new DeltaLog(std::move(file)));
+  log->num_records_ = recovery.records;
+  return log;
+}
+
+Status DeltaLog::Append(const DeltaRecord& record) {
+  std::string payload;
+  EncodeRecord(record, &payload);
+  std::string frame;
+  frame.reserve(kFrameHeader + payload.size());
+  PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
+  PutFixed32(&frame, Crc32(payload.data(), payload.size()));
+  frame.append(payload);
+  WG_RETURN_IF_ERROR(file_->Append(frame.data(), frame.size()));
+  ++num_records_;
+  return Status::OK();
+}
+
+Status DeltaLog::Replay(const std::string& path, uint64_t skip_records,
+                        const std::function<Status(const DeltaRecord&)>& fn,
+                        DeltaLogRecoveryStats* stats) {
+  std::string data;
+  WG_RETURN_IF_ERROR(ReadWholeFile(path, &data));
+  uint64_t seen = 0;
+  return ScanFrames(
+      data,
+      [&](const DeltaRecord& record) {
+        if (seen++ < skip_records) return Status::OK();
+        return fn(record);
+      },
+      stats);
+}
+
+}  // namespace wg::version

@@ -1,0 +1,127 @@
+#ifndef WG_VERSION_DELTA_LOG_H_
+#define WG_VERSION_DELTA_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "graph/webgraph.h"
+#include "storage/file.h"
+#include "util/status.h"
+
+// The write-ahead crawl-delta log of the versioned snapshot store: an
+// append-only sequence of page/link mutations discovered by a crawl
+// increment, durable before any of them is reflected in a published
+// generation. Each record is framed as
+//
+//     fixed32 payload_length | fixed32 crc32(payload) | payload
+//
+// with the CRC (util/crc32.h) guarding against torn writes: a crash mid
+// append leaves a frame whose length field, CRC, or body is bad, and
+// recovery keeps exactly the longest prefix of fully valid frames and
+// truncates the rest -- the classic write-ahead-log contract. Records
+// already applied to a published generation are remembered by the
+// generation's manifest (log_applied), so replay after a crash restarts
+// from the first unapplied record, never double-applying.
+
+namespace wg::version {
+
+// One crawl mutation. Page ids are crawl-order ("original") ids: an added
+// page takes the next dense id (base pages first, then added pages in log
+// order); a removed page keeps its id forever and becomes a tombstone --
+// its links vanish but the id is never reused, so every older generation's
+// permutation stays valid. Link records may reference base or added pages.
+struct DeltaRecord {
+  enum class Kind : uint8_t {
+    kAddPage = 1,
+    kRemovePage = 2,
+    kAddLink = 3,
+    kRemoveLink = 4,
+  };
+
+  Kind kind = Kind::kAddLink;
+  PageId page = 0;  // kAddPage / kRemovePage
+  PageId from = 0;  // kAddLink / kRemoveLink
+  PageId to = 0;
+  // kAddPage only: the page's URL, host, and domain (top two DNS levels),
+  // the attributes partition maintenance groups by.
+  std::string url;
+  std::string host;
+  std::string domain;
+
+  static DeltaRecord AddPage(PageId id, std::string url, std::string host,
+                             std::string domain) {
+    DeltaRecord r;
+    r.kind = Kind::kAddPage;
+    r.page = id;
+    r.url = std::move(url);
+    r.host = std::move(host);
+    r.domain = std::move(domain);
+    return r;
+  }
+  static DeltaRecord RemovePage(PageId id) {
+    DeltaRecord r;
+    r.kind = Kind::kRemovePage;
+    r.page = id;
+    return r;
+  }
+  static DeltaRecord AddLink(PageId from, PageId to) {
+    DeltaRecord r;
+    r.kind = Kind::kAddLink;
+    r.from = from;
+    r.to = to;
+    return r;
+  }
+  static DeltaRecord RemoveLink(PageId from, PageId to) {
+    DeltaRecord r;
+    r.kind = Kind::kRemoveLink;
+    r.from = from;
+    r.to = to;
+    return r;
+  }
+};
+
+// What recovery found when a log was opened or replayed.
+struct DeltaLogRecoveryStats {
+  uint64_t records = 0;        // valid records in the recovered prefix
+  uint64_t valid_bytes = 0;    // byte length of that prefix
+  uint64_t dropped_bytes = 0;  // torn/corrupt tail discarded past it
+};
+
+class DeltaLog {
+ public:
+  // Opens (creating if needed) the log at `path`. Recovery runs first:
+  // the longest valid frame prefix is kept and any torn tail is truncated
+  // from the file, so a crashed writer's partial frame can never poison a
+  // later reader or be half-overwritten by the next append.
+  static Result<std::unique_ptr<DeltaLog>> Open(
+      const std::string& path, DeltaLogRecoveryStats* stats = nullptr);
+
+  // Appends one framed record (buffered by the OS; call Sync for
+  // durability -- the snapshot layer syncs once per delta batch).
+  Status Append(const DeltaRecord& record);
+  Status Sync() { return file_->Sync(); }
+
+  uint64_t num_records() const { return num_records_; }
+  const std::string& path() const { return file_->path(); }
+
+  // Replays the valid prefix of the log at `path`, skipping the first
+  // `skip_records` records (those a manifest says are already applied) and
+  // passing the rest to `fn` in order. Stops at the first invalid frame
+  // without touching the file (read-only recovery semantics).
+  static Status Replay(const std::string& path, uint64_t skip_records,
+                       const std::function<Status(const DeltaRecord&)>& fn,
+                       DeltaLogRecoveryStats* stats = nullptr);
+
+ private:
+  explicit DeltaLog(std::unique_ptr<RandomAccessFile> file)
+      : file_(std::move(file)) {}
+
+  std::unique_ptr<RandomAccessFile> file_;
+  uint64_t num_records_ = 0;
+};
+
+}  // namespace wg::version
+
+#endif  // WG_VERSION_DELTA_LOG_H_

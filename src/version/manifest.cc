@@ -1,0 +1,93 @@
+#include "version/manifest.h"
+
+#include "storage/serial.h"
+#include "util/coding.h"
+
+namespace wg::version {
+
+namespace {
+constexpr char kManifestMagic[4] = {'W', 'G', 'M', '1'};
+}  // namespace
+
+Status Manifest::WriteTo(const std::string& path) const {
+  std::string payload;
+  PutVarint64(&payload, generation);
+  PutVarint64(&payload, log_applied);
+  PutVarint64(&payload, files.size());
+  for (const std::string& f : files) {
+    PutVarint64(&payload, f.size());
+    payload.append(f);
+  }
+  PutVarint64(&payload, blobs.size());
+  for (const ManifestBlob& b : blobs) {
+    PutVarint32(&payload, b.file_index);
+    PutVarint64(&payload, b.offset);
+    PutVarint32(&payload, b.length);
+    PutVarint64(&payload, b.hash.hi);
+    PutVarint64(&payload, b.hash.lo);
+  }
+  PutVarint64(&payload, blobs_shared);
+  PutVarint64(&payload, blobs_written);
+  PutVarint64(&payload, resident.size());
+  payload.append(resident);
+  return WriteFramedFile(path, kManifestMagic, payload);
+}
+
+Result<Manifest> Manifest::ReadFrom(const std::string& path) {
+  WG_ASSIGN_OR_RETURN(std::string payload,
+                      ReadFramedFile(path, kManifestMagic));
+  SerialCursor cursor(payload);
+  Manifest m;
+  uint64_t n_files = 0;
+  if (!cursor.ReadVarint64(&m.generation) ||
+      !cursor.ReadVarint64(&m.log_applied) ||
+      !cursor.ReadVarint64(&n_files)) {
+    return Status::Corruption("manifest: bad header");
+  }
+  m.files.resize(n_files);
+  for (auto& f : m.files) {
+    if (!cursor.ReadString(&f) || f.empty()) {
+      return Status::Corruption("manifest: bad file name");
+    }
+  }
+  uint64_t n_blobs = 0;
+  if (!cursor.ReadVarint64(&n_blobs)) {
+    return Status::Corruption("manifest: bad blob count");
+  }
+  m.blobs.resize(n_blobs);
+  for (auto& b : m.blobs) {
+    uint64_t hi = 0, lo = 0;
+    if (!cursor.ReadVarint32(&b.file_index) || !cursor.ReadVarint64(&b.offset) ||
+        !cursor.ReadVarint32(&b.length) || !cursor.ReadVarint64(&hi) ||
+        !cursor.ReadVarint64(&lo) || b.file_index >= m.files.size()) {
+      return Status::Corruption("manifest: bad blob entry");
+    }
+    b.hash = {hi, lo};
+  }
+  if (!cursor.ReadVarint64(&m.blobs_shared) ||
+      !cursor.ReadVarint64(&m.blobs_written) ||
+      !cursor.ReadString(&m.resident)) {
+    return Status::Corruption("manifest: bad trailer");
+  }
+  return m;
+}
+
+Result<std::unique_ptr<GraphStore>> Manifest::OpenStore(
+    const std::string& dir) const {
+  std::vector<std::string> paths;
+  paths.reserve(files.size());
+  for (const std::string& f : files) paths.push_back(dir + "/" + f);
+  std::vector<GraphStore::BlobLocation> directory;
+  directory.reserve(blobs.size());
+  for (const ManifestBlob& b : blobs) {
+    directory.push_back({b.file_index, b.offset, b.length});
+  }
+  return GraphStore::OpenFiles(paths, std::move(directory));
+}
+
+Result<SNodeResidentState> Manifest::ParseResident() const {
+  SerialCursor cursor(resident);
+  return SNodeResidentState::Parse(&cursor);
+}
+
+}  // namespace wg::version

@@ -1,0 +1,265 @@
+#include "version/overlay.h"
+
+#include <algorithm>
+#include <iterator>
+#include <utility>
+
+namespace wg::version {
+
+namespace {
+
+// Sorted-unique vector helpers for the small per-page edit lists.
+bool SortedInsert(std::vector<PageId>* v, PageId x) {
+  auto it = std::lower_bound(v->begin(), v->end(), x);
+  if (it != v->end() && *it == x) return false;
+  v->insert(it, x);
+  return true;
+}
+
+bool SortedErase(std::vector<PageId>* v, PageId x) {
+  auto it = std::lower_bound(v->begin(), v->end(), x);
+  if (it == v->end() || *it != x) return false;
+  v->erase(it);
+  return true;
+}
+
+}  // namespace
+
+Status DeltaOverlay::Apply(const DeltaRecord& record) {
+  switch (record.kind) {
+    case DeltaRecord::Kind::kAddPage: {
+      if (record.page != num_pages()) {
+        return Status::InvalidArgument(
+            "overlay: added page id must be the next dense id");
+      }
+      if (record.url.empty() || record.host.empty() || record.domain.empty()) {
+        return Status::InvalidArgument("overlay: added page needs metadata");
+      }
+      added_.push_back({record.url, record.host, record.domain});
+      return Status::OK();
+    }
+    case DeltaRecord::Kind::kRemovePage: {
+      if (record.page >= num_pages()) {
+        return Status::OutOfRange("overlay: removed page out of range");
+      }
+      if (is_tombstoned(record.page)) {
+        return Status::InvalidArgument("overlay: page already removed");
+      }
+      tombstoned_.insert(record.page);
+      // The tombstone wipes the page's whole adjacency; pending edits for
+      // it are moot.
+      edits_.erase(record.page);
+      return Status::OK();
+    }
+    case DeltaRecord::Kind::kAddLink:
+    case DeltaRecord::Kind::kRemoveLink: {
+      if (record.from >= num_pages() || record.to >= num_pages()) {
+        return Status::OutOfRange("overlay: link endpoint out of range");
+      }
+      if (record.from == record.to) {
+        return Status::InvalidArgument("overlay: self-loop");
+      }
+      if (is_tombstoned(record.from) || is_tombstoned(record.to)) {
+        return Status::InvalidArgument("overlay: link touches removed page");
+      }
+      LinkEdit& edit = edits_[record.from];
+      if (record.kind == DeltaRecord::Kind::kAddLink) {
+        // Re-adding a link this overlay removed just cancels the removal.
+        if (!SortedErase(&edit.removes, record.to)) {
+          SortedInsert(&edit.adds, record.to);
+        }
+      } else {
+        if (!SortedErase(&edit.adds, record.to)) {
+          SortedInsert(&edit.removes, record.to);
+        }
+      }
+      if (edit.adds.empty() && edit.removes.empty()) {
+        edits_.erase(record.from);
+      }
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("overlay: unknown delta kind");
+}
+
+std::vector<PageId> DeltaOverlay::DirtySources() const {
+  std::vector<PageId> dirty;
+  dirty.reserve(edits_.size() + tombstoned_.size() + added_.size());
+  for (const auto& [p, edit] : edits_) dirty.push_back(p);
+  for (PageId p : tombstoned_) dirty.push_back(p);
+  for (size_t i = 0; i < added_.size(); ++i) {
+    dirty.push_back(static_cast<PageId>(base_pages_ + i));
+  }
+  std::sort(dirty.begin(), dirty.end());
+  dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+  return dirty;
+}
+
+void DeltaOverlay::MergeLinks(PageId p, std::span<const PageId> base,
+                              std::vector<PageId>* out) const {
+  out->clear();
+  if (is_tombstoned(p)) return;
+  auto it = edits_.find(p);
+  if (it == edits_.end()) {
+    out->assign(base.begin(), base.end());
+  } else {
+    const LinkEdit& edit = it->second;
+    std::set_difference(base.begin(), base.end(), edit.removes.begin(),
+                        edit.removes.end(), std::back_inserter(*out));
+    if (!edit.adds.empty()) {
+      std::vector<PageId> merged;
+      merged.reserve(out->size() + edit.adds.size());
+      std::set_union(out->begin(), out->end(), edit.adds.begin(),
+                     edit.adds.end(), std::back_inserter(merged));
+      out->swap(merged);
+    }
+  }
+  if (has_tombstones()) {
+    out->erase(std::remove_if(out->begin(), out->end(),
+                              [this](PageId q) { return is_tombstoned(q); }),
+               out->end());
+  }
+}
+
+size_t DeltaOverlay::MemoryUsage() const {
+  size_t bytes = added_.size() * sizeof(NewPage) +
+                 tombstoned_.size() * sizeof(PageId) * 2;
+  for (const auto& np : added_) {
+    bytes += np.url.size() + np.host.size() + np.domain.size();
+  }
+  for (const auto& [p, edit] : edits_) {
+    bytes += sizeof(PageId) * (2 + edit.adds.size() + edit.removes.size());
+  }
+  return bytes;
+}
+
+class OverlayRepresentation::Cursor : public AdjacencyCursor {
+ public:
+  explicit Cursor(OverlayRepresentation* repr)
+      : repr_(repr), base_cursor_(repr->base_->NewCursor()) {}
+
+  Status Links(PageId p, LinkView* view) override {
+    const DeltaOverlay& overlay = *repr_->overlay_;
+    if (p >= overlay.num_pages()) {
+      return Status::OutOfRange("page id out of range");
+    }
+    ++repr_->stats_.adjacency_requests;
+    if (p < overlay.base_pages() && !overlay.has_tombstones() &&
+        !overlay.links_dirty(p)) {
+      // Clean page, no tombstones anywhere: the base scheme's answer is
+      // the overlay's answer. Pass its view straight through, pin and
+      // all -- the zero-copy fast path.
+      WG_RETURN_IF_ERROR(base_cursor_->Links(p, view));
+      repr_->stats_.edges_returned += view->size();
+      return Status::OK();
+    }
+    scratch_.clear();
+    if (p < overlay.base_pages() && !overlay.is_tombstoned(p)) {
+      LinkView base_view;
+      WG_RETURN_IF_ERROR(base_cursor_->Links(p, &base_view));
+      overlay.MergeLinks(p, {base_view.data(), base_view.size()}, &scratch_);
+    } else {
+      overlay.MergeLinks(p, {}, &scratch_);
+    }
+    repr_->stats_.edges_returned += scratch_.size();
+    *view = LinkView(scratch_.data(), scratch_.size());
+    return Status::OK();
+  }
+
+ private:
+  OverlayRepresentation* repr_;
+  std::unique_ptr<AdjacencyCursor> base_cursor_;
+  std::vector<PageId> scratch_;
+};
+
+Result<std::unique_ptr<OverlayRepresentation>> OverlayRepresentation::Make(
+    GraphRepresentation* base, const DeltaOverlay* overlay) {
+  if (overlay->base_pages() != base->num_pages()) {
+    return Status::InvalidArgument(
+        "overlay base_pages does not match base representation");
+  }
+  std::unique_ptr<OverlayRepresentation> repr(
+      new OverlayRepresentation(base, overlay));
+  repr->RegisterStats("overlay");
+
+  std::unique_ptr<AdjacencyCursor> cursor = base->NewCursor();
+  std::vector<PageId> merged;
+  LinkView view;
+  uint64_t edges = 0;
+  if (overlay->has_tombstones()) {
+    // Any page may have lost links into a tombstone; count everything.
+    for (PageId p = 0; p < overlay->num_pages(); ++p) {
+      if (p < overlay->base_pages() && !overlay->is_tombstoned(p)) {
+        WG_RETURN_IF_ERROR(cursor->Links(p, &view));
+        overlay->MergeLinks(p, {view.data(), view.size()}, &merged);
+      } else {
+        overlay->MergeLinks(p, {}, &merged);
+      }
+      edges += merged.size();
+    }
+  } else {
+    edges = base->num_edges();
+    for (PageId p : overlay->DirtySources()) {
+      if (p < overlay->base_pages()) {
+        WG_RETURN_IF_ERROR(cursor->Links(p, &view));
+        edges -= view.size();
+        overlay->MergeLinks(p, {view.data(), view.size()}, &merged);
+      } else {
+        overlay->MergeLinks(p, {}, &merged);
+      }
+      edges += merged.size();
+    }
+  }
+  repr->num_edges_ = edges;
+  return repr;
+}
+
+std::unique_ptr<AdjacencyCursor> OverlayRepresentation::NewCursor() {
+  return std::make_unique<Cursor>(this);
+}
+
+Status OverlayRepresentation::PagesInDomain(const std::string& domain,
+                                            std::vector<PageId>* out) {
+  size_t first = out->size();
+  WG_RETURN_IF_ERROR(base_->PagesInDomain(domain, out));
+  const auto& added = overlay_->added_pages();
+  for (size_t i = 0; i < added.size(); ++i) {
+    if (added[i].domain == domain) {
+      out->push_back(static_cast<PageId>(overlay_->base_pages() + i));
+    }
+  }
+  std::sort(out->begin() + first, out->end());
+  return Status::OK();
+}
+
+Result<WebGraph> ApplyOverlay(const WebGraph& base,
+                              const DeltaOverlay& overlay) {
+  if (overlay.base_pages() != base.num_pages()) {
+    return Status::InvalidArgument(
+        "overlay base_pages does not match base graph");
+  }
+  GraphBuilder builder;
+  std::unordered_map<std::string, uint32_t> host_ids;
+  for (uint32_t h = 0; h < base.num_hosts(); ++h) {
+    builder.AddHost(base.host_name(h), base.domain_name(base.host_domain(h)));
+    host_ids.emplace(base.host_name(h), h);
+  }
+  for (PageId p = 0; p < base.num_pages(); ++p) {
+    builder.AddPage(base.url(p), base.host_id(p));
+  }
+  for (const NewPage& np : overlay.added_pages()) {
+    auto [it, inserted] = host_ids.try_emplace(np.host, 0);
+    if (inserted) it->second = builder.AddHost(np.host, np.domain);
+    builder.AddPage(np.url, it->second);
+  }
+  std::vector<PageId> merged;
+  for (PageId p = 0; p < overlay.num_pages(); ++p) {
+    std::span<const PageId> base_links =
+        p < base.num_pages() ? base.OutLinks(p) : std::span<const PageId>{};
+    overlay.MergeLinks(p, base_links, &merged);
+    for (PageId q : merged) builder.AddLink(p, q);
+  }
+  return builder.Build();
+}
+
+}  // namespace wg::version

@@ -1,0 +1,319 @@
+// The versioned snapshot store's headline contracts:
+//
+//  * Byte identity: a generation built incrementally from deltas equals a
+//    from-scratch BuildFromPartition rebuild of the mutated graph over the
+//    maintained partition -- per blob, byte for byte.
+//  * Sharing: blobs of clean supernode sections are referenced from the
+//    base generation's pack files, not rewritten.
+//  * Durability: a store reopened from its directory serves the published
+//    generation, and unapplied log records stay pending across reopens.
+//  * Live flip: a QueryService keeps answering correctly while another
+//    thread compacts and swaps generations (run under TSan via the
+//    concurrency ctest label).
+
+#include <algorithm>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/generator.h"
+#include "server/query_service.h"
+#include "snode/snode_repr.h"
+#include "storage/file.h"
+#include "version/incremental.h"
+#include "version/overlay.h"
+#include "version/snapshot.h"
+
+namespace wg {
+namespace {
+
+using version::ApplyOverlay;
+using version::DeltaOverlay;
+using version::DeltaRecord;
+using version::GenerationPtr;
+using version::MaintainedPartition;
+using version::MaintainPartition;
+using version::Manifest;
+using version::ManifestBlob;
+using version::SnapshotManager;
+
+std::string TempDirFor(const std::string& name) {
+  static int counter = 0;
+  std::string dir = testing::TempDir() + "wg_snapshot_" +
+                    std::to_string(getpid()) + "_" + name +
+                    std::to_string(counter++);
+  WG_CHECK(EnsureDirectory(dir).ok());
+  return dir;
+}
+
+WebGraph TestGraph(size_t pages = 1500) {
+  GeneratorOptions opts;
+  opts.num_pages = pages;
+  opts.seed = 13;
+  return GenerateWebGraph(opts);
+}
+
+std::vector<DeltaRecord> TestDeltas(const WebGraph& base) {
+  PageId n = static_cast<PageId>(base.num_pages());
+  auto first_link_of = [&base](PageId p) -> PageId {
+    auto links = base.OutLinks(p);
+    return links.empty() ? 0 : links[0];
+  };
+  return {
+      DeltaRecord::AddPage(n, "http://www.fresh.example.org/index.html",
+                           "www.fresh.example.org", "example.org"),
+      DeltaRecord::AddPage(n + 1, "http://www.fresh.example.org/a/b.html",
+                           "www.fresh.example.org", "example.org"),
+      DeltaRecord::AddLink(n, n + 1),
+      DeltaRecord::AddLink(n, 3),
+      DeltaRecord::AddLink(9, n),
+      DeltaRecord::RemoveLink(2, first_link_of(2)),
+      DeltaRecord::AddLink(2, n + 1),
+      DeltaRecord::RemovePage(57),
+  };
+}
+
+std::vector<uint8_t> ReadBlobOrDie(const GraphStore& store, uint32_t id) {
+  std::vector<uint8_t> bytes;
+  WG_CHECK(store.ReadBlob(id, &bytes).ok());
+  return bytes;
+}
+
+// Cursor sweep: the representation must answer exactly like the ground
+// truth graph for every page.
+void ExpectMatchesGraph(GraphRepresentation* repr, const WebGraph& truth) {
+  ASSERT_EQ(repr->num_pages(), truth.num_pages());
+  ASSERT_EQ(repr->num_edges(), truth.num_edges());
+  auto cursor = repr->NewCursor();
+  LinkView links;
+  for (PageId p = 0; p < truth.num_pages(); ++p) {
+    ASSERT_TRUE(cursor->Links(p, &links).ok()) << "p=" << p;
+    auto expected = truth.OutLinks(p);
+    std::vector<PageId> sorted(expected.begin(), expected.end());
+    std::sort(sorted.begin(), sorted.end());
+    ASSERT_EQ(links.size(), sorted.size()) << "p=" << p;
+    EXPECT_TRUE(std::equal(links.begin(), links.end(), sorted.begin()))
+        << "p=" << p;
+  }
+}
+
+TEST(VersionSnapshotTest, IncrementalGenerationIsByteIdenticalToRebuild) {
+  WebGraph base = TestGraph();
+  std::string dir = TempDirFor("byteid");
+  auto manager = SnapshotManager::Create(dir, base, {});
+  ASSERT_TRUE(manager.ok());
+  GenerationPtr gen0 = manager.value()->current();
+
+  std::vector<DeltaRecord> batch = TestDeltas(base);
+  ASSERT_TRUE(manager.value()->AppendDeltas(batch).ok());
+
+  // Reconstruct what compaction will see, for the from-scratch comparator.
+  DeltaOverlay overlay(base.num_pages());
+  ASSERT_TRUE(manager.value()->BuildPendingOverlay(&overlay).ok());
+  auto mutated = ApplyOverlay(base, overlay);
+  ASSERT_TRUE(mutated.ok());
+  MaintainedPartition maintained =
+      MaintainPartition(*gen0->repr, overlay, RefinementOptions());
+
+  auto gen1 = manager.value()->Compact();
+  ASSERT_TRUE(gen1.ok());
+  const Manifest& m1 = gen1.value()->manifest;
+  EXPECT_EQ(m1.generation, 1u);
+  EXPECT_EQ(m1.log_applied, batch.size());
+
+  // From-scratch rebuild of the mutated graph over the same partition:
+  // the byte-identity comparator.
+  auto rebuilt = SNodeRepr::BuildFromPartition(
+      mutated.value(), maintained.partition, TempDirFor("rebuild") + "/sn",
+      {});
+  ASSERT_TRUE(rebuilt.ok());
+
+  ASSERT_EQ(m1.blobs.size(), rebuilt.value()->store().num_blobs());
+  for (uint32_t id = 0; id < m1.blobs.size(); ++id) {
+    EXPECT_EQ(ReadBlobOrDie(gen1.value()->repr->store(), id),
+              ReadBlobOrDie(rebuilt.value()->store(), id))
+        << "blob " << id;
+  }
+
+  // Resident structures agree too (same numbering rule on both paths).
+  const SupernodeGraph& sg1 = gen1.value()->repr->supernode_graph();
+  const SupernodeGraph& sgr = rebuilt.value()->supernode_graph();
+  EXPECT_EQ(sg1.page_start, sgr.page_start);
+  EXPECT_EQ(sg1.offsets, sgr.offsets);
+  EXPECT_EQ(sg1.targets, sgr.targets);
+  EXPECT_EQ(gen1.value()->repr->num_edges(), rebuilt.value()->num_edges());
+
+  // And the generation serves the mutated graph exactly.
+  ExpectMatchesGraph(gen1.value()->repr.get(), mutated.value());
+}
+
+TEST(VersionSnapshotTest, CleanSectionsAreSharedNotRewritten) {
+  WebGraph base = TestGraph();
+  std::string dir = TempDirFor("sharing");
+  auto manager = SnapshotManager::Create(dir, base, {});
+  ASSERT_TRUE(manager.ok());
+  GenerationPtr gen0 = manager.value()->current();
+
+  ASSERT_TRUE(manager.value()->AppendDeltas(TestDeltas(base)).ok());
+  DeltaOverlay overlay(base.num_pages());
+  ASSERT_TRUE(manager.value()->BuildPendingOverlay(&overlay).ok());
+  MaintainedPartition maintained =
+      MaintainPartition(*gen0->repr, overlay, RefinementOptions());
+
+  auto gen1 = manager.value()->Compact();
+  ASSERT_TRUE(gen1.ok());
+  const Manifest& m0 = gen0->manifest;
+  const Manifest& m1 = gen1.value()->manifest;
+
+  EXPECT_GT(m1.blobs_shared, 0u);
+  EXPECT_GT(m1.blobs_written, 0u);
+  EXPECT_EQ(m1.blobs_shared + m1.blobs_written, m1.blobs.size());
+  // The overwhelming majority of a small delta's blobs are shared.
+  EXPECT_GT(m1.blobs_shared, m1.blobs.size() / 2);
+  // The file list grows append-only: the base generation's packs first.
+  ASSERT_GE(m1.files.size(), m0.files.size());
+  for (size_t f = 0; f < m0.files.size(); ++f) {
+    EXPECT_EQ(m1.files[f], m0.files[f]);
+  }
+
+  // Every clean old section's blobs point into the base generation's pack
+  // files at the base generation's exact locations -- shared, not copied.
+  const SupernodeGraph& sg0 = gen0->repr->supernode_graph();
+  const SupernodeGraph& sg1 = gen1.value()->repr->supernode_graph();
+  size_t clean_checked = 0;
+  for (uint32_t s = 0; s < maintained.num_old_elements; ++s) {
+    if (maintained.dirty[s] != 0) continue;
+    uint32_t n_out = sg0.offsets[s + 1] - sg0.offsets[s];
+    ASSERT_EQ(sg1.offsets[s + 1] - sg1.offsets[s], n_out);
+    for (uint32_t k = 0; k <= n_out; ++k) {
+      const ManifestBlob& b0 = m0.blobs[sg0.intranode_blob[s] + k];
+      const ManifestBlob& b1 = m1.blobs[sg1.intranode_blob[s] + k];
+      ASSERT_LT(b1.file_index, m0.files.size());
+      EXPECT_EQ(b1.file_index, b0.file_index);
+      EXPECT_EQ(b1.offset, b0.offset);
+      EXPECT_EQ(b1.length, b0.length);
+      ++clean_checked;
+    }
+  }
+  EXPECT_GT(clean_checked, 0u);
+}
+
+TEST(VersionSnapshotTest, ReopenServesPublishedGenerationAndKeepsPending) {
+  WebGraph base = TestGraph(1000);
+  std::string dir = TempDirFor("reopen");
+  DeltaOverlay overlay(base.num_pages());
+  {
+    auto manager = SnapshotManager::Create(dir, base, {});
+    ASSERT_TRUE(manager.ok());
+    ASSERT_TRUE(manager.value()->AppendDeltas(TestDeltas(base)).ok());
+    ASSERT_TRUE(manager.value()->BuildPendingOverlay(&overlay).ok());
+    ASSERT_TRUE(manager.value()->Compact().ok());
+    // Two more records land after the compaction and stay pending.
+    ASSERT_TRUE(manager.value()
+                    ->AppendDeltas({DeltaRecord::AddLink(1, 5),
+                                    DeltaRecord::AddLink(5, 9)})
+                    .ok());
+  }  // manager (and its generations) torn down: reopen from disk alone
+
+  auto reopened = SnapshotManager::Open(dir, {});
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value()->current()->manifest.generation, 1u);
+  EXPECT_EQ(reopened.value()->pending_records(), 2u);
+
+  auto mutated = ApplyOverlay(base, overlay);
+  ASSERT_TRUE(mutated.ok());
+  ExpectMatchesGraph(reopened.value()->current()->repr.get(),
+                     mutated.value());
+
+  // Compacting the reopened store folds the pending tail into gen 2.
+  auto gen2 = reopened.value()->Compact();
+  ASSERT_TRUE(gen2.ok());
+  EXPECT_EQ(gen2.value()->manifest.generation, 2u);
+  EXPECT_EQ(reopened.value()->pending_records(), 0u);
+  EXPECT_EQ(gen2.value()->repr->num_edges(),
+            mutated.value().num_edges() + 2);
+}
+
+TEST(VersionSnapshotTest, CompactWithNothingPendingIsANoOp) {
+  WebGraph base = TestGraph(600);
+  auto manager = SnapshotManager::Create(TempDirFor("noop"), base, {});
+  ASSERT_TRUE(manager.ok());
+  GenerationPtr gen0 = manager.value()->current();
+  auto same = manager.value()->Compact();
+  ASSERT_TRUE(same.ok());
+  EXPECT_EQ(same.value().get(), gen0.get());
+  EXPECT_EQ(manager.value()->current()->manifest.generation, 0u);
+}
+
+TEST(VersionSnapshotTest, QueryServiceAnswersAcrossGenerationFlips) {
+  WebGraph base = TestGraph(800);
+  auto manager = SnapshotManager::Create(TempDirFor("flip"), base, {});
+  ASSERT_TRUE(manager.ok());
+
+  QueryContext ctx;  // forward supplied purely via SwapForward
+  server::QueryServiceOptions sopts;
+  sopts.num_workers = 3;
+  sopts.queue_capacity = 64;
+  server::QueryService service(ctx, sopts);
+  service.SwapForward(version::ReprOf(manager.value()->current()));
+
+  // Flipper: three delta+compact+swap cycles while queries are in flight.
+  constexpr int kFlips = 3;
+  std::thread flipper([&] {
+    for (int i = 0; i < kFlips; ++i) {
+      PageId from = static_cast<PageId>(10 + i);
+      PageId to = static_cast<PageId>(700 + i);
+      ASSERT_TRUE(
+          manager.value()->AppendDeltas({DeltaRecord::AddLink(from, to)}).ok());
+      auto next = manager.value()->Compact();
+      ASSERT_TRUE(next.ok());
+      service.SwapForward(version::ReprOf(next.value()));
+    }
+  });
+
+  // Old pages exist in every generation, so each response must be kOk no
+  // matter which side of a flip executed it.
+  size_t base_pages = base.num_pages();
+  std::vector<std::future<server::Response>> inflight;
+  size_t ok = 0;
+  auto drain = [&] {
+    for (auto& f : inflight) {
+      server::Response r = f.get();
+      ASSERT_EQ(static_cast<int>(r.code),
+                static_cast<int>(server::ResponseCode::kOk));
+      ++ok;
+    }
+    inflight.clear();
+  };
+  for (int round = 0; round < 400; ++round) {
+    server::Request out;
+    out.type = server::RequestType::kOutNeighbors;
+    out.page = static_cast<PageId>((round * 37) % base_pages);
+    inflight.push_back(service.Submit(out));
+    server::Request khop;
+    khop.type = server::RequestType::kKHop;
+    khop.page = static_cast<PageId>((round * 101) % base_pages);
+    khop.k = 2;
+    inflight.push_back(service.Submit(khop));
+    if (inflight.size() >= 32) drain();
+  }
+  drain();
+  flipper.join();
+  EXPECT_EQ(ok, 800u);
+  EXPECT_EQ(manager.value()->current()->manifest.generation,
+            static_cast<uint64_t>(kFlips));
+
+  // After the drain no request holds a pinned view in any generation.
+  service.Shutdown();
+  EXPECT_EQ(manager.value()->current()->repr->PinnedCacheEntries(), 0u);
+  server::ServiceMetrics metrics = service.Snapshot();
+  EXPECT_EQ(metrics.errors, 0u);
+  EXPECT_EQ(metrics.completed, 800u);
+}
+
+}  // namespace
+}  // namespace wg

@@ -5,6 +5,14 @@
 //       representations, then serve a workload against them.
 //   wgserve --crawl crawl.wg [options]
 //       Same, starting from a saved crawl.
+//   wgserve --snapshot DIR [options]
+//       Serve the live generation of a versioned snapshot store (made by
+//       `wgtool snapshot-init`). A poller watches the store's CURRENT
+//       pointer; when another process publishes a new generation (`wgtool
+//       compact`), the service flips to it between requests -- in-flight
+//       requests drain on the generation they pinned. Forward-only: the
+//       synthetic mix drops in-neighbor requests, and request files must
+//       avoid `in`/`query` lines.
 //
 // options:
 //   --workers W       worker threads (default 4)
@@ -30,6 +38,7 @@
 // Prints a per-outcome tally, service metrics (queue depth, p50/p99,
 // cache hit rate), and end-to-end throughput.
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <deque>
@@ -37,6 +46,7 @@
 #include <cstring>
 #include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "graph/generator.h"
@@ -50,13 +60,15 @@
 #include "text/corpus.h"
 #include "text/inverted_index.h"
 #include "text/pagerank.h"
+#include "version/snapshot.h"
 
 namespace wg {
 namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: wgserve (--pages N [--seed S] | --crawl crawl.wg)\n"
+               "usage: wgserve (--pages N [--seed S] | --crawl crawl.wg |\n"
+               "                --snapshot DIR)\n"
                "               [--workers W] [--queue C] [--requests R]\n"
                "               [--theta T] [--khop K] [--file PATH]\n"
                "               [--deadline-ms D] [--buffer BYTES]\n"
@@ -80,7 +92,12 @@ const char* FlagValue(int argc, char** argv, const char* flag) {
 int Main(int argc, char** argv) {
   const char* pages = FlagValue(argc, argv, "--pages");
   const char* crawl = FlagValue(argc, argv, "--crawl");
-  if ((pages == nullptr) == (crawl == nullptr)) return Usage();
+  const char* snapshot = FlagValue(argc, argv, "--snapshot");
+  if (snapshot != nullptr) {
+    if (pages != nullptr || crawl != nullptr) return Usage();
+  } else if ((pages == nullptr) == (crawl == nullptr)) {
+    return Usage();
+  }
 
   // Validate before the expensive store build so a bad flag fails fast.
   uint64_t trace_interval = 16;
@@ -98,27 +115,6 @@ int Main(int argc, char** argv) {
     }
   }
 
-  WebGraph graph;
-  if (crawl != nullptr) {
-    auto loaded = LoadWebGraph(crawl);
-    if (!loaded.ok()) return Fail(loaded.status());
-    graph = std::move(loaded).value();
-  } else {
-    GeneratorOptions gopts;
-    gopts.num_pages = std::strtoul(pages, nullptr, 10);
-    if (const char* seed = FlagValue(argc, argv, "--seed")) {
-      gopts.seed = std::strtoull(seed, nullptr, 10);
-    }
-    graph = GenerateWebGraph(gopts);
-  }
-  std::printf("graph: %zu pages, %llu links\n", graph.num_pages(),
-              static_cast<unsigned long long>(graph.num_edges()));
-
-  WebGraph transpose = graph.Transpose();
-  Corpus corpus = Corpus::Generate(graph, CorpusOptions());
-  InvertedIndex index = InvertedIndex::Build(corpus);
-  std::vector<double> pagerank = ComputePageRank(graph);
-
   SNodeBuildOptions bopts;
   if (const char* buffer = FlagValue(argc, argv, "--buffer")) {
     bopts.buffer_bytes = std::strtoull(buffer, nullptr, 10);
@@ -126,24 +122,76 @@ int Main(int argc, char** argv) {
   if (const char* shards = FlagValue(argc, argv, "--shards")) {
     bopts.cache_shards = std::strtoul(shards, nullptr, 10);
   }
-  std::string dir = "/tmp/wgserve_" + std::to_string(getpid());
-  Status mk = EnsureDirectory(dir);
-  if (!mk.ok()) return Fail(mk);
-  auto forward = SNodeRepr::Build(graph, dir + "/fwd", bopts);
-  if (!forward.ok()) return Fail(forward.status());
-  auto backward = SNodeRepr::Build(transpose, dir + "/bwd", bopts);
-  if (!backward.ok()) return Fail(backward.status());
-  std::printf("s-node: %u supernodes, cache budget %zu bytes x%zu shards\n",
-              forward.value()->supernode_graph().num_supernodes(),
-              bopts.buffer_bytes, bopts.cache_shards);
+
+  WebGraph graph;
+  WebGraph transpose;
+  Corpus corpus;
+  InvertedIndex index;
+  std::vector<double> pagerank;
+  std::unique_ptr<SNodeRepr> forward;
+  std::unique_ptr<SNodeRepr> backward;
+  std::unique_ptr<version::SnapshotManager> manager;
+  size_t num_pages = 0;
 
   QueryContext ctx;
-  ctx.forward = forward.value().get();
-  ctx.backward = backward.value().get();
-  ctx.graph = &graph;
-  ctx.corpus = &corpus;
-  ctx.index = &index;
-  ctx.pagerank = &pagerank;
+  if (snapshot != nullptr) {
+    version::SnapshotOptions vopts;
+    vopts.build = bopts;
+    auto opened = version::SnapshotManager::Open(snapshot, vopts);
+    if (!opened.ok()) return Fail(opened.status());
+    manager = std::move(opened).value();
+    version::GenerationPtr generation = manager->current();
+    num_pages = generation->repr->num_pages();
+    std::printf("snapshot %s: generation %llu, %zu pages, %llu links, "
+                "%llu pending deltas\n",
+                snapshot,
+                static_cast<unsigned long long>(
+                    generation->manifest.generation),
+                num_pages,
+                static_cast<unsigned long long>(generation->repr->num_edges()),
+                static_cast<unsigned long long>(manager->pending_records()));
+  } else {
+    if (crawl != nullptr) {
+      auto loaded = LoadWebGraph(crawl);
+      if (!loaded.ok()) return Fail(loaded.status());
+      graph = std::move(loaded).value();
+    } else {
+      GeneratorOptions gopts;
+      gopts.num_pages = std::strtoul(pages, nullptr, 10);
+      if (const char* seed = FlagValue(argc, argv, "--seed")) {
+        gopts.seed = std::strtoull(seed, nullptr, 10);
+      }
+      graph = GenerateWebGraph(gopts);
+    }
+    num_pages = graph.num_pages();
+    std::printf("graph: %zu pages, %llu links\n", graph.num_pages(),
+                static_cast<unsigned long long>(graph.num_edges()));
+
+    transpose = graph.Transpose();
+    corpus = Corpus::Generate(graph, CorpusOptions());
+    index = InvertedIndex::Build(corpus);
+    pagerank = ComputePageRank(graph);
+
+    std::string dir = "/tmp/wgserve_" + std::to_string(getpid());
+    Status mk = EnsureDirectory(dir);
+    if (!mk.ok()) return Fail(mk);
+    auto fwd = SNodeRepr::Build(graph, dir + "/fwd", bopts);
+    if (!fwd.ok()) return Fail(fwd.status());
+    forward = std::move(fwd).value();
+    auto bwd = SNodeRepr::Build(transpose, dir + "/bwd", bopts);
+    if (!bwd.ok()) return Fail(bwd.status());
+    backward = std::move(bwd).value();
+    std::printf("s-node: %u supernodes, cache budget %zu bytes x%zu shards\n",
+                forward->supernode_graph().num_supernodes(),
+                bopts.buffer_bytes, bopts.cache_shards);
+
+    ctx.forward = forward.get();
+    ctx.backward = backward.get();
+    ctx.graph = &graph;
+    ctx.corpus = &corpus;
+    ctx.index = &index;
+    ctx.pagerank = &pagerank;
+  }
 
   server::QueryServiceOptions sopts;
   if (const char* workers = FlagValue(argc, argv, "--workers")) {
@@ -155,12 +203,14 @@ int Main(int argc, char** argv) {
 
   std::vector<server::Request> requests;
   if (const char* file = FlagValue(argc, argv, "--file")) {
-    auto parsed = server::ParseRequestFile(file, graph.num_pages());
+    auto parsed = server::ParseRequestFile(file, num_pages);
     if (!parsed.ok()) return Fail(parsed.status());
     requests = std::move(parsed).value();
   } else {
     server::WorkloadOptions wopts;
-    wopts.num_pages = graph.num_pages();
+    wopts.num_pages = num_pages;
+    // A snapshot store is forward-only (no transpose generation yet).
+    if (snapshot != nullptr) wopts.in_weight = 0;
     if (const char* n = FlagValue(argc, argv, "--requests")) {
       wopts.num_requests = std::strtoul(n, nullptr, 10);
     }
@@ -188,6 +238,31 @@ int Main(int argc, char** argv) {
   }
 
   server::QueryService service(ctx, sopts);
+  // In snapshot mode the forward representation is the live generation,
+  // installed via SwapForward so later flips follow the same path; a
+  // poller watches CURRENT and flips when another process compacts.
+  std::atomic<bool> stop_poller{false};
+  std::thread poller;
+  if (snapshot != nullptr) {
+    service.SwapForward(version::ReprOf(manager->current()));
+    poller = std::thread([&] {
+      uint64_t live = manager->current()->manifest.generation;
+      while (!stop_poller.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        auto refreshed = manager->Refresh();
+        if (!refreshed.ok()) continue;  // mid-publish race; retry next tick
+        uint64_t generation = refreshed.value()->manifest.generation;
+        if (generation == live) continue;
+        live = generation;
+        service.SwapForward(version::ReprOf(refreshed.value()));
+        std::printf("flipped to generation %llu (%zu pages, %llu links)\n",
+                    static_cast<unsigned long long>(generation),
+                    refreshed.value()->repr->num_pages(),
+                    static_cast<unsigned long long>(
+                        refreshed.value()->repr->num_edges()));
+      }
+    });
+  }
   std::printf("serving %zu requests on %zu workers (queue %zu)...\n",
               requests.size(), sopts.num_workers, sopts.queue_capacity);
 
@@ -217,6 +292,10 @@ int Main(int argc, char** argv) {
   double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  if (poller.joinable()) {
+    stop_poller.store(true, std::memory_order_relaxed);
+    poller.join();
+  }
   service.Shutdown();
 
   std::printf("\noutcome:\n");
@@ -232,9 +311,16 @@ int Main(int argc, char** argv) {
   // Every request's views were dropped with its response, so no cache
   // entry may still be pinned (and the live-view gauges must be back to
   // zero); nonzero here means a leaked pin.
-  std::printf("pinned cache entries after drain: %zu fwd, %zu bwd\n",
-              forward.value()->PinnedCacheEntries(),
-              backward.value()->PinnedCacheEntries());
+  if (snapshot != nullptr) {
+    std::printf("pinned cache entries after drain: %zu (generation %llu)\n",
+                manager->current()->repr->PinnedCacheEntries(),
+                static_cast<unsigned long long>(
+                    manager->current()->manifest.generation));
+  } else {
+    std::printf("pinned cache entries after drain: %zu fwd, %zu bwd\n",
+                forward->PinnedCacheEntries(),
+                backward->PinnedCacheEntries());
+  }
   std::printf("\n%s\n", service.Snapshot().ToString().c_str());
 
   if (trace_out != nullptr) {

@@ -20,12 +20,32 @@
 //       every adjacency list through a cursor, and print the top K pages.
 //   wgtool compare crawl.wg
 //       Build all representation schemes and print bits/edge side by side.
+//   wgtool snapshot-init crawl.wg --dir DIR
+//       Create a versioned snapshot store at DIR: full S-Node build of the
+//       crawl published as generation 0, plus an empty crawl-delta log.
+//   wgtool delta-apply DIR deltas.txt
+//       Append crawl deltas to the store's write-ahead log. Lines:
+//         addpage URL HOST DOMAIN   (page id = next dense id)
+//         rmpage P                  (tombstone page P)
+//         addlink P Q / rmlink P Q
+//       '#' comments and blank lines are skipped. The batch is validated
+//       against base-plus-pending state and appended atomically.
+//   wgtool compact DIR
+//       Fold all pending deltas into the next generation: re-refine and
+//       re-encode only dirty supernode sections, share every unchanged
+//       blob byte-identically with the base generation, and atomically
+//       repoint CURRENT. A running wgserve --snapshot flips live.
+//   wgtool snapshots DIR
+//       List the store's generations (live one starred) with their blob
+//       sharing counts and pending delta-log records.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -41,6 +61,7 @@
 #include "storage/file.h"
 #include "text/pagerank.h"
 #include "util/parallel.h"
+#include "version/snapshot.h"
 
 namespace wg {
 namespace {
@@ -55,7 +76,11 @@ int Usage() {
       "  wgtool info BASE\n"
       "  wgtool links BASE PAGE [crawl.wg]\n"
       "  wgtool pagerank BASE [--top K]\n"
-      "  wgtool compare crawl.wg\n");
+      "  wgtool compare crawl.wg\n"
+      "  wgtool snapshot-init crawl.wg --dir DIR\n"
+      "  wgtool delta-apply DIR deltas.txt\n"
+      "  wgtool compact DIR\n"
+      "  wgtool snapshots DIR\n");
   return 2;
 }
 
@@ -254,6 +279,141 @@ int CmdCompare(int argc, char** argv) {
   return 0;
 }
 
+int CmdSnapshotInit(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const char* dir = FlagValue(argc, argv, "--dir");
+  if (dir == nullptr) return Usage();
+  auto graph = LoadWebGraph(argv[2]);
+  if (!graph.ok()) return Fail(graph.status());
+  auto manager = version::SnapshotManager::Create(dir, graph.value(), {});
+  if (!manager.ok()) return Fail(manager.status());
+  const version::Manifest& m = manager.value()->current()->manifest;
+  std::printf("snapshot %s: generation 0 published, %zu blobs in %zu files, "
+              "%zu pages, %llu links\n",
+              dir, m.blobs.size(), m.files.size(),
+              manager.value()->current()->repr->num_pages(),
+              static_cast<unsigned long long>(
+                  manager.value()->current()->repr->num_edges()));
+  return 0;
+}
+
+// Parses the delta-apply text format; `next` is the dense id the first
+// addpage line receives.
+Result<std::vector<version::DeltaRecord>> ParseDeltaFile(
+    const std::string& path, PageId next) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::vector<version::DeltaRecord> batch;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::istringstream tokens(line);
+    std::string op;
+    if (!(tokens >> op) || op[0] == '#') continue;
+    auto bad = [&]() -> Status {
+      return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                     ": bad delta line: " + line);
+    };
+    if (op == "addpage") {
+      std::string url, host, domain;
+      if (!(tokens >> url >> host >> domain)) return bad();
+      batch.push_back(version::DeltaRecord::AddPage(next++, std::move(url),
+                                                    std::move(host),
+                                                    std::move(domain)));
+    } else if (op == "rmpage") {
+      PageId p;
+      if (!(tokens >> p)) return bad();
+      batch.push_back(version::DeltaRecord::RemovePage(p));
+    } else if (op == "addlink" || op == "rmlink") {
+      PageId p, q;
+      if (!(tokens >> p >> q)) return bad();
+      batch.push_back(op == "addlink" ? version::DeltaRecord::AddLink(p, q)
+                                      : version::DeltaRecord::RemoveLink(p, q));
+    } else {
+      return bad();
+    }
+  }
+  return batch;
+}
+
+int CmdDeltaApply(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  auto manager = version::SnapshotManager::Open(argv[2], {});
+  if (!manager.ok()) return Fail(manager.status());
+  // New pages take ids past base-plus-pending, matching what the log
+  // replay will assign.
+  version::DeltaOverlay overlay(manager.value()->current()->repr->num_pages());
+  Status pending = manager.value()->BuildPendingOverlay(&overlay);
+  if (!pending.ok()) return Fail(pending);
+  auto batch =
+      ParseDeltaFile(argv[3], static_cast<PageId>(overlay.num_pages()));
+  if (!batch.ok()) return Fail(batch.status());
+  Status appended = manager.value()->AppendDeltas(batch.value());
+  if (!appended.ok()) return Fail(appended);
+  std::printf("appended %zu deltas to %s; %llu pending (generation %llu)\n",
+              batch.value().size(), argv[2],
+              static_cast<unsigned long long>(
+                  manager.value()->pending_records()),
+              static_cast<unsigned long long>(
+                  manager.value()->current()->manifest.generation));
+  return 0;
+}
+
+int CmdCompact(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto manager = version::SnapshotManager::Open(argv[2], {});
+  if (!manager.ok()) return Fail(manager.status());
+  uint64_t pending = manager.value()->pending_records();
+  auto generation = manager.value()->Compact();
+  if (!generation.ok()) return Fail(generation.status());
+  const version::Manifest& m = generation.value()->manifest;
+  if (pending == 0) {
+    std::printf("nothing pending; generation %llu unchanged\n",
+                static_cast<unsigned long long>(m.generation));
+    return 0;
+  }
+  std::printf("generation %llu: folded %llu deltas, shared %llu blobs, "
+              "wrote %llu, %zu pages, %llu links\n",
+              static_cast<unsigned long long>(m.generation),
+              static_cast<unsigned long long>(pending),
+              static_cast<unsigned long long>(m.blobs_shared),
+              static_cast<unsigned long long>(m.blobs_written),
+              generation.value()->repr->num_pages(),
+              static_cast<unsigned long long>(
+                  generation.value()->repr->num_edges()));
+  return 0;
+}
+
+int CmdSnapshots(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::string dir = argv[2];
+  auto manager = version::SnapshotManager::Open(dir, {});
+  if (!manager.ok()) return Fail(manager.status());
+  uint64_t live = manager.value()->current()->manifest.generation;
+  std::printf("%-4s %-12s %8s %8s %8s %8s %12s\n", "", "generation",
+              "files", "blobs", "shared", "written", "log-applied");
+  for (uint64_t g = 0; g <= live; ++g) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "MANIFEST-%06llu",
+                  static_cast<unsigned long long>(g));
+    auto m = version::Manifest::ReadFrom(dir + "/" + name);
+    if (!m.ok()) continue;  // compacted away / never existed
+    std::printf("%-4s %-12llu %8zu %8zu %8llu %8llu %12llu\n",
+                g == live ? "*" : "",
+                static_cast<unsigned long long>(m.value().generation),
+                m.value().files.size(), m.value().blobs.size(),
+                static_cast<unsigned long long>(m.value().blobs_shared),
+                static_cast<unsigned long long>(m.value().blobs_written),
+                static_cast<unsigned long long>(m.value().log_applied));
+  }
+  std::printf("log: %llu records, %llu pending\n",
+              static_cast<unsigned long long>(manager.value()->log_records()),
+              static_cast<unsigned long long>(
+                  manager.value()->pending_records()));
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
@@ -264,6 +424,10 @@ int Main(int argc, char** argv) {
   if (command == "links") return CmdLinks(argc, argv);
   if (command == "pagerank") return CmdPageRank(argc, argv);
   if (command == "compare") return CmdCompare(argc, argv);
+  if (command == "snapshot-init") return CmdSnapshotInit(argc, argv);
+  if (command == "delta-apply") return CmdDeltaApply(argc, argv);
+  if (command == "compact") return CmdCompact(argc, argv);
+  if (command == "snapshots") return CmdSnapshots(argc, argv);
   return Usage();
 }
 
