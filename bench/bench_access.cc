@@ -8,6 +8,10 @@
 // a LinkView into the decoded-graph cache costs no allocation and no
 // copy, while GetLinks re-copies every adjacency into the caller's
 // vector. Writes machine-readable results to BENCH_access.json.
+//
+// With --smoke, runs a reduced-size sweep and exits non-zero when the
+// S-Node cold/warm ratio exceeds a generous threshold -- registered as a
+// ctest under the perf-smoke label so cold-path regressions fail CI.
 
 #include <algorithm>
 #include <cstdio>
@@ -26,7 +30,14 @@ namespace wg::bench {
 namespace {
 
 constexpr size_t kAccessPages = 50000;
+constexpr size_t kSmokePages = 8000;  // --smoke: fast cold-path regression gate
 constexpr int kPasses = 3;  // best-of to damp timer noise
+
+// --smoke fails the run when the S-Node cold/warm ratio exceeds this.
+// Deliberately generous: the healthy read path sits near 10x at smoke
+// size (machine noise included), the pre-mmap cliff sat at ~100x, and
+// the point is to catch reintroduced cliffs in CI, not to benchmark.
+constexpr double kSmokeMaxColdWarmRatio = 50.0;
 
 struct AccessRow {
   const char* scheme = nullptr;
@@ -119,10 +130,10 @@ void PrintRow(const AccessRow& row) {
               row.Speedup(), static_cast<unsigned long long>(row.edges));
 }
 
-int Main() {
+int Main(bool smoke) {
   PrintHeader("cursor/view vs GetLinks access cost (ns per edge)");
   GeneratorOptions gopts;
-  gopts.num_pages = kAccessPages;
+  gopts.num_pages = smoke ? kSmokePages : kAccessPages;
   gopts.seed = kSeed;
   WebGraph graph = GenerateWebGraph(gopts);
   std::printf("workload: %zu pages, %llu links, natural-order sweep, "
@@ -133,6 +144,9 @@ int Main() {
   auto huffman = HuffmanRepr::Build(graph);
   auto link3 = UnwrapOrDie(Link3Repr::Build(graph, BenchDir() + "/acc_l3", {}));
   auto snode = UnwrapOrDie(SNodeRepr::Build(graph, BenchDir() + "/acc_sn", {}));
+  // Serve the store through the mmap read path (zero-copy span decode),
+  // like a production open with options.store.mmap would.
+  CheckOk(snode->MapStoreForRead());
   auto relational =
       UnwrapOrDie(RelationalRepr::Build(graph, BenchDir() + "/acc_rel", {}));
   auto file = UnwrapOrDie(
@@ -154,10 +168,16 @@ int Main() {
 
   // S-Node cold vs warm: the cold sweep decodes + assembles every
   // supernode; the warm sweep serves pinned views out of the cache.
-  snode->ClearBuffers();
+  // Cold is re-established (cache dropped) before every pass, so best-of
+  // damps scheduler noise without letting state leak between passes.
   std::vector<PageId> order = NaturalOrder(*snode);
   uint64_t edges = 0;
-  double cold_s = SweepCursor(snode.get(), order, &edges);
+  double cold_s = 0;
+  for (int i = 0; i < kPasses; ++i) {
+    snode->ClearBuffers();
+    double pass_s = SweepCursor(snode.get(), order, &edges);
+    cold_s = i == 0 ? pass_s : std::min(cold_s, pass_s);
+  }
   double warm_s = BestOf(
       [&](uint64_t* e) { return SweepCursor(snode.get(), order, e); },
       &edges);
@@ -172,6 +192,17 @@ int Main() {
   PrintShapeCheck(warm_wins,
                   "zero-copy cursor beats materializing GetLinks on the "
                   "S-Node warm path");
+
+  if (smoke) {
+    // Regression gate (ctest label perf-smoke): a reintroduced cold-read
+    // cliff fails the suite instead of silently landing. No JSON -- a
+    // smoke run must not clobber the full-size BENCH_access.json.
+    double ratio = warm_ns > 0 ? cold_ns / warm_ns : 0;
+    bool ok = ratio <= kSmokeMaxColdWarmRatio;
+    std::printf("perf-smoke: cold/warm ratio %.1fx (limit %.0fx) -- %s\n",
+                ratio, kSmokeMaxColdWarmRatio, ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+  }
 
   std::FILE* json = std::fopen("BENCH_access.json", "w");
   CheckOk(json != nullptr ? Status::OK()
@@ -209,4 +240,7 @@ int Main() {
 }  // namespace
 }  // namespace wg::bench
 
-int main() { return wg::bench::Main(); }
+int main(int argc, char** argv) {
+  bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+  return wg::bench::Main(smoke);
+}

@@ -85,8 +85,11 @@ int main() {
     if (name.rfind("BENCH_", 0) != 0 || name == kTrajectoryFile) continue;
     if (entry.path().extension() != ".json") continue;
     std::string body = Trimmed(ReadFileOrDie(entry.path()));
-    if (body.empty() || body.front() != '{') {
-      std::fprintf(stderr, "bench_trajectory: skipping %s (not a JSON object)\n",
+    // A result file may be a single object (bench_access) or a top-level
+    // array of rows (bench_scale's per-size frontier); both embed cleanly
+    // as the value of the "<bench name>" key.
+    if (body.empty() || (body.front() != '{' && body.front() != '[')) {
+      std::fprintf(stderr, "bench_trajectory: skipping %s (not JSON)\n",
                    name.c_str());
       continue;
     }

@@ -1,6 +1,7 @@
 #include "snode/codecs.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "snode/reference_encoding.h"
 #include "util/bitstream.h"
@@ -45,36 +46,86 @@ void WriteStandalone(BitWriter* w, const std::vector<uint32_t>& list,
   }
 }
 
-void ReadStandalone(BitReader* r, uint32_t universe,
+// Returns false if the claimed count is impossible (a standalone list is
+// strictly ascending over [0, universe), so count can never exceed the
+// universe) -- guarding the bulk resize below against corrupt headers.
+bool ReadStandalone(BitReader* r, uint32_t universe,
                     std::vector<uint32_t>* out) {
   uint64_t count = ReadGamma(r);
-  if (count == 0) return;
+  if (count == 0) return true;
+  if (count > universe) return false;
+  size_t off = out->size();
+  out->resize(off + count);
+  uint32_t* p = out->data() + off;
   uint32_t v = static_cast<uint32_t>(ReadMinimalBinary(r, universe));
-  out->push_back(v);
+  p[0] = v;
   for (uint64_t i = 1; i < count; ++i) {
     v += static_cast<uint32_t>(ReadGamma(r)) + 1;
-    out->push_back(v);
+    p[i] = v;
   }
+  return true;
 }
 
-// Merges reference copies with residuals into the decoded list.
-// copy_bits can come up short on truncated input (ReadRleBits stops when
-// the reader fails; the caller rejects the record right after) -- treat
-// missing bits as 0 instead of reading past the vector.
-std::vector<uint32_t> ApplyReference(const std::vector<uint32_t>& ref,
-                                     const std::vector<uint8_t>& copy_bits,
-                                     const std::vector<uint32_t>& residuals) {
-  std::vector<uint32_t> copied;
-  copied.reserve(ref.size());
-  size_t n = std::min(ref.size(), copy_bits.size());
-  for (size_t j = 0; j < n; ++j) {
-    if (copy_bits[j]) copied.push_back(ref[j]);
+// Appends the reference-decoded list (the copied positions of the ref
+// list merged with the residuals, both sorted ascending) to *pool. The
+// ref list lives in *pool too, at [ref_off, ref_off + ref_len). The copy
+// bits arrive as RLE runs (first run's value in `first_bit`): zero runs
+// skip whole stretches of the ref list without a per-bit branch. Runs
+// can cover fewer than ref_len bits on truncated input (ReadRleRuns
+// stops when the reader fails; the caller rejects the record right
+// after) -- missing bits count as 0.
+void AppendMergedRuns(uint32_t ref_off, uint32_t ref_len, bool first_bit,
+                      const std::vector<uint32_t>& runs,
+                      const std::vector<uint32_t>& residuals,
+                      std::vector<uint32_t>* pool) {
+  // Resize once to the upper bound (every ref position copied + all
+  // residuals), then write through raw pointers; no reallocation can
+  // happen mid-merge, so the ref span pointer stays valid.
+  size_t off = pool->size();
+  pool->resize(off + ref_len + residuals.size());
+  uint32_t* base = pool->data();
+  const uint32_t* ref = base + ref_off;
+  uint32_t* w = base + off;
+  size_t ri = 0;
+  size_t j = 0;
+  bool bit = first_bit;
+  for (uint32_t len : runs) {
+    if (bit) {
+      size_t end = std::min<size_t>(j + len, ref_len);
+      for (size_t k = j; k < end; ++k) {
+        uint32_t v = ref[k];
+        while (ri < residuals.size() && residuals[ri] < v) {
+          *w++ = residuals[ri++];
+        }
+        *w++ = v;
+      }
+    }
+    j += len;
+    bit = !bit;
   }
-  std::vector<uint32_t> merged;
-  merged.reserve(copied.size() + residuals.size());
-  std::merge(copied.begin(), copied.end(), residuals.begin(), residuals.end(),
-             std::back_inserter(merged));
-  return merged;
+  for (; ri < residuals.size(); ++ri) *w++ = residuals[ri];
+  pool->resize(static_cast<size_t>(w - base));
+}
+
+// Per-thread decode scratch: the decoders run thousands of times per
+// cold sweep, and re-growing these buffers from empty on every blob is
+// pure allocator churn. Capacities stick at their high-water mark.
+struct ListSpan {
+  uint32_t off = 0;
+  uint32_t len = 0;
+};
+
+struct DecodeScratch {
+  std::vector<uint32_t> pool;
+  std::vector<ListSpan> spans;
+  std::vector<char> seen;
+  std::vector<uint32_t> runs;
+  std::vector<uint32_t> residuals;
+};
+
+DecodeScratch& Scratch() {
+  thread_local DecodeScratch scratch;
+  return scratch;
 }
 
 }  // namespace
@@ -109,16 +160,25 @@ std::vector<uint8_t> EncodeIntranode(
   return w.Finish();
 }
 
-Status DecodeIntranode(const std::vector<uint8_t>& blob, IntranodeGraph* out) {
-  BitReader r(blob);
+Status DecodeIntranode(const uint8_t* data, size_t size,
+                       IntranodeGraph* out) {
+  BitReader r(data, size);
   uint64_t n = ReadGamma(&r);
   if (!r.ok() || n > (1u << 28)) {
     return Status::Corruption("intranode: bad page count");
   }
-  std::vector<std::vector<uint32_t>> lists(n);
-  std::vector<char> seen(n, 0);
-  std::vector<uint8_t> copy_bits;
-  std::vector<uint32_t> residuals;
+  // Decoded lists live back to back in `pool` in stream order;
+  // spans[local] locates a list for reference resolution and the final
+  // CSR pass. One growing buffer instead of a heap vector per list.
+  DecodeScratch& sc = Scratch();
+  std::vector<uint32_t>& pool = sc.pool;
+  pool.clear();
+  std::vector<ListSpan>& spans = sc.spans;
+  spans.assign(n, ListSpan{});
+  std::vector<char>& seen = sc.seen;
+  seen.assign(n, 0);
+  std::vector<uint32_t>& runs = sc.runs;
+  std::vector<uint32_t>& residuals = sc.residuals;
   for (uint64_t k = 0; k < n; ++k) {
     uint64_t local = ReadGamma(&r);
     if (!r.ok() || local >= n || seen[local]) {
@@ -126,8 +186,11 @@ Status DecodeIntranode(const std::vector<uint8_t>& blob, IntranodeGraph* out) {
     }
     seen[local] = 1;
     bool has_ref = r.ReadBit();
+    uint32_t off = static_cast<uint32_t>(pool.size());
     if (!has_ref) {
-      ReadStandalone(&r, static_cast<uint32_t>(n), &lists[local]);
+      if (!ReadStandalone(&r, static_cast<uint32_t>(n), &pool)) {
+        return Status::Corruption("intranode: bad list count");
+      }
     } else {
       bool forward = r.ReadBit();
       uint64_t dist = ReadGamma(&r) + 1;
@@ -136,28 +199,41 @@ Status DecodeIntranode(const std::vector<uint8_t>& blob, IntranodeGraph* out) {
       if (ref < 0 || ref >= static_cast<int64_t>(n) || !seen[ref]) {
         return Status::Corruption("intranode: bad reference");
       }
-      copy_bits.clear();
-      ReadRleBits(&r, lists[ref].size(), &copy_bits);
+      const ListSpan rs = spans[static_cast<size_t>(ref)];
+      runs.clear();
+      bool first_bit = ReadRleRuns(&r, rs.len, &runs);
       residuals.clear();
-      ReadStandalone(&r, static_cast<uint32_t>(n), &residuals);
-      lists[local] = ApplyReference(lists[ref], copy_bits, residuals);
+      if (!ReadStandalone(&r, static_cast<uint32_t>(n), &residuals)) {
+        return Status::Corruption("intranode: bad residual count");
+      }
+      AppendMergedRuns(rs.off, rs.len, first_bit, runs, residuals, &pool);
     }
+    spans[local] = {off, static_cast<uint32_t>(pool.size()) - off};
     if (!r.ok()) return Status::Corruption("intranode: truncated");
   }
   if (r.position() + 8 <= r.size_bits()) {
     return Status::Corruption("intranode: trailing garbage");
   }
   out->num_pages = static_cast<uint32_t>(n);
-  out->offsets.clear();
-  out->offsets.reserve(n + 1);
-  out->offsets.push_back(0);
-  out->targets.clear();
+  out->offsets.resize(n + 1);
+  out->offsets[0] = 0;
+  out->targets.resize(pool.size());
+  uint32_t w = 0;
   for (uint64_t i = 0; i < n; ++i) {
-    for (uint32_t t : lists[i]) {
-      if (t >= n) return Status::Corruption("intranode: target out of range");
-      out->targets.push_back(t);
+    const ListSpan sp = spans[i];
+    if (sp.len > 0) {
+      std::memcpy(out->targets.data() + w, pool.data() + sp.off,
+                  static_cast<size_t>(sp.len) * sizeof(uint32_t));
+      w += sp.len;
     }
-    out->offsets.push_back(static_cast<uint32_t>(out->targets.size()));
+    out->offsets[i + 1] = w;
+  }
+  // Range-check with one linear max scan (vectorizes) instead of a branch
+  // per copied element.
+  uint32_t max_t = 0;
+  for (uint32_t t : out->targets) max_t = std::max(max_t, t);
+  if (!out->targets.empty() && max_t >= n) {
+    return Status::Corruption("intranode: target out of range");
   }
   return Status::OK();
 }
@@ -289,10 +365,10 @@ std::vector<uint8_t> EncodeSuperedge(
   return w.Finish();
 }
 
-Status DecodeSuperedge(const std::vector<uint8_t>& blob,
+Status DecodeSuperedge(const uint8_t* data, size_t size,
                        uint32_t num_source_pages, uint32_t num_target_pages,
                        SuperedgeGraph* out) {
-  BitReader r(blob);
+  BitReader r(data, size);
   out->positive = r.ReadBit();
   out->num_target_pages = num_target_pages;
   uint64_t present = ReadGamma(&r);
@@ -300,13 +376,20 @@ Status DecodeSuperedge(const std::vector<uint8_t>& blob,
     return Status::Corruption("superedge: bad header");
   }
   out->sources.clear();
+  out->sources.reserve(present);
   out->offsets.clear();
-  out->targets.clear();
+  out->offsets.reserve(present + 1);
   out->offsets.push_back(0);
-  std::vector<std::vector<uint32_t>> lists(present);
+  // Lists decode in encoded-source order, which is exactly CSR order --
+  // so decode straight into out->targets, and out->offsets doubles as
+  // the span table for reference resolution (list k-back occupies
+  // [offsets[k-back], offsets[k-back+1])).
+  std::vector<uint32_t>& pool = out->targets;
+  pool.clear();
   uint32_t src = 0;
-  std::vector<uint8_t> copy_bits;
-  std::vector<uint32_t> residuals;
+  DecodeScratch& sc = Scratch();
+  std::vector<uint32_t>& runs = sc.runs;
+  std::vector<uint32_t>& residuals = sc.residuals;
   for (uint64_t k = 0; k < present; ++k) {
     if (k == 0) {
       src = static_cast<uint32_t>(ReadMinimalBinary(&r, num_source_pages));
@@ -319,27 +402,29 @@ Status DecodeSuperedge(const std::vector<uint8_t>& blob,
     out->sources.push_back(src);
     bool has_ref = r.ReadBit();
     if (!has_ref) {
-      ReadStandalone(&r, num_target_pages, &lists[k]);
+      if (!ReadStandalone(&r, num_target_pages, &pool)) {
+        return Status::Corruption("superedge: bad list count");
+      }
     } else {
       uint64_t back = ReadGamma(&r) + 1;
       if (back > k) return Status::Corruption("superedge: bad reference");
-      const auto& ref = lists[k - back];
-      copy_bits.clear();
-      ReadRleBits(&r, ref.size(), &copy_bits);
+      uint32_t ref_off = out->offsets[k - back];
+      uint32_t ref_len = out->offsets[k - back + 1] - ref_off;
+      runs.clear();
+      bool first_bit = ReadRleRuns(&r, ref_len, &runs);
       residuals.clear();
-      ReadStandalone(&r, num_target_pages, &residuals);
-      lists[k] = ApplyReference(ref, copy_bits, residuals);
+      if (!ReadStandalone(&r, num_target_pages, &residuals)) {
+        return Status::Corruption("superedge: bad residual count");
+      }
+      AppendMergedRuns(ref_off, ref_len, first_bit, runs, residuals, &pool);
     }
+    out->offsets.push_back(static_cast<uint32_t>(pool.size()));
     if (!r.ok()) return Status::Corruption("superedge: truncated");
   }
-  for (auto& list : lists) {
-    for (uint32_t t : list) {
-      if (t >= out->num_target_pages) {
-        return Status::Corruption("superedge: target out of range");
-      }
-      out->targets.push_back(t);
-    }
-    out->offsets.push_back(static_cast<uint32_t>(out->targets.size()));
+  uint32_t max_t = 0;
+  for (uint32_t t : pool) max_t = std::max(max_t, t);
+  if (!pool.empty() && max_t >= num_target_pages) {
+    return Status::Corruption("superedge: target out of range");
   }
   return Status::OK();
 }

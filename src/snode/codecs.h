@@ -60,7 +60,14 @@ std::vector<uint8_t> EncodeIntranode(
     const std::vector<std::vector<uint32_t>>& lists,
     const IntranodeEncodeOptions& options);
 
-Status DecodeIntranode(const std::vector<uint8_t>& blob, IntranodeGraph* out);
+// Span form borrows `data` only for the duration of the call (used by the
+// mmap read path to decode straight out of the mapped store file).
+Status DecodeIntranode(const uint8_t* data, size_t size, IntranodeGraph* out);
+
+inline Status DecodeIntranode(const std::vector<uint8_t>& blob,
+                              IntranodeGraph* out) {
+  return DecodeIntranode(blob.data(), blob.size(), out);
+}
 
 // ---------- Superedge ----------
 
@@ -103,10 +110,17 @@ std::vector<uint8_t> EncodeSuperedge(
     const SuperedgeEncodeOptions& options);
 
 // ni/nj are supplied by the caller (the resident supernode graph), not
-// stored in the blob.
-Status DecodeSuperedge(const std::vector<uint8_t>& blob,
+// stored in the blob. The span form borrows `data` only for the call.
+Status DecodeSuperedge(const uint8_t* data, size_t size,
                        uint32_t num_source_pages, uint32_t num_target_pages,
                        SuperedgeGraph* out);
+
+inline Status DecodeSuperedge(const std::vector<uint8_t>& blob,
+                              uint32_t num_source_pages,
+                              uint32_t num_target_pages, SuperedgeGraph* out) {
+  return DecodeSuperedge(blob.data(), blob.size(), num_source_pages,
+                         num_target_pages, out);
+}
 
 }  // namespace wg
 

@@ -1,0 +1,72 @@
+#include "snode/prefetch.h"
+
+namespace wg {
+
+PrefetchExecutor::PrefetchExecutor(std::function<void(uint32_t)> work,
+                                   size_t queue_capacity)
+    : work_(std::move(work)),
+      capacity_(queue_capacity == 0 ? 1 : queue_capacity),
+      worker_([this] { WorkerLoop(); }) {}
+
+PrefetchExecutor::~PrefetchExecutor() { Stop(); }
+
+void PrefetchExecutor::Submit(uint32_t section) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_ || queue_.size() >= capacity_ ||
+        pending_.count(section) > 0) {
+      ++stats_.dropped;
+      return;
+    }
+    queue_.push_back(section);
+    pending_.insert(section);
+    ++stats_.submitted;
+  }
+  wake_.notify_one();
+}
+
+void PrefetchExecutor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) {
+      // Already stopped; the thread may even be joined.
+    }
+    stop_ = true;
+    queue_.clear();
+  }
+  wake_.notify_all();
+  drained_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+void PrefetchExecutor::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drained_.wait(lock, [this] { return stop_ || (queue_.empty() && idle_); });
+}
+
+PrefetchExecutor::Stats PrefetchExecutor::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void PrefetchExecutor::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (stop_) return;
+    uint32_t section = queue_.front();
+    queue_.pop_front();
+    idle_ = false;
+    lock.unlock();
+    work_(section);
+    lock.lock();
+    // Only now drop the pending mark: a re-submission while the section
+    // was in flight would have raced the decode for no benefit.
+    pending_.erase(section);
+    idle_ = true;
+    ++stats_.completed;
+    if (queue_.empty()) drained_.notify_all();
+  }
+}
+
+}  // namespace wg

@@ -1,0 +1,79 @@
+#ifndef WG_SNODE_PREFETCH_H_
+#define WG_SNODE_PREFETCH_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+
+#include "obs/metrics.h"
+
+// A one-thread background executor for locality decode-ahead: readers on a
+// cold miss submit the section ids physically next in the store layout,
+// and the worker decodes them into the shared graph cache while the reader
+// is still chewing on the current section. Decode-ahead is best-effort by
+// design -- the queue is bounded and full-queue submissions are dropped
+// (the reader will just demand-load later), duplicate submissions of a
+// section already queued or running are coalesced, and Stop() abandons
+// anything still queued. Nothing a reader observes depends on the
+// executor making progress; it only moves work off the demand path.
+//
+// Thread-safety: Submit/Stop may be called from any thread. The work
+// callback runs on the worker thread only, one invocation at a time, and
+// must itself be safe against concurrent readers (SNodeRepr's section
+// loads are: the cache singleflights and the store is read-only).
+
+namespace wg {
+
+class PrefetchExecutor {
+ public:
+  struct Stats {
+    uint64_t submitted = 0;  // accepted into the queue
+    uint64_t dropped = 0;    // rejected: queue full or duplicate
+    uint64_t completed = 0;  // work invocations finished
+  };
+
+  // `work` is invoked on the worker thread for each accepted section id.
+  PrefetchExecutor(std::function<void(uint32_t)> work, size_t queue_capacity);
+  ~PrefetchExecutor();
+
+  PrefetchExecutor(const PrefetchExecutor&) = delete;
+  PrefetchExecutor& operator=(const PrefetchExecutor&) = delete;
+
+  // Enqueues `section` unless it is already queued/running or the queue
+  // is full; never blocks.
+  void Submit(uint32_t section);
+
+  // Signals the worker, abandons the remaining queue, and joins. Safe to
+  // call twice; the destructor calls it.
+  void Stop();
+
+  // Blocks until the queue is empty and the worker is idle (tests).
+  void Drain();
+
+  Stats stats() const;
+
+ private:
+  void WorkerLoop();
+
+  std::function<void(uint32_t)> work_;
+  const size_t capacity_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;      // worker waits for work / stop
+  std::condition_variable drained_;   // Drain() waits for idle
+  std::deque<uint32_t> queue_;
+  std::unordered_set<uint32_t> pending_;  // queued + in flight
+  bool stop_ = false;
+  bool idle_ = true;
+  Stats stats_;
+
+  std::thread worker_;
+};
+
+}  // namespace wg
+
+#endif  // WG_SNODE_PREFETCH_H_

@@ -8,6 +8,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "snode/prefetch.h"
 #include "snode/section_encode.h"
 #include "storage/serial.h"
 #include "util/coding.h"
@@ -27,7 +28,55 @@ inline double SecondsSince(std::chrono::steady_clock::time_point t0) {
 // anything inside a window.
 constexpr uint32_t kEncodeWindow = 4096;
 
+// Bound on sections queued to the decode-ahead executor at once; beyond
+// this the reader is so far ahead of the worker that more queue would
+// only decode sections destined for eviction before use.
+constexpr size_t kDecodeAheadQueueCapacity = 64;
+
 }  // namespace
+
+void SNodeColdStats::Register(obs::MetricRegistry& registry,
+                              const obs::Labels& labels) {
+  auto with_source = [&labels](const char* source) {
+    obs::Labels out = labels;
+    out.emplace_back("source", source);
+    return out;
+  };
+  demand_blobs.Bind(registry, "wg_cold_blobs_total", with_source("demand"),
+                    "Cold blob loads (a query was waiting)");
+  demand_bytes.Bind(registry, "wg_cold_bytes_total", with_source("demand"),
+                    "Encoded bytes of cold demand loads");
+  decode_ahead_blobs.Bind(registry, "wg_cold_blobs_total",
+                          with_source("decode_ahead"),
+                          "Blobs decoded ahead by the locality executor");
+  decode_ahead_bytes.Bind(registry, "wg_cold_bytes_total",
+                          with_source("decode_ahead"),
+                          "Encoded bytes decoded ahead");
+  warmer_blobs.Bind(registry, "wg_cold_blobs_total", with_source("warmer"),
+                    "Blobs decoded by the background warmer");
+  warmer_bytes.Bind(registry, "wg_cold_bytes_total", with_source("warmer"),
+                    "Encoded bytes read by the background warmer");
+  assembles.Bind(registry, "wg_cold_assembles_total", labels,
+                 "Supernode CSR assemblies (cold cursor work)");
+}
+
+void SNodeColdStats::Bump(SNodeLoadSource source, uint64_t blobs,
+                          uint64_t bytes) {
+  switch (source) {
+    case SNodeLoadSource::kDemand:
+      demand_blobs += blobs;
+      demand_bytes += bytes;
+      break;
+    case SNodeLoadSource::kDecodeAhead:
+      decode_ahead_blobs += blobs;
+      decode_ahead_bytes += bytes;
+      break;
+    case SNodeLoadSource::kWarmer:
+      warmer_blobs += blobs;
+      warmer_bytes += bytes;
+      break;
+  }
+}
 
 Result<std::unique_ptr<SNodeRepr>> SNodeRepr::Build(
     const WebGraph& graph, const std::string& base_path,
@@ -187,6 +236,7 @@ Result<std::unique_ptr<SNodeRepr>> SNodeRepr::BuildFromPartition(
         obs::MetricRegistry::Default(),
         {{"build", std::to_string(obs::NextInstanceId())}});
   }
+  repr->StartRuntime();
   return repr;
 }
 
@@ -351,7 +401,66 @@ Result<std::unique_ptr<SNodeRepr>> SNodeRepr::FromParts(
       return Status::Corruption("snode meta: dangling superedge pointer");
     }
   }
+  repr->StartRuntime();
   return repr;
+}
+
+SNodeRepr::~SNodeRepr() {
+  // Stop the background worker before any member it reads is destroyed.
+  if (decode_ahead_ != nullptr) decode_ahead_->Stop();
+}
+
+void SNodeRepr::StartRuntime() {
+  cold_stats_.Register(
+      obs::MetricRegistry::Default(),
+      {{"scheme", "s-node"},
+       {"instance", std::to_string(obs::NextInstanceId())}});
+  if (options_.decode_ahead_sections > 0) {
+    decode_ahead_ = std::make_unique<PrefetchExecutor>(
+        [this](uint32_t s) {
+          if (s >= supernodes_.num_supernodes()) return;
+          // Already assembled => the section's graphs were all decoded.
+          if (cache_->Lookup(AssembledKey(s)) != nullptr) return;
+          // Best-effort: a failed decode-ahead just leaves the section
+          // for the demand path (which will surface the error).
+          Status ignored = PrefetchSection(s, SNodeLoadSource::kDecodeAhead);
+          (void)ignored;
+        },
+        kDecodeAheadQueueCapacity);
+  }
+}
+
+void SNodeRepr::MaybeDecodeAhead(uint32_t supernode) {
+  if (decode_ahead_ == nullptr) return;
+  uint32_t n_super = static_cast<uint32_t>(supernodes_.num_supernodes());
+  for (int k = 1; k <= options_.decode_ahead_sections; ++k) {
+    uint32_t s = supernode + static_cast<uint32_t>(k);
+    if (s >= n_super) break;
+    decode_ahead_->Submit(s);
+  }
+}
+
+Status SNodeRepr::MapStoreForRead() { return store_->MapForRead(); }
+
+void SNodeRepr::DropToColdState() {
+  cache_->Clear();
+  store_->EvictFromPageCache();
+}
+
+Status SNodeRepr::WarmSection(uint32_t supernode, SNodeLoadSource source) {
+  if (supernode >= supernodes_.num_supernodes()) {
+    return Status::OutOfRange("supernode out of range");
+  }
+  return PrefetchSection(supernode, source);
+}
+
+uint64_t SNodeRepr::SectionBytes(uint32_t supernode) const {
+  uint32_t first = supernodes_.intranode_blob[supernode];
+  uint32_t last = first + (supernodes_.offsets[supernode + 1] -
+                           supernodes_.offsets[supernode]);
+  uint64_t total = 0;
+  for (uint32_t b = first; b <= last; ++b) total += store_->blob_size(b);
+  return total;
 }
 
 void SNodeRepr::InstallLoadLogListener() {
@@ -369,12 +478,12 @@ void SNodeRepr::InstallLoadLogListener() {
 }
 
 Status SNodeRepr::DecodeSectionBlob(uint32_t blob_id, uint32_t supernode,
-                                    uint32_t first_blob,
-                                    const std::vector<uint8_t>& raw,
+                                    uint32_t first_blob, const uint8_t* data,
+                                    size_t size,
                                     ShardedGraphCache::Entry* entry) {
   if (blob_id == first_blob) {
     entry->intranode = std::make_unique<IntranodeGraph>();
-    WG_RETURN_IF_ERROR(DecodeIntranode(raw, entry->intranode.get()));
+    WG_RETURN_IF_ERROR(DecodeIntranode(data, size, entry->intranode.get()));
     entry->bytes = entry->intranode->MemoryUsage();
   } else {
     // The builder lays the section out contiguously, so the (blob_id -
@@ -383,7 +492,7 @@ Status SNodeRepr::DecodeSectionBlob(uint32_t blob_id, uint32_t supernode,
         supernodes_.offsets[supernode] + (blob_id - first_blob - 1);
     entry->superedge = std::make_unique<SuperedgeGraph>();
     WG_RETURN_IF_ERROR(DecodeSuperedge(
-        raw, supernodes_.pages_in(supernode),
+        data, size, supernodes_.pages_in(supernode),
         supernodes_.pages_in(supernodes_.targets[edge_index]),
         entry->superedge.get()));
     entry->bytes = entry->superedge->MemoryUsage();
@@ -407,6 +516,31 @@ Result<SNodeRepr::EntryPtr> SNodeRepr::LoadBlob(uint32_t blob_id,
   ++stats_.cache_misses;
   obs::Span miss_span("cache.miss_load", "cache");
   miss_span.AddArg("blob", blob_id);
+
+  if (store_->mapped()) {
+    // Zero-copy path: decode straight out of the mapping. No io_mutex --
+    // there is no seek arm to serialize; the kernel demand-pages under
+    // concurrent readers just fine. The disk-model counters stay flat
+    // (mapped I/O is priced by wall-clock benches, not the 2001 model).
+    GraphStore::BlobSpan span;
+    Status read = store_->ReadBlobSpan(blob_id, &span);
+    if (!read.ok()) {
+      cache_->Abort(blob_id, read);
+      return read;
+    }
+    stats_.bytes_read += span.length;
+    ++stats_.graphs_loaded;
+    cold_stats_.Bump(SNodeLoadSource::kDemand, 1, span.length);
+    ShardedGraphCache::Entry entry;
+    Status decoded = DecodeSectionBlob(blob_id, supernode, first_blob,
+                                       span.data, span.length, &entry);
+    if (!decoded.ok()) {
+      cache_->Abort(blob_id, decoded);
+      return decoded;
+    }
+    return cache_->Publish(blob_id, std::move(entry));
+  }
+
   std::vector<uint8_t> raw;
   {
     std::lock_guard<std::mutex> lock(io_mutex_);
@@ -422,11 +556,13 @@ Result<SNodeRepr::EntryPtr> SNodeRepr::LoadBlob(uint32_t blob_id,
   }
   stats_.bytes_read += raw.size();
   ++stats_.graphs_loaded;
+  cold_stats_.Bump(SNodeLoadSource::kDemand, 1, raw.size());
   ShardedGraphCache::Entry entry;
   Status decoded;
   {
     obs::Span decode_span("snode.decode", "cache");
-    decoded = DecodeSectionBlob(blob_id, supernode, first_blob, raw, &entry);
+    decoded = DecodeSectionBlob(blob_id, supernode, first_blob, raw.data(),
+                                raw.size(), &entry);
   }
   if (!decoded.ok()) {
     cache_->Abort(blob_id, decoded);
@@ -456,7 +592,7 @@ bool SNodeRepr::SectionWorthPrefetching(uint32_t supernode,
   return graphs_needed * 4 >= section_graphs;
 }
 
-Status SNodeRepr::PrefetchSection(uint32_t supernode) {
+Status SNodeRepr::PrefetchSection(uint32_t supernode, SNodeLoadSource source) {
   uint32_t first = supernodes_.intranode_blob[supernode];
   uint32_t last = first + (supernodes_.offsets[supernode + 1] -
                            supernodes_.offsets[supernode]);
@@ -467,6 +603,38 @@ Status SNodeRepr::PrefetchSection(uint32_t supernode) {
   obs::Span prefetch_span("cache.prefetch_section", "cache");
   prefetch_span.AddArg("supernode", supernode);
   prefetch_span.AddArg("blobs", claimed.size());
+
+  if (store_->mapped()) {
+    // One madvise batches the section's page faults, then decode each
+    // claimed blob zero-copy out of the mapping. No io_mutex (no seek
+    // arm; demand paging is concurrency-safe).
+    store_->AdviseBlobs(first, last, RandomAccessFile::Advice::kWillNeed);
+    uint64_t loaded_bytes = 0;
+    for (size_t i = 0; i < claimed.size(); ++i) {
+      uint32_t id = claimed[i];
+      GraphStore::BlobSpan span;
+      Status read = store_->ReadBlobSpan(id, &span);
+      ShardedGraphCache::Entry entry;
+      if (read.ok()) {
+        read = DecodeSectionBlob(id, supernode, first, span.data, span.length,
+                                 &entry);
+      }
+      if (!read.ok()) {
+        for (size_t j = i; j < claimed.size(); ++j) {
+          cache_->Abort(claimed[j], read);
+        }
+        cold_stats_.Bump(source, i, loaded_bytes);
+        return read;
+      }
+      stats_.bytes_read += span.length;
+      loaded_bytes += span.length;
+      ++stats_.graphs_loaded;
+      cache_->Publish(id, std::move(entry));
+    }
+    cold_stats_.Bump(source, claimed.size(), loaded_bytes);
+    return Status::OK();
+  }
+
   std::vector<std::vector<uint8_t>> blobs;
   {
     std::lock_guard<std::mutex> lock(io_mutex_);
@@ -480,13 +648,16 @@ Status SNodeRepr::PrefetchSection(uint32_t supernode) {
     disk_tracker_.Absorb(store_->seek_ops(), store_->transferred_bytes(),
                          &stats_);
   }
+  uint64_t loaded_bytes = 0;
   for (size_t i = 0; i < claimed.size(); ++i) {
     uint32_t id = claimed[i];
-    stats_.bytes_read += blobs[id - first].size();
+    const std::vector<uint8_t>& raw = blobs[id - first];
+    stats_.bytes_read += raw.size();
+    loaded_bytes += raw.size();
     ++stats_.graphs_loaded;
     ShardedGraphCache::Entry entry;
-    Status decoded =
-        DecodeSectionBlob(id, supernode, first, blobs[id - first], &entry);
+    Status decoded = DecodeSectionBlob(id, supernode, first, raw.data(),
+                                       raw.size(), &entry);
     if (!decoded.ok()) {
       for (size_t j = i; j < claimed.size(); ++j) {
         cache_->Abort(claimed[j], decoded);
@@ -495,6 +666,7 @@ Status SNodeRepr::PrefetchSection(uint32_t supernode) {
     }
     cache_->Publish(id, std::move(entry));
   }
+  cold_stats_.Bump(source, claimed.size(), loaded_bytes);
   return Status::OK();
 }
 
@@ -561,6 +733,13 @@ uint32_t SNodeRepr::AssembledKey(uint32_t supernode) const {
   return static_cast<uint32_t>(store_->num_blobs()) + supernode;
 }
 
+// One-pass supernode assembly. The old implementation ran the per-page
+// read (CollectPageLinks) once per page, costing pages * (superedges + 1)
+// singleflight cache lookups, a binary search per page per superedge
+// graph, and a scratch vector per page. This version pins each graph of
+// the section exactly once, then builds the CSR directly: count pass ->
+// prefix-sum offsets -> fill pass -> per-page sort. Same bytes out; the
+// cold cost per edge drops to roughly decode + two array writes + sort.
 Result<SNodeRepr::EntryPtr> SNodeRepr::AssembleSupernode(uint32_t supernode) {
   const uint32_t key = AssembledKey(supernode);
   ShardedGraphCache::Claim claim = cache_->BeginLoad(key);
@@ -568,24 +747,207 @@ Result<SNodeRepr::EntryPtr> SNodeRepr::AssembleSupernode(uint32_t supernode) {
   if (claim.kind == ShardedGraphCache::ClaimKind::kFailed) return claim.status;
   obs::Span span("snode.assemble_supernode", "cache");
   span.AddArg("supernode", supernode);
-  auto assembled = std::make_unique<ShardedGraphCache::AssembledAdjacency>();
-  uint32_t base = supernodes_.page_start[supernode];
-  uint32_t pages = supernodes_.page_start[supernode + 1] - base;
-  assembled->offsets.reserve(pages + 1);
-  assembled->offsets.push_back(0);
-  std::vector<PageId> links;
-  for (uint32_t local = 0; local < pages; ++local) {
-    links.clear();
-    Status collected = CollectPageLinks(orig_of_new_[base + local], &links);
-    if (!collected.ok()) {
-      cache_->Abort(key, collected);
-      return collected;
+  ++cold_stats_.assembles;
+  const uint32_t base = supernodes_.page_start[supernode];
+  const uint32_t pages = supernodes_.page_start[supernode + 1] - base;
+  const uint32_t e_begin = supernodes_.offsets[supernode];
+  const uint32_t e_end = supernodes_.offsets[supernode + 1];
+
+  // Gather the section's decoded graphs. Blobs already decoded (by
+  // decode-ahead, the warmer, or a lone probe) are pinned out of the cache;
+  // the rest are read with one sequential section read and decoded into
+  // locals that die with this call. Skipping the per-blob singleflight
+  // machinery here matters: the assembled block is the only artifact worth
+  // caching on the streaming path, and routing every blob through
+  // BeginLoad/Publish costs more than the decode it would deduplicate.
+  auto fail = [&](const Status& s) -> Result<EntryPtr> {
+    cache_->Abort(key, s);
+    return s;
+  };
+  const uint32_t first_blob = supernodes_.intranode_blob[supernode];
+  const uint32_t num_blobs = 1 + (e_end - e_begin);
+  std::vector<EntryPtr> pins(num_blobs);
+  const IntranodeGraph* ig_ptr = nullptr;
+  std::vector<const SuperedgeGraph*> ses(e_end - e_begin, nullptr);
+  std::vector<uint32_t> missing;
+  for (uint32_t b = 0; b < num_blobs; ++b) {
+    EntryPtr cached = cache_->Lookup(first_blob + b);
+    if (cached != nullptr) {
+      if (b == 0) {
+        ig_ptr = cached->intranode.get();
+      } else {
+        ses[b - 1] = cached->superedge.get();
+      }
+      pins[b] = std::move(cached);
+    } else {
+      missing.push_back(b);
     }
-    assembled->targets.insert(assembled->targets.end(), links.begin(),
-                              links.end());
-    assembled->offsets.push_back(
-        static_cast<uint32_t>(assembled->targets.size()));
   }
+  // Locally decoded graphs land in per-thread scratch that is reused
+  // across supernodes (grow-only, so the inner vectors keep their
+  // high-water capacity); the fill pass below copies everything it needs
+  // into the assembled CSR before the next call overwrites them.
+  thread_local IntranodeGraph ig_scratch;
+  thread_local std::vector<SuperedgeGraph> se_scratch;
+  size_t se_missing = missing.size();
+  if (!missing.empty() && missing[0] == 0) --se_missing;
+  if (se_scratch.size() < se_missing) se_scratch.resize(se_missing);
+  size_t next_scratch = 0;
+  auto decode_local = [&](uint32_t b, const uint8_t* data,
+                          size_t size) -> Status {
+    if (b == 0) {
+      WG_RETURN_IF_ERROR(DecodeIntranode(data, size, &ig_scratch));
+      ig_ptr = &ig_scratch;
+    } else {
+      uint32_t e = e_begin + (b - 1);
+      SuperedgeGraph* se = &se_scratch[next_scratch++];
+      WG_RETURN_IF_ERROR(DecodeSuperedge(
+          data, size, supernodes_.pages_in(supernode),
+          supernodes_.pages_in(supernodes_.targets[e]), se));
+      ses[b - 1] = se;
+    }
+    return Status::OK();
+  };
+  if (!missing.empty()) {
+    if (store_->mapped()) {
+      store_->AdviseBlobs(first_blob, first_blob + num_blobs - 1,
+                          RandomAccessFile::Advice::kWillNeed);
+      uint64_t bytes = 0;
+      for (uint32_t b : missing) {
+        GraphStore::BlobSpan blob_span;
+        Status read = store_->ReadBlobSpan(first_blob + b, &blob_span);
+        if (read.ok()) read = decode_local(b, blob_span.data, blob_span.length);
+        if (!read.ok()) return fail(read);
+        bytes += blob_span.length;
+      }
+      stats_.bytes_read += bytes;
+      stats_.graphs_loaded += missing.size();
+      cold_stats_.Bump(SNodeLoadSource::kDemand, missing.size(), bytes);
+    } else {
+      std::vector<std::vector<uint8_t>> blobs;
+      {
+        std::lock_guard<std::mutex> lock(io_mutex_);
+        obs::Span read_span("store.read_range", "storage");
+        Status read = store_->ReadBlobRange(first_blob,
+                                            first_blob + num_blobs - 1, &blobs);
+        if (!read.ok()) return fail(read);
+        stats_.disk_reads += 1;
+        disk_tracker_.Absorb(store_->seek_ops(), store_->transferred_bytes(),
+                             &stats_);
+      }
+      uint64_t bytes = 0;
+      for (uint32_t b : missing) {
+        const std::vector<uint8_t>& raw = blobs[b];
+        Status decoded = decode_local(b, raw.data(), raw.size());
+        if (!decoded.ok()) return fail(decoded);
+        bytes += raw.size();
+      }
+      stats_.bytes_read += bytes;
+      stats_.graphs_loaded += missing.size();
+      cold_stats_.Bump(SNodeLoadSource::kDemand, missing.size(), bytes);
+    }
+  }
+  const IntranodeGraph& ig = *ig_ptr;
+
+  // Count pass: external out-degree of every local page.
+  std::vector<uint32_t> counts(pages, 0);
+  for (uint32_t local = 0; local < pages; ++local) {
+    counts[local] = ig.offsets[local + 1] - ig.offsets[local];
+  }
+  for (uint32_t e = e_begin; e < e_end; ++e) {
+    const SuperedgeGraph& se = *ses[e - e_begin];
+    if (se.positive) {
+      for (size_t k = 0; k < se.sources.size(); ++k) {
+        counts[se.sources[k]] += se.offsets[k + 1] - se.offsets[k];
+      }
+    } else {
+      // Negative polarity: absent sources point to all of N_j; present
+      // sources to the complement of their (absent-link) list.
+      uint32_t nj = se.num_target_pages;
+      for (uint32_t local = 0; local < pages; ++local) counts[local] += nj;
+      for (size_t k = 0; k < se.sources.size(); ++k) {
+        counts[se.sources[k]] -= se.offsets[k + 1] - se.offsets[k];
+      }
+    }
+  }
+
+  auto assembled = std::make_unique<ShardedGraphCache::AssembledAdjacency>();
+  assembled->offsets.resize(pages + 1);
+  assembled->offsets[0] = 0;
+  for (uint32_t local = 0; local < pages; ++local) {
+    assembled->offsets[local + 1] = assembled->offsets[local] + counts[local];
+  }
+  assembled->targets.resize(assembled->offsets[pages]);
+  PageId* out = assembled->targets.data();
+
+  // Fill pass; `fill` tracks each page's write head.
+  std::vector<uint32_t> fill(assembled->offsets.begin(),
+                             assembled->offsets.end() - 1);
+  for (uint32_t local = 0; local < pages; ++local) {
+    uint32_t w = fill[local];
+    for (uint32_t i = ig.offsets[local]; i < ig.offsets[local + 1]; ++i) {
+      out[w++] = orig_of_new_[base + ig.targets[i]];
+    }
+    fill[local] = w;
+  }
+  for (uint32_t e = e_begin; e < e_end; ++e) {
+    const SuperedgeGraph& se = *ses[e - e_begin];
+    const uint32_t tbase = supernodes_.page_start[supernodes_.targets[e]];
+    if (se.positive) {
+      for (size_t k = 0; k < se.sources.size(); ++k) {
+        uint32_t w = fill[se.sources[k]];
+        for (uint32_t i = se.offsets[k]; i < se.offsets[k + 1]; ++i) {
+          out[w++] = orig_of_new_[tbase + se.targets[i]];
+        }
+        fill[se.sources[k]] = w;
+      }
+    } else {
+      uint32_t nj = se.num_target_pages;
+      size_t k = 0;
+      for (uint32_t local = 0; local < pages; ++local) {
+        uint32_t w = fill[local];
+        if (k < se.sources.size() && se.sources[k] == local) {
+          uint32_t next = 0;
+          for (uint32_t i = se.offsets[k]; i < se.offsets[k + 1]; ++i) {
+            for (uint32_t t = next; t < se.targets[i]; ++t) {
+              out[w++] = orig_of_new_[tbase + t];
+            }
+            next = se.targets[i] + 1;
+          }
+          for (uint32_t t = next; t < nj; ++t) {
+            out[w++] = orig_of_new_[tbase + t];
+          }
+          ++k;
+        } else {
+          for (uint32_t t = 0; t < nj; ++t) {
+            out[w++] = orig_of_new_[tbase + t];
+          }
+        }
+        fill[local] = w;
+      }
+    }
+  }
+
+  // The per-page lists merge several graphs, each remapped through the
+  // permutation, so they end unsorted in original-id space; sort each to
+  // keep the adjacency contract identical to CollectPageLinks. Typical
+  // lists are a dozen entries, where introsort's per-call dispatch costs
+  // more than the sort itself -- insertion-sort those inline.
+  for (uint32_t local = 0; local < pages; ++local) {
+    PageId* lo = out + assembled->offsets[local];
+    PageId* hi = out + assembled->offsets[local + 1];
+    if (hi - lo <= 32) {
+      for (PageId* i = lo + 1; i < hi; ++i) {
+        PageId v = *i;
+        PageId* j = i;
+        for (; j > lo && j[-1] > v; --j) *j = j[-1];
+        *j = v;
+      }
+    } else {
+      std::sort(lo, hi);
+    }
+  }
+
   ShardedGraphCache::Entry entry;
   entry.bytes = assembled->MemoryUsage();
   entry.assembled = std::move(assembled);
@@ -620,10 +982,17 @@ class SNodeRepr::Cursor : public AdjacencyCursor {
       entry = assembled_entry_;
     } else {
       entry = repr_->cache_->Lookup(repr_->AssembledKey(s));
-      if (entry == nullptr && s == last_snode_) {
-        // Second consecutive page in this supernode: assembling now pays
-        // for itself across the rest of the streak.
+      if (entry == nullptr &&
+          (s == last_snode_ ||
+           (last_snode_ != UINT32_MAX && s == last_snode_ + 1 &&
+            local == 0))) {
+        // Streaming: either a second page in this supernode, or the
+        // stream just crossed into the next section at its first page (a
+        // layout-order sweep). Assembling now pays for itself across the
+        // rest of the streak -- and crossing a section boundary is the
+        // decode-ahead signal, so queue the sections after this one.
         WG_ASSIGN_OR_RETURN(entry, repr_->AssembleSupernode(s));
+        repr_->MaybeDecodeAhead(s);
       }
       if (entry != nullptr) {
         assembled_entry_ = entry;

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "repr/representation.h"
 #include "snode/codecs.h"
 #include "snode/graph_cache.h"
@@ -53,6 +54,13 @@ struct SNodeBuildOptions {
   // only when their graphs hash to the same shard).
   size_t cache_shards = 8;
   bool record_load_log = false;
+  // Locality decode-ahead: when a cursor takes a cold miss into a
+  // supernode section, a background executor decodes the next N sections
+  // in layout order (= LocalityKey order, the order a sweep will want
+  // them) into the cache. 0 disables. Requires nothing of the store mode;
+  // with options.store.mmap it also opens madvise readahead windows ahead
+  // of the faulting reader.
+  int decode_ahead_sections = 0;
 };
 
 // The resident half of an S-Node representation, separated from the repr
@@ -69,6 +77,24 @@ struct SNodeResidentState {
 
   void Serialize(std::string* out) const;
   static Result<SNodeResidentState> Parse(SerialCursor* cursor);
+};
+
+class PrefetchExecutor;
+
+// Who initiated a cold blob load -- demand read (a query is waiting),
+// decode-ahead (the locality executor running ahead of a cursor), or the
+// background warmer. Exposition splits the wg_cold_* series by this so a
+// dashboard can tell a cold-read cliff from deliberate warming I/O.
+enum class SNodeLoadSource { kDemand = 0, kDecodeAhead = 1, kWarmer = 2 };
+
+// Cold-path counters (registry series wg_cold_*), split by load source.
+struct SNodeColdStats {
+  obs::Counter demand_blobs, demand_bytes;
+  obs::Counter decode_ahead_blobs, decode_ahead_bytes;
+  obs::Counter warmer_blobs, warmer_bytes;
+  obs::Counter assembles;  // supernode CSR assemblies (cold cursor work)
+  void Register(obs::MetricRegistry& registry, const obs::Labels& labels);
+  void Bump(SNodeLoadSource source, uint64_t blobs, uint64_t bytes);
 };
 
 class SNodeRepr : public GraphRepresentation {
@@ -146,12 +172,37 @@ class SNodeRepr : public GraphRepresentation {
   uint64_t encoded_bits() const override;
   size_t resident_memory() const override;
 
+  ~SNodeRepr() override;
+
   const SupernodeGraph& supernode_graph() const { return supernodes_; }
   const GraphStore& store() const { return *store_; }
+
+  // Memory-maps the store files in place (a store produced by Build can
+  // be mapped once the last Append is done; Open/FromParts map up front
+  // when options.store.mmap is set). Idempotent.
+  Status MapStoreForRead();
+
+  // Best-effort page-cache eviction of the store files plus a cache
+  // clear: the true cold state a first query after process start sees.
+  // Used by cold-read benchmarks.
+  void DropToColdState();
+
+  // Decodes supernode `s`'s whole section (intranode + outgoing superedge
+  // graphs) into the cache, attributed to `source` in the wg_cold_*
+  // series. This is the warmer's and the decode-ahead executor's entry
+  // point; safe to call concurrently with readers.
+  Status WarmSection(uint32_t supernode, SNodeLoadSource source);
+
+  // Encoded bytes of supernode `s`'s section on disk (the warmer's rate
+  // limiter charges this before sleeping).
+  uint64_t SectionBytes(uint32_t supernode) const;
+
+  const SNodeColdStats& cold_stats() const { return cold_stats_; }
 
   // Decoded-graph cache controls (Figure 12 sweeps the budget).
   void set_buffer_budget(size_t bytes) { cache_->set_budget(bytes); }
   size_t buffer_budget() const { return cache_->budget(); }
+  size_t buffer_bytes_used() const { return cache_->bytes_used(); }
 
   struct LoadEvent {
     uint32_t blob_id;
@@ -213,17 +264,28 @@ class SNodeRepr : public GraphRepresentation {
   // needs most of a section pays one seek for it. Under concurrency, only
   // blobs this thread claimed are decoded here; blobs already in flight
   // elsewhere are left to their owners.
-  Status PrefetchSection(uint32_t supernode);
+  Status PrefetchSection(uint32_t supernode,
+                         SNodeLoadSource source = SNodeLoadSource::kDemand);
+
+  // Hands sections supernode+1 .. supernode+decode_ahead_sections to the
+  // background executor (no-op when decode-ahead is off).
+  void MaybeDecodeAhead(uint32_t supernode);
+
+  // Registers the cold-path counters and (if configured) spawns the
+  // decode-ahead executor; the tail of Build/FromParts.
+  void StartRuntime();
 
   // True if enough of the section is wanted that a single sequential
   // section read beats per-graph seeks.
   bool SectionWorthPrefetching(uint32_t supernode, size_t graphs_needed) const;
 
   // Decodes store blob `blob_id` of `supernode`'s section (first_blob =
-  // the section's intranode blob id) from `raw` into *entry.
+  // the section's intranode blob id) from the borrowed bytes [data,
+  // data+size) into *entry. The bytes may live in a read buffer or
+  // directly in the mmapped store file; they are not retained.
   Status DecodeSectionBlob(uint32_t blob_id, uint32_t supernode,
-                           uint32_t first_blob, const std::vector<uint8_t>& raw,
-                           ShardedGraphCache::Entry* entry);
+                           uint32_t first_blob, const uint8_t* data,
+                           size_t size, ShardedGraphCache::Entry* entry);
 
   void InstallLoadLogListener();
 
@@ -240,6 +302,14 @@ class SNodeRepr : public GraphRepresentation {
   // Created in Build/Open once the options are known (shards hold
   // mutexes, so the cache is not reassignable in place).
   std::unique_ptr<ShardedGraphCache> cache_;
+
+  // Cold-path attribution counters (wg_cold_* series).
+  SNodeColdStats cold_stats_;
+
+  // Background decode-ahead executor (null when
+  // options_.decode_ahead_sections == 0). Declared after the state its
+  // worker reads; the destructor stops it before members die.
+  std::unique_ptr<PrefetchExecutor> decode_ahead_;
 
   // Serializes physical store reads and the monotone disk-model tracker
   // (the paper's testbed has one disk; concurrent readers queue on it).

@@ -1,0 +1,99 @@
+#include "snode/warmer.h"
+
+#include <chrono>
+
+#include "obs/trace.h"
+
+namespace wg {
+
+StoreWarmer::StoreWarmer(std::shared_ptr<SNodeRepr> repr,
+                         WarmerOptions options)
+    : repr_(std::move(repr)), options_(options) {
+  obs::Labels labels = {{"scheme", "s-node"},
+                        {"instance", std::to_string(obs::NextInstanceId())}};
+  auto& registry = obs::MetricRegistry::Default();
+  sections_metric_.Bind(registry, "wg_warm_sections_total", labels,
+                        "Sections decoded by the background warmer");
+  bytes_metric_.Bind(registry, "wg_warm_bytes_total", labels,
+                     "Encoded bytes read by the background warmer");
+  active_metric_.Bind(registry, "wg_warm_active", labels,
+                      "1 while a warmer walk is running");
+}
+
+StoreWarmer::~StoreWarmer() { Stop(); }
+
+bool StoreWarmer::Start() {
+  if (started_.exchange(true)) return false;
+  thread_ = std::thread([this] { Walk(); });
+  return true;
+}
+
+void StoreWarmer::Stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+}
+
+void StoreWarmer::Wait() {
+  if (thread_.joinable()) thread_.join();
+}
+
+StoreWarmer::Progress StoreWarmer::progress() const {
+  Progress p;
+  p.sections = sections_.load(std::memory_order_relaxed);
+  p.bytes = bytes_.load(std::memory_order_relaxed);
+  p.finished = finished_.load(std::memory_order_relaxed);
+  p.hit_high_water = hit_high_water_.load(std::memory_order_relaxed);
+  return p;
+}
+
+void StoreWarmer::Walk() {
+  obs::Span walk_span("warm.walk", "warm");
+  active_metric_.Set(1);
+  const uint32_t n_super =
+      static_cast<uint32_t>(repr_->supernode_graph().num_supernodes());
+  const size_t budget = repr_->buffer_budget();
+  const size_t high_water = static_cast<size_t>(
+      static_cast<double>(budget) * options_.cache_high_water);
+  const auto t0 = std::chrono::steady_clock::now();
+  uint64_t bytes_so_far = 0;
+  for (uint32_t s = 0; s < n_super; ++s) {
+    if (stop_.load(std::memory_order_relaxed)) break;
+    if (repr_->buffer_bytes_used() >= high_water) {
+      hit_high_water_.store(true, std::memory_order_relaxed);
+      break;
+    }
+    uint64_t section_bytes = repr_->SectionBytes(s);
+    if (!repr_->WarmSection(s, SNodeLoadSource::kWarmer).ok()) break;
+    bytes_so_far += section_bytes;
+    sections_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(section_bytes, std::memory_order_relaxed);
+    ++sections_metric_;
+    bytes_metric_ += section_bytes;
+    // Rate limit: sleep until wall-clock catches up with bytes/rate,
+    // in short naps so Stop() stays responsive.
+    if (options_.rate_bytes_per_sec > 0) {
+      double target_seconds =
+          static_cast<double>(bytes_so_far) /
+          static_cast<double>(options_.rate_bytes_per_sec);
+      for (;;) {
+        double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        if (elapsed >= target_seconds ||
+            stop_.load(std::memory_order_relaxed)) {
+          break;
+        }
+        double remaining = target_seconds - elapsed;
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            remaining < 0.01 ? remaining : 0.01));
+      }
+    }
+  }
+  walk_span.AddArg("sections", sections_.load(std::memory_order_relaxed));
+  walk_span.AddArg("bytes", bytes_.load(std::memory_order_relaxed));
+  active_metric_.Set(0);
+  finished_.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace wg

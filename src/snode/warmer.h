@@ -1,0 +1,85 @@
+#ifndef WG_SNODE_WARMER_H_
+#define WG_SNODE_WARMER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "snode/snode_repr.h"
+
+// Background store warmer: walks an S-Node store's sections in layout
+// order (= LocalityKey order), decoding each into the graph cache at a
+// bounded I/O rate, so the first real queries after a snapshot open or a
+// generation flip land on a warm cache instead of the cold-read cliff.
+//
+// The walk stops on its own when the cache is nearly full (warming past
+// the budget would only evict what was just warmed), when the store runs
+// out of sections, or when Stop() is called -- a generation flip stops
+// the old generation's warmer and starts one on the new generation.
+// Progress reports through the metric registry: wg_warm_sections_total /
+// wg_warm_bytes_total counters and the wg_warm_active gauge, plus a
+// "warm.walk" span covering the whole walk.
+
+namespace wg {
+
+struct WarmerOptions {
+  // Encoded-bytes-per-second ceiling for the walk; the warmer sleeps
+  // after each section to hold the average at or under this. <= 0 means
+  // unthrottled.
+  int64_t rate_bytes_per_sec = 64 << 20;
+  // Stop once the decoded-graph cache is this full (fraction of budget).
+  double cache_high_water = 0.9;
+};
+
+class StoreWarmer {
+ public:
+  // Holds a shared_ptr so an in-flight walk keeps its generation's repr
+  // alive across a swap.
+  StoreWarmer(std::shared_ptr<SNodeRepr> repr, WarmerOptions options);
+  ~StoreWarmer();
+
+  StoreWarmer(const StoreWarmer&) = delete;
+  StoreWarmer& operator=(const StoreWarmer&) = delete;
+
+  // Starts the walk thread. Idempotent; returns false if already started.
+  bool Start();
+
+  // Signals the walk to stop after the current section and joins it.
+  void Stop();
+
+  // Blocks until the walk finishes (naturally or via Stop).
+  void Wait();
+
+  struct Progress {
+    uint64_t sections = 0;    // sections decoded by this warmer
+    uint64_t bytes = 0;       // encoded bytes of those sections
+    bool finished = false;    // walk thread has exited
+    bool hit_high_water = false;
+  };
+  Progress progress() const;
+
+ private:
+  void Walk();
+
+  std::shared_ptr<SNodeRepr> repr_;
+  WarmerOptions options_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> finished_{false};
+  std::atomic<bool> hit_high_water_{false};
+  std::atomic<uint64_t> sections_{0};
+  std::atomic<uint64_t> bytes_{0};
+
+  obs::Counter sections_metric_;
+  obs::Counter bytes_metric_;
+  obs::Gauge active_metric_;
+
+  std::thread thread_;
+};
+
+}  // namespace wg
+
+#endif  // WG_SNODE_WARMER_H_

@@ -1,6 +1,7 @@
 #include "storage/graph_store.h"
 
 #include <cstdio>
+#include <cstring>
 
 #include "util/coding.h"
 
@@ -26,7 +27,7 @@ Status GraphStore::OpenNextFile() {
 }
 
 Result<uint32_t> GraphStore::Append(const std::vector<uint8_t>& blob) {
-  if (read_only_) {
+  if (read_only_ || mapped_) {
     return Status::InvalidArgument("graph store: attached read-only");
   }
   RandomAccessFile* file = files_.back().get();
@@ -55,8 +56,95 @@ Status GraphStore::ReadBlob(uint32_t id, std::vector<uint8_t>* out) const {
   const BlobRef& ref = directory_[id];
   out->resize(ref.length);
   if (ref.length == 0) return Status::OK();
+  if (mapped_) {
+    // Copy out of the mapping; still cheaper than a pread syscall, and
+    // callers that can tolerate a borrowed span use ReadBlobSpan instead.
+    const uint8_t* base = files_[ref.file_index]->mapped_data();
+    std::memcpy(out->data(), base + ref.offset, ref.length);
+    mapped_reads_.fetch_add(1, std::memory_order_relaxed);
+    mapped_bytes_.fetch_add(ref.length, std::memory_order_relaxed);
+    return Status::OK();
+  }
   return files_[ref.file_index]->Read(
       ref.offset, ref.length, reinterpret_cast<char*>(out->data()));
+}
+
+Status GraphStore::MapForRead() {
+  if (mapped_) return Status::OK();
+  for (const auto& file : files_) {
+    WG_RETURN_IF_ERROR(file->MapReadOnly());
+  }
+  readahead_edge_.clear();
+  readahead_edge_.reserve(files_.size());
+  for (size_t f = 0; f < files_.size(); ++f) {
+    readahead_edge_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
+  }
+  mapped_ = true;
+  return Status::OK();
+}
+
+Status GraphStore::ReadBlobSpan(uint32_t id, BlobSpan* span) const {
+  if (id >= directory_.size()) {
+    return Status::OutOfRange("graph store: blob id out of range");
+  }
+  if (!mapped_) {
+    return Status::InvalidArgument("graph store: not memory-mapped");
+  }
+  const BlobRef& ref = directory_[id];
+  const RandomAccessFile& file = *files_[ref.file_index];
+  span->data = ref.length == 0 ? nullptr : file.mapped_data() + ref.offset;
+  span->length = ref.length;
+  mapped_reads_.fetch_add(1, std::memory_order_relaxed);
+  mapped_bytes_.fetch_add(ref.length, std::memory_order_relaxed);
+  // Readahead window: the first read past the previous window's edge asks
+  // the kernel for the next options_.readahead_bytes in one go -- the
+  // layout places this blob's section right here, so the faults the
+  // decode is about to take are batched instead of page-by-page.
+  if (options_.readahead_bytes > 0 && ref.length > 0) {
+    // The current window covers [edge - readahead_bytes, edge); a read
+    // ending outside it (past the edge, or a jump back to an earlier
+    // region) opens a fresh window at the read's start.
+    std::atomic<uint64_t>& edge = *readahead_edge_[ref.file_index];
+    uint64_t end = ref.offset + ref.length;
+    uint64_t seen = edge.load(std::memory_order_relaxed);
+    uint64_t window_start =
+        seen > options_.readahead_bytes ? seen - options_.readahead_bytes : 0;
+    if (seen == 0 || end > seen || end < window_start) {
+      edge.store(ref.offset + options_.readahead_bytes,
+                 std::memory_order_relaxed);
+      file.Advise(ref.offset, options_.readahead_bytes,
+                  RandomAccessFile::Advice::kWillNeed);
+    }
+  }
+  return Status::OK();
+}
+
+void GraphStore::AdviseBlobs(uint32_t first, uint32_t last,
+                             RandomAccessFile::Advice advice) const {
+  if (!mapped_ || first > last || last >= directory_.size()) return;
+  uint32_t id = first;
+  while (id <= last) {
+    uint32_t file_index = directory_[id].file_index;
+    uint32_t run_end = id;
+    while (run_end < last && directory_[run_end + 1].file_index == file_index &&
+           directory_[run_end + 1].offset ==
+               directory_[run_end].offset + directory_[run_end].length) {
+      ++run_end;
+    }
+    uint64_t begin = directory_[id].offset;
+    uint64_t end = directory_[run_end].offset + directory_[run_end].length;
+    if (end > begin) {
+      files_[file_index]->Advise(begin, end - begin, advice);
+    }
+    id = run_end + 1;
+  }
+}
+
+void GraphStore::EvictFromPageCache() const {
+  for (const auto& file : files_) file->EvictFromPageCache();
+  for (const auto& edge : readahead_edge_) {
+    edge->store(0, std::memory_order_relaxed);
+  }
 }
 
 Status GraphStore::ReadBlobRange(uint32_t first, uint32_t last,
@@ -82,6 +170,20 @@ Status GraphStore::ReadBlobRange(uint32_t first, uint32_t last,
     }
     uint64_t begin = directory_[id].offset;
     uint64_t end = directory_[run_end].offset + directory_[run_end].length;
+    if (mapped_) {
+      const uint8_t* base = files_[file_index]->mapped_data();
+      files_[file_index]->Advise(begin, end - begin,
+                                 RandomAccessFile::Advice::kWillNeed);
+      for (uint32_t b = id; b <= run_end; ++b) {
+        const BlobRef& ref = directory_[b];
+        (*out)[b - first].assign(base + ref.offset,
+                                 base + ref.offset + ref.length);
+      }
+      mapped_reads_.fetch_add(1, std::memory_order_relaxed);
+      mapped_bytes_.fetch_add(end - begin, std::memory_order_relaxed);
+      id = run_end + 1;
+      continue;
+    }
     std::vector<char> buffer(end - begin);
     if (!buffer.empty()) {
       WG_RETURN_IF_ERROR(
@@ -145,13 +247,16 @@ Result<std::unique_ptr<GraphStore>> GraphStore::OpenExisting(
     store->directory_.push_back(ref);
     store->total_bytes_ += ref.length;
   }
+  if (store->options_.mmap) {
+    WG_RETURN_IF_ERROR(store->MapForRead());
+  }
   return store;
 }
 
 Result<std::unique_ptr<GraphStore>> GraphStore::OpenFiles(
     const std::vector<std::string>& paths,
-    std::vector<BlobLocation> directory) {
-  std::unique_ptr<GraphStore> store(new GraphStore("", Options()));
+    std::vector<BlobLocation> directory, Options options) {
+  std::unique_ptr<GraphStore> store(new GraphStore("", options));
   store->read_only_ = true;
   for (const std::string& path : paths) {
     auto file = RandomAccessFile::Open(path);
@@ -169,7 +274,16 @@ Result<std::unique_ptr<GraphStore>> GraphStore::OpenFiles(
     store->directory_.push_back({loc.file_index, loc.length, loc.offset});
     store->total_bytes_ += loc.length;
   }
+  if (options.mmap) {
+    WG_RETURN_IF_ERROR(store->MapForRead());
+  }
   return store;
+}
+
+Result<std::unique_ptr<GraphStore>> GraphStore::OpenFiles(
+    const std::vector<std::string>& paths,
+    std::vector<BlobLocation> directory) {
+  return OpenFiles(paths, std::move(directory), Options());
 }
 
 uint64_t GraphStore::read_ops() const {

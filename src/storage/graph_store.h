@@ -1,6 +1,7 @@
 #ifndef WG_STORAGE_GRAPH_STORE_H_
 #define WG_STORAGE_GRAPH_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -28,8 +29,20 @@ class GraphStore {
  public:
   struct Options {
     // The paper used 500 MB index files; our data sets are 1000x smaller,
-    // so default to 512 KB to preserve the multi-file structure.
+    // so default to 512 KB to preserve the multi-file structure. At 1M+
+    // pages the default produces thousands of files -- raise it (wgtool
+    // build --max-file-size).
     uint64_t max_file_size = 512 * 1024;
+    // Memory-map the store files on attach (OpenExisting/OpenFiles) so
+    // blob reads are page-cache-backed pointer arithmetic instead of a
+    // pread per blob. Ignored by Create (a store being appended cannot be
+    // mapped); call MapForRead() once writing is done.
+    bool mmap = false;
+    // When a mapped blob is read cold, open an madvise(MADV_WILLNEED)
+    // readahead window of this many bytes starting at the blob -- the
+    // paper's layout places a query's working set immediately after, so
+    // the kernel fetches it while we decode.
+    uint64_t readahead_bytes = 256 * 1024;
   };
 
   // Physical home of one blob, exposed so the version subsystem's
@@ -62,6 +75,9 @@ class GraphStore {
   // shared with whichever generation first wrote them.
   static Result<std::unique_ptr<GraphStore>> OpenFiles(
       const std::vector<std::string>& paths,
+      std::vector<BlobLocation> directory, Options options);
+  static Result<std::unique_ptr<GraphStore>> OpenFiles(
+      const std::vector<std::string>& paths,
       std::vector<BlobLocation> directory);
 
   // Appends the blob directory to *payload (varints), for the owner's
@@ -80,6 +96,48 @@ class GraphStore {
   // out[i] receives blob first+i.
   Status ReadBlobRange(uint32_t first, uint32_t last,
                        std::vector<std::vector<uint8_t>>* out) const;
+
+  // A borrowed view of one blob's bytes inside a mapped store file; valid
+  // for the life of the store. data is never null for length > 0.
+  struct BlobSpan {
+    const uint8_t* data = nullptr;
+    uint32_t length = 0;
+  };
+
+  // True once every non-empty store file is memory-mapped; only then do
+  // the span reads below succeed.
+  bool mapped() const { return mapped_; }
+
+  // Maps all files read-only. Valid on any store that is done being
+  // written (OpenExisting/OpenFiles attach, or a Create store after its
+  // last Append); appending afterwards is rejected.
+  Status MapForRead();
+
+  // Points *span at blob `id` inside the mapping (zero-copy; no syscall).
+  // On the first touch of a readahead window this also issues
+  // madvise(MADV_WILLNEED) for options.readahead_bytes following bytes.
+  // Fails unless mapped().
+  Status ReadBlobSpan(uint32_t id, BlobSpan* span) const;
+
+  // madvise over the physical byte ranges of blobs [first, last] (the
+  // decode-ahead executor and the warmer use kWillNeed/kSequential ahead
+  // of decoding; kDontNeed drops residency). No-op when not mapped.
+  void AdviseBlobs(uint32_t first, uint32_t last,
+                   RandomAccessFile::Advice advice) const;
+
+  // Best-effort page-cache eviction of every store file (cold-read
+  // benchmarks; see RandomAccessFile::EvictFromPageCache).
+  void EvictFromPageCache() const;
+
+  // Bytes served through ReadBlobSpan (mapped, zero-copy reads) -- kept
+  // separate from the pread counters so exposition can tell demand-paged
+  // I/O from syscall I/O.
+  uint64_t mapped_reads() const {
+    return mapped_reads_.load(std::memory_order_relaxed);
+  }
+  uint64_t mapped_bytes() const {
+    return mapped_bytes_.load(std::memory_order_relaxed);
+  }
 
   size_t num_blobs() const { return directory_.size(); }
   size_t num_files() const { return files_.size(); }
@@ -124,6 +182,12 @@ class GraphStore {
   std::vector<BlobRef> directory_;
   uint64_t total_bytes_ = 0;
   bool read_only_ = false;
+  bool mapped_ = false;
+  mutable std::atomic<uint64_t> mapped_reads_{0};
+  mutable std::atomic<uint64_t> mapped_bytes_{0};
+  // Last readahead window opened per file (one word per file, relaxed:
+  // duplicate WILLNEEDs are harmless, missing one costs a demand fault).
+  mutable std::vector<std::unique_ptr<std::atomic<uint64_t>>> readahead_edge_;
 };
 
 }  // namespace wg

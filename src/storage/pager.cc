@@ -11,11 +11,13 @@ void PagerStats::Register(obs::MetricRegistry& registry,
                           const obs::Labels& labels) {
   hits.Bind(registry, "wg_pager_hits_total", labels, "Buffer-pool hits");
   misses.Bind(registry, "wg_pager_misses_total", labels,
-              "Buffer-pool misses (physical page reads)");
+              "Buffer-pool demand misses (physical page reads)");
   evictions.Bind(registry, "wg_pager_evictions_total", labels,
                  "Frames evicted to make room");
   writes.Bind(registry, "wg_pager_writes_total", labels,
               "Physical page writes");
+  readahead.Bind(registry, "wg_pager_readahead_total", labels,
+                 "Pages loaded speculatively by Readahead()");
 }
 
 PageHandle::PageHandle(Pager* pager, uint32_t frame)
@@ -122,6 +124,10 @@ Result<uint32_t> Pager::PinFrame(PageNum page) {
   // the physical read.
   obs::Span span("pager.load_page", "storage");
   span.AddArg("page", page);
+  return LoadFrame(page);
+}
+
+Result<uint32_t> Pager::LoadFrame(PageNum page) {
   if (free_frames_.empty()) {
     WG_RETURN_IF_ERROR(EvictOne());
   }
@@ -143,6 +149,31 @@ Result<uint32_t> Pager::PinFrame(PageNum page) {
   }
   frame_of_page_[page] = frame;
   return frame;
+}
+
+Status Pager::Readahead(PageNum first, size_t count) {
+  // Half the pool is the ceiling for speculative residency; with the
+  // 8-frame minimum there is always at least one frame to spend.
+  count = std::min(count, frames_.size() / 2);
+  for (size_t i = 0; i < count; ++i) {
+    PageNum page = first + static_cast<PageNum>(i);
+    if (page >= num_pages_) break;
+    if (frame_of_page_.find(page) != frame_of_page_.end()) {
+      continue;  // already resident: neither a hit nor a readahead
+    }
+    auto frame = LoadFrame(page);
+    if (!frame.ok()) {
+      if (frame.status().code() == StatusCode::kResourceExhausted) {
+        break;  // all frames pinned
+      }
+      return frame.status();
+    }
+    ++stats_.readahead;
+    // Straight to the LRU: readahead pages are as evictable as any other
+    // unpinned frame, so mistaken speculation costs one eviction at most.
+    Unpin(frame.value());
+  }
+  return Status::OK();
 }
 
 void Pager::Unpin(uint32_t frame) {

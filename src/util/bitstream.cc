@@ -1,6 +1,20 @@
 #include "util/bitstream.h"
 
+#include <cstring>
+
 namespace wg {
+
+namespace {
+
+// Big-endian 64-bit window starting at data[byte_idx]: the next 64 bits
+// of the stream, most significant first.
+inline uint64_t LoadWindow(const uint8_t* p) {
+  uint64_t w;
+  std::memcpy(&w, p, 8);
+  return __builtin_bswap64(w);
+}
+
+}  // namespace
 
 void BitWriter::WriteBits(uint64_t value, int nbits) {
   WG_DCHECK(nbits >= 0 && nbits <= 64);
@@ -43,6 +57,18 @@ uint64_t BitReader::ReadBits(int nbits) {
     pos_ = size_bits_;
     return 0;
   }
+  // Fast path: one aligned-enough 64-bit window holds the whole read
+  // (bit_off <= 7, so up to 57 bits) and the load stays inside the
+  // buffer.
+  {
+    uint64_t byte_idx = pos_ >> 3;
+    int bit_off = static_cast<int>(pos_ & 7);
+    if (nbits <= 57 && byte_idx + 8 <= (size_bits_ >> 3)) {
+      uint64_t w = LoadWindow(data_ + byte_idx);
+      pos_ += static_cast<uint64_t>(nbits);
+      return (w << bit_off) >> (64 - nbits);
+    }
+  }
   uint64_t result = 0;
   uint64_t p = pos_;
   int remaining = nbits;
@@ -60,6 +86,43 @@ uint64_t BitReader::ReadBits(int nbits) {
   }
   pos_ = p;
   return result;
+}
+
+uint64_t BitReader::ReadUnary() {
+  uint64_t n = 0;
+  while (pos_ < size_bits_) {
+    uint64_t byte_idx = pos_ >> 3;
+    int bit_off = static_cast<int>(pos_ & 7);
+    if (byte_idx + 8 <= (size_bits_ >> 3)) {
+      // The shifted window holds 64 - bit_off real stream bits followed
+      // by zero fill, so any set bit found is a real stream bit.
+      uint64_t w = LoadWindow(data_ + byte_idx) << bit_off;
+      if (w != 0) {
+        int z = __builtin_clzll(w);
+        pos_ += static_cast<uint64_t>(z) + 1;
+        return n + static_cast<uint64_t>(z);
+      }
+      n += static_cast<uint64_t>(64 - bit_off);
+      pos_ += static_cast<uint64_t>(64 - bit_off);
+      continue;
+    }
+    // Tail (< 8 whole bytes left): bit by bit.
+    if ((data_[byte_idx] >> (7 - bit_off)) & 1) {
+      ++pos_;
+      return n;
+    }
+    ++pos_;
+    ++n;
+  }
+  ok_ = false;
+  return n;
+}
+
+uint64_t BitReader::ReadGammaSlow() {
+  uint64_t nb = ReadUnary();
+  if (!ok_ || nb > 63) return 0;
+  uint64_t rem = nb > 0 ? ReadBits(static_cast<int>(nb)) : 0;
+  return ((uint64_t{1} << nb) | rem) - 1;
 }
 
 uint64_t BitReader::PeekBits(int nbits) const {

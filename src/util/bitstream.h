@@ -2,6 +2,7 @@
 #define WG_UTIL_BITSTREAM_H_
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "util/status.h"
@@ -56,7 +57,42 @@ class BitReader {
   // Reads `nbits` (0..64) bits; returns 0 and marks failure on overrun.
   uint64_t ReadBits(int nbits);
 
-  bool ReadBit() { return ReadBits(1) != 0; }
+  bool ReadBit() {
+    if (pos_ >= size_bits_) {
+      ok_ = false;
+      return false;
+    }
+    bool bit = (data_[pos_ >> 3] >> (7 - (pos_ & 7))) & 1;
+    ++pos_;
+    return bit;
+  }
+
+  // Zeros before the next 1 bit, consuming through that 1 -- the unary
+  // prefix of gamma/delta codes, scanned a word at a time. Marks failure
+  // (returning the zeros seen) if the stream ends first.
+  uint64_t ReadUnary();
+
+  // One whole gamma code (unary prefix + remainder bits) from a single
+  // 64-bit window when it fits -- the per-edge hot path of every codec.
+  // Falls back to ReadUnary + ReadBits near the stream tail or for codes
+  // longer than the window.
+  uint64_t ReadGamma() {
+    uint64_t byte_idx = pos_ >> 3;
+    int bit_off = static_cast<int>(pos_ & 7);
+    if (byte_idx + 8 <= (size_bits_ >> 3)) {
+      uint64_t w = Window(byte_idx) << bit_off;
+      if (w != 0) {
+        int nb = __builtin_clzll(w);
+        // The full code is 2*nb + 1 bits; the shifted window holds
+        // 64 - bit_off real stream bits.
+        if (2 * nb + 1 <= 64 - bit_off) {
+          pos_ += static_cast<uint64_t>(2 * nb + 1);
+          return (w >> (63 - 2 * nb)) - 1;
+        }
+      }
+    }
+    return ReadGammaSlow();
+  }
 
   // Peeks up to `nbits` bits without consuming; bits beyond the end read as
   // zero (used by table-driven Huffman decode at the stream tail).
@@ -70,6 +106,16 @@ class BitReader {
   bool ok() const { return ok_; }
 
  private:
+  // Big-endian 64-bit window starting at data_[byte_idx]: the next 64
+  // bits of the stream, most significant first.
+  uint64_t Window(uint64_t byte_idx) const {
+    uint64_t w;
+    std::memcpy(&w, data_ + byte_idx, 8);
+    return __builtin_bswap64(w);
+  }
+
+  uint64_t ReadGammaSlow();
+
   const uint8_t* data_;
   uint64_t size_bits_;
   uint64_t pos_ = 0;

@@ -21,28 +21,13 @@ void WriteUnary(BitWriter* w, uint64_t n) {
   w->WriteBits(1, static_cast<int>(n) + 1);
 }
 
-uint64_t ReadUnary(BitReader* r) {
-  uint64_t n = 0;
-  while (r->ok()) {
-    if (r->ReadBit()) return n;
-    ++n;
-  }
-  return 0;
-}
+uint64_t ReadUnary(BitReader* r) { return r->ReadUnary(); }
 
 void WriteGamma(BitWriter* w, uint64_t n) {
   uint64_t v = n + 1;
   int nb = HighBit(v);  // number of remainder bits
   WriteUnary(w, static_cast<uint64_t>(nb));
   if (nb > 0) w->WriteBits(v & ((uint64_t{1} << nb) - 1), nb);
-}
-
-uint64_t ReadGamma(BitReader* r) {
-  uint64_t nb = ReadUnary(r);
-  if (!r->ok() || nb > 63) return 0;
-  uint64_t rem = nb > 0 ? r->ReadBits(static_cast<int>(nb)) : 0;
-  uint64_t v = (uint64_t{1} << nb) | rem;
-  return v - 1;
 }
 
 void WriteDelta(BitWriter* w, uint64_t n) {

@@ -23,7 +23,7 @@ uint64_t ReadUnary(BitReader* r);
 
 // Elias gamma of (n + 1): unary length prefix + binary remainder.
 void WriteGamma(BitWriter* w, uint64_t n);
-uint64_t ReadGamma(BitReader* r);
+inline uint64_t ReadGamma(BitReader* r) { return r->ReadGamma(); }
 
 // Elias delta of (n + 1): gamma-coded length + binary remainder. Better than
 // gamma for large values; used for page-id gaps across wide ranges.

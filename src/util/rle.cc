@@ -29,6 +29,19 @@ void ReadRleBits(BitReader* r, size_t count, std::vector<uint8_t>* out) {
   }
 }
 
+bool ReadRleRuns(BitReader* r, size_t count, std::vector<uint32_t>* runs) {
+  if (count == 0) return false;
+  bool first = r->ReadBit();
+  size_t produced = 0;
+  while (produced < count && r->ok()) {
+    size_t run = static_cast<size_t>(ReadGamma(r)) + 1;
+    if (run > count - produced) run = count - produced;  // corruption guard
+    runs->push_back(static_cast<uint32_t>(run));
+    produced += run;
+  }
+  return first;
+}
+
 uint64_t RleBitsCost(const std::vector<uint8_t>& bits) {
   if (bits.empty()) return 0;
   uint64_t cost = 1;

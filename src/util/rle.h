@@ -23,6 +23,12 @@ void WriteRleBits(BitWriter* w, const std::vector<uint8_t>& bits);
 // Decodes `count` bits into `out` (appended).
 void ReadRleBits(BitReader* r, size_t count, std::vector<uint8_t>* out);
 
+// Same stream, but appends the alternating run lengths to `runs` instead
+// of materializing the bit vector; returns the value of the first run
+// (false when count == 0). Consumers that walk runs skip the per-bit
+// branch of the expanded form entirely.
+bool ReadRleRuns(BitReader* r, size_t count, std::vector<uint32_t>* runs);
+
 // Bits WriteRleBits would use.
 uint64_t RleBitsCost(const std::vector<uint8_t>& bits);
 

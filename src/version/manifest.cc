@@ -74,6 +74,11 @@ Result<Manifest> Manifest::ReadFrom(const std::string& path) {
 
 Result<std::unique_ptr<GraphStore>> Manifest::OpenStore(
     const std::string& dir) const {
+  return OpenStore(dir, GraphStore::Options());
+}
+
+Result<std::unique_ptr<GraphStore>> Manifest::OpenStore(
+    const std::string& dir, const GraphStore::Options& options) const {
   std::vector<std::string> paths;
   paths.reserve(files.size());
   for (const std::string& f : files) paths.push_back(dir + "/" + f);
@@ -82,7 +87,7 @@ Result<std::unique_ptr<GraphStore>> Manifest::OpenStore(
   for (const ManifestBlob& b : blobs) {
     directory.push_back({b.file_index, b.offset, b.length});
   }
-  return GraphStore::OpenFiles(paths, std::move(directory));
+  return GraphStore::OpenFiles(paths, std::move(directory), options);
 }
 
 Result<SNodeResidentState> Manifest::ParseResident() const {

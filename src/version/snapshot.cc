@@ -147,7 +147,7 @@ Result<GenerationPtr> SnapshotManager::LoadGeneration(
                       Manifest::ReadFrom(dir_ + "/" + manifest_name));
   WG_ASSIGN_OR_RETURN(SNodeResidentState state, manifest.ParseResident());
   WG_ASSIGN_OR_RETURN(std::unique_ptr<GraphStore> store,
-                      manifest.OpenStore(dir_));
+                      manifest.OpenStore(dir_, options_.store));
   WG_ASSIGN_OR_RETURN(
       std::unique_ptr<SNodeRepr> repr,
       SNodeRepr::FromParts(std::move(state), std::move(store),

@@ -61,6 +61,9 @@ inline std::shared_ptr<GraphRepresentation> ReprOf(const GenerationPtr& gen) {
 
 struct SnapshotOptions {
   SNodeBuildOptions build;
+  // Read-path options for every generation's store open (mmap, readahead
+  // window). Sizing fields are ignored: generations are opened read-only.
+  GraphStore::Options store;
 };
 
 class SnapshotManager {

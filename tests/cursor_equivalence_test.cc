@@ -120,14 +120,78 @@ TEST(CursorEquivalenceTest, SNodeMatchesGetLinks) {
   CheckScheme(repr.value().get());
 }
 
+// The mmap read path must be byte-identical to pread: the S-Node served
+// from a mapped store (decode-ahead on, so background decodes race the
+// sweep) has to agree with GetLinks warm, scattered, and cold again --
+// and edge-for-edge with every other scheme over the same crawl.
+TEST(CursorEquivalenceTest, SNodeMmapMatchesGetLinksAndAllSchemes) {
+  WebGraph g = TestGraph();
+  SNodeBuildOptions bopts;
+  bopts.decode_ahead_sections = 2;
+  auto built = SNodeRepr::Build(g, TempPath("snmm"), bopts);
+  ASSERT_TRUE(built.ok());
+  SNodeRepr* snode = built.value().get();
+  ASSERT_TRUE(snode->MapStoreForRead().ok());
+  CheckScheme(snode);
+
+  auto huffman = HuffmanRepr::Build(g);
+  auto unc = UncompressedFileRepr::Build(g, TempPath("mm_unc"), {});
+  ASSERT_TRUE(unc.ok());
+  auto l3 = Link3Repr::Build(g, TempPath("mm_l3"), {});
+  ASSERT_TRUE(l3.ok());
+  auto rel = RelationalRepr::Build(g, TempPath("mm_rel"), {});
+  ASSERT_TRUE(rel.ok());
+  GraphRepresentation* others[] = {huffman.get(), unc.value().get(),
+                                   l3.value().get(), rel.value().get()};
+  auto snode_cursor = snode->NewCursor();
+  LinkView snode_view;
+  LinkView other_view;
+  for (GraphRepresentation* other : others) {
+    SCOPED_TRACE(other->name());
+    auto other_cursor = other->NewCursor();
+    for (PageId p = 0; p < g.num_pages(); ++p) {
+      ASSERT_TRUE(snode_cursor->Links(p, &snode_view).ok()) << "p=" << p;
+      ASSERT_TRUE(other_cursor->Links(p, &other_view).ok()) << "p=" << p;
+      ASSERT_EQ(snode_view.size(), other_view.size()) << "p=" << p;
+      EXPECT_TRUE(std::equal(snode_view.begin(), snode_view.end(),
+                             other_view.begin()))
+          << "p=" << p;
+    }
+  }
+}
+
+// Same contract through the persisted path: SaveMeta + Open with
+// options.store.mmap maps the files up front; reads must still match.
+TEST(CursorEquivalenceTest, SNodeMmapReopenMatchesGetLinks) {
+  WebGraph g = TestGraph();
+  std::string base = TempPath("snro");
+  {
+    auto built = SNodeRepr::Build(g, base, {});
+    ASSERT_TRUE(built.ok());
+    ASSERT_TRUE(built.value()->SaveMeta().ok());
+  }
+  SNodeBuildOptions ropts;
+  ropts.store.mmap = true;
+  ropts.decode_ahead_sections = 2;
+  auto reopened = SNodeRepr::Open(base, ropts);
+  ASSERT_TRUE(reopened.ok());
+  CheckScheme(reopened.value().get());
+  // Ground truth straight from the crawl, not just wrapper-vs-cursor.
+  auto cursor = reopened.value()->NewCursor();
+  LinkView view;
+  for (PageId p = 0; p < g.num_pages(); ++p) {
+    ASSERT_TRUE(cursor->Links(p, &view).ok()) << "p=" << p;
+    auto expected = g.OutLinks(p);
+    ASSERT_EQ(view.size(), expected.size()) << "p=" << p;
+    EXPECT_TRUE(std::equal(view.begin(), view.end(), expected.begin()))
+        << "p=" << p;
+  }
+}
+
 // Under a tiny cache budget the assembled blocks behind pinned views get
 // evicted constantly; the pins must keep every held view's bytes valid,
 // and the contents must still match ground truth after heavy churn.
-TEST(CursorEquivalenceTest, SNodePinnedViewsSurviveEviction) {
-  WebGraph g = TestGraph();
-  auto built = SNodeRepr::Build(g, TempPath("snp"), {});
-  ASSERT_TRUE(built.ok());
-  SNodeRepr* repr = built.value().get();
+void RunPinnedViewsSurviveEviction(SNodeRepr* repr, const WebGraph& g) {
   repr->set_buffer_budget(16 * 1024);  // force eviction on nearly every miss
 
   // Stream the first pages in natural order and keep every pinned view
@@ -181,6 +245,26 @@ TEST(CursorEquivalenceTest, SNodePinnedViewsSurviveEviction) {
   churn.reset();
   EXPECT_EQ(repr->PinnedCacheEntries(), 0u);
   EXPECT_EQ(repr->stats().views_pinned.value(), 0.0);
+}
+
+TEST(CursorEquivalenceTest, SNodePinnedViewsSurviveEviction) {
+  WebGraph g = TestGraph();
+  auto built = SNodeRepr::Build(g, TempPath("snp"), {});
+  ASSERT_TRUE(built.ok());
+  RunPinnedViewsSurviveEviction(built.value().get(), g);
+}
+
+// The same pin/eviction churn with the store memory-mapped and
+// decode-ahead racing the readers: views captured from mmap-decoded
+// sections must stay valid while the cache cycles underneath them.
+TEST(CursorEquivalenceTest, SNodePinnedViewsSurviveEvictionMmap) {
+  WebGraph g = TestGraph();
+  SNodeBuildOptions bopts;
+  bopts.decode_ahead_sections = 2;
+  auto built = SNodeRepr::Build(g, TempPath("snpm"), bopts);
+  ASSERT_TRUE(built.ok());
+  ASSERT_TRUE(built.value()->MapStoreForRead().ok());
+  RunPinnedViewsSurviveEviction(built.value().get(), g);
 }
 
 // The cursor path must feed the same ReprStats counters the wrapper

@@ -126,6 +126,56 @@ TEST(PagerTest, HitsDoNotTouchDisk) {
   EXPECT_EQ(pager.value()->stats().misses, 0u);
 }
 
+TEST(PagerTest, ReadaheadChargesItsOwnCounterAndPrimesFetch) {
+  TempDir dir;
+  auto pager = Pager::Open(dir.File("db"), 1 << 20);
+  ASSERT_TRUE(pager.ok());
+  for (int i = 0; i < 16; ++i) {
+    auto page = pager.value()->Allocate();
+    ASSERT_TRUE(page.ok());
+    auto h = pager.value()->Fetch(page.value());
+    ASSERT_TRUE(h.ok());
+    std::snprintf(h.value().data(), 32, "ra-%d", i);
+    h.value().MarkDirty();
+  }
+  ASSERT_TRUE(pager.value()->Flush().ok());
+  ASSERT_TRUE(pager.value()->DropUnpinned().ok());
+  pager.value()->ResetStats();
+
+  // Speculative loads land on readahead, not misses; the demand fetches
+  // that follow are pure hits.
+  ASSERT_TRUE(pager.value()->Readahead(0, 16).ok());
+  EXPECT_EQ(pager.value()->stats().readahead, 16u);
+  EXPECT_EQ(pager.value()->stats().misses, 0u);
+  for (int i = 0; i < 16; ++i) {
+    auto h = pager.value()->Fetch(static_cast<PageNum>(i));
+    ASSERT_TRUE(h.ok());
+    EXPECT_EQ(std::string(h.value().data()), "ra-" + std::to_string(i));
+  }
+  EXPECT_EQ(pager.value()->stats().hits, 16u);
+  EXPECT_EQ(pager.value()->stats().misses, 0u);
+
+  // Already-resident pages are skipped (no double charge), and the window
+  // is clipped at the file end rather than erroring.
+  ASSERT_TRUE(pager.value()->Readahead(8, 1000).ok());
+  EXPECT_EQ(pager.value()->stats().readahead, 16u);
+}
+
+TEST(PagerTest, ReadaheadKeepsHalfThePoolForDemandPaging) {
+  TempDir dir;
+  // Minimum pool: 8 frames. A 50-page readahead may only occupy 4.
+  auto pager = Pager::Open(dir.File("db"), 0);
+  ASSERT_TRUE(pager.ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(pager.value()->Allocate().ok());
+  }
+  ASSERT_TRUE(pager.value()->Flush().ok());
+  ASSERT_TRUE(pager.value()->DropUnpinned().ok());
+  pager.value()->ResetStats();
+  ASSERT_TRUE(pager.value()->Readahead(0, 50).ok());
+  EXPECT_EQ(pager.value()->stats().readahead, 4u);
+}
+
 // ---------- BTree ----------
 
 TEST(BTreeTest, InsertGetSmall) {

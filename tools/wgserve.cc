@@ -26,6 +26,17 @@
 //   --deadline-ms D   attach a deadline of now+D ms to every request
 //   --buffer BYTES    decoded-graph cache budget per representation
 //   --shards N        cache shards per representation (default 8)
+//   --mmap            serve store reads through a read-only mmap of the
+//                     pack files (zero-copy decode + madvise readahead)
+//                     instead of buffered pread
+//   --warm-on-open    walk the store in layout order on open -- and on
+//                     every generation flip in --snapshot mode -- decoding
+//                     sections into the cache at a bounded rate, so early
+//                     requests skip the cold-read cliff
+//   --warm-rate B     warmer ceiling in encoded bytes/sec (default 64 MiB;
+//                     0 = unthrottled)
+//   --decode-ahead N  on a streaming cursor miss, background-decode the
+//                     next N sections in layout order (default 0 = off)
 //   --metrics-out F   dump the metric registry to F at exit; ".json"
 //                     suffix selects the JSON form, anything else the
 //                     Prometheus text form
@@ -45,6 +56,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <future>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -56,6 +68,7 @@
 #include "server/query_service.h"
 #include "server/workload.h"
 #include "snode/snode_repr.h"
+#include "snode/warmer.h"
 #include "storage/file.h"
 #include "text/corpus.h"
 #include "text/inverted_index.h"
@@ -72,7 +85,9 @@ int Usage() {
                "               [--workers W] [--queue C] [--requests R]\n"
                "               [--theta T] [--khop K] [--file PATH]\n"
                "               [--deadline-ms D] [--buffer BYTES]\n"
-               "               [--shards N] [--metrics-out FILE]\n"
+               "               [--shards N] [--mmap] [--warm-on-open]\n"
+               "               [--warm-rate BYTES] [--decode-ahead N]\n"
+               "               [--metrics-out FILE]\n"
                "               [--trace-out FILE] [--trace-sample N]\n");
   return 2;
 }
@@ -87,6 +102,13 @@ const char* FlagValue(int argc, char** argv, const char* flag) {
     if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
   }
   return nullptr;
+}
+
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
 }
 
 int Main(int argc, char** argv) {
@@ -122,14 +144,23 @@ int Main(int argc, char** argv) {
   if (const char* shards = FlagValue(argc, argv, "--shards")) {
     bopts.cache_shards = std::strtoul(shards, nullptr, 10);
   }
+  if (const char* ahead = FlagValue(argc, argv, "--decode-ahead")) {
+    bopts.decode_ahead_sections = std::atoi(ahead);
+  }
+  const bool use_mmap = HasFlag(argc, argv, "--mmap");
+  const bool warm_on_open = HasFlag(argc, argv, "--warm-on-open");
+  WarmerOptions warm_opts;
+  if (const char* rate = FlagValue(argc, argv, "--warm-rate")) {
+    warm_opts.rate_bytes_per_sec = std::strtoll(rate, nullptr, 10);
+  }
 
   WebGraph graph;
   WebGraph transpose;
   Corpus corpus;
   InvertedIndex index;
   std::vector<double> pagerank;
-  std::unique_ptr<SNodeRepr> forward;
-  std::unique_ptr<SNodeRepr> backward;
+  std::shared_ptr<SNodeRepr> forward;
+  std::shared_ptr<SNodeRepr> backward;
   std::unique_ptr<version::SnapshotManager> manager;
   size_t num_pages = 0;
 
@@ -137,6 +168,7 @@ int Main(int argc, char** argv) {
   if (snapshot != nullptr) {
     version::SnapshotOptions vopts;
     vopts.build = bopts;
+    vopts.store.mmap = use_mmap;
     auto opened = version::SnapshotManager::Open(snapshot, vopts);
     if (!opened.ok()) return Fail(opened.status());
     manager = std::move(opened).value();
@@ -181,6 +213,11 @@ int Main(int argc, char** argv) {
     auto bwd = SNodeRepr::Build(transpose, dir + "/bwd", bopts);
     if (!bwd.ok()) return Fail(bwd.status());
     backward = std::move(bwd).value();
+    if (use_mmap) {
+      Status mapped = forward->MapStoreForRead();
+      if (mapped.ok()) mapped = backward->MapStoreForRead();
+      if (!mapped.ok()) return Fail(mapped);
+    }
     std::printf("s-node: %u supernodes, cache budget %zu bytes x%zu shards\n",
                 forward->supernode_graph().num_supernodes(),
                 bopts.buffer_bytes, bopts.cache_shards);
@@ -199,6 +236,32 @@ int Main(int argc, char** argv) {
   }
   if (const char* queue = FlagValue(argc, argv, "--queue")) {
     sopts.queue_capacity = std::strtoul(queue, nullptr, 10);
+  }
+
+  // One warmer follows whichever S-Node store is serving: started on
+  // open, restarted on every generation flip via the swap hook. The old
+  // walk is stopped; its shared_ptr keeps the old generation alive until
+  // the walk thread joins.
+  std::mutex warmer_mu;
+  std::shared_ptr<StoreWarmer> warmer;
+  auto start_warmer = [&](std::shared_ptr<SNodeRepr> repr) {
+    auto next = std::make_shared<StoreWarmer>(std::move(repr), warm_opts);
+    next->Start();
+    std::shared_ptr<StoreWarmer> old;
+    {
+      std::lock_guard<std::mutex> lock(warmer_mu);
+      old = warmer;
+      warmer = next;
+    }
+    if (old != nullptr) old->Stop();
+  };
+  if (warm_on_open) {
+    sopts.on_swap = [&](const std::shared_ptr<GraphRepresentation>& fwd) {
+      auto* sn = dynamic_cast<SNodeRepr*>(fwd.get());
+      if (sn == nullptr) return;
+      // Aliasing pointer: shares the generation's control block.
+      start_warmer(std::shared_ptr<SNodeRepr>(fwd, sn));
+    };
   }
 
   std::vector<server::Request> requests;
@@ -263,6 +326,7 @@ int Main(int argc, char** argv) {
       }
     });
   }
+  if (warm_on_open && snapshot == nullptr) start_warmer(forward);
   std::printf("serving %zu requests on %zu workers (queue %zu)...\n",
               requests.size(), sopts.num_workers, sopts.queue_capacity);
 
@@ -297,6 +361,23 @@ int Main(int argc, char** argv) {
     poller.join();
   }
   service.Shutdown();
+  {
+    std::shared_ptr<StoreWarmer> last;
+    {
+      std::lock_guard<std::mutex> lock(warmer_mu);
+      last = warmer;
+      warmer = nullptr;
+    }
+    if (last != nullptr) {
+      last->Stop();
+      StoreWarmer::Progress progress = last->progress();
+      std::printf("warmer: %llu sections, %llu bytes%s\n",
+                  static_cast<unsigned long long>(progress.sections),
+                  static_cast<unsigned long long>(progress.bytes),
+                  progress.hit_high_water ? " (stopped at cache high water)"
+                                          : "");
+    }
+  }
 
   std::printf("\noutcome:\n");
   for (int c = 0; c < 4; ++c) {

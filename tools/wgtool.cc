@@ -5,11 +5,14 @@
 //   wgtool stats crawl.wg
 //       Print structural statistics of a saved crawl.
 //   wgtool build crawl.wg --store BASE [--threads N] [--trace-out F]
+//                [--max-file-size BYTES]
 //       Build an S-Node representation at BASE.{000,001,...} + BASE.meta.
 //       N worker threads (default: all hardware threads); the output is
 //       byte-identical for every N. --trace-out writes the build's phase
 //       spans (refine passes, encode windows, layout) as Chrome
-//       trace-event JSONL, viewable in Perfetto.
+//       trace-event JSONL, viewable in Perfetto. --max-file-size caps each
+//       pack file (suffixes k/m/g accepted; default 512k) -- raise it at
+//       1M+ pages so the store doesn't fragment into thousands of files.
 //   wgtool info BASE
 //       Print the resident structure of a persisted S-Node representation.
 //   wgtool links BASE PAGE [crawl.wg]
@@ -20,9 +23,10 @@
 //       every adjacency list through a cursor, and print the top K pages.
 //   wgtool compare crawl.wg
 //       Build all representation schemes and print bits/edge side by side.
-//   wgtool snapshot-init crawl.wg --dir DIR
+//   wgtool snapshot-init crawl.wg --dir DIR [--max-file-size BYTES]
 //       Create a versioned snapshot store at DIR: full S-Node build of the
 //       crawl published as generation 0, plus an empty crawl-delta log.
+//       --max-file-size caps the generation's pack files, as in build.
 //   wgtool delta-apply DIR deltas.txt
 //       Append crawl deltas to the store's write-ahead log. Lines:
 //         addpage URL HOST DOMAIN   (page id = next dense id)
@@ -73,11 +77,12 @@ int Usage() {
       "  wgtool generate --pages N [--seed S] --out crawl.wg\n"
       "  wgtool stats crawl.wg\n"
       "  wgtool build crawl.wg --store BASE [--threads N] [--trace-out F]\n"
+      "               [--max-file-size BYTES]\n"
       "  wgtool info BASE\n"
       "  wgtool links BASE PAGE [crawl.wg]\n"
       "  wgtool pagerank BASE [--top K]\n"
       "  wgtool compare crawl.wg\n"
-      "  wgtool snapshot-init crawl.wg --dir DIR\n"
+      "  wgtool snapshot-init crawl.wg --dir DIR [--max-file-size BYTES]\n"
       "  wgtool delta-apply DIR deltas.txt\n"
       "  wgtool compact DIR\n"
       "  wgtool snapshots DIR\n");
@@ -95,6 +100,39 @@ const char* FlagValue(int argc, char** argv, const char* flag) {
     if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
   }
   return nullptr;
+}
+
+// Parses a byte count with an optional k/m/g suffix ("512k", "64M", "1g").
+// Returns false on garbage or zero.
+bool ParseByteSize(const char* text, uint64_t* out) {
+  char* end = nullptr;
+  uint64_t value = std::strtoull(text, &end, 10);
+  if (end == text || value == 0) return false;
+  if (*end != '\0') {
+    switch (*end) {
+      case 'k': case 'K': value <<= 10; break;
+      case 'm': case 'M': value <<= 20; break;
+      case 'g': case 'G': value <<= 30; break;
+      default: return false;
+    }
+    if (end[1] != '\0') return false;
+  }
+  *out = value;
+  return true;
+}
+
+// Handles the shared --max-file-size flag: leaves *size untouched when the
+// flag is absent, returns false (after printing) when it is malformed.
+bool MaxFileSizeFlag(int argc, char** argv, uint64_t* size) {
+  const char* flag = FlagValue(argc, argv, "--max-file-size");
+  if (flag == nullptr) return true;
+  if (!ParseByteSize(flag, size)) {
+    std::fprintf(stderr,
+                 "error: --max-file-size wants BYTES[k|m|g], got \"%s\"\n",
+                 flag);
+    return false;
+  }
+  return true;
 }
 
 int CmdGenerate(int argc, char** argv) {
@@ -130,6 +168,7 @@ int CmdBuild(int argc, char** argv) {
   if (store == nullptr) return Usage();
   SNodeBuildOptions options;
   options.threads = ParallelExecutor::HardwareThreads();
+  if (!MaxFileSizeFlag(argc, argv, &options.store.max_file_size)) return 2;
   const char* threads = FlagValue(argc, argv, "--threads");
   if (threads != nullptr) {
     options.threads = static_cast<int>(std::strtol(threads, nullptr, 10));
@@ -285,7 +324,11 @@ int CmdSnapshotInit(int argc, char** argv) {
   if (dir == nullptr) return Usage();
   auto graph = LoadWebGraph(argv[2]);
   if (!graph.ok()) return Fail(graph.status());
-  auto manager = version::SnapshotManager::Create(dir, graph.value(), {});
+  version::SnapshotOptions sopts;
+  if (!MaxFileSizeFlag(argc, argv, &sopts.build.store.max_file_size)) {
+    return 2;
+  }
+  auto manager = version::SnapshotManager::Create(dir, graph.value(), sopts);
   if (!manager.ok()) return Fail(manager.status());
   const version::Manifest& m = manager.value()->current()->manifest;
   std::printf("snapshot %s: generation 0 published, %zu blobs in %zu files, "
