@@ -10,6 +10,7 @@
 #include "obs/trace.h"
 #include "snode/prefetch.h"
 #include "snode/section_encode.h"
+#include "storage/integrity.h"
 #include "storage/serial.h"
 #include "util/coding.h"
 #include "util/parallel.h"
@@ -242,7 +243,8 @@ Result<std::unique_ptr<SNodeRepr>> SNodeRepr::BuildFromPartition(
 
 
 namespace {
-constexpr char kMetaMagic[4] = {'S', 'N', 'M', '1'};
+// Bumped to SNM2 when the blob directory gained per-blob CRCs (PR 8).
+constexpr char kMetaMagic[4] = {'S', 'N', 'M', '2'};
 }  // namespace
 
 void SNodeResidentState::Serialize(std::string* out) const {
@@ -359,6 +361,9 @@ Status SNodeRepr::SaveMeta() const {
   state.num_edges = num_edges_;
   state.Serialize(&payload);
   store_->SerializeDirectory(&payload);
+  // The meta file's directory records pack offsets and CRCs; make the
+  // pack bytes it points at durable before the pointer is.
+  WG_RETURN_IF_ERROR(store_->SyncAll());
   return WriteFramedFile(base_path_ + ".meta", kMetaMagic, payload);
 }
 
@@ -411,6 +416,8 @@ SNodeRepr::~SNodeRepr() {
 }
 
 void SNodeRepr::StartRuntime() {
+  size_t words = (supernodes_.num_supernodes() + 63) / 64;
+  section_quarantined_.reset(new std::atomic<uint64_t>[words]());
   cold_stats_.Register(
       obs::MetricRegistry::Default(),
       {{"scheme", "s-node"},
@@ -463,6 +470,53 @@ uint64_t SNodeRepr::SectionBytes(uint32_t supernode) const {
   return total;
 }
 
+bool SNodeRepr::SectionQuarantined(uint32_t supernode) const {
+  if (section_quarantined_ == nullptr ||
+      supernode >= supernodes_.num_supernodes()) {
+    return false;
+  }
+  uint64_t word =
+      section_quarantined_[supernode / 64].load(std::memory_order_relaxed);
+  return (word >> (supernode % 64)) & 1;
+}
+
+size_t SNodeRepr::QuarantinedSectionCount() const {
+  if (section_quarantined_ == nullptr) return 0;
+  size_t count = 0;
+  size_t words = (supernodes_.num_supernodes() + 63) / 64;
+  for (size_t w = 0; w < words; ++w) {
+    uint64_t word = section_quarantined_[w].load(std::memory_order_relaxed);
+    while (word != 0) {
+      word &= word - 1;
+      ++count;
+    }
+  }
+  return count;
+}
+
+Status SNodeRepr::SectionServable(uint32_t supernode) const {
+  if (!SectionQuarantined(supernode)) return Status::OK();
+  return Status::Unavailable("supernode section " + std::to_string(supernode) +
+                             " quarantined after corrupt blob");
+}
+
+void SNodeRepr::MaybeQuarantineSection(uint32_t supernode,
+                                       const Status& cause) {
+  // Only persistent damage quarantines; a transient I/O error (injected
+  // EIO, for instance) leaves the section retryable.
+  if (cause.code() != StatusCode::kCorruption) return;
+  if (section_quarantined_ == nullptr ||
+      supernode >= supernodes_.num_supernodes()) {
+    return;
+  }
+  uint64_t mask = uint64_t{1} << (supernode % 64);
+  uint64_t prev = section_quarantined_[supernode / 64].fetch_or(
+      mask, std::memory_order_relaxed);
+  if ((prev & mask) == 0) {
+    ++IntegrityCounters::Get().quarantined_sections;
+  }
+}
+
 void SNodeRepr::InstallLoadLogListener() {
   if (!options_.record_load_log) return;
   cache_->set_event_listener([this](uint32_t blob_id, bool load) {
@@ -503,6 +557,7 @@ Status SNodeRepr::DecodeSectionBlob(uint32_t blob_id, uint32_t supernode,
 Result<SNodeRepr::EntryPtr> SNodeRepr::LoadBlob(uint32_t blob_id,
                                                 uint32_t supernode,
                                                 uint32_t first_blob) {
+  WG_RETURN_IF_ERROR(SectionServable(supernode));
   ShardedGraphCache::Claim claim = cache_->BeginLoad(blob_id);
   if (claim.kind == ShardedGraphCache::ClaimKind::kHit) {
     // Cached, or another thread's singleflight decode completed while we
@@ -524,21 +579,27 @@ Result<SNodeRepr::EntryPtr> SNodeRepr::LoadBlob(uint32_t blob_id,
     // (mapped I/O is priced by wall-clock benches, not the 2001 model).
     GraphStore::BlobSpan span;
     Status read = store_->ReadBlobSpan(blob_id, &span);
-    if (!read.ok()) {
+    if (read.ok()) {
+      stats_.bytes_read += span.length;
+      ++stats_.graphs_loaded;
+      cold_stats_.Bump(SNodeLoadSource::kDemand, 1, span.length);
+      ShardedGraphCache::Entry entry;
+      Status decoded = DecodeSectionBlob(blob_id, supernode, first_blob,
+                                         span.data, span.length, &entry);
+      if (!decoded.ok()) {
+        MaybeQuarantineSection(supernode, decoded);
+        cache_->Abort(blob_id, decoded);
+        return decoded;
+      }
+      return cache_->Publish(blob_id, std::move(entry));
+    }
+    if (read.code() != StatusCode::kUnavailable) {
+      MaybeQuarantineSection(supernode, read);
       cache_->Abort(blob_id, read);
       return read;
     }
-    stats_.bytes_read += span.length;
-    ++stats_.graphs_loaded;
-    cold_stats_.Bump(SNodeLoadSource::kDemand, 1, span.length);
-    ShardedGraphCache::Entry entry;
-    Status decoded = DecodeSectionBlob(blob_id, supernode, first_blob,
-                                       span.data, span.length, &entry);
-    if (!decoded.ok()) {
-      cache_->Abort(blob_id, decoded);
-      return decoded;
-    }
-    return cache_->Publish(blob_id, std::move(entry));
+    // Unavailable = the blob's file was quarantined out of the mapping;
+    // fall through to the pread path, which re-verifies the bytes.
   }
 
   std::vector<uint8_t> raw;
@@ -547,6 +608,7 @@ Result<SNodeRepr::EntryPtr> SNodeRepr::LoadBlob(uint32_t blob_id,
     obs::Span read_span("store.read_blob", "storage");
     Status read = store_->ReadBlob(blob_id, &raw);
     if (!read.ok()) {
+      MaybeQuarantineSection(supernode, read);
       cache_->Abort(blob_id, read);
       return read;
     }
@@ -565,6 +627,7 @@ Result<SNodeRepr::EntryPtr> SNodeRepr::LoadBlob(uint32_t blob_id,
                                 raw.size(), &entry);
   }
   if (!decoded.ok()) {
+    MaybeQuarantineSection(supernode, decoded);
     cache_->Abort(blob_id, decoded);
     return decoded;
   }
@@ -593,6 +656,7 @@ bool SNodeRepr::SectionWorthPrefetching(uint32_t supernode,
 }
 
 Status SNodeRepr::PrefetchSection(uint32_t supernode, SNodeLoadSource source) {
+  WG_RETURN_IF_ERROR(SectionServable(supernode));
   uint32_t first = supernodes_.intranode_blob[supernode];
   uint32_t last = first + (supernodes_.offsets[supernode + 1] -
                            supernodes_.offsets[supernode]);
@@ -613,21 +677,41 @@ Status SNodeRepr::PrefetchSection(uint32_t supernode, SNodeLoadSource source) {
     for (size_t i = 0; i < claimed.size(); ++i) {
       uint32_t id = claimed[i];
       GraphStore::BlobSpan span;
-      Status read = store_->ReadBlobSpan(id, &span);
+      size_t length = 0;
+      std::vector<uint8_t> fallback;
       ShardedGraphCache::Entry entry;
+      Status read = store_->ReadBlobSpan(id, &span);
       if (read.ok()) {
+        length = span.length;
         read = DecodeSectionBlob(id, supernode, first, span.data, span.length,
                                  &entry);
+      } else if (read.code() == StatusCode::kUnavailable) {
+        // Quarantined file: serve this blob via the verifying pread path.
+        {
+          std::lock_guard<std::mutex> lock(io_mutex_);
+          read = store_->ReadBlob(id, &fallback);
+          if (read.ok()) {
+            stats_.disk_reads += 1;
+            disk_tracker_.Absorb(store_->seek_ops(),
+                                 store_->transferred_bytes(), &stats_);
+          }
+        }
+        if (read.ok()) {
+          length = fallback.size();
+          read = DecodeSectionBlob(id, supernode, first, fallback.data(),
+                                   fallback.size(), &entry);
+        }
       }
       if (!read.ok()) {
+        MaybeQuarantineSection(supernode, read);
         for (size_t j = i; j < claimed.size(); ++j) {
           cache_->Abort(claimed[j], read);
         }
         cold_stats_.Bump(source, i, loaded_bytes);
         return read;
       }
-      stats_.bytes_read += span.length;
-      loaded_bytes += span.length;
+      stats_.bytes_read += length;
+      loaded_bytes += length;
       ++stats_.graphs_loaded;
       cache_->Publish(id, std::move(entry));
     }
@@ -641,6 +725,7 @@ Status SNodeRepr::PrefetchSection(uint32_t supernode, SNodeLoadSource source) {
     obs::Span read_span("store.read_range", "storage");
     Status read = store_->ReadBlobRange(first, last, &blobs);
     if (!read.ok()) {
+      MaybeQuarantineSection(supernode, read);
       for (uint32_t id : claimed) cache_->Abort(id, read);
       return read;
     }
@@ -659,6 +744,7 @@ Status SNodeRepr::PrefetchSection(uint32_t supernode, SNodeLoadSource source) {
     Status decoded = DecodeSectionBlob(id, supernode, first, raw.data(),
                                        raw.size(), &entry);
     if (!decoded.ok()) {
+      MaybeQuarantineSection(supernode, decoded);
       for (size_t j = i; j < claimed.size(); ++j) {
         cache_->Abort(claimed[j], decoded);
       }
@@ -741,6 +827,7 @@ uint32_t SNodeRepr::AssembledKey(uint32_t supernode) const {
 // prefix-sum offsets -> fill pass -> per-page sort. Same bytes out; the
 // cold cost per edge drops to roughly decode + two array writes + sort.
 Result<SNodeRepr::EntryPtr> SNodeRepr::AssembleSupernode(uint32_t supernode) {
+  WG_RETURN_IF_ERROR(SectionServable(supernode));
   const uint32_t key = AssembledKey(supernode);
   ShardedGraphCache::Claim claim = cache_->BeginLoad(key);
   if (claim.kind == ShardedGraphCache::ClaimKind::kHit) return claim.entry;
@@ -761,6 +848,7 @@ Result<SNodeRepr::EntryPtr> SNodeRepr::AssembleSupernode(uint32_t supernode) {
   // caching on the streaming path, and routing every blob through
   // BeginLoad/Publish costs more than the decode it would deduplicate.
   auto fail = [&](const Status& s) -> Result<EntryPtr> {
+    MaybeQuarantineSection(supernode, s);
     cache_->Abort(key, s);
     return s;
   };
@@ -815,10 +903,30 @@ Result<SNodeRepr::EntryPtr> SNodeRepr::AssembleSupernode(uint32_t supernode) {
       uint64_t bytes = 0;
       for (uint32_t b : missing) {
         GraphStore::BlobSpan blob_span;
+        size_t length = 0;
         Status read = store_->ReadBlobSpan(first_blob + b, &blob_span);
-        if (read.ok()) read = decode_local(b, blob_span.data, blob_span.length);
+        if (read.ok()) {
+          length = blob_span.length;
+          read = decode_local(b, blob_span.data, blob_span.length);
+        } else if (read.code() == StatusCode::kUnavailable) {
+          // Quarantined file: this blob via the verifying pread path.
+          std::vector<uint8_t> raw;
+          {
+            std::lock_guard<std::mutex> lock(io_mutex_);
+            read = store_->ReadBlob(first_blob + b, &raw);
+            if (read.ok()) {
+              stats_.disk_reads += 1;
+              disk_tracker_.Absorb(store_->seek_ops(),
+                                   store_->transferred_bytes(), &stats_);
+            }
+          }
+          if (read.ok()) {
+            length = raw.size();
+            read = decode_local(b, raw.data(), raw.size());
+          }
+        }
         if (!read.ok()) return fail(read);
-        bytes += blob_span.length;
+        bytes += length;
       }
       stats_.bytes_read += bytes;
       stats_.graphs_loaded += missing.size();

@@ -1,6 +1,7 @@
 #ifndef WG_SNODE_SNODE_REPR_H_
 #define WG_SNODE_SNODE_REPR_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -218,6 +219,13 @@ class SNodeRepr : public GraphRepresentation {
   // readers mid-walk); 0 once every view is dropped.
   size_t PinnedCacheEntries() const { return cache_->PinnedEntries(); }
 
+  // True when `supernode`'s section was quarantined after a corrupt blob:
+  // reads touching it fail fast with Unavailable (one request fails, the
+  // process and every other section keep serving) until the store is
+  // repaired and the generation reloaded.
+  bool SectionQuarantined(uint32_t supernode) const;
+  size_t QuarantinedSectionCount() const;
+
   // Distinct lower-level graphs touched since the last ClearLoadLog (the
   // paper reports e.g. "8 intranode and 32 superedge graphs" for Query 1).
   size_t DistinctGraphsLoaded() const;
@@ -289,6 +297,13 @@ class SNodeRepr : public GraphRepresentation {
 
   void InstallLoadLogListener();
 
+  // Unavailable (fail fast) when the section is quarantined, OK otherwise.
+  Status SectionServable(uint32_t supernode) const;
+  // Quarantines the section iff `cause` is data corruption (Corruption
+  // code). Transient I/O errors (EIO) do not quarantine: the next request
+  // retries the read.
+  void MaybeQuarantineSection(uint32_t supernode, const Status& cause);
+
   // Immutable after Build.
   std::string base_path_;
   std::vector<PageId> new_of_orig_;
@@ -318,6 +333,11 @@ class SNodeRepr : public GraphRepresentation {
 
   mutable std::mutex log_mutex_;
   std::vector<LoadEvent> load_log_;
+
+  // One bit per supernode section, set when a corrupt blob was found in
+  // it (allocated by StartRuntime; relaxed ops -- a race on first set
+  // only costs one extra failing read).
+  std::unique_ptr<std::atomic<uint64_t>[]> section_quarantined_;
 };
 
 }  // namespace wg

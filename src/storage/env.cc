@@ -1,0 +1,60 @@
+#include "storage/env.h"
+
+#include <atomic>
+
+namespace wg {
+
+namespace {
+
+Env* DefaultEnv() {
+  static Env* instance = new Env();
+  return instance;
+}
+
+std::atomic<Env*>& CurrentSlot() {
+  static std::atomic<Env*> slot{DefaultEnv()};
+  return slot;
+}
+
+}  // namespace
+
+Env* Env::Current() { return CurrentSlot().load(std::memory_order_acquire); }
+
+void Env::Install(Env* env) {
+  CurrentSlot().store(env != nullptr ? env : DefaultEnv(),
+                      std::memory_order_release);
+}
+
+Status Env::OnOpen(const std::string&) { return Status::OK(); }
+
+Status Env::OnRead(const std::string&, uint64_t, size_t, char*) {
+  return Status::OK();
+}
+
+Status Env::OnWrite(const std::string&, uint64_t, size_t, size_t*) {
+  return Status::OK();
+}
+
+void Env::DidWrite(const std::string&, uint64_t, size_t) {}
+
+Env::SyncAction Env::OnSync(const std::string&, Status*) {
+  return SyncAction::kSync;
+}
+
+void Env::DidSync(const std::string&) {}
+
+Status Env::OnRename(const std::string&, const std::string&) {
+  return Status::OK();
+}
+
+void Env::DidRename(const std::string&, const std::string&) {}
+
+Env::SyncAction Env::OnSyncDir(const std::string&, Status*) {
+  return SyncAction::kSync;
+}
+
+void Env::DidSyncDir(const std::string&) {}
+
+Status Env::OnRemove(const std::string&) { return Status::OK(); }
+
+}  // namespace wg

@@ -1,0 +1,327 @@
+#include "storage/fault_env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace wg {
+
+namespace {
+
+std::string Dirname(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+// Raw POSIX helpers used by the power-cut simulation. These bypass the Env
+// hooks on purpose: they model what the disk platter ends up holding, not
+// operations the program performs.
+bool RawExists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+bool RawReadAll(const std::string& path, std::string* out) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  out->clear();
+  char buf[4096];
+  ssize_t r;
+  while ((r = ::read(fd, buf, sizeof buf)) > 0) {
+    out->append(buf, static_cast<size_t>(r));
+  }
+  ::close(fd);
+  return r == 0;
+}
+
+void RawWriteAll(const std::string& path, const std::string& data) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return;
+  size_t done = 0;
+  while (done < data.size()) {
+    ssize_t w = ::write(fd, data.data() + done, data.size() - done);
+    if (w <= 0) break;
+    done += static_cast<size_t>(w);
+  }
+  ::close(fd);
+}
+
+void RawGarble(const std::string& path, uint64_t offset, uint64_t length,
+               bool zero, uint64_t seed) {
+  int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) return;
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return;
+  }
+  uint64_t size = static_cast<uint64_t>(st.st_size);
+  if (offset < size) {
+    uint64_t n = std::min(length, size - offset);
+    std::string junk(n, '\0');
+    if (!zero) {
+      uint64_t s = seed;
+      for (uint64_t i = 0; i < n; ++i) {
+        s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+        junk[i] = static_cast<char>(s >> 33);
+      }
+    }
+    ::pwrite(fd, junk.data(), junk.size(), static_cast<off_t>(offset));
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+FaultInjectingEnv::FaultInjectingEnv(Options options)
+    : options_(std::move(options)),
+      rng_state_(options_.seed ^ 0x9e3779b97f4a7c15ULL),
+      crash_at_op_(options_.crash_at_op) {}
+
+FaultInjectingEnv::~FaultInjectingEnv() = default;
+
+int64_t FaultInjectingEnv::op_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_;
+}
+
+void FaultInjectingEnv::set_crash_at_op(int64_t op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_at_op_ = op;
+}
+
+void FaultInjectingEnv::set_on_crash(std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  on_crash_ = std::move(fn);
+}
+
+bool FaultInjectingEnv::Matches(const std::string& path) const {
+  return options_.path_filter.empty() ||
+         path.find(options_.path_filter) != std::string::npos;
+}
+
+uint64_t FaultInjectingEnv::NextRandom() {
+  // splitmix64: deterministic per seed, good enough bit mixing.
+  rng_state_ += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = rng_state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+bool FaultInjectingEnv::Chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return (NextRandom() >> 11) * 0x1.0p-53 < p;
+}
+
+void FaultInjectingEnv::CountOpLocked(std::unique_lock<std::mutex>& lock) {
+  ++ops_;
+  if (dead_ || crash_at_op_ < 0 || ops_ < crash_at_op_) return;
+  SimulatePowerCutLocked();
+  std::function<void()> cb = on_crash_;
+  lock.unlock();
+  if (cb) {
+    cb();
+  } else {
+    _exit(kCrashExitCode);
+  }
+}
+
+void FaultInjectingEnv::SimulatePowerCut() {
+  std::unique_lock<std::mutex> lock(mu_);
+  SimulatePowerCutLocked();
+}
+
+void FaultInjectingEnv::SimulatePowerCutLocked() {
+  if (dead_) return;
+  dead_ = true;
+  // 1. Renames whose directory was never fsynced: coin flip whether the
+  //    rename reached the platter; if not, roll it back (restoring the
+  //    previous destination contents), newest first.
+  for (auto it = pending_renames_.rbegin(); it != pending_renames_.rend();
+       ++it) {
+    if (NextRandom() & 1) continue;  // survived the cut
+    if (RawExists(it->to)) ::rename(it->to.c_str(), it->from.c_str());
+    if (it->target_existed) {
+      RawWriteAll(it->to, it->target_contents);
+    }
+    auto state = files_.find(it->to);
+    if (state != files_.end()) {
+      files_[it->from] = std::move(state->second);
+      files_.erase(state);
+    }
+  }
+  pending_renames_.clear();
+  // 2. Files created but whose directory entry was never made durable:
+  //    coin flip whether the entry survived.
+  for (auto it = files_.begin(); it != files_.end();) {
+    if (it->second.pending_create && (NextRandom() & 1) == 0) {
+      ::unlink(it->first.c_str());
+      it = files_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // 3. Data written but never fsynced: each range independently either
+  //    zeroed (page never left the cache) or filled with junk (torn
+  //    sector), clamped to the file's on-disk extent.
+  for (auto& entry : files_) {
+    for (const Range& range : entry.second.unsynced) {
+      RawGarble(entry.first, range.offset, range.length, NextRandom() & 1,
+                NextRandom());
+    }
+    entry.second.unsynced.clear();
+  }
+}
+
+Status FaultInjectingEnv::OnOpen(const std::string& path) {
+  std::unique_lock<std::mutex> lock(mu_);
+  bool existed = RawExists(path);
+  CountOpLocked(lock);
+  if (!lock.owns_lock()) return Status::OK();  // crashed in-process
+  if (!existed) files_[path].pending_create = true;
+  return Status::OK();
+}
+
+Status FaultInjectingEnv::OnRead(const std::string& path, uint64_t offset,
+                                 size_t n, char* scratch) {
+  (void)offset;
+  std::unique_lock<std::mutex> lock(mu_);
+  CountOpLocked(lock);
+  if (!lock.owns_lock()) return Status::OK();
+  if (dead_ || !Matches(path) || n == 0) return Status::OK();
+  if (options_.fail_reads || Chance(options_.read_error_prob)) {
+    return Status::IOError("injected read error: " + path);
+  }
+  if (Chance(options_.read_bitflip_prob)) {
+    uint64_t bit = NextRandom() % (static_cast<uint64_t>(n) * 8);
+    scratch[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+  }
+  return Status::OK();
+}
+
+Status FaultInjectingEnv::OnWrite(const std::string& path, uint64_t offset,
+                                  size_t n, size_t* allowed) {
+  std::unique_lock<std::mutex> lock(mu_);
+  CountOpLocked(lock);
+  if (!lock.owns_lock()) return Status::OK();
+  if (dead_ || !Matches(path)) return Status::OK();
+  (void)offset;
+  if (options_.fail_writes || Chance(options_.write_error_prob)) {
+    *allowed = 0;
+    return Status::IOError("injected write error: " + path);
+  }
+  if (n > 0 && Chance(options_.write_short_prob)) {
+    *allowed = static_cast<size_t>(NextRandom() % n);
+    return Status::ResourceExhausted("injected short write (ENOSPC): " + path);
+  }
+  return Status::OK();
+}
+
+void FaultInjectingEnv::DidWrite(const std::string& path, uint64_t offset,
+                                 size_t n) {
+  if (n == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  files_[path].unsynced.push_back(Range{offset, n});
+}
+
+Env::SyncAction FaultInjectingEnv::OnSync(const std::string& path,
+                                          Status* error) {
+  std::unique_lock<std::mutex> lock(mu_);
+  CountOpLocked(lock);
+  if (!lock.owns_lock()) return SyncAction::kDrop;
+  if (dead_ || !Matches(path)) return SyncAction::kSync;
+  if (options_.fail_syncs || Chance(options_.sync_error_prob)) {
+    *error = Status::IOError("injected fsync error: " + path);
+    return SyncAction::kFail;
+  }
+  if (options_.drop_syncs || Chance(options_.sync_drop_prob)) {
+    return SyncAction::kDrop;
+  }
+  return SyncAction::kSync;
+}
+
+void FaultInjectingEnv::DidSync(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it != files_.end()) it->second.unsynced.clear();
+  // The directory entry of a newly created file still needs a directory
+  // fsync; pending_create deliberately survives a file-data fsync.
+}
+
+Status FaultInjectingEnv::OnRename(const std::string& from,
+                                   const std::string& to) {
+  std::unique_lock<std::mutex> lock(mu_);
+  PendingRename pending;
+  pending.from = from;
+  pending.to = to;
+  pending.target_existed =
+      RawExists(to) && RawReadAll(to, &pending.target_contents);
+  CountOpLocked(lock);
+  if (!lock.owns_lock()) return Status::OK();
+  if (!dead_) pending_renames_.push_back(std::move(pending));
+  return Status::OK();
+}
+
+void FaultInjectingEnv::DidRename(const std::string& from,
+                                  const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(from);
+  if (it != files_.end()) {
+    FileState state = std::move(it->second);
+    state.pending_create = false;  // governed by the pending-rename entry now
+    files_.erase(it);
+    files_[to] = std::move(state);
+  }
+}
+
+Env::SyncAction FaultInjectingEnv::OnSyncDir(const std::string& path,
+                                             Status* error) {
+  std::unique_lock<std::mutex> lock(mu_);
+  CountOpLocked(lock);
+  if (!lock.owns_lock()) return SyncAction::kDrop;
+  if (dead_ || !Matches(path)) return SyncAction::kSync;
+  if (options_.fail_syncs || Chance(options_.sync_error_prob)) {
+    *error = Status::IOError("injected directory fsync error: " + path);
+    return SyncAction::kFail;
+  }
+  if (options_.drop_syncs || Chance(options_.sync_drop_prob)) {
+    return SyncAction::kDrop;
+  }
+  return SyncAction::kSync;
+}
+
+void FaultInjectingEnv::DidSyncDir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Callers pass directories with or without a trailing slash; Dirname
+  // never produces one, so strip before comparing.
+  std::string dir = path;
+  while (dir.size() > 1 && dir.back() == '/') dir.pop_back();
+  // Directory entries in `dir` are durable: creations commit, renames
+  // whose destination lives here can no longer be rolled back.
+  for (auto& entry : files_) {
+    if (Dirname(entry.first) == dir) entry.second.pending_create = false;
+  }
+  pending_renames_.erase(
+      std::remove_if(pending_renames_.begin(), pending_renames_.end(),
+                     [&](const PendingRename& r) {
+                       return Dirname(r.to) == dir;
+                     }),
+      pending_renames_.end());
+}
+
+Status FaultInjectingEnv::OnRemove(const std::string& path) {
+  std::unique_lock<std::mutex> lock(mu_);
+  CountOpLocked(lock);
+  if (!lock.owns_lock()) return Status::OK();
+  files_.erase(path);
+  return Status::OK();
+}
+
+}  // namespace wg

@@ -1,0 +1,132 @@
+#ifndef WG_STORAGE_FAULT_ENV_H_
+#define WG_STORAGE_FAULT_ENV_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/env.h"
+
+// Fault-injecting Env for robustness tests (Env::Install a FaultInjectingEnv
+// before the code under test opens files). Two modes compose:
+//
+//  * Programmable fault points: per-op probabilities (seeded, deterministic)
+//    or hard switches for EIO on read/write, short writes, ENOSPC, read
+//    bit-flips, and dropped or failing fsyncs.
+//
+//  * Crash-at-syncpoint: every hooked operation increments an op counter;
+//    when it reaches `crash_at_op` the env simulates a power cut -- data
+//    written but never fsynced is garbled or zeroed, files created but
+//    whose directory was never fsynced may vanish, renames not followed by
+//    a directory fsync may be rolled back (coin flips, seeded) -- and then
+//    invokes `on_crash` (default `_exit(kCrashExitCode)`, for fork()-based
+//    harnesses). A dry run with no faults yields the total op count so a
+//    harness can pick random kill points.
+//
+// The power-cut model is deliberately adversarial: only what the fsync
+// discipline (file sync + directory sync) actually guarantees survives.
+
+namespace wg {
+
+class FaultInjectingEnv : public Env {
+ public:
+  static constexpr int kCrashExitCode = 42;
+
+  struct Options {
+    uint64_t seed = 1;
+
+    // Probabilistic faults, evaluated per matching op.
+    double read_error_prob = 0.0;    // pread reports EIO
+    double read_bitflip_prob = 0.0;  // one random bit flipped in the buffer
+    double write_error_prob = 0.0;   // pwrite reports EIO before any byte
+    double write_short_prob = 0.0;   // random prefix lands, then ENOSPC
+    double sync_drop_prob = 0.0;     // fsync "succeeds" without syncing
+    double sync_error_prob = 0.0;    // fsync reports EIO
+
+    // Hard switches (apply to every matching op).
+    bool fail_reads = false;
+    bool fail_writes = false;
+    bool fail_syncs = false;
+    bool drop_syncs = false;  // lying disk: every fsync is silently dropped
+
+    // Faults apply only to paths containing this substring (empty = all).
+    // Op counting and power-cut tracking always cover every path.
+    std::string path_filter;
+
+    // Simulate a power cut when the op counter reaches this value (<0 =
+    // never). Ops are counted across open/read/write/sync/rename/
+    // dir-sync/remove hooks.
+    int64_t crash_at_op = -1;
+  };
+
+  explicit FaultInjectingEnv(Options options);
+  ~FaultInjectingEnv() override;
+
+  // Total hooked operations observed so far.
+  int64_t op_count() const;
+
+  void set_crash_at_op(int64_t op);
+  // Invoked after the power cut is applied; default _exit(kCrashExitCode).
+  void set_on_crash(std::function<void()> fn);
+
+  // Applies the power-cut disk state (garble unsynced writes, drop
+  // unsynced creates, roll back unsynced renames) without exiting.
+  // Idempotent; after this the env stops injecting further faults.
+  void SimulatePowerCut();
+
+  // Env hooks.
+  Status OnOpen(const std::string& path) override;
+  Status OnRead(const std::string& path, uint64_t offset, size_t n,
+                char* scratch) override;
+  Status OnWrite(const std::string& path, uint64_t offset, size_t n,
+                 size_t* allowed) override;
+  void DidWrite(const std::string& path, uint64_t offset, size_t n) override;
+  SyncAction OnSync(const std::string& path, Status* error) override;
+  void DidSync(const std::string& path) override;
+  Status OnRename(const std::string& from, const std::string& to) override;
+  void DidRename(const std::string& from, const std::string& to) override;
+  SyncAction OnSyncDir(const std::string& path, Status* error) override;
+  void DidSyncDir(const std::string& path) override;
+  Status OnRemove(const std::string& path) override;
+
+ private:
+  struct Range {
+    uint64_t offset;
+    uint64_t length;
+  };
+  // Volatile (not-yet-durable) state of one file.
+  struct FileState {
+    std::vector<Range> unsynced;  // written since the last effective fsync
+    bool pending_create = false;  // created, parent dir never fsynced
+  };
+  // A rename whose parent directory has not been fsynced yet.
+  struct PendingRename {
+    std::string from;
+    std::string to;
+    bool target_existed = false;
+    std::string target_contents;  // previous bytes of `to`, if it existed
+  };
+
+  bool Matches(const std::string& path) const;
+  uint64_t NextRandom();           // requires mu_ held
+  bool Chance(double p);           // requires mu_ held
+  void CountOpLocked(std::unique_lock<std::mutex>& lock);
+  void SimulatePowerCutLocked();   // requires mu_ held
+
+  const Options options_;
+  mutable std::mutex mu_;
+  uint64_t rng_state_;
+  int64_t ops_ = 0;
+  int64_t crash_at_op_;
+  bool dead_ = false;  // power cut applied; stop injecting
+  std::function<void()> on_crash_;
+  std::map<std::string, FileState> files_;
+  std::vector<PendingRename> pending_renames_;
+};
+
+}  // namespace wg
+
+#endif  // WG_STORAGE_FAULT_ENV_H_

@@ -1,5 +1,7 @@
 #include "storage/file.h"
 
+#include "storage/env.h"
+
 #include <fcntl.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
@@ -8,6 +10,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 
 namespace wg {
@@ -40,6 +43,7 @@ int NativeAdvice(RandomAccessFile::Advice advice) {
 
 Result<std::unique_ptr<RandomAccessFile>> RandomAccessFile::Open(
     const std::string& path) {
+  WG_RETURN_IF_ERROR(Env::Current()->OnOpen(path));
   int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
   if (fd < 0) {
     return Status::IOError("open " + path + ": " + std::strerror(errno));
@@ -58,6 +62,14 @@ RandomAccessFile::~RandomAccessFile() {
     ::munmap(const_cast<uint8_t*>(mapped_), mapped_size_);
   }
   if (fd_ >= 0) ::close(fd_);
+}
+
+Result<uint64_t> RandomAccessFile::CurrentSize() const {
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) {
+    return Status::IOError("fstat " + path_ + ": " + std::strerror(errno));
+  }
+  return static_cast<uint64_t>(st.st_size);
 }
 
 Status RandomAccessFile::MapReadOnly() {
@@ -102,6 +114,7 @@ Status RandomAccessFile::Read(uint64_t offset, size_t n, char* scratch) const {
     }
     done += static_cast<size_t>(r);
   }
+  WG_RETURN_IF_ERROR(Env::Current()->OnRead(path_, offset, n, scratch));
   ++read_ops_;
   bytes_read_ += n;
   if (offset == last_read_end_) {
@@ -122,18 +135,24 @@ Status RandomAccessFile::Write(uint64_t offset, const char* data, size_t n) {
   if (mapped_ != nullptr) {
     return Status::InvalidArgument("write to mmapped file " + path_);
   }
+  Env* env = Env::Current();
+  size_t allowed = n;
+  Status injected = env->OnWrite(path_, offset, n, &allowed);
   size_t done = 0;
-  while (done < n) {
-    ssize_t r = ::pwrite(fd_, data + done, n - done,
+  while (done < allowed) {
+    ssize_t r = ::pwrite(fd_, data + done, allowed - done,
                          static_cast<off_t>(offset + done));
     if (r < 0) {
       if (errno == EINTR) continue;
+      if (done > 0) env->DidWrite(path_, offset, done);
       return Status::IOError("pwrite " + path_ + ": " + std::strerror(errno));
     }
     done += static_cast<size_t>(r);
   }
+  if (done > 0) env->DidWrite(path_, offset, done);
   ++write_ops_;
-  if (offset + n > size_) size_ = offset + n;
+  if (offset + done > size_) size_ = offset + done;
+  WG_RETURN_IF_ERROR(injected);
   return Status::OK();
 }
 
@@ -142,13 +161,25 @@ Status RandomAccessFile::Append(const char* data, size_t n) {
 }
 
 Status RandomAccessFile::Sync() {
+  Env* env = Env::Current();
+  Status injected;
+  switch (env->OnSync(path_, &injected)) {
+    case Env::SyncAction::kDrop:
+      return Status::OK();
+    case Env::SyncAction::kFail:
+      return injected;
+    case Env::SyncAction::kSync:
+      break;
+  }
   if (::fsync(fd_) != 0) {
     return Status::IOError("fsync " + path_ + ": " + std::strerror(errno));
   }
+  env->DidSync(path_);
   return Status::OK();
 }
 
 Status RemoveFileIfExists(const std::string& path) {
+  WG_RETURN_IF_ERROR(Env::Current()->OnRemove(path));
   if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
     return Status::IOError("unlink " + path + ": " + std::strerror(errno));
   }
@@ -167,6 +198,43 @@ Status EnsureDirectory(const std::string& path) {
       }
     }
   }
+  return Status::OK();
+}
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  Env* env = Env::Current();
+  WG_RETURN_IF_ERROR(env->OnRename(from, to));
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return Status::IOError("rename " + from + " -> " + to + ": " +
+                           std::strerror(errno));
+  }
+  env->DidRename(from, to);
+  return Status::OK();
+}
+
+Status SyncDirectory(const std::string& path) {
+  Env* env = Env::Current();
+  Status injected;
+  switch (env->OnSyncDir(path, &injected)) {
+    case Env::SyncAction::kDrop:
+      return Status::OK();
+    case Env::SyncAction::kFail:
+      return injected;
+    case Env::SyncAction::kSync:
+      break;
+  }
+  int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IOError("open dir " + path + ": " + std::strerror(errno));
+  }
+  if (::fsync(fd) != 0) {
+    Status st =
+        Status::IOError("fsync dir " + path + ": " + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  ::close(fd);
+  env->DidSyncDir(path);
   return Status::OK();
 }
 

@@ -9,7 +9,10 @@
 
 // Thin POSIX file wrapper used by every disk-backed component (pager, graph
 // store, uncompressed adjacency files). Counts physical reads/writes so the
-// experiments can report I/O alongside time.
+// experiments can report I/O alongside time. Every fallible operation
+// (open/read/write/sync/rename/dir-sync/remove) consults the installed
+// Env (storage/env.h), which lets tests inject disk faults and power cuts
+// without touching call sites.
 //
 // A file can additionally be memory-mapped read-only (MapReadOnly): reads
 // then become pointer arithmetic into the page-cache-backed mapping, and
@@ -67,6 +70,12 @@ class RandomAccessFile {
   uint64_t size() const { return size_; }
   const std::string& path() const { return path_; }
 
+  // The file's size on disk right now (fstat), as opposed to size() which
+  // tracks the extent recorded at open plus our own writes. The two
+  // disagree when another process (or a bad disk) truncated the file
+  // behind our back -- exactly what mmap validation must catch.
+  Result<uint64_t> CurrentSize() const;
+
   uint64_t read_ops() const { return read_ops_; }
   uint64_t write_ops() const { return write_ops_; }
   uint64_t bytes_read() const { return bytes_read_; }
@@ -105,6 +114,15 @@ Status RemoveFileIfExists(const std::string& path);
 
 // Creates a directory (and parents) if absent.
 Status EnsureDirectory(const std::string& path);
+
+// Atomically renames `from` to `to` (::rename semantics). Durable only
+// after SyncDirectory on the containing directory.
+Status RenameFile(const std::string& from, const std::string& to);
+
+// fsyncs a directory so entries created/renamed/removed in it survive a
+// power cut. The second half of the write-temp-then-rename publication
+// protocol.
+Status SyncDirectory(const std::string& path);
 
 }  // namespace wg
 

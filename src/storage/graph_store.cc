@@ -3,9 +3,26 @@
 #include <cstdio>
 #include <cstring>
 
+#include "storage/integrity.h"
+#include "storage/sigbus_guard.h"
 #include "util/coding.h"
+#include "util/crc32.h"
 
 namespace wg {
+
+namespace {
+
+std::string BlobErrorDetail(const char* what, uint32_t id, uint32_t file_index,
+                            uint64_t offset, uint32_t length) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "graph store: %s: blob %u (file %u offset %llu length %u)",
+                what, id, file_index,
+                static_cast<unsigned long long>(offset), length);
+  return buf;
+}
+
+}  // namespace
 
 Result<std::unique_ptr<GraphStore>> GraphStore::Create(std::string base_path,
                                                        Options options) {
@@ -13,6 +30,10 @@ Result<std::unique_ptr<GraphStore>> GraphStore::Create(std::string base_path,
       new GraphStore(std::move(base_path), options));
   WG_RETURN_IF_ERROR(store->OpenNextFile());
   return store;
+}
+
+void GraphStore::AddFileSlot() {
+  quarantined_.push_back(std::make_unique<std::atomic<bool>>(false));
 }
 
 Status GraphStore::OpenNextFile() {
@@ -23,6 +44,7 @@ Status GraphStore::OpenNextFile() {
   auto file = RandomAccessFile::Open(path);
   if (!file.ok()) return file.status();
   files_.push_back(std::move(file).value());
+  AddFileSlot();
   return Status::OK();
 }
 
@@ -40,6 +62,7 @@ Result<uint32_t> GraphStore::Append(const std::vector<uint8_t>& blob) {
   ref.file_index = static_cast<uint32_t>(files_.size() - 1);
   ref.offset = file->size();
   ref.length = static_cast<uint32_t>(blob.size());
+  ref.crc = blob.empty() ? 0 : Crc32(blob.data(), blob.size());
   if (!blob.empty()) {
     WG_RETURN_IF_ERROR(
         file->Append(reinterpret_cast<const char*>(blob.data()), blob.size()));
@@ -56,30 +79,134 @@ Status GraphStore::ReadBlob(uint32_t id, std::vector<uint8_t>* out) const {
   const BlobRef& ref = directory_[id];
   out->resize(ref.length);
   if (ref.length == 0) return Status::OK();
-  if (mapped_) {
+  if (mapped_ && !FileQuarantined(ref.file_index)) {
     // Copy out of the mapping; still cheaper than a pread syscall, and
     // callers that can tolerate a borrowed span use ReadBlobSpan instead.
-    const uint8_t* base = files_[ref.file_index]->mapped_data();
-    std::memcpy(out->data(), base + ref.offset, ref.length);
-    mapped_reads_.fetch_add(1, std::memory_order_relaxed);
-    mapped_bytes_.fetch_add(ref.length, std::memory_order_relaxed);
-    return Status::OK();
+    Status verified = options_.verify_checksums
+                          ? EnsureMappedBlobVerified(id, ref)
+                          : Status::OK();
+    if (verified.ok()) {
+      const uint8_t* base = files_[ref.file_index]->mapped_data();
+      std::memcpy(out->data(), base + ref.offset, ref.length);
+      mapped_reads_.fetch_add(1, std::memory_order_relaxed);
+      mapped_bytes_.fetch_add(ref.length, std::memory_order_relaxed);
+      return Status::OK();
+    }
+    if (verified.code() != StatusCode::kUnavailable) return verified;
+    // Unavailable = the file was just quarantined; retry through pread.
   }
-  return files_[ref.file_index]->Read(
-      ref.offset, ref.length, reinterpret_cast<char*>(out->data()));
+  WG_RETURN_IF_ERROR(files_[ref.file_index]->Read(
+      ref.offset, ref.length, reinterpret_cast<char*>(out->data())));
+  if (options_.verify_checksums && ref.crc != 0 &&
+      Crc32(out->data(), ref.length) != ref.crc) {
+    ++IntegrityCounters::Get().checksum_failures;
+    return Status::Corruption(BlobErrorDetail(
+        "checksum mismatch", id, ref.file_index, ref.offset, ref.length));
+  }
+  return Status::OK();
 }
 
 Status GraphStore::MapForRead() {
   if (mapped_) return Status::OK();
-  for (const auto& file : files_) {
-    WG_RETURN_IF_ERROR(file->MapReadOnly());
+  // Directory-recorded extent each file must cover. A file shorter than
+  // its extents (truncated behind our back, or a directory/manifest that
+  // does not match the bytes) must not be mapped: spans into the missing
+  // tail would SIGBUS on first touch. Such files serve via pread, where
+  // every read is bounds-checked by the kernel and CRC-verified.
+  std::vector<uint64_t> required(files_.size(), 0);
+  for (const BlobRef& ref : directory_) {
+    uint64_t end = ref.offset + ref.length;
+    if (end > required[ref.file_index]) required[ref.file_index] = end;
+  }
+  for (size_t f = 0; f < files_.size(); ++f) {
+    auto on_disk = files_[f]->CurrentSize();
+    if (!on_disk.ok() || on_disk.value() < required[f]) {
+      QuarantineFile(static_cast<uint32_t>(f));
+      continue;
+    }
+    if (!files_[f]->MapReadOnly().ok()) {
+      QuarantineFile(static_cast<uint32_t>(f));
+    }
   }
   readahead_edge_.clear();
   readahead_edge_.reserve(files_.size());
   for (size_t f = 0; f < files_.size(); ++f) {
     readahead_edge_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
   }
+  size_t words = (directory_.size() + 63) / 64;
+  verified_ok_.reset(new std::atomic<uint64_t>[words]());
+  verified_bad_.reset(new std::atomic<uint64_t>[words]());
   mapped_ = true;
+  return Status::OK();
+}
+
+void GraphStore::QuarantineFile(uint32_t file_index) const {
+  if (!quarantined_[file_index]->exchange(true, std::memory_order_acq_rel)) {
+    ++IntegrityCounters::Get().mmap_fallbacks;
+  }
+}
+
+Status GraphStore::EnsureMappedBlobVerified(uint32_t id,
+                                            const BlobRef& ref) const {
+  if (ref.length == 0) return Status::OK();
+  std::atomic<uint64_t>& ok_word = verified_ok_[id / 64];
+  uint64_t bit = 1ULL << (id % 64);
+  if (ok_word.load(std::memory_order_relaxed) & bit) return Status::OK();
+  if (verified_bad_[id / 64].load(std::memory_order_relaxed) & bit) {
+    return Status::Corruption(BlobErrorDetail(
+        "checksum mismatch", id, ref.file_index, ref.offset, ref.length));
+  }
+  const uint8_t* base = files_[ref.file_index]->mapped_data();
+  uint32_t actual = 0;
+  {
+    // First touch of this blob through the mapping: the pages may be
+    // beyond the file's real end (lost sectors, truncation after map), in
+    // which case the CRC pass itself SIGBUSes. Catch it, demote the whole
+    // file to pread, and fail just this read.
+    SigbusGuard guard;
+    if (sigsetjmp(guard.jump_buffer(), 1) != 0) {
+      ++IntegrityCounters::Get().sigbus_faults;
+      QuarantineFile(ref.file_index);
+      return Status::Unavailable(BlobErrorDetail(
+          "SIGBUS on mapped read; file quarantined to pread", id,
+          ref.file_index, ref.offset, ref.length));
+    }
+    actual = Crc32(base + ref.offset, ref.length);
+  }
+  if (ref.crc != 0 && actual != ref.crc) {
+    verified_bad_[id / 64].fetch_or(bit, std::memory_order_relaxed);
+    ++IntegrityCounters::Get().checksum_failures;
+    return Status::Corruption(BlobErrorDetail(
+        "checksum mismatch", id, ref.file_index, ref.offset, ref.length));
+  }
+  ok_word.fetch_or(bit, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status GraphStore::VerifyBlob(uint32_t id) const {
+  if (id >= directory_.size()) {
+    return Status::OutOfRange("graph store: blob id out of range");
+  }
+  const BlobRef& ref = directory_[id];
+  if (ref.length == 0) return Status::OK();
+  if (ref.offset + ref.length > files_[ref.file_index]->size()) {
+    return Status::Corruption(BlobErrorDetail(
+        "blob outside file", id, ref.file_index, ref.offset, ref.length));
+  }
+  std::vector<uint8_t> buffer(ref.length);
+  WG_RETURN_IF_ERROR(files_[ref.file_index]->Read(
+      ref.offset, ref.length, reinterpret_cast<char*>(buffer.data())));
+  if (ref.crc != 0 && Crc32(buffer.data(), ref.length) != ref.crc) {
+    return Status::Corruption(BlobErrorDetail(
+        "checksum mismatch", id, ref.file_index, ref.offset, ref.length));
+  }
+  return Status::OK();
+}
+
+Status GraphStore::SyncAll() const {
+  for (const auto& file : files_) {
+    WG_RETURN_IF_ERROR(file->Sync());
+  }
   return Status::OK();
 }
 
@@ -91,6 +218,14 @@ Status GraphStore::ReadBlobSpan(uint32_t id, BlobSpan* span) const {
     return Status::InvalidArgument("graph store: not memory-mapped");
   }
   const BlobRef& ref = directory_[id];
+  if (FileQuarantined(ref.file_index)) {
+    return Status::Unavailable(BlobErrorDetail(
+        "file quarantined to pread", id, ref.file_index, ref.offset,
+        ref.length));
+  }
+  if (options_.verify_checksums && ref.length > 0) {
+    WG_RETURN_IF_ERROR(EnsureMappedBlobVerified(id, ref));
+  }
   const RandomAccessFile& file = *files_[ref.file_index];
   span->data = ref.length == 0 ? nullptr : file.mapped_data() + ref.offset;
   span->length = ref.length;
@@ -170,19 +305,29 @@ Status GraphStore::ReadBlobRange(uint32_t first, uint32_t last,
     }
     uint64_t begin = directory_[id].offset;
     uint64_t end = directory_[run_end].offset + directory_[run_end].length;
-    if (mapped_) {
-      const uint8_t* base = files_[file_index]->mapped_data();
-      files_[file_index]->Advise(begin, end - begin,
-                                 RandomAccessFile::Advice::kWillNeed);
-      for (uint32_t b = id; b <= run_end; ++b) {
-        const BlobRef& ref = directory_[b];
-        (*out)[b - first].assign(base + ref.offset,
-                                 base + ref.offset + ref.length);
+    if (mapped_ && !FileQuarantined(file_index)) {
+      Status verified;
+      if (options_.verify_checksums) {
+        for (uint32_t b = id; b <= run_end && verified.ok(); ++b) {
+          verified = EnsureMappedBlobVerified(b, directory_[b]);
+        }
       }
-      mapped_reads_.fetch_add(1, std::memory_order_relaxed);
-      mapped_bytes_.fetch_add(end - begin, std::memory_order_relaxed);
-      id = run_end + 1;
-      continue;
+      if (verified.ok()) {
+        const uint8_t* base = files_[file_index]->mapped_data();
+        files_[file_index]->Advise(begin, end - begin,
+                                   RandomAccessFile::Advice::kWillNeed);
+        for (uint32_t b = id; b <= run_end; ++b) {
+          const BlobRef& ref = directory_[b];
+          (*out)[b - first].assign(base + ref.offset,
+                                   base + ref.offset + ref.length);
+        }
+        mapped_reads_.fetch_add(1, std::memory_order_relaxed);
+        mapped_bytes_.fetch_add(end - begin, std::memory_order_relaxed);
+        id = run_end + 1;
+        continue;
+      }
+      if (verified.code() != StatusCode::kUnavailable) return verified;
+      // File was quarantined mid-run: serve this run through pread.
     }
     std::vector<char> buffer(end - begin);
     if (!buffer.empty()) {
@@ -194,6 +339,12 @@ Status GraphStore::ReadBlobRange(uint32_t first, uint32_t last,
       auto* dst = &(*out)[b - first];
       dst->assign(buffer.begin() + (ref.offset - begin),
                   buffer.begin() + (ref.offset - begin) + ref.length);
+      if (options_.verify_checksums && ref.crc != 0 && ref.length > 0 &&
+          Crc32(dst->data(), dst->size()) != ref.crc) {
+        ++IntegrityCounters::Get().checksum_failures;
+        return Status::Corruption(BlobErrorDetail(
+            "checksum mismatch", b, ref.file_index, ref.offset, ref.length));
+      }
     }
     id = run_end + 1;
   }
@@ -208,6 +359,7 @@ void GraphStore::SerializeDirectory(std::string* payload) const {
     PutVarint32(payload, ref.file_index);
     PutVarint64(payload, ref.offset);
     PutVarint32(payload, ref.length);
+    PutVarint32(payload, ref.crc);
   }
 }
 
@@ -230,6 +382,7 @@ Result<std::unique_ptr<GraphStore>> GraphStore::OpenExisting(
     auto file = RandomAccessFile::Open(store->base_path_ + suffix);
     if (!file.ok()) return file.status();
     store->files_.push_back(std::move(file).value());
+    store->AddFileSlot();
   }
   store->directory_.reserve(num_blobs);
   for (uint64_t b = 0; b < num_blobs; ++b) {
@@ -237,6 +390,7 @@ Result<std::unique_ptr<GraphStore>> GraphStore::OpenExisting(
     uint64_t offset = 0;
     if (!cursor->ReadVarint32(&ref.file_index) ||
         !cursor->ReadVarint64(&offset) || !cursor->ReadVarint32(&ref.length) ||
+        !cursor->ReadVarint32(&ref.crc) ||
         ref.file_index >= store->files_.size()) {
       return Status::Corruption("graph store: bad directory entry");
     }
@@ -262,6 +416,7 @@ Result<std::unique_ptr<GraphStore>> GraphStore::OpenFiles(
     auto file = RandomAccessFile::Open(path);
     if (!file.ok()) return file.status();
     store->files_.push_back(std::move(file).value());
+    store->AddFileSlot();
   }
   store->directory_.reserve(directory.size());
   for (const BlobLocation& loc : directory) {
@@ -271,7 +426,8 @@ Result<std::unique_ptr<GraphStore>> GraphStore::OpenFiles(
     if (loc.offset + loc.length > store->files_[loc.file_index]->size()) {
       return Status::Corruption("graph store: blob outside file");
     }
-    store->directory_.push_back({loc.file_index, loc.length, loc.offset});
+    store->directory_.push_back(
+        {loc.file_index, loc.length, loc.offset, loc.crc});
     store->total_bytes_ += loc.length;
   }
   if (options.mmap) {

@@ -43,6 +43,12 @@ class GraphStore {
     // paper's layout places a query's working set immediately after, so
     // the kernel fetches it while we decode.
     uint64_t readahead_bytes = 256 * 1024;
+    // Verify each blob's CRC32 on read. pread reads verify every time;
+    // mapped reads verify on the first touch of each blob and cache the
+    // verdict in a per-blob bitmap, so the warm zero-copy path stays one
+    // relaxed bit test. A crc of 0 in the directory means "unknown"
+    // (legacy entry) and is not checked.
+    bool verify_checksums = true;
   };
 
   // Physical home of one blob, exposed so the version subsystem's
@@ -53,6 +59,8 @@ class GraphStore {
     uint32_t file_index;
     uint64_t offset;
     uint32_t length;
+    // CRC32 of the blob bytes (0 = unknown / legacy, not verified).
+    uint32_t crc = 0;
   };
 
   // Creates a store writing files `<base_path>.000`, `<base_path>.001`, ...
@@ -104,20 +112,47 @@ class GraphStore {
     uint32_t length = 0;
   };
 
-  // True once every non-empty store file is memory-mapped; only then do
-  // the span reads below succeed.
+  // True once MapForRead() ran; only then can the span reads below
+  // succeed. Individual files may still be demoted to pread (see
+  // FileQuarantined) -- spans into those fail with Unavailable and the
+  // caller falls back to ReadBlob.
   bool mapped() const { return mapped_; }
 
   // Maps all files read-only. Valid on any store that is done being
   // written (OpenExisting/OpenFiles attach, or a Create store after its
-  // last Append); appending afterwards is rejected.
+  // last Append); appending afterwards is rejected. A file whose on-disk
+  // size is shorter than the directory-recorded blob extents (truncated
+  // behind our back) is not mapped: it is quarantined to the pread path
+  // instead of serving out-of-bounds spans, and wg_integrity_mmap_fallbacks
+  // is bumped. MapForRead itself only fails on invariant violations, not
+  // on per-file fallbacks.
   Status MapForRead();
 
   // Points *span at blob `id` inside the mapping (zero-copy; no syscall).
   // On the first touch of a readahead window this also issues
   // madvise(MADV_WILLNEED) for options.readahead_bytes following bytes.
-  // Fails unless mapped().
+  // With verify_checksums the first touch of each blob CRC-checks the
+  // mapped bytes under a SIGBUS guard: a fault quarantines the file
+  // (returns Unavailable -- retry via ReadBlob), a mismatch returns
+  // Corruption. Fails unless mapped().
   Status ReadBlobSpan(uint32_t id, BlobSpan* span) const;
+
+  // True when `file_index` is served by pread only: its mapping was
+  // refused at MapForRead (short file) or revoked after a SIGBUS.
+  bool FileQuarantined(uint32_t file_index) const {
+    return quarantined_[file_index]->load(std::memory_order_acquire);
+  }
+  // Demotes a file to the pread path (idempotent).
+  void QuarantineFile(uint32_t file_index) const;
+
+  // pread-based CRC verification of one blob, bypassing any mapping (the
+  // scrub path). OK for empty or crc-unknown blobs.
+  Status VerifyBlob(uint32_t id) const;
+
+  // fsyncs every store file. Writers must call this before publishing a
+  // manifest that references the blobs. (Logically const: nothing about
+  // the store's state changes, only its durability.)
+  Status SyncAll() const;
 
   // madvise over the physical byte ranges of blobs [first, last] (the
   // decode-ahead executor and the warmer use kWillNeed/kSequential ahead
@@ -143,11 +178,12 @@ class GraphStore {
   size_t num_files() const { return files_.size(); }
   uint64_t total_bytes() const { return total_bytes_; }
   uint64_t blob_size(uint32_t id) const { return directory_[id].length; }
+  uint32_t blob_crc(uint32_t id) const { return directory_[id].crc; }
 
   // Physical placement of blob `id` (for manifest composition).
   BlobLocation Location(uint32_t id) const {
     const BlobRef& ref = directory_[id];
-    return {ref.file_index, ref.offset, ref.length};
+    return {ref.file_index, ref.offset, ref.length, ref.crc};
   }
   const std::string& FilePath(uint32_t file_index) const {
     return files_[file_index]->path();
@@ -169,12 +205,18 @@ class GraphStore {
     uint32_t file_index;
     uint32_t length;
     uint64_t offset;
+    uint32_t crc;
   };
 
   GraphStore(std::string base_path, Options options)
       : base_path_(std::move(base_path)), options_(options) {}
 
   Status OpenNextFile();
+  void AddFileSlot();
+  // Mapped-read first-touch verification; returns OK when the blob's crc
+  // checked out (or already did), Corruption on mismatch, Unavailable
+  // after a SIGBUS (file quarantined). Requires mapped().
+  Status EnsureMappedBlobVerified(uint32_t id, const BlobRef& ref) const;
 
   std::string base_path_;
   Options options_;
@@ -188,6 +230,12 @@ class GraphStore {
   // Last readahead window opened per file (one word per file, relaxed:
   // duplicate WILLNEEDs are harmless, missing one costs a demand fault).
   mutable std::vector<std::unique_ptr<std::atomic<uint64_t>>> readahead_edge_;
+  // Per-file pread-only demotion flags (parallel to files_).
+  mutable std::vector<std::unique_ptr<std::atomic<bool>>> quarantined_;
+  // Per-blob first-touch verification verdicts for the mapped path, one
+  // bit each; allocated by MapForRead. ok/bad are mutually exclusive.
+  mutable std::unique_ptr<std::atomic<uint64_t>[]> verified_ok_;
+  mutable std::unique_ptr<std::atomic<uint64_t>[]> verified_bad_;
 };
 
 }  // namespace wg

@@ -1,0 +1,31 @@
+#ifndef WG_STORAGE_INTEGRITY_H_
+#define WG_STORAGE_INTEGRITY_H_
+
+#include "obs/metrics.h"
+
+// Process-wide integrity counters (the wg_integrity_* series). They are
+// deliberately global rather than per-store: an operator alerting on
+// corruption cares that the process saw any, and per-instance series from
+// short-lived stores would leak registry memory (see obs/metrics.h).
+
+namespace wg {
+
+struct IntegrityCounters {
+  // Blob bytes that failed CRC verification (pread or mapped first touch).
+  obs::Counter checksum_failures;
+  // SIGBUS faults caught while touching a mapped blob (file truncated or
+  // lost sectors behind our back); each one quarantines the file to pread.
+  obs::Counter sigbus_faults;
+  // Store files that could not be served from a mapping (short file vs
+  // directory extents, failed mmap, SIGBUS) and were demoted to pread.
+  obs::Counter mmap_fallbacks;
+  // S-Node sections quarantined after a corrupt blob (requests touching
+  // them fail fast with Unavailable until the store is repaired).
+  obs::Counter quarantined_sections;
+
+  static IntegrityCounters& Get();
+};
+
+}  // namespace wg
+
+#endif  // WG_STORAGE_INTEGRITY_H_

@@ -1,0 +1,51 @@
+#include "storage/sigbus_guard.h"
+
+#include <csignal>
+#include <mutex>
+
+namespace wg {
+
+namespace {
+
+thread_local SigbusGuard* g_active_guard = nullptr;
+
+}  // namespace
+
+void SigbusGuardHandler(int sig) {
+  SigbusGuard* guard = g_active_guard;
+  if (guard == nullptr) {
+    // No guard on this thread: restore the default disposition and
+    // re-raise so the process dies with the normal SIGBUS report.
+    ::signal(sig, SIG_DFL);
+    ::raise(sig);
+    return;
+  }
+  guard->tripped_ = true;
+  siglongjmp(guard->buf_, 1);
+}
+
+namespace {
+
+void InstallHandlerOnce() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    struct sigaction sa;
+    sa.sa_handler = SigbusGuardHandler;
+    sigemptyset(&sa.sa_mask);
+    // No SA_NODEFER: the handler longjmps out, so unblock via the
+    // sigsetjmp(buf, 1) savemask instead.
+    sa.sa_flags = 0;
+    ::sigaction(SIGBUS, &sa, nullptr);
+  });
+}
+
+}  // namespace
+
+SigbusGuard::SigbusGuard() : prev_(g_active_guard) {
+  InstallHandlerOnce();
+  g_active_guard = this;
+}
+
+SigbusGuard::~SigbusGuard() { g_active_guard = prev_; }
+
+}  // namespace wg

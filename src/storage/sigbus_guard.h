@@ -1,0 +1,46 @@
+#ifndef WG_STORAGE_SIGBUS_GUARD_H_
+#define WG_STORAGE_SIGBUS_GUARD_H_
+
+#include <csetjmp>
+
+// SIGBUS protection for reads through a memory mapping. Touching a mapped
+// page past the file's real end (a file truncated behind our back, or a
+// lost sector under some filesystems) raises SIGBUS and would kill the
+// process. Wrap the first touch of newly mapped bytes in a guard:
+//
+//   SigbusGuard guard;
+//   if (sigsetjmp(guard.jump_buffer(), 1) != 0) {
+//     // the touch faulted -- treat as corruption, fall back to pread
+//   } else {
+//     ... dereference mapped bytes ...
+//   }
+//
+// The handler is installed process-wide on first use; a SIGBUS on a thread
+// with no active guard re-raises the default disposition (crash), so
+// genuine wild faults are not swallowed. Guards nest per thread.
+
+namespace wg {
+
+class SigbusGuard {
+ public:
+  SigbusGuard();
+  ~SigbusGuard();
+
+  SigbusGuard(const SigbusGuard&) = delete;
+  SigbusGuard& operator=(const SigbusGuard&) = delete;
+
+  sigjmp_buf& jump_buffer() { return buf_; }
+
+  // True iff a SIGBUS was caught by this guard.
+  bool tripped() const { return tripped_; }
+
+ private:
+  friend void SigbusGuardHandler(int);
+  sigjmp_buf buf_;
+  SigbusGuard* prev_;  // enclosing guard on this thread, if any
+  bool tripped_ = false;
+};
+
+}  // namespace wg
+
+#endif  // WG_STORAGE_SIGBUS_GUARD_H_

@@ -22,6 +22,10 @@ enum class StatusCode {
   kOutOfRange,
   kInternal,
   kResourceExhausted,
+  // A resource exists but is temporarily not servable (e.g. a quarantined
+  // section or a mapping demoted to pread). Retry-after-repair semantics,
+  // as opposed to kCorruption which describes the underlying damage.
+  kUnavailable,
 };
 
 // A Status carries an error code and a human-readable message. The OK status
@@ -51,6 +55,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

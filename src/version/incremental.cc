@@ -182,7 +182,7 @@ Result<Manifest> BuildIncrementalGeneration(
     WG_ASSIGN_OR_RETURN(uint32_t id, pack->Append(bytes));
     GraphStore::BlobLocation loc = pack->Location(id);
     ManifestBlob entry{base_file_count + loc.file_index, loc.offset,
-                       loc.length, hash};
+                       loc.length, loc.crc, hash};
     manifest.blobs.push_back(entry);
     known.emplace(hash, entry);  // dedup within this generation too
     ++manifest.blobs_written;
@@ -256,8 +256,10 @@ Result<Manifest> BuildIncrementalGeneration(
     layout_seconds += SecondsSince(t_layout);
   }
 
-  // Register this generation's pack files (relative names).
+  // Register this generation's pack files (relative names), fsynced
+  // first: the manifest that names them publishes right after this.
   if (pack != nullptr) {
+    WG_RETURN_IF_ERROR(pack->SyncAll());
     for (uint32_t f = 0; f < pack->num_files(); ++f) {
       const std::string& path = pack->FilePath(f);
       manifest.files.push_back(path.substr(dir.size() + 1));

@@ -6,7 +6,8 @@
 namespace wg::version {
 
 namespace {
-constexpr char kManifestMagic[4] = {'W', 'G', 'M', '1'};
+// Bumped to WGM2 when blob entries gained per-blob CRCs (PR 8).
+constexpr char kManifestMagic[4] = {'W', 'G', 'M', '2'};
 }  // namespace
 
 Status Manifest::WriteTo(const std::string& path) const {
@@ -23,6 +24,7 @@ Status Manifest::WriteTo(const std::string& path) const {
     PutVarint32(&payload, b.file_index);
     PutVarint64(&payload, b.offset);
     PutVarint32(&payload, b.length);
+    PutVarint32(&payload, b.crc);
     PutVarint64(&payload, b.hash.hi);
     PutVarint64(&payload, b.hash.lo);
   }
@@ -58,8 +60,9 @@ Result<Manifest> Manifest::ReadFrom(const std::string& path) {
   for (auto& b : m.blobs) {
     uint64_t hi = 0, lo = 0;
     if (!cursor.ReadVarint32(&b.file_index) || !cursor.ReadVarint64(&b.offset) ||
-        !cursor.ReadVarint32(&b.length) || !cursor.ReadVarint64(&hi) ||
-        !cursor.ReadVarint64(&lo) || b.file_index >= m.files.size()) {
+        !cursor.ReadVarint32(&b.length) || !cursor.ReadVarint32(&b.crc) ||
+        !cursor.ReadVarint64(&hi) || !cursor.ReadVarint64(&lo) ||
+        b.file_index >= m.files.size()) {
       return Status::Corruption("manifest: bad blob entry");
     }
     b.hash = {hi, lo};
@@ -85,7 +88,7 @@ Result<std::unique_ptr<GraphStore>> Manifest::OpenStore(
   std::vector<GraphStore::BlobLocation> directory;
   directory.reserve(blobs.size());
   for (const ManifestBlob& b : blobs) {
-    directory.push_back({b.file_index, b.offset, b.length});
+    directory.push_back({b.file_index, b.offset, b.length, b.crc});
   }
   return GraphStore::OpenFiles(paths, std::move(directory), options);
 }

@@ -31,6 +31,7 @@ struct ManifestBlob {
   uint32_t file_index = 0;  // into Manifest::files
   uint64_t offset = 0;
   uint32_t length = 0;
+  uint32_t crc = 0;  // CRC32 of the blob's bytes (verify-on-read key)
   ContentHash hash;  // of the blob's bytes (the sharing key)
 };
 

@@ -74,7 +74,7 @@ Result<std::unique_ptr<SnapshotManager>> SnapshotManager::Create(
     WG_RETURN_IF_ERROR(store.ReadBlob(id, &bytes));
     GraphStore::BlobLocation loc = store.Location(id);
     manifest.blobs.push_back(
-        {loc.file_index, loc.offset, loc.length, HashBlob(bytes)});
+        {loc.file_index, loc.offset, loc.length, loc.crc, HashBlob(bytes)});
   }
   manifest.blobs_written = store.num_blobs();
 
@@ -91,6 +91,9 @@ Result<std::unique_ptr<SnapshotManager>> SnapshotManager::Create(
   }
   state.supernodes = built->supernode_graph();
   state.Serialize(&manifest.resident);
+  // The manifest is about to reference these pack bytes; they must be on
+  // the platter before CURRENT can point at them.
+  WG_RETURN_IF_ERROR(store.SyncAll());
   built.reset();
 
   std::unique_ptr<SnapshotManager> manager(
@@ -148,6 +151,11 @@ Result<GenerationPtr> SnapshotManager::LoadGeneration(
   WG_ASSIGN_OR_RETURN(SNodeResidentState state, manifest.ParseResident());
   WG_ASSIGN_OR_RETURN(std::unique_ptr<GraphStore> store,
                       manifest.OpenStore(dir_, options_.store));
+  if (options_.verify_before_install) {
+    for (uint32_t id = 0; id < store->num_blobs(); ++id) {
+      WG_RETURN_IF_ERROR(store->VerifyBlob(id));
+    }
+  }
   WG_ASSIGN_OR_RETURN(
       std::unique_ptr<SNodeRepr> repr,
       SNodeRepr::FromParts(std::move(state), std::move(store),
@@ -164,6 +172,11 @@ Status SnapshotManager::Publish(const Manifest& manifest) {
   span.AddArg("generation", manifest.generation);
   std::string name = ManifestName(manifest.generation);
   WG_RETURN_IF_ERROR(manifest.WriteTo(dir_ + "/" + name));
+  // WriteTo fsynced the manifest's bytes; the directory fsync makes its
+  // (and any new pack files') directory entries durable. Without it a
+  // power cut could publish a CURRENT pointing at a manifest whose entry
+  // never reached the disk.
+  WG_RETURN_IF_ERROR(SyncDirectory(dir_));
 
   // The atomic flip: CURRENT is replaced by rename, so a concurrent
   // Open() sees either the old complete generation or the new one.
@@ -176,10 +189,11 @@ Status SnapshotManager::Publish(const Manifest& manifest) {
     WG_RETURN_IF_ERROR(tmp->Append(line.data(), line.size()));
     WG_RETURN_IF_ERROR(tmp->Sync());
   }
-  if (std::rename(tmp_path.c_str(), (dir_ + "/CURRENT").c_str()) != 0) {
-    return Status::IOError("snapshot: rename CURRENT failed in " + dir_);
-  }
-  return Status::OK();
+  WG_RETURN_IF_ERROR(RenameFile(tmp_path, dir_ + "/CURRENT"));
+  // Second directory fsync: the rename itself is durable, so a reopening
+  // process cannot land back on the previous generation after we told
+  // the caller the flip succeeded.
+  return SyncDirectory(dir_);
 }
 
 Status SnapshotManager::AppendDeltas(const std::vector<DeltaRecord>& batch) {

@@ -64,6 +64,13 @@ struct SnapshotOptions {
   // Read-path options for every generation's store open (mmap, readahead
   // window). Sizing fields are ignored: generations are opened read-only.
   GraphStore::Options store;
+  // Scrub (pread + CRC) every blob of a generation before installing it.
+  // A corrupt generation then fails Open()/Refresh()/Compact() with
+  // Corruption while the previously installed generation keeps serving
+  // (degraded mode), instead of the corruption surfacing mid-query later.
+  // Costs one full sequential read of the store per flip; wgserve turns
+  // it on, batch/bench paths leave it off.
+  bool verify_before_install = false;
 };
 
 class SnapshotManager {

@@ -13,6 +13,12 @@
 //       requests drain on the generation they pinned. Forward-only: the
 //       synthetic mix drops in-neighbor requests, and request files must
 //       avoid `in`/`query` lines.
+//       Every candidate generation is scrubbed (pread + CRC of all blobs)
+//       before install; a corrupt generation fails the flip and the
+//       process keeps serving the last good one in degraded mode: the
+//       wg_degraded gauge goes to 1 and the --health-file (if given) reads
+//       "degraded" until a later flip succeeds. Run `wgtool scrub` and
+//       re-compact to repair.
 //
 // options:
 //   --workers W       worker threads (default 4)
@@ -37,6 +43,10 @@
 //                     0 = unthrottled)
 //   --decode-ahead N  on a streaming cursor miss, background-decode the
 //                     next N sections in layout order (default 0 = off)
+//   --health-file F   (snapshot mode) rewrite F with "ok" or "degraded"
+//                     after open and every flip attempt -- a file-based
+//                     health endpoint for probes ("cat F") without an
+//                     admin port
 //   --metrics-out F   dump the metric registry to F at exit; ".json"
 //                     suffix selects the JSON form, anything else the
 //                     Prometheus text form
@@ -70,6 +80,7 @@
 #include "snode/snode_repr.h"
 #include "snode/warmer.h"
 #include "storage/file.h"
+#include "storage/integrity.h"
 #include "text/corpus.h"
 #include "text/inverted_index.h"
 #include "text/pagerank.h"
@@ -87,7 +98,7 @@ int Usage() {
                "               [--deadline-ms D] [--buffer BYTES]\n"
                "               [--shards N] [--mmap] [--warm-on-open]\n"
                "               [--warm-rate BYTES] [--decode-ahead N]\n"
-               "               [--metrics-out FILE]\n"
+               "               [--health-file FILE] [--metrics-out FILE]\n"
                "               [--trace-out FILE] [--trace-sample N]\n");
   return 2;
 }
@@ -164,14 +175,41 @@ int Main(int argc, char** argv) {
   std::unique_ptr<version::SnapshotManager> manager;
   size_t num_pages = 0;
 
+  // Degraded-mode surface (snapshot mode): wg_degraded is 1 while CURRENT
+  // names a generation this process refused to install (its pre-install
+  // scrub failed) and the last good one keeps serving. The health file
+  // mirrors the gauge for probes that can only `cat` a path.
+  const char* health_file = FlagValue(argc, argv, "--health-file");
+  obs::Gauge degraded_gauge;
+  bool degraded_state = false;  // poller-thread-owned after startup
+  auto write_health = [&](bool degraded) {
+    degraded_gauge.Set(degraded ? 1 : 0);
+    if (health_file == nullptr) return;
+    std::FILE* f = std::fopen(health_file, "w");
+    if (f == nullptr) return;
+    std::fputs(degraded ? "degraded\n" : "ok\n", f);
+    std::fclose(f);
+  };
+
+  // Materialize the wg_integrity_* series at zero: a dashboard must be
+  // able to tell "no corruption seen" from "counters not wired".
+  IntegrityCounters::Get();
+
   QueryContext ctx;
   if (snapshot != nullptr) {
     version::SnapshotOptions vopts;
     vopts.build = bopts;
     vopts.store.mmap = use_mmap;
+    // Serving tier: never install a generation whose pack bytes don't
+    // match their manifest CRCs; keep serving the last good one instead.
+    vopts.verify_before_install = true;
     auto opened = version::SnapshotManager::Open(snapshot, vopts);
     if (!opened.ok()) return Fail(opened.status());
     manager = std::move(opened).value();
+    degraded_gauge.Bind(obs::MetricRegistry::Default(), "wg_degraded", {},
+                        "1 while serving a stale generation because the "
+                        "newest failed verification");
+    write_health(false);
     version::GenerationPtr generation = manager->current();
     num_pages = generation->repr->num_pages();
     std::printf("snapshot %s: generation %llu, %zu pages, %llu links, "
@@ -313,7 +351,27 @@ int Main(int argc, char** argv) {
       while (!stop_poller.load(std::memory_order_relaxed)) {
         std::this_thread::sleep_for(std::chrono::milliseconds(100));
         auto refreshed = manager->Refresh();
-        if (!refreshed.ok()) continue;  // mid-publish race; retry next tick
+        if (!refreshed.ok()) {
+          // A non-corruption failure is a mid-publish race; retry next
+          // tick. Corruption means the new generation failed its
+          // pre-install scrub: hold the last good one and flag degraded.
+          if (refreshed.status().code() == StatusCode::kCorruption &&
+              !degraded_state) {
+            degraded_state = true;
+            write_health(true);
+            std::fprintf(stderr,
+                         "degraded: keeping generation %llu; refused flip: "
+                         "%s\n",
+                         static_cast<unsigned long long>(live),
+                         refreshed.status().ToString().c_str());
+          }
+          continue;
+        }
+        if (degraded_state) {
+          degraded_state = false;
+          write_health(false);
+          std::printf("recovered: flip path healthy again\n");
+        }
         uint64_t generation = refreshed.value()->manifest.generation;
         if (generation == live) continue;
         live = generation;
