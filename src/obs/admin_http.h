@@ -1,0 +1,141 @@
+#ifndef WG_OBS_ADMIN_HTTP_H_
+#define WG_OBS_ADMIN_HTTP_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+// Embedded admin HTTP server: the live introspection plane of a serving
+// process (wgserve --admin-port). Dependency-free -- raw POSIX sockets, a
+// minimal HTTP/1.1 request parser, no framework -- and deliberately off
+// the hot path: the only thing the serving threads share with it are the
+// lock-free metric cells, the tracez ring mutex (taken once per completed
+// root trace), and the profiler's sample ring.
+//
+// Model: one accept thread plus a small fixed worker pool pulling
+// connections off a bounded queue. A connection is one GET, one response,
+// close (Connection: close); slow consumers are bounded by socket
+// timeouts, and queue overflow closes the connection instead of queueing
+// unboundedly -- the admin plane must never amplify an overload.
+//
+// Handlers are exact-path functions registered with Handle(); "/" renders
+// an index of everything registered. RegisterIntrospection() wires the
+// standard endpoints over the process-wide registry, tracer ring, and
+// profiler:
+//
+//   /metrics                 Prometheus text exposition
+//   /metrics.json            the same data as one JSON document
+//   /tracez                  recent + slow traces with per-phase breakdown
+//   /pprof/profile?seconds=N collapsed-stack CPU profile of the next N
+//                            seconds (flamegraph.pl / speedscope input)
+//
+// /healthz and /statusz are wired by the serving binary, which owns the
+// state they report (generation, degraded reason, cache occupancy).
+
+namespace wg::obs {
+
+class MetricRegistry;
+
+struct AdminRequest {
+  std::string method;  // "GET"
+  std::string path;    // decoded, no query string
+  // Decoded query parameters; repeated keys keep the last value.
+  std::map<std::string, std::string> params;
+
+  // `params[key]` parsed as a non-negative integer, clamped to
+  // [min, max]; `fallback` when absent or unparseable.
+  uint64_t IntParam(const std::string& key, uint64_t fallback, uint64_t min,
+                    uint64_t max) const;
+};
+
+struct AdminResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+using AdminHandler = std::function<AdminResponse(const AdminRequest&)>;
+
+struct AdminServerOptions {
+  // Loopback by default: the admin plane exposes internals and must be
+  // opted into the network explicitly.
+  std::string bind_address = "127.0.0.1";
+  uint16_t port = 0;  // 0 = kernel-assigned; read back via port()
+  size_t num_threads = 2;
+  // Per-connection socket read/write timeout; a stuck scraper times out
+  // instead of pinning a worker. The profile endpoint's own sleep is not
+  // covered (it happens before the write).
+  int io_timeout_seconds = 5;
+};
+
+class AdminServer {
+ public:
+  explicit AdminServer(AdminServerOptions options = {});
+  ~AdminServer();  // Stop()
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  // Registers `handler` for exact matches of `path`. Safe before or after
+  // Start; re-registering a path replaces its handler.
+  void Handle(const std::string& path, AdminHandler handler);
+
+  // Binds, listens, and spawns the accept + worker threads.
+  Status Start();
+
+  // Closes the listener, drains queued connections, joins all threads.
+  // Idempotent; also run by the destructor.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+
+  // The bound port (resolves port 0); valid after Start.
+  uint16_t port() const { return port_; }
+
+  uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConnection(int fd);
+  AdminResponse Dispatch(const AdminRequest& request);
+  AdminResponse IndexPage() const;
+
+  AdminServerOptions options_;
+  // Atomic: Stop() claims and closes it while the accept thread is still
+  // reading it for accept().
+  std::atomic<int> listen_fd_{-1};
+  uint16_t port_ = 0;
+
+  mutable std::mutex handlers_mu_;
+  std::vector<std::pair<std::string, AdminHandler>> handlers_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;  // accepted fds awaiting a worker
+  bool closed_ = false;
+
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> requests_{0};
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+};
+
+// Wires /metrics, /metrics.json, /tracez, and /pprof/profile over the
+// given registry plus the global Tracer ring and Profiler.
+void RegisterIntrospection(AdminServer& server, MetricRegistry& registry);
+
+}  // namespace wg::obs
+
+#endif  // WG_OBS_ADMIN_HTTP_H_

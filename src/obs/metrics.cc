@@ -80,6 +80,7 @@ MetricRegistry& MetricRegistry::Default() {
 namespace {
 
 // Serialized label set, doubling as the series key: `k="v",k2="v2"`.
+// Values stay raw here -- this is the identity key, not exposition text.
 std::string LabelString(const Labels& labels) {
   std::string out;
   for (size_t i = 0; i < labels.size(); ++i) {
@@ -90,6 +91,49 @@ std::string LabelString(const Labels& labels) {
     out.push_back('"');
   }
   return out;
+}
+
+// Prometheus text-format label-value escaping: backslash, double-quote,
+// and newline are the three characters the exposition grammar reserves
+// inside quoted label values. Anything else (including other control
+// characters) passes through; a label value is bytes to Prometheus.
+void AppendPromEscaped(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '\\': *out += "\\\\"; break;
+      case '"': *out += "\\\""; break;
+      case '\n': *out += "\\n"; break;
+      default: out->push_back(c);
+    }
+  }
+}
+
+// Exposition form of a label set: `k="escaped_v",k2="escaped_v2"`.
+// Distinct from LabelString so a value containing `"` or `\n` -- a file
+// path with a newline-smuggling name, say -- cannot break the line
+// grammar or forge extra series.
+std::string PromLabelString(const Labels& labels) {
+  std::string out;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += labels[i].first;
+    out += "=\"";
+    AppendPromEscaped(labels[i].second, &out);
+    out.push_back('"');
+  }
+  return out;
+}
+
+// HELP text escaping: the format reserves backslash and newline there
+// (double-quotes are fine outside label values).
+void AppendPromHelp(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      default: out->push_back(c);
+    }
+  }
 }
 
 void AppendJsonEscaped(const std::string& s, std::string* out) {
@@ -204,7 +248,9 @@ std::string MetricRegistry::PrometheusText() const {
   std::string out;
   for (const auto& [name, family] : families_) {
     if (!family.help.empty()) {
-      out += "# HELP " + name + " " + family.help + "\n";
+      out += "# HELP " + name + " ";
+      AppendPromHelp(family.help, &out);
+      out += "\n";
     }
     out += "# TYPE " + name + " ";
     switch (family.kind) {
@@ -212,7 +258,10 @@ std::string MetricRegistry::PrometheusText() const {
       case Kind::kGauge: out += "gauge\n"; break;
       case Kind::kHistogram: out += "histogram\n"; break;
     }
-    for (const auto& [key, series] : family.series) {
+    for (const auto& [raw_key, series] : family.series) {
+      (void)raw_key;
+      // Escaped for the exposition grammar; raw_key stays the identity.
+      const std::string key = PromLabelString(series.labels);
       switch (family.kind) {
         case Kind::kCounter:
           out += name;
@@ -330,6 +379,18 @@ std::string MetricRegistry::JsonText() const {
                    "}";
           }
           out += "]";
+          uint64_t exemplar =
+              h.exemplar_trace.load(std::memory_order_relaxed);
+          if (exemplar != 0) {
+            // Slow-observation exemplar: the trace id to look up in
+            // /tracez. Torn value/trace pairing is acceptable (see cell).
+            out += ",\"exemplar\":{\"trace\":" +
+                   NumberString(static_cast<double>(exemplar)) +
+                   ",\"value\":" +
+                   NumberString(h.exemplar_value.load(
+                       std::memory_order_relaxed)) +
+                   "}";
+          }
           break;
         }
       }

@@ -79,6 +79,16 @@ struct HistogramCell {
   std::atomic<uint64_t> count{0};
   std::atomic<double> sum{0};
 
+  // Last exemplar attached to this distribution: the trace id of a
+  // recorded observation that crossed the caller's interest threshold
+  // (e.g. a slow request), so the exposition can link the distribution
+  // to a /tracez entry. 0 = none yet. The pair is not read atomically
+  // together -- an exemplar is a pointer into the trace ring, not an
+  // accounting value, so a torn (value, trace) pairing under churn is
+  // acceptable.
+  std::atomic<uint64_t> exemplar_trace{0};
+  std::atomic<double> exemplar_value{0};
+
   void Record(double value);
 
   // Value at or below which a `q` fraction of recorded values fall; 0
@@ -193,6 +203,18 @@ class Histogram {
 
   void Record(double value) noexcept { cell_->Record(value); }
   double Quantile(double q) const { return cell_->Quantile(q); }
+
+  // Attaches (value, trace_id) as the distribution's current exemplar;
+  // call after Record when the observation is worth linking to its trace
+  // (the caller owns the threshold). Ignored when trace_id is 0.
+  void SetExemplar(double value, uint64_t trace_id) noexcept {
+    if (trace_id == 0) return;
+    cell_->exemplar_value.store(value, std::memory_order_relaxed);
+    cell_->exemplar_trace.store(trace_id, std::memory_order_relaxed);
+  }
+  uint64_t exemplar_trace() const noexcept {
+    return cell_->exemplar_trace.load(std::memory_order_relaxed);
+  }
   uint64_t count() const noexcept {
     return cell_->count.load(std::memory_order_relaxed);
   }

@@ -1,0 +1,231 @@
+#include "obs/profiler.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <sys/time.h>
+#include <ucontext.h>
+
+#if !defined(WG_PROFILER_PC_ONLY)
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define WG_PROFILER_PC_ONLY 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define WG_PROFILER_PC_ONLY 1
+#endif
+#endif
+#endif
+
+#if !defined(WG_PROFILER_PC_ONLY)
+#include <execinfo.h>
+#endif
+
+namespace wg::obs {
+
+namespace {
+
+// Slot states; real sequence numbers stay below both.
+constexpr uint64_t kFree = UINT64_MAX;
+constexpr uint64_t kBusy = UINT64_MAX - 1;
+
+struct sigaction g_previous_action;  // restored by Stop()
+
+// The program counter at the moment of interruption, from the signal
+// ucontext -- touches no library code, so it is the whole capture path
+// under sanitizers and the fallback on unknown architectures.
+void* InterruptedPc(void* ucontext) {
+  if (ucontext == nullptr) return nullptr;
+  auto* uc = static_cast<ucontext_t*>(ucontext);
+#if defined(__x86_64__)
+  return reinterpret_cast<void*>(uc->uc_mcontext.gregs[REG_RIP]);
+#elif defined(__aarch64__)
+  return reinterpret_cast<void*>(uc->uc_mcontext.pc);
+#else
+  (void)uc;
+  return nullptr;
+#endif
+}
+
+void HandlerTrampoline(int signo, siginfo_t* info, void* ucontext) {
+  Profiler::Handler(signo, info, ucontext);
+}
+
+// Human-readable frame name: demangled symbol when dladdr finds one,
+// otherwise module+offset, otherwise the raw address. Collapse-time only.
+std::string SymbolizePc(void* pc) {
+  char buf[512];
+  Dl_info info;
+  if (dladdr(pc, &info) != 0 && info.dli_sname != nullptr) {
+    int status = 0;
+    char* demangled =
+        abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    std::string name = (status == 0 && demangled != nullptr)
+                           ? std::string(demangled)
+                           : std::string(info.dli_sname);
+    std::free(demangled);
+    // Semicolons and spaces are the collapsed format's separators.
+    for (char& c : name) {
+      if (c == ';' || c == ' ' || c == '\n') c = '_';
+    }
+    return name;
+  }
+  if (dladdr(pc, &info) != 0 && info.dli_fname != nullptr) {
+    const char* base = std::strrchr(info.dli_fname, '/');
+    base = base != nullptr ? base + 1 : info.dli_fname;
+    std::snprintf(buf, sizeof(buf), "%s+0x%zx", base,
+                  reinterpret_cast<uintptr_t>(pc) -
+                      reinterpret_cast<uintptr_t>(info.dli_fbase));
+    return buf;
+  }
+  std::snprintf(buf, sizeof(buf), "0x%zx",
+                reinterpret_cast<uintptr_t>(pc));
+  return buf;
+}
+
+}  // namespace
+
+Profiler& Profiler::Global() {
+  static Profiler* profiler = new Profiler();
+  return *profiler;
+}
+
+void Profiler::Handler(int /*signo*/, void* /*siginfo*/, void* ucontext) {
+  Profiler& p = Global();
+  uint64_t seq = p.write_index_.fetch_add(1, std::memory_order_relaxed);
+  Sample& slot = p.ring_[seq % kCapacity];
+  slot.seq.store(kBusy, std::memory_order_relaxed);
+#if defined(WG_PROFILER_PC_ONLY)
+  // Sanitizer builds: interceptor-wrapped backtrace is not signal-safe;
+  // record a depth-1 stack (the interrupted pc) instead.
+  slot.pcs[0] = InterruptedPc(ucontext);
+  slot.depth = slot.pcs[0] != nullptr ? 1 : 0;
+#else
+  // backtrace() here returns our own frames first (Handler, the signal
+  // trampoline), then the interrupted stack; Collapsed() strips the
+  // prefix. Signal-safe after Start() primed the unwinder.
+  int depth = ::backtrace(slot.pcs, static_cast<int>(kMaxDepth));
+  if (depth <= 0) {
+    slot.pcs[0] = InterruptedPc(ucontext);
+    depth = slot.pcs[0] != nullptr ? 1 : 0;
+  }
+  slot.depth = depth;
+#endif
+  slot.seq.store(seq, std::memory_order_release);
+}
+
+Status Profiler::Start(int hz) {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (hz < 1) hz = 1;
+  if (hz > 1000) hz = 1000;
+#if !defined(WG_PROFILER_PC_ONLY)
+  // Prime the unwinder outside signal context: backtrace's first call
+  // may load libgcc (malloc + dlopen), which must never happen in the
+  // handler.
+  void* prime[4];
+  ::backtrace(prime, 4);
+#endif
+  if (!running_.load(std::memory_order_relaxed)) {
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_sigaction = HandlerTrampoline;
+    sigemptyset(&action.sa_mask);
+    // SA_RESTART: a sample landing mid-read/accept restarts the syscall
+    // instead of surfacing EINTR through the serving path.
+    action.sa_flags = SA_SIGINFO | SA_RESTART;
+    if (sigaction(SIGPROF, &action, &g_previous_action) != 0) {
+      return Status::IOError("sigaction(SIGPROF) failed");
+    }
+  }
+  itimerval timer;
+  timer.it_interval.tv_sec = 0;
+  timer.it_interval.tv_usec = 1000000 / hz;
+  timer.it_value = timer.it_interval;
+  if (setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
+    if (!running_.load(std::memory_order_relaxed)) {
+      sigaction(SIGPROF, &g_previous_action, nullptr);
+    }
+    return Status::IOError("setitimer(ITIMER_PROF) failed");
+  }
+  hz_.store(hz, std::memory_order_relaxed);
+  running_.store(true, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void Profiler::Stop() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (!running_.load(std::memory_order_relaxed)) return;
+  itimerval off;
+  std::memset(&off, 0, sizeof(off));
+  setitimer(ITIMER_PROF, &off, nullptr);
+  sigaction(SIGPROF, &g_previous_action, nullptr);
+  running_.store(false, std::memory_order_relaxed);
+  hz_.store(0, std::memory_order_relaxed);
+}
+
+std::string Profiler::Collapsed(uint64_t begin_seq, uint64_t end_seq) const {
+  struct Stack {
+    int32_t depth;
+    void* pcs[kMaxDepth];
+  };
+  std::vector<Stack> stacks;
+  for (size_t i = 0; i < kCapacity; ++i) {
+    const Sample& slot = ring_[i];
+    uint64_t seq = slot.seq.load(std::memory_order_acquire);
+    if (seq >= kBusy || seq < begin_seq || seq >= end_seq) continue;
+    Stack stack;
+    stack.depth = slot.depth;
+    if (stack.depth < 0) continue;
+    if (stack.depth > static_cast<int32_t>(kMaxDepth)) {
+      stack.depth = static_cast<int32_t>(kMaxDepth);
+    }
+    std::memcpy(stack.pcs, slot.pcs,
+                sizeof(void*) * static_cast<size_t>(stack.depth));
+    // A handler may have overwritten the slot mid-copy; the seq check
+    // after the copy rejects torn stacks.
+    if (slot.seq.load(std::memory_order_acquire) != seq) continue;
+    stacks.push_back(stack);
+  }
+
+  std::unordered_map<void*, std::string> symbols;
+  auto name_of = [&symbols](void* pc) -> const std::string& {
+    auto it = symbols.find(pc);
+    if (it == symbols.end()) {
+      it = symbols.emplace(pc, SymbolizePc(pc)).first;
+    }
+    return it->second;
+  };
+
+  // backtrace captures two of our own frames (Handler + the kernel's
+  // signal trampoline) before the interrupted stack; strip them. The
+  // pc-only path records depth-1 stacks, which skip takes as-is.
+  std::map<std::string, uint64_t> collapsed;
+  for (const Stack& stack : stacks) {
+    int32_t skip = stack.depth > 2 ? 2 : 0;
+    std::string key;
+    // Collapsed format is root-first; backtrace is leaf-first.
+    for (int32_t f = stack.depth - 1; f >= skip; --f) {
+      if (!key.empty()) key.push_back(';');
+      key += name_of(stack.pcs[f]);
+    }
+    if (!key.empty()) ++collapsed[key];
+  }
+
+  std::string out;
+  char buf[32];
+  for (const auto& [key, count] : collapsed) {
+    out += key;
+    std::snprintf(buf, sizeof(buf), " %llu\n",
+                  static_cast<unsigned long long>(count));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace wg::obs

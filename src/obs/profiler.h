@@ -1,0 +1,96 @@
+#ifndef WG_OBS_PROFILER_H_
+#define WG_OBS_PROFILER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "util/status.h"
+
+// Always-on sampling CPU profiler: a SIGPROF itimer fires `hz` times per
+// CPU-second of process time; the signal handler captures the interrupted
+// thread's call stack into a fixed ring of sample slots. Samples carry a
+// monotonically increasing sequence number, so a profile window is just
+// "the slots written between two sequence reads" -- the /pprof/profile
+// endpoint records the sequence, sleeps N seconds, and collapses whatever
+// landed in between. No start/stop churn per profile request, and the
+// steady-state cost is one stack capture per 1/hz of consumed CPU.
+//
+// Signal-safety: the handler touches only the preallocated ring and
+// atomics. Stack capture uses ::backtrace(), which is async-signal-safe
+// after its first call has loaded the libgcc unwinder -- Start() primes
+// it before installing the handler. Under TSan/ASan the handler records
+// only the interrupted program counter from the signal ucontext (depth-1
+// stacks) instead: the sanitizer interceptors around backtrace are not
+// signal-safe, and a flat PC histogram is still a usable profile.
+// SIGPROF is installed with SA_RESTART so syscalls in the serving path
+// are restarted, not failed with EINTR.
+//
+// Output is collapsed-stack format ("frame;frame;frame count" per line,
+// root first), directly consumable by flamegraph.pl / speedscope / pprof.
+// Symbolization (dladdr + demangle) happens at collapse time, never in
+// the handler; frames without a visible symbol render as the module path
+// plus offset, so build serving binaries with -rdynamic (CMake
+// ENABLE_EXPORTS) for named frames.
+
+namespace wg::obs {
+
+class Profiler {
+ public:
+  // The process-wide profiler (SIGPROF has one handler per process).
+  static Profiler& Global();
+
+  // Installs the SIGPROF handler and starts the itimer at `hz` samples
+  // per CPU-second (clamped to [1, 1000]). Idempotent while running
+  // (re-Start changes the rate).
+  Status Start(int hz);
+
+  // Stops the itimer and restores the previous SIGPROF disposition.
+  // In-flight samples finish against the still-allocated ring.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+  int hz() const { return hz_.load(std::memory_order_relaxed); }
+
+  // Total samples captured since process start; doubles as the exclusive
+  // upper sequence bound for a collapse window.
+  uint64_t samples() const {
+    return write_index_.load(std::memory_order_relaxed);
+  }
+
+  // Collapsed-stack text of the samples with sequence in [begin, end).
+  // Slots overwritten by newer samples (window older than the ring) are
+  // silently absent; a window larger than the ring capacity yields the
+  // newest `capacity` samples.
+  std::string Collapsed(uint64_t begin_seq, uint64_t end_seq) const;
+
+  static constexpr size_t kMaxDepth = 48;
+  static constexpr size_t kCapacity = 8192;  // sample slots in the ring
+
+  // The SIGPROF capture path; public only because the signal trampoline
+  // must reach it. Never call directly.
+  static void Handler(int signo, void* siginfo, void* ucontext);
+
+ private:
+  Profiler() = default;
+
+  struct Sample {
+    // kFree until first write; while a handler owns the slot it holds
+    // kBusy; afterwards the sample's sequence number (release-published
+    // so a reader seeing seq also sees the pcs).
+    std::atomic<uint64_t> seq{UINT64_MAX};
+    int32_t depth = 0;
+    void* pcs[kMaxDepth];
+  };
+
+  std::atomic<bool> running_{false};
+  std::atomic<int> hz_{0};
+  std::atomic<uint64_t> write_index_{0};
+  std::mutex lifecycle_mu_;  // serializes Start/Stop
+  Sample ring_[kCapacity];
+};
+
+}  // namespace wg::obs
+
+#endif  // WG_OBS_PROFILER_H_

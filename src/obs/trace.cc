@@ -1,7 +1,9 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 
 namespace wg::obs {
 
@@ -16,15 +18,19 @@ double NowMicros() {
       .count();
 }
 
-// Per-thread trace context: the sampled-trace flag the hot path checks,
-// plus the span-id allocator and the current parent (top of the lexical
-// span stack).
+// Per-thread trace context: the active flag the hot path checks, the
+// span-id allocator, the current parent (top of the lexical span stack),
+// and -- when the /tracez ring is collecting -- the record under
+// construction.
 struct ThreadTrace {
   bool active = false;
+  bool emit = false;  // sink-sampled: spans also write JSONL lines
   uint64_t trace_id = 0;
   uint32_t next_span_id = 1;
-  uint32_t parent = 0;  // 0 = root has no parent
-  uint32_t tid = 0;     // stable small id for the viewer's track
+  uint32_t parent = 0;      // 0 = root has no parent
+  Span* current = nullptr;  // innermost live span (self-time accounting)
+  uint32_t tid = 0;         // stable small id for the viewer's track
+  std::shared_ptr<TraceRecord> record;  // null unless ring-collecting
 };
 
 ThreadTrace& CurrentThread() {
@@ -43,6 +49,191 @@ uint32_t ThreadTid(ThreadTrace& state) {
 constexpr size_t kFlushThreshold = 64 << 10;
 
 }  // namespace
+
+void TraceRecord::AddPhase(const char* category, double self_us,
+                           double total_us) {
+  for (PhaseStat& phase : phases) {
+    // Categories are string literals, but distinct TUs may hold distinct
+    // copies; compare by content.
+    if (phase.category == category ||
+        std::strcmp(phase.category, category) == 0) {
+      phase.self_us += self_us;
+      phase.total_us += total_us;
+      ++phase.spans;
+      return;
+    }
+  }
+  phases.push_back(PhaseStat{category, self_us, total_us, 1});
+}
+
+void TraceRing::Configure(const TraceRingOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  recent_capacity_ = std::max<size_t>(1, options.recent_capacity);
+  slow_capacity_ = std::max<size_t>(1, options.slow_capacity);
+  slow_threshold_us_.store(options.slow_threshold_us,
+                           std::memory_order_relaxed);
+  while (recent_.size() > recent_capacity_) recent_.pop_front();
+  while (slow_.size() > slow_capacity_) slow_.pop_front();
+}
+
+TraceRingOptions TraceRing::options() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceRingOptions options;
+  options.recent_capacity = recent_capacity_;
+  options.slow_capacity = slow_capacity_;
+  options.slow_threshold_us =
+      slow_threshold_us_.load(std::memory_order_relaxed);
+  return options;
+}
+
+void TraceRing::PinSlowLocked(const std::shared_ptr<TraceRecord>& record) {
+  if (record->slow.load(std::memory_order_relaxed)) return;
+  record->slow.store(true, std::memory_order_relaxed);
+  slow_.push_back(record);
+  while (slow_.size() > slow_capacity_) slow_.pop_front();
+}
+
+void TraceRing::Push(std::shared_ptr<TraceRecord> record) {
+  traces_seen_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (record->dur_us >= slow_threshold_us_.load(std::memory_order_relaxed)) {
+    PinSlowLocked(record);
+  }
+  recent_.push_back(std::move(record));
+  while (recent_.size() > recent_capacity_) recent_.pop_front();
+}
+
+void TraceRing::MarkSlow(uint64_t trace_id, double service_latency_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = recent_.rbegin(); it != recent_.rend(); ++it) {
+    if ((*it)->trace_id != trace_id) continue;
+    (*it)->service_latency_us.store(
+        static_cast<uint64_t>(service_latency_us), std::memory_order_relaxed);
+    PinSlowLocked(*it);
+    return;
+  }
+}
+
+std::vector<std::shared_ptr<TraceRecord>> TraceRing::Recent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {recent_.begin(), recent_.end()};
+}
+
+std::vector<std::shared_ptr<TraceRecord>> TraceRing::Slow() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {slow_.begin(), slow_.end()};
+}
+
+void TraceRing::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  recent_.clear();
+  slow_.clear();
+}
+
+namespace {
+
+void AppendTrace(const TraceRecord& trace, std::string* out) {
+  char line[256];
+  uint64_t service_us = trace.service_latency_us.load(std::memory_order_relaxed);
+  int n = std::snprintf(line, sizeof(line),
+                        "trace %llu %s %.1f us",
+                        static_cast<unsigned long long>(trace.trace_id),
+                        trace.root_name != nullptr ? trace.root_name : "?",
+                        trace.dur_us);
+  out->append(line, n);
+  if (trace.slow.load(std::memory_order_relaxed)) {
+    out->append(" SLOW");
+    if (service_us != 0) {
+      n = std::snprintf(line, sizeof(line), " (service latency %llu us)",
+                        static_cast<unsigned long long>(service_us));
+      out->append(line, n);
+    }
+  }
+  out->push_back('\n');
+
+  out->append("  phases (self us / total us / spans):");
+  for (const PhaseStat& phase : trace.phases) {
+    n = std::snprintf(line, sizeof(line), "  %s %.1f/%.1f/%llu",
+                      phase.category, phase.self_us, phase.total_us,
+                      static_cast<unsigned long long>(phase.spans));
+    out->append(line, n);
+  }
+  out->push_back('\n');
+
+  // Span tree, indentation from parent depth. Records are in completion
+  // order; render in start order for readability.
+  std::vector<const SpanRecord*> spans;
+  spans.reserve(trace.spans.size());
+  for (const SpanRecord& span : trace.spans) spans.push_back(&span);
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanRecord* a, const SpanRecord* b) {
+              return a->span_id < b->span_id;
+            });
+  for (const SpanRecord* span : spans) {
+    // Depth = chain length to the root via parent ids. The list is
+    // bounded (kMaxSpans), so the quadratic walk stays trivial.
+    int depth = 0;
+    uint32_t parent = span->parent_id;
+    while (parent != 0 && depth < 16) {
+      ++depth;
+      uint32_t next = 0;
+      for (const SpanRecord* other : spans) {
+        if (other->span_id == parent) {
+          next = other->parent_id;
+          break;
+        }
+      }
+      parent = next;
+    }
+    out->append("  ");
+    out->append(static_cast<size_t>(depth) * 2, ' ');
+    n = std::snprintf(line, sizeof(line), "[%s] %s %.1f us", span->category,
+                      span->name, span->dur_us);
+    out->append(line, n);
+    for (uint8_t a = 0; a < span->num_args; ++a) {
+      n = std::snprintf(line, sizeof(line), " %s=%llu", span->arg_keys[a],
+                        static_cast<unsigned long long>(span->arg_values[a]));
+      out->append(line, n);
+    }
+    out->push_back('\n');
+  }
+  if (trace.dropped_spans != 0) {
+    n = std::snprintf(line, sizeof(line),
+                      "  ... %llu spans dropped past the %zu-span cap "
+                      "(phases above still include them)\n",
+                      static_cast<unsigned long long>(trace.dropped_spans),
+                      TraceRecord::kMaxSpans);
+    out->append(line, n);
+  }
+}
+
+}  // namespace
+
+std::string TraceRing::RenderText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char line[256];
+  int n = std::snprintf(
+      line, sizeof(line),
+      "tracez: %llu traces seen, %zu recent (cap %zu), %zu slow (cap %zu, "
+      "threshold %.0f us)\n\n",
+      static_cast<unsigned long long>(
+          traces_seen_.load(std::memory_order_relaxed)),
+      recent_.size(), recent_capacity_, slow_.size(), slow_capacity_,
+      slow_threshold_us_.load(std::memory_order_relaxed));
+  out.append(line, n);
+  out += "== slow ==\n";
+  if (slow_.empty()) out += "(none)\n";
+  for (auto it = slow_.rbegin(); it != slow_.rend(); ++it) {
+    AppendTrace(**it, &out);
+  }
+  out += "\n== recent ==\n";
+  if (recent_.empty()) out += "(none)\n";
+  for (auto it = recent_.rbegin(); it != recent_.rend(); ++it) {
+    AppendTrace(**it, &out);
+  }
+  return out;
+}
 
 Tracer& Tracer::Global() {
   static Tracer* tracer = new Tracer();
@@ -83,6 +274,15 @@ Status Tracer::Close() {
   return ok ? Status::OK() : Status::IOError("trace sink write failed");
 }
 
+void Tracer::EnableRing(const TraceRingOptions& options) {
+  ring_.Configure(options);
+  ring_enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::DisableRing() {
+  ring_enabled_.store(false, std::memory_order_relaxed);
+}
+
 bool Tracer::SampleRoot() {
   if (!open_.load(std::memory_order_relaxed)) return false;
   uint64_t interval = interval_.load(std::memory_order_relaxed);
@@ -109,9 +309,12 @@ void Span::Begin(const char* name, const char* category) {
   active_ = true;
   name_ = name;
   category_ = category;
+  trace_id_ = state.trace_id;
   span_id_ = state.next_span_id++;
   parent_id_ = state.parent;
+  parent_span_ = state.current;
   state.parent = span_id_;
+  state.current = this;
   start_us_ = NowMicros();
 }
 
@@ -128,13 +331,25 @@ Span::Span(const char* name, const char* category, RootTag) {
     Begin(name, category);
     return;
   }
-  if (!Tracer::Global().SampleRoot()) return;
+  Tracer& tracer = Tracer::Global();
+  bool emit = tracer.SampleRoot();
+  bool collect = tracer.ring_enabled();
+  if (!emit && !collect) return;
   state.active = true;
-  state.trace_id = Tracer::Global().NextTraceId();
+  state.emit = emit;
+  state.trace_id = tracer.NextTraceId();
   state.next_span_id = 1;
   state.parent = 0;
+  state.current = nullptr;
+  if (collect) {
+    state.record = std::make_shared<TraceRecord>();
+    state.record->trace_id = state.trace_id;
+    state.record->root_name = name;
+    state.record->spans.reserve(16);
+  }
   owns_trace_ = true;
   Begin(name, category);
+  if (state.record != nullptr) state.record->start_us = start_us_;
 }
 
 void Span::AddArg(const char* key, uint64_t value) {
@@ -148,32 +363,68 @@ Span::~Span() {
   if (!active_) return;
   ThreadTrace& state = CurrentThread();
   double end_us = NowMicros();
+  double dur_us = end_us - start_us_;
   state.parent = parent_id_;
+  state.current = parent_span_;
+  if (parent_span_ != nullptr) parent_span_->child_us_ += dur_us;
 
-  char line[512];
-  int n = std::snprintf(
-      line, sizeof(line),
-      "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
-      "\"dur\":%.3f,\"pid\":1,\"tid\":%u,\"args\":{\"trace\":%llu,"
-      "\"span\":%u,\"parent\":%u",
-      name_, category_, start_us_, end_us - start_us_, ThreadTid(state),
-      static_cast<unsigned long long>(state.trace_id), span_id_, parent_id_);
-  for (size_t i = 0; i < num_args_ && n < static_cast<int>(sizeof(line));
-       ++i) {
-    n += std::snprintf(line + n, sizeof(line) - n, ",\"%s\":%llu",
-                       arg_keys_[i],
-                       static_cast<unsigned long long>(arg_values_[i]));
+  if (state.record != nullptr) {
+    TraceRecord& record = *state.record;
+    double self_us = dur_us - child_us_;
+    if (self_us < 0) self_us = 0;  // clock jitter across nested reads
+    record.AddPhase(category_, self_us, dur_us);
+    if (record.spans.size() < TraceRecord::kMaxSpans) {
+      SpanRecord span;
+      span.name = name_;
+      span.category = category_;
+      span.start_us = start_us_;
+      span.dur_us = dur_us;
+      span.span_id = span_id_;
+      span.parent_id = parent_id_;
+      span.num_args = static_cast<uint8_t>(num_args_);
+      for (size_t i = 0; i < num_args_; ++i) {
+        span.arg_keys[i] = arg_keys_[i];
+        span.arg_values[i] = arg_values_[i];
+      }
+      record.spans.push_back(span);
+    } else {
+      ++record.dropped_spans;
+    }
   }
-  if (n < static_cast<int>(sizeof(line)) - 3) {
-    n += std::snprintf(line + n, sizeof(line) - n, "}}\n");
-    Tracer::Global().EmitLine(line, n);
+
+  if (state.emit) {
+    char line[512];
+    int n = std::snprintf(
+        line, sizeof(line),
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
+        "\"dur\":%.3f,\"pid\":1,\"tid\":%u,\"args\":{\"trace\":%llu,"
+        "\"span\":%u,\"parent\":%u",
+        name_, category_, start_us_, dur_us, ThreadTid(state),
+        static_cast<unsigned long long>(state.trace_id), span_id_, parent_id_);
+    for (size_t i = 0; i < num_args_ && n < static_cast<int>(sizeof(line));
+         ++i) {
+      n += std::snprintf(line + n, sizeof(line) - n, ",\"%s\":%llu",
+                         arg_keys_[i],
+                         static_cast<unsigned long long>(arg_values_[i]));
+    }
+    if (n < static_cast<int>(sizeof(line)) - 3) {
+      n += std::snprintf(line + n, sizeof(line) - n, "}}\n");
+      Tracer::Global().EmitLine(line, n);
+    }
   }
 
   if (owns_trace_) {
+    if (state.record != nullptr) {
+      state.record->dur_us = dur_us;
+      Tracer::Global().ring().Push(std::move(state.record));
+      state.record = nullptr;
+    }
     state.active = false;
+    state.emit = false;
     state.trace_id = 0;
     state.next_span_id = 1;
     state.parent = 0;
+    state.current = nullptr;
   }
 }
 

@@ -3,26 +3,37 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "util/status.h"
 
 // Sampling request tracer: a per-request trace context threaded through
 // QueryService -> Representation -> GraphCache -> Pager via a thread-local
-// span stack, emitting Chrome trace-event JSONL (one complete event per
-// line) that loads directly in Perfetto / chrome://tracing.
+// span stack, with two consumers:
+//
+//   * an offline JSONL sink (Chrome trace-event, one complete event per
+//     line) that loads directly in Perfetto / chrome://tracing, sampling
+//     every N-th root (`--trace-sample N`);
+//   * a live in-memory TraceRing (the /tracez endpoint): when enabled,
+//     every root span collects its span tree into a TraceRecord, the ring
+//     retains the last N completed roots, and every trace whose duration
+//     (or whose service-measured latency, via MarkSlow) crosses the slow
+//     threshold is pinned into a separate slow list so it survives churn.
 //
 // Usage:
 //   * A serving entry point opens a *root* span:
 //       obs::Span trace("out-neighbors", "service", obs::Span::RootTag{});
-//     The root consults the global Tracer's sampler; if the request is
-//     sampled, a trace context is installed on the current thread and
-//     every nested Span on that thread records into it.
+//     The root consults the global Tracer; if the request is selected for
+//     the sink or the ring is enabled, a trace context is installed on the
+//     current thread and every nested Span on that thread records into it.
 //   * Lower layers open plain child spans unconditionally:
 //       obs::Span span("cache.miss_load", "cache");
-//     When no sampled trace is active on the thread this is two loads and
-//     a branch -- tracing is compiled in but near-zero cost when off.
+//     When no trace is active on the thread this is two loads and a
+//     branch -- tracing is compiled in but near-zero cost when off.
 //
 // Span nesting is per-thread and lexical (constructor/destructor), which
 // matches both the serving path (one worker executes one request) and the
@@ -30,15 +41,120 @@
 // trace/span/parent ids in `args`, and Perfetto reconstructs the same
 // nesting from ts/dur on each tid.
 //
-// Cost model: with no sink open, a root span is one relaxed atomic load;
-// a child span is a thread-local load and a branch. With a sink open but
-// a request unsampled, the root adds one fetch_add on the sample
-// sequence. Only sampled spans take the emit mutex (buffered, flushed in
-// 64 KiB chunks).
+// Cost model: with no sink open and the ring disabled, a root span is one
+// relaxed atomic load; a child span is a thread-local load and a branch.
+// With a sink open but a request unsampled, the root adds one fetch_add
+// on the sample sequence. Only sink-sampled spans take the emit mutex
+// (buffered, flushed in 64 KiB chunks). Ring collection appends to a
+// thread-local record (no lock); the ring mutex is taken once per
+// completed root and once per /tracez render.
 
 namespace wg::obs {
 
 class Span;
+
+// One completed span inside a TraceRecord. `name`/`category`/arg keys are
+// the string literals the Span was built with (immortal), so a record is
+// plain data.
+struct SpanRecord {
+  const char* name = nullptr;
+  const char* category = nullptr;
+  double start_us = 0;  // process-relative, same origin as the JSONL sink
+  double dur_us = 0;
+  uint32_t span_id = 0;
+  uint32_t parent_id = 0;
+  uint8_t num_args = 0;
+  const char* arg_keys[4];
+  uint64_t arg_values[4];
+};
+
+// Wall time attributed to one span category ("service", "repr", "cache",
+// "storage", ...) within a trace. `self_us` is exclusive time (the span's
+// duration minus its direct children), so the per-phase breakdown sums to
+// the root duration instead of double-counting nested phases; `total_us`
+// is the plain (overlapping) sum.
+struct PhaseStat {
+  const char* category = nullptr;
+  double self_us = 0;
+  double total_us = 0;
+  uint64_t spans = 0;
+};
+
+// One completed root trace retained by the TraceRing. Spans beyond
+// kMaxSpans are dropped from the tree (counted in dropped_spans) but
+// still contribute to the phase aggregation, so the breakdown of a huge
+// k-hop expansion stays exact even when its span list is truncated.
+struct TraceRecord {
+  static constexpr size_t kMaxSpans = 128;
+
+  uint64_t trace_id = 0;
+  const char* root_name = nullptr;
+  double start_us = 0;
+  double dur_us = 0;
+  uint64_t dropped_spans = 0;
+  std::vector<SpanRecord> spans;   // completion order (root last)
+  std::vector<PhaseStat> phases;   // insertion order of first appearance
+
+  // Written by TraceRing::MarkSlow after the record is published, so the
+  // service layer can flag a trace using its queue-inclusive latency;
+  // atomic because a /tracez render may read them concurrently.
+  std::atomic<bool> slow{false};
+  std::atomic<uint64_t> service_latency_us{0};
+
+  void AddPhase(const char* category, double self_us, double total_us);
+};
+
+struct TraceRingOptions {
+  size_t recent_capacity = 64;  // last N completed roots
+  size_t slow_capacity = 32;    // slow traces pinned past recent churn
+  // A trace is slow when its root duration -- or the service latency
+  // reported via MarkSlow -- reaches this many microseconds.
+  double slow_threshold_us = 10000;
+};
+
+// Bounded in-memory retention of completed traces, rendered by /tracez.
+class TraceRing {
+ public:
+  void Configure(const TraceRingOptions& options);
+  TraceRingOptions options() const;
+  double slow_threshold_us() const {
+    return slow_threshold_us_.load(std::memory_order_relaxed);
+  }
+
+  // Retains `record` in the recent ring (evicting the oldest past
+  // capacity) and, if its duration crosses the slow threshold, in the
+  // slow list too.
+  void Push(std::shared_ptr<TraceRecord> record);
+
+  // Promotes the recent trace with `trace_id` into the slow list,
+  // annotating it with the service-measured latency (which includes queue
+  // wait the root span cannot see). No-op if the trace already aged out.
+  void MarkSlow(uint64_t trace_id, double service_latency_us);
+
+  std::vector<std::shared_ptr<TraceRecord>> Recent() const;
+  std::vector<std::shared_ptr<TraceRecord>> Slow() const;
+  uint64_t traces_seen() const {
+    return traces_seen_.load(std::memory_order_relaxed);
+  }
+
+  // Plain-text /tracez page: ring status, then every slow trace and every
+  // recent trace with its per-phase self-time breakdown and (truncated)
+  // span tree.
+  std::string RenderText() const;
+
+  void Clear();
+
+ private:
+  void PinSlowLocked(const std::shared_ptr<TraceRecord>& record);
+
+  mutable std::mutex mu_;
+  std::deque<std::shared_ptr<TraceRecord>> recent_;
+  std::deque<std::shared_ptr<TraceRecord>> slow_;
+  size_t recent_capacity_ = 64;
+  size_t slow_capacity_ = 32;
+  std::atomic<double> slow_threshold_us_{10000};
+  std::atomic<uint64_t> traces_seen_{0};
+};
 
 class Tracer {
  public:
@@ -70,11 +186,22 @@ class Tracer {
     return spans_.load(std::memory_order_relaxed);
   }
 
+  // Live /tracez retention: when enabled, every root span collects its
+  // span tree in memory and hands it to ring() on completion. Collection
+  // is independent of the sink and its sampling interval.
+  void EnableRing(const TraceRingOptions& options);
+  void DisableRing();
+  bool ring_enabled() const {
+    return ring_enabled_.load(std::memory_order_relaxed);
+  }
+  TraceRing& ring() { return ring_; }
+  const TraceRing& ring() const { return ring_; }
+
  private:
   friend class Span;
 
-  // Root-span sampling decision; bumps the sequence only when a sink is
-  // open.
+  // Sink sampling decision for a root span; bumps the sequence only when
+  // a sink is open.
   bool SampleRoot();
   uint64_t NextTraceId() {
     return next_trace_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -82,10 +209,13 @@ class Tracer {
   void EmitLine(const char* line, size_t len);
 
   std::atomic<bool> open_{false};
+  std::atomic<bool> ring_enabled_{false};
   std::atomic<uint64_t> interval_{1};
   std::atomic<uint64_t> seq_{0};
   std::atomic<uint64_t> next_trace_{0};
   std::atomic<uint64_t> spans_{0};
+
+  TraceRing ring_;
 
   std::mutex mu_;  // guards sink_ + buffer_ + write_failed_
   void* sink_ = nullptr;  // std::FILE*, kept void* to avoid <cstdio> here
@@ -94,21 +224,23 @@ class Tracer {
 };
 
 // RAII span. Construction captures the start time and pushes the span on
-// the thread's stack; destruction pops it and emits one Chrome
-// complete-event ("ph":"X") line. Inactive spans (no sampled trace on
-// this thread) cost a branch.
+// the thread's stack; destruction pops it, emits one Chrome
+// complete-event ("ph":"X") line when the trace is sink-sampled, and
+// appends a SpanRecord when the trace is being ring-collected. Inactive
+// spans (no trace on this thread) cost a branch.
 class Span {
  public:
   static constexpr size_t kMaxArgs = 4;
 
   struct RootTag {};
 
-  // Child span: active iff a sampled trace is running on this thread.
+  // Child span: active iff a trace is running on this thread.
   Span(const char* name, const char* category);
 
-  // Root span: starts a new sampled trace on this thread if the tracer's
-  // sampler fires. If a trace is already active (nested serving entry
-  // points, e.g. Execute under a traced tool), degrades to a child span.
+  // Root span: starts a new trace on this thread if the tracer's sink
+  // sampler fires or the /tracez ring is enabled. If a trace is already
+  // active (nested serving entry points, e.g. Execute under a traced
+  // tool), degrades to a child span.
   Span(const char* name, const char* category, RootTag);
 
   ~Span();
@@ -123,12 +255,20 @@ class Span {
 
   bool active() const { return active_; }
 
+  // Id of the trace this span belongs to; 0 when inactive. A serving
+  // layer reads this off its root span to stamp responses (and slow
+  // requests) with the trace they can be looked up under in /tracez.
+  uint64_t trace_id() const { return trace_id_; }
+
  private:
   void Begin(const char* name, const char* category);
 
   const char* name_ = nullptr;
   const char* category_ = nullptr;
   double start_us_ = 0;
+  double child_us_ = 0;  // direct children's durations (self-time input)
+  uint64_t trace_id_ = 0;
+  Span* parent_span_ = nullptr;
   uint32_t span_id_ = 0;
   uint32_t parent_id_ = 0;
   bool active_ = false;

@@ -34,6 +34,16 @@ class LatencyHistogram {
  public:
   void Record(double seconds) { hist_.Record(seconds * 1e6); }
 
+  // Record plus exemplar capture: when the observation belongs to a
+  // collected trace (`trace_id` != 0), it becomes the distribution's
+  // current exemplar, linking the histogram to a /tracez entry. Callers
+  // gate this on their slow threshold so the exemplar always points at a
+  // request worth reading.
+  void RecordWithExemplar(double seconds, uint64_t trace_id) {
+    hist_.Record(seconds * 1e6);
+    hist_.SetExemplar(seconds * 1e6, trace_id);
+  }
+
   // Value (seconds) below which a `q` fraction of recorded latencies
   // fall, subject to the bucket bound above; 0 if nothing was recorded.
   // q in [0, 1]; q=1 reports the bucket of the largest recorded sample.

@@ -95,7 +95,20 @@ void QueryService::WorkerLoop() {
     auto done = std::chrono::steady_clock::now();
     response.latency_seconds =
         std::chrono::duration<double>(done - job.enqueued).count();
-    latency_.Record(response.latency_seconds);
+    // Slow-request attribution: latency here includes queue wait, which
+    // the request's root span cannot see. Observations past the tracez
+    // slow threshold capture the trace id as the latency histogram's
+    // exemplar and pin the trace into the /tracez slow list.
+    double latency_us = response.latency_seconds * 1e6;
+    obs::Tracer& tracer = obs::Tracer::Global();
+    if (response.trace_id != 0 && tracer.ring_enabled() &&
+        latency_us >= tracer.ring().slow_threshold_us()) {
+      latency_.RecordWithExemplar(response.latency_seconds,
+                                  response.trace_id);
+      tracer.ring().MarkSlow(response.trace_id, latency_us);
+    } else {
+      latency_.Record(response.latency_seconds);
+    }
     switch (response.code) {
       case ResponseCode::kOk:
         ++completed_;
@@ -136,11 +149,15 @@ Response QueryService::Execute(const Request& request) const {
   obs::Span trace(RequestTypeName(request.type), "service",
                   obs::Span::RootTag{});
   trace.AddArg("page", request.page);
+  Response response;
+  // Stamp before the span ends (it outlives this frame's locals only
+  // until return): this is how WorkerLoop links the completed trace to
+  // the latency it measures.
+  response.trace_id = trace.trace_id();
   // Pin the forward representation once per request: a SwapForward racing
   // with this request flips later requests, never this one mid-flight.
   std::shared_ptr<GraphRepresentation> pinned = CurrentForward();
   GraphRepresentation* forward = pinned ? pinned.get() : ctx_.forward;
-  Response response;
   if (request.simulated_work.count() > 0) {
     std::this_thread::sleep_for(request.simulated_work);
   }

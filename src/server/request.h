@@ -67,6 +67,10 @@ struct Response {
   std::vector<PageId> pages;   // sorted result set (neighbor/k-hop types)
   QueryResult query;           // kComplexQuery only
   double latency_seconds = 0;  // enqueue -> completion (kOk/kError/kDeadline)
+  // Id of the request's trace when one was collected (sink-sampled or
+  // /tracez ring active); 0 otherwise. Slow requests are looked up in
+  // /tracez under this id.
+  uint64_t trace_id = 0;
 };
 
 inline const char* ResponseCodeName(ResponseCode code) {

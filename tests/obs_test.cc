@@ -260,6 +260,67 @@ TEST(RegistryTest, PrometheusText) {
   EXPECT_NE(std::string::npos, text.find("wg_test_latency_us_sum 5"));
 }
 
+TEST(RegistryTest, PrometheusLabelValueEscaping) {
+  // Label values are raw bytes internally (the unescaped label string is
+  // the series identity key); the text exposition must escape backslash,
+  // double-quote, and newline per the Prometheus format or one hostile
+  // path name corrupts the whole scrape.
+  MetricRegistry registry;
+  registry.GetCounter("esc_total", {{"path", "C:\\tmp"}}) += 1;
+  registry.GetCounter("esc_total", {{"path", "line1\nline2"}}) += 2;
+  registry.GetCounter("esc_total", {{"path", "say \"hi\""}}) += 3;
+
+  std::string text = registry.PrometheusText();
+  EXPECT_NE(std::string::npos,
+            text.find("esc_total{path=\"C:\\\\tmp\"} 1"))
+      << text;
+  EXPECT_NE(std::string::npos,
+            text.find("esc_total{path=\"line1\\nline2\"} 2"))
+      << text;
+  EXPECT_NE(std::string::npos,
+            text.find("esc_total{path=\"say \\\"hi\\\"\"} 3"))
+      << text;
+  // No raw newline may survive inside a label value: every line must be a
+  // comment or start with the metric name.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    EXPECT_TRUE(line[0] == '#' || line.compare(0, 9, "esc_total") == 0)
+        << "torn line: " << line;
+  }
+  // Escaping is exposition-only: the three values stay distinct series.
+  EXPECT_EQ(3u, registry.num_series());
+}
+
+TEST(RegistryTest, PrometheusHelpEscaping) {
+  // HELP text escapes backslash and newline (but not quotes, per format).
+  MetricRegistry registry;
+  registry.GetCounter("help_total", {}, "multi\nline \\ slash") += 1;
+  std::string text = registry.PrometheusText();
+  EXPECT_NE(std::string::npos,
+            text.find("# HELP help_total multi\\nline \\\\ slash"))
+      << text;
+}
+
+TEST(RegistryTest, HistogramExemplarInJson) {
+  MetricRegistry registry;
+  Histogram h = registry.GetHistogram("ex_us");
+  h.Record(5.0);
+  // trace id 0 means "no trace collected": must not set an exemplar.
+  h.SetExemplar(5.0, 0);
+  std::string json = registry.JsonText();
+  EXPECT_EQ(std::string::npos, json.find("exemplar")) << json;
+
+  h.Record(90000.0);
+  h.SetExemplar(90000.0, 42);
+  json = registry.JsonText();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(std::string::npos, json.find("\"exemplar\":{\"trace\":42"))
+      << json;
+  EXPECT_EQ(42u, h.exemplar_trace());
+}
+
 TEST(RegistryTest, JsonTextIsWellFormed) {
   MetricRegistry registry;
   registry.GetCounter("a_total", {{"x", "quote\"backslash\\"}}) += 1;
@@ -422,6 +483,196 @@ TEST(TracerTest, ConcurrentRootsKeepLinesIntact) {
     ASSERT_TRUE(JsonChecker(line).Valid()) << line;
   }
   std::remove(path.c_str());
+}
+
+// --- /tracez ring --------------------------------------------------------
+
+// Restores the global tracer's ring state on scope exit so ring tests
+// can't leak collection into the sink-focused tests above.
+struct RingGuard {
+  explicit RingGuard(const TraceRingOptions& options) {
+    Tracer::Global().EnableRing(options);
+    Tracer::Global().ring().Clear();
+  }
+  ~RingGuard() {
+    Tracer::Global().DisableRing();
+    Tracer::Global().ring().Clear();
+  }
+};
+
+TEST(TraceRingTest, CollectsEveryRootWithPhaseBreakdown) {
+  TraceRingOptions options;
+  options.slow_threshold_us = 1e12;  // nothing auto-promotes
+  RingGuard guard(options);
+
+  uint64_t trace_id = 0;
+  {
+    Span root("k-hop", "service", Span::RootTag{});
+    ASSERT_NE(0u, root.trace_id());
+    trace_id = root.trace_id();
+    {
+      Span repr("repr.get_links", "repr");
+      Span cache("cache.miss_load", "cache");
+      cache.AddArg("section", 9);
+    }
+    { Span repr2("repr.get_links", "repr"); }
+  }
+
+  std::vector<std::shared_ptr<TraceRecord>> recent =
+      Tracer::Global().ring().Recent();
+  ASSERT_EQ(1u, recent.size());
+  const TraceRecord& trace = *recent[0];
+  EXPECT_EQ(trace_id, trace.trace_id);
+  EXPECT_STREQ("k-hop", trace.root_name);
+  EXPECT_EQ(4u, trace.spans.size());
+  EXPECT_EQ(0u, trace.dropped_spans);
+  EXPECT_GT(trace.dur_us, 0.0);
+
+  // Three categories, insertion order of first completion (cache span
+  // ends first). Self-time of all phases sums to the root duration.
+  ASSERT_EQ(3u, trace.phases.size());
+  double self_sum = 0;
+  uint64_t span_count = 0;
+  bool saw[3] = {false, false, false};
+  for (const PhaseStat& phase : trace.phases) {
+    self_sum += phase.self_us;
+    span_count += phase.spans;
+    EXPECT_GE(phase.total_us, phase.self_us);
+    if (std::string(phase.category) == "service") saw[0] = true;
+    if (std::string(phase.category) == "repr") saw[1] = true;
+    if (std::string(phase.category) == "cache") saw[2] = true;
+  }
+  EXPECT_TRUE(saw[0] && saw[1] && saw[2]);
+  EXPECT_EQ(4u, span_count);
+  EXPECT_NEAR(trace.dur_us, self_sum, trace.dur_us * 0.25 + 5.0);
+
+  std::string text = Tracer::Global().ring().RenderText();
+  EXPECT_NE(std::string::npos, text.find("k-hop")) << text;
+  EXPECT_NE(std::string::npos, text.find("phases")) << text;
+  EXPECT_NE(std::string::npos, text.find("[cache] cache.miss_load"))
+      << text;
+  EXPECT_NE(std::string::npos, text.find("section=9")) << text;
+}
+
+TEST(TraceRingTest, SlowTracesPinnedPastRecentChurn) {
+  TraceRingOptions options;
+  options.recent_capacity = 4;
+  options.slow_threshold_us = 0;  // every trace counts as slow
+  RingGuard guard(options);
+
+  for (int i = 0; i < 8; ++i) {
+    Span root("request", "service", Span::RootTag{});
+  }
+  TraceRing& ring = Tracer::Global().ring();
+  EXPECT_EQ(4u, ring.Recent().size());   // capped
+  EXPECT_EQ(8u, ring.Slow().size());     // all pinned (cap 32)
+  for (const auto& trace : ring.Slow()) {
+    EXPECT_TRUE(trace->slow.load());
+  }
+  std::string text = ring.RenderText();
+  EXPECT_NE(std::string::npos, text.find("SLOW")) << text;
+}
+
+TEST(TraceRingTest, MarkSlowPromotesWithServiceLatency) {
+  TraceRingOptions options;
+  options.slow_threshold_us = 1e12;
+  RingGuard guard(options);
+
+  uint64_t trace_id = 0;
+  {
+    Span root("out-neighbors", "service", Span::RootTag{});
+    trace_id = root.trace_id();
+  }
+  TraceRing& ring = Tracer::Global().ring();
+  ASSERT_TRUE(ring.Slow().empty());
+
+  // The service layer measures queue-inclusive latency the root span
+  // cannot see and promotes the trace after the fact.
+  ring.MarkSlow(trace_id, 123456.0);
+  std::vector<std::shared_ptr<TraceRecord>> slow = ring.Slow();
+  ASSERT_EQ(1u, slow.size());
+  EXPECT_EQ(trace_id, slow[0]->trace_id);
+  EXPECT_EQ(123456u, slow[0]->service_latency_us.load());
+  // Idempotent: a second promotion must not duplicate the entry.
+  ring.MarkSlow(trace_id, 123456.0);
+  EXPECT_EQ(1u, ring.Slow().size());
+  // Unknown ids (trace aged out) are a no-op.
+  ring.MarkSlow(trace_id + 999, 1.0);
+  EXPECT_EQ(1u, ring.Slow().size());
+
+  EXPECT_NE(std::string::npos,
+            ring.RenderText().find("service latency 123456 us"));
+}
+
+TEST(TraceRingTest, SpanCapDropsSpansButKeepsPhasesExact) {
+  TraceRingOptions options;
+  options.slow_threshold_us = 1e12;
+  RingGuard guard(options);
+
+  constexpr int kSpans = 300;  // > TraceRecord::kMaxSpans
+  {
+    Span root("k-hop", "service", Span::RootTag{});
+    for (int i = 0; i < kSpans; ++i) {
+      Span child("cache.lookup", "cache");
+    }
+  }
+  std::vector<std::shared_ptr<TraceRecord>> recent =
+      Tracer::Global().ring().Recent();
+  ASSERT_EQ(1u, recent.size());
+  const TraceRecord& trace = *recent[0];
+  EXPECT_EQ(TraceRecord::kMaxSpans, trace.spans.size());
+  EXPECT_EQ(kSpans + 1 - TraceRecord::kMaxSpans, trace.dropped_spans);
+  // The aggregation saw every span, including the dropped ones.
+  uint64_t cache_spans = 0;
+  for (const PhaseStat& phase : trace.phases) {
+    if (std::string(phase.category) == "cache") cache_spans = phase.spans;
+  }
+  EXPECT_EQ(static_cast<uint64_t>(kSpans), cache_spans);
+  EXPECT_NE(std::string::npos,
+            Tracer::Global().ring().RenderText().find("spans dropped"));
+}
+
+TEST(TraceRingTest, InactiveWithoutRingOrSink) {
+  ASSERT_FALSE(Tracer::Global().ring_enabled());
+  ASSERT_FALSE(Tracer::Global().sink_open());
+  Span root("request", "service", Span::RootTag{});
+  EXPECT_FALSE(root.active());
+  EXPECT_EQ(0u, root.trace_id());
+}
+
+TEST(TraceRingTest, ConcurrentRootsAndRenders) {
+  TraceRingOptions options;
+  options.recent_capacity = 16;
+  options.slow_threshold_us = 0;
+  RingGuard guard(options);
+
+  // traces_seen is a lifetime counter (Clear() keeps it); assert the
+  // delta so this test is order-independent within one process.
+  uint64_t seen_before = Tracer::Global().ring().traces_seen();
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      std::string text = Tracer::Global().ring().RenderText();
+      ASSERT_FALSE(text.empty());
+    }
+  });
+  constexpr int kThreads = 4;
+  constexpr int kRequests = 500;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([] {
+      for (int i = 0; i < kRequests; ++i) {
+        Span root("request", "service", Span::RootTag{});
+        Span child("inner", "cache");
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(seen_before + static_cast<uint64_t>(kThreads) * kRequests,
+            Tracer::Global().ring().traces_seen());
+  EXPECT_EQ(16u, Tracer::Global().ring().Recent().size());
 }
 
 }  // namespace

@@ -16,9 +16,9 @@
 //       Every candidate generation is scrubbed (pread + CRC of all blobs)
 //       before install; a corrupt generation fails the flip and the
 //       process keeps serving the last good one in degraded mode: the
-//       wg_degraded gauge goes to 1 and the --health-file (if given) reads
-//       "degraded" until a later flip succeeds. Run `wgtool scrub` and
-//       re-compact to repair.
+//       wg_degraded gauge goes to 1 and the --health-file (if given)
+//       leads with "degraded" until a later flip succeeds. Run `wgtool
+//       scrub` and re-compact to repair.
 //
 // options:
 //   --workers W       worker threads (default 4)
@@ -43,13 +43,32 @@
 //                     0 = unthrottled)
 //   --decode-ahead N  on a streaming cursor miss, background-decode the
 //                     next N sections in layout order (default 0 = off)
-//   --health-file F   (snapshot mode) rewrite F with "ok" or "degraded"
-//                     after open and every flip attempt -- a file-based
-//                     health endpoint for probes ("cat F") without an
-//                     admin port
-//   --metrics-out F   dump the metric registry to F at exit; ".json"
-//                     suffix selects the JSON form, anything else the
-//                     Prometheus text form
+//   --admin-port P    serve the live introspection plane on
+//                     127.0.0.1:P (0 = kernel-assigned; the bound port is
+//                     printed): /metrics, /metrics.json, /healthz,
+//                     /statusz, /tracez, /pprof/profile?seconds=N.
+//                     Enables the tracez ring, and (unless --profile-hz 0)
+//                     the always-on sampling profiler.
+//   --profile-hz H    SIGPROF sampling rate for /pprof/profile (default
+//                     97 when --admin-port is set; 0 disables)
+//   --slow-us T       tracez slow threshold in microseconds: every
+//                     request at or above it is pinned into /tracez's
+//                     slow list and becomes the latency histogram's
+//                     exemplar (default 10000)
+//   --linger S        keep serving the admin plane S seconds after the
+//                     workload drains (scrape window for probes/tests)
+//   --health-file F   rewrite F (atomically, via temp + rename) after
+//                     open and every flip attempt with
+//                     "ok|degraded generation=<id> [reason=<text>]" -- a
+//                     file-based health endpoint for probes ("cat F")
+//                     that agrees with /healthz
+//   --metrics-out F   write the metric registry to F; ".json" suffix
+//                     selects the JSON form, anything else the Prometheus
+//                     text form. Rewritten atomically (temp + rename)
+//                     every --metrics-interval seconds and at exit, so a
+//                     killed process still leaves fresh metrics on disk
+//   --metrics-interval S  seconds between periodic --metrics-out rewrites
+//                     (default 10; 0 = write only at exit)
 //   --trace-out F     write sampled request traces to F as Chrome
 //                     trace-event JSONL (open in Perfetto or
 //                     chrome://tracing)
@@ -59,13 +78,17 @@
 // Prints a per-outcome tally, service metrics (queue depth, p50/p99,
 // cache hit rate), and end-to-end throughput.
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
-#include <deque>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -73,7 +96,9 @@
 
 #include "graph/generator.h"
 #include "graph/graph_io.h"
+#include "obs/admin_http.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "server/query_service.h"
 #include "server/workload.h"
@@ -98,7 +123,10 @@ int Usage() {
                "               [--deadline-ms D] [--buffer BYTES]\n"
                "               [--shards N] [--mmap] [--warm-on-open]\n"
                "               [--warm-rate BYTES] [--decode-ahead N]\n"
+               "               [--admin-port P] [--profile-hz H]\n"
+               "               [--slow-us T] [--linger S]\n"
                "               [--health-file FILE] [--metrics-out FILE]\n"
+               "               [--metrics-interval S]\n"
                "               [--trace-out FILE] [--trace-sample N]\n");
   return 2;
 }
@@ -121,6 +149,45 @@ bool HasFlag(int argc, char** argv, const char* flag) {
   }
   return false;
 }
+
+// Write-temp-then-rename: probes and scrapers reading `path` see either
+// the previous complete dump or the new complete dump, never a torn one,
+// and a crash mid-write leaves the previous dump intact. RenameFile goes
+// through the Env seam, so fault-injection tests see these writes too.
+Status WriteFileAtomic(const std::string& path, const std::string& content) {
+  std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return Status::IOError("open " + tmp + " failed");
+  bool ok =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    RemoveFileIfExists(tmp);
+    return Status::IOError("write " + tmp + " failed");
+  }
+  return RenameFile(tmp, path);
+}
+
+// The process health surface, shared by the snapshot poller (writer), the
+// --health-file, and the /healthz endpoint -- one source of truth so
+// external probes and the admin plane always agree.
+struct HealthState {
+  std::mutex mu;
+  bool degraded = false;
+  std::string reason;      // last refused-flip error; empty when healthy
+  uint64_t generation = 0;  // live generation (0 outside snapshot mode)
+
+  // First line of both the health file and /healthz:
+  //   ok generation=7
+  //   degraded generation=7 reason=<text>
+  std::string Line() {
+    std::lock_guard<std::mutex> lock(mu);
+    std::string line = degraded ? "degraded" : "ok";
+    line += " generation=" + std::to_string(generation);
+    if (degraded && !reason.empty()) line += " reason=" + reason;
+    return line;
+  }
+};
 
 int Main(int argc, char** argv) {
   const char* pages = FlagValue(argc, argv, "--pages");
@@ -146,6 +213,39 @@ int Main(int argc, char** argv) {
                    s);
       return Usage();
     }
+  }
+  const bool admin_enabled = HasFlag(argc, argv, "--admin-port");
+  long admin_port = 0;
+  if (const char* p = FlagValue(argc, argv, "--admin-port")) {
+    char* end = nullptr;
+    admin_port = std::strtol(p, &end, 10);
+    if (end == p || *end != '\0' || admin_port < 0 || admin_port > 65535) {
+      std::fprintf(stderr, "error: --admin-port wants 0..65535, got \"%s\"\n",
+                   p);
+      return Usage();
+    }
+  }
+  long profile_hz = admin_enabled ? 97 : 0;
+  if (const char* hz = FlagValue(argc, argv, "--profile-hz")) {
+    char* end = nullptr;
+    profile_hz = std::strtol(hz, &end, 10);
+    if (end == hz || *end != '\0' || profile_hz < 0 || profile_hz > 1000) {
+      std::fprintf(stderr, "error: --profile-hz wants 0..1000, got \"%s\"\n",
+                   hz);
+      return Usage();
+    }
+  }
+  double slow_us = 10000;
+  if (const char* s = FlagValue(argc, argv, "--slow-us")) {
+    slow_us = std::strtod(s, nullptr);
+  }
+  long linger_seconds = 0;
+  if (const char* s = FlagValue(argc, argv, "--linger")) {
+    linger_seconds = std::strtol(s, nullptr, 10);
+  }
+  long metrics_interval = 10;
+  if (const char* s = FlagValue(argc, argv, "--metrics-interval")) {
+    metrics_interval = std::strtol(s, nullptr, 10);
   }
 
   SNodeBuildOptions bopts;
@@ -174,21 +274,33 @@ int Main(int argc, char** argv) {
   std::shared_ptr<SNodeRepr> backward;
   std::unique_ptr<version::SnapshotManager> manager;
   size_t num_pages = 0;
+  auto start_time = std::chrono::steady_clock::now();
 
-  // Degraded-mode surface (snapshot mode): wg_degraded is 1 while CURRENT
-  // names a generation this process refused to install (its pre-install
-  // scrub failed) and the last good one keeps serving. The health file
-  // mirrors the gauge for probes that can only `cat` a path.
+  // Degraded-mode surface: wg_degraded is 1 while CURRENT names a
+  // generation this process refused to install (its pre-install scrub
+  // failed) and the last good one keeps serving. Bound in every mode so
+  // a scraper can always tell "healthy" from "series not wired"; outside
+  // snapshot mode it simply never leaves 0. The health file and /healthz
+  // read the same HealthState, so all three surfaces agree.
   const char* health_file = FlagValue(argc, argv, "--health-file");
   obs::Gauge degraded_gauge;
-  bool degraded_state = false;  // poller-thread-owned after startup
-  auto write_health = [&](bool degraded) {
+  degraded_gauge.Bind(obs::MetricRegistry::Default(), "wg_degraded", {},
+                      "1 while serving a stale generation because the "
+                      "newest failed verification");
+  HealthState health;
+  auto write_health = [&](bool degraded, const std::string& reason) {
     degraded_gauge.Set(degraded ? 1 : 0);
+    {
+      std::lock_guard<std::mutex> lock(health.mu);
+      health.degraded = degraded;
+      health.reason = degraded ? reason : "";
+    }
     if (health_file == nullptr) return;
-    std::FILE* f = std::fopen(health_file, "w");
-    if (f == nullptr) return;
-    std::fputs(degraded ? "degraded\n" : "ok\n", f);
-    std::fclose(f);
+    Status written = WriteFileAtomic(health_file, health.Line() + "\n");
+    if (!written.ok()) {
+      std::fprintf(stderr, "warning: health file: %s\n",
+                   written.ToString().c_str());
+    }
   };
 
   // Materialize the wg_integrity_* series at zero: a dashboard must be
@@ -206,11 +318,12 @@ int Main(int argc, char** argv) {
     auto opened = version::SnapshotManager::Open(snapshot, vopts);
     if (!opened.ok()) return Fail(opened.status());
     manager = std::move(opened).value();
-    degraded_gauge.Bind(obs::MetricRegistry::Default(), "wg_degraded", {},
-                        "1 while serving a stale generation because the "
-                        "newest failed verification");
-    write_health(false);
     version::GenerationPtr generation = manager->current();
+    {
+      std::lock_guard<std::mutex> lock(health.mu);
+      health.generation = generation->manifest.generation;
+    }
+    write_health(false, "");
     num_pages = generation->repr->num_pages();
     std::printf("snapshot %s: generation %llu, %zu pages, %llu links, "
                 "%llu pending deltas\n",
@@ -256,6 +369,7 @@ int Main(int argc, char** argv) {
       if (mapped.ok()) mapped = backward->MapStoreForRead();
       if (!mapped.ok()) return Fail(mapped);
     }
+    if (health_file != nullptr) write_health(false, "");
     std::printf("s-node: %u supernodes, cache budget %zu bytes x%zu shards\n",
                 forward->supernode_graph().num_supernodes(),
                 bopts.buffer_bytes, bopts.cache_shards);
@@ -337,6 +451,18 @@ int Main(int argc, char** argv) {
     std::printf("tracing 1-in-%llu requests to %s\n",
                 static_cast<unsigned long long>(trace_interval), trace_out);
   }
+  if (admin_enabled) {
+    // The /tracez ring: every request collects its span tree in memory;
+    // the ring keeps the last N plus everything over the slow threshold.
+    obs::TraceRingOptions ring_opts;
+    ring_opts.slow_threshold_us = slow_us;
+    tracer.EnableRing(ring_opts);
+  }
+  if (profile_hz > 0) {
+    Status started =
+        obs::Profiler::Global().Start(static_cast<int>(profile_hz));
+    if (!started.ok()) return Fail(started);
+  }
 
   server::QueryService service(ctx, sopts);
   // In snapshot mode the forward representation is the live generation,
@@ -348,6 +474,7 @@ int Main(int argc, char** argv) {
     service.SwapForward(version::ReprOf(manager->current()));
     poller = std::thread([&] {
       uint64_t live = manager->current()->manifest.generation;
+      bool degraded_state = false;
       while (!stop_poller.load(std::memory_order_relaxed)) {
         std::this_thread::sleep_for(std::chrono::milliseconds(100));
         auto refreshed = manager->Refresh();
@@ -358,7 +485,7 @@ int Main(int argc, char** argv) {
           if (refreshed.status().code() == StatusCode::kCorruption &&
               !degraded_state) {
             degraded_state = true;
-            write_health(true);
+            write_health(true, refreshed.status().ToString());
             std::fprintf(stderr,
                          "degraded: keeping generation %llu; refused flip: "
                          "%s\n",
@@ -369,12 +496,25 @@ int Main(int argc, char** argv) {
         }
         if (degraded_state) {
           degraded_state = false;
-          write_health(false);
+          write_health(false, "");
           std::printf("recovered: flip path healthy again\n");
         }
         uint64_t generation = refreshed.value()->manifest.generation;
         if (generation == live) continue;
         live = generation;
+        {
+          std::lock_guard<std::mutex> lock(health.mu);
+          health.generation = generation;
+        }
+        if (health_file != nullptr || admin_enabled) {
+          // Re-publish the health line so probes see the new generation.
+          bool dg;
+          {
+            std::lock_guard<std::mutex> lock(health.mu);
+            dg = health.degraded;
+          }
+          write_health(dg, "");
+        }
         service.SwapForward(version::ReprOf(refreshed.value()));
         std::printf("flipped to generation %llu (%zu pages, %llu links)\n",
                     static_cast<unsigned long long>(generation),
@@ -385,6 +525,173 @@ int Main(int argc, char** argv) {
     });
   }
   if (warm_on_open && snapshot == nullptr) start_warmer(forward);
+
+  // The serving repr the introspection plane reports on: the live
+  // generation in snapshot mode (aliasing pointer keeps it pinned for the
+  // duration of one handler call), the built store otherwise.
+  auto current_snode = [&]() -> std::shared_ptr<SNodeRepr> {
+    if (manager != nullptr) {
+      version::GenerationPtr generation = manager->current();
+      return std::shared_ptr<SNodeRepr>(generation,
+                                        generation->repr.get());
+    }
+    return forward;
+  };
+
+  // ---- Live introspection plane (--admin-port) ----
+  obs::MetricRegistry& registry = obs::MetricRegistry::Default();
+  std::unique_ptr<obs::AdminServer> admin;
+  if (admin_enabled) {
+    obs::AdminServerOptions aopts;
+    aopts.port = static_cast<uint16_t>(admin_port);
+    admin = std::make_unique<obs::AdminServer>(aopts);
+    obs::RegisterIntrospection(*admin, registry);
+    admin->Handle("/healthz", [&](const obs::AdminRequest&) {
+      obs::AdminResponse response;
+      bool degraded;
+      std::string reason;
+      uint64_t generation;
+      {
+        std::lock_guard<std::mutex> lock(health.mu);
+        degraded = health.degraded;
+        reason = health.reason;
+        generation = health.generation;
+      }
+      IntegrityCounters& integrity = IntegrityCounters::Get();
+      std::shared_ptr<SNodeRepr> repr = current_snode();
+      char buf[512];
+      int n = std::snprintf(
+          buf, sizeof(buf),
+          "%s generation=%llu%s%s\n"
+          "generation: %llu\n"
+          "degraded: %d\n"
+          "reason: %s\n"
+          "quarantined_sections: %zu\n"
+          "checksum_failures: %llu\n"
+          "sigbus_faults: %llu\n"
+          "mmap_fallbacks: %llu\n",
+          degraded ? "degraded" : "ok",
+          static_cast<unsigned long long>(generation),
+          degraded && !reason.empty() ? " reason=" : "",
+          degraded ? reason.c_str() : "",
+          static_cast<unsigned long long>(generation), degraded ? 1 : 0,
+          reason.empty() ? "-" : reason.c_str(),
+          repr != nullptr ? repr->QuarantinedSectionCount() : 0,
+          static_cast<unsigned long long>(integrity.checksum_failures),
+          static_cast<unsigned long long>(integrity.sigbus_faults),
+          static_cast<unsigned long long>(integrity.mmap_fallbacks));
+      response.body.assign(buf, n);
+      if (degraded) response.status = 503;
+      return response;
+    });
+    admin->Handle("/statusz", [&](const obs::AdminRequest&) {
+      obs::AdminResponse response;
+      double uptime = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start_time)
+                          .count();
+      std::string& body = response.body;
+      char buf[256];
+      body += "wgserve statusz\n";
+      std::snprintf(buf, sizeof(buf), "uptime_s: %.1f\n", uptime);
+      body += buf;
+      std::snprintf(buf, sizeof(buf), "build: %s, C++ %ld\n", __VERSION__,
+                    static_cast<long>(__cplusplus));
+      body += buf;
+      std::snprintf(buf, sizeof(buf), "mode: %s\n",
+                    manager != nullptr ? "snapshot" : "local-build");
+      body += buf;
+      {
+        std::lock_guard<std::mutex> lock(health.mu);
+        std::snprintf(buf, sizeof(buf), "generation: %llu\n",
+                      static_cast<unsigned long long>(health.generation));
+        body += buf;
+      }
+      std::shared_ptr<SNodeRepr> repr = current_snode();
+      if (repr != nullptr) {
+        std::snprintf(buf, sizeof(buf), "pages: %zu\nedges: %llu\n",
+                      repr->num_pages(),
+                      static_cast<unsigned long long>(repr->num_edges()));
+        body += buf;
+        std::snprintf(
+            buf, sizeof(buf),
+            "cache_bytes: %zu / %zu (%.1f%%)\npinned_entries: %zu\n",
+            repr->buffer_bytes_used(), repr->buffer_budget(),
+            repr->buffer_budget() == 0
+                ? 0.0
+                : 100.0 * static_cast<double>(repr->buffer_bytes_used()) /
+                      static_cast<double>(repr->buffer_budget()),
+            repr->PinnedCacheEntries());
+        body += buf;
+      }
+      std::snprintf(buf, sizeof(buf), "workers: %zu\nqueue_capacity: %zu\n",
+                    service.num_workers(), sopts.queue_capacity);
+      body += buf;
+      {
+        std::lock_guard<std::mutex> lock(warmer_mu);
+        if (warmer != nullptr) {
+          StoreWarmer::Progress progress = warmer->progress();
+          std::snprintf(buf, sizeof(buf),
+                        "warmer: %s, %llu sections, %llu bytes%s\n",
+                        progress.finished ? "finished" : "walking",
+                        static_cast<unsigned long long>(progress.sections),
+                        static_cast<unsigned long long>(progress.bytes),
+                        progress.hit_high_water ? " (hit high water)" : "");
+          body += buf;
+        } else {
+          body += "warmer: off\n";
+        }
+      }
+      obs::Profiler& profiler = obs::Profiler::Global();
+      std::snprintf(buf, sizeof(buf), "profiler: %s, %d hz, %llu samples\n",
+                    profiler.running() ? "on" : "off", profiler.hz(),
+                    static_cast<unsigned long long>(profiler.samples()));
+      body += buf;
+      std::snprintf(
+          buf, sizeof(buf), "tracez: %s, %llu traces\n",
+          tracer.ring_enabled() ? "on" : "off",
+          static_cast<unsigned long long>(tracer.ring().traces_seen()));
+      body += buf;
+      std::snprintf(buf, sizeof(buf), "metric_series: %zu\n",
+                    registry.num_series());
+      body += buf;
+      return response;
+    });
+    Status started = admin->Start();
+    if (!started.ok()) return Fail(started);
+    std::printf("admin: listening on 127.0.0.1:%u\n", admin->port());
+    std::fflush(stdout);  // piped probes parse this line before scraping
+  }
+
+  // ---- Periodic metrics dump (--metrics-out) ----
+  const char* metrics_out = FlagValue(argc, argv, "--metrics-out");
+  auto dump_metrics = [&]() -> Status {
+    if (metrics_out == nullptr) return Status::OK();
+    std::string path = metrics_out;
+    bool json = path.size() >= 5 &&
+                path.compare(path.size() - 5, 5, ".json") == 0;
+    return WriteFileAtomic(path,
+                           json ? registry.JsonText()
+                                : registry.PrometheusText());
+  };
+  std::atomic<bool> stop_metrics_writer{false};
+  std::thread metrics_writer;
+  if (metrics_out != nullptr && metrics_interval > 0) {
+    metrics_writer = std::thread([&] {
+      auto last = std::chrono::steady_clock::now();
+      while (!stop_metrics_writer.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        auto now = std::chrono::steady_clock::now();
+        if (now - last < std::chrono::seconds(metrics_interval)) continue;
+        last = now;
+        Status written = dump_metrics();
+        if (!written.ok()) {
+          std::fprintf(stderr, "warning: metrics dump: %s\n",
+                       written.ToString().c_str());
+        }
+      }
+    });
+  }
+
   std::printf("serving %zu requests on %zu workers (queue %zu)...\n",
               requests.size(), sopts.num_workers, sopts.queue_capacity);
 
@@ -414,6 +721,18 @@ int Main(int argc, char** argv) {
   double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+
+  if (linger_seconds > 0) {
+    std::printf("lingering %ld s (admin plane stays up)...\n",
+                linger_seconds);
+    std::fflush(stdout);
+    auto until = std::chrono::steady_clock::now() +
+                 std::chrono::seconds(linger_seconds);
+    while (std::chrono::steady_clock::now() < until) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+
   if (poller.joinable()) {
     stop_poller.store(true, std::memory_order_relaxed);
     poller.join();
@@ -462,6 +781,17 @@ int Main(int argc, char** argv) {
   }
   std::printf("\n%s\n", service.Snapshot().ToString().c_str());
 
+  if (admin != nullptr) {
+    std::printf("admin: served %llu requests\n",
+                static_cast<unsigned long long>(admin->requests_served()));
+    admin->Stop();
+  }
+  if (profile_hz > 0) obs::Profiler::Global().Stop();
+  if (metrics_writer.joinable()) {
+    stop_metrics_writer.store(true, std::memory_order_relaxed);
+    metrics_writer.join();
+  }
+
   if (trace_out != nullptr) {
     uint64_t spans = tracer.spans_written();
     Status closed = tracer.Close();
@@ -469,20 +799,17 @@ int Main(int argc, char** argv) {
     std::printf("trace: %llu spans -> %s\n",
                 static_cast<unsigned long long>(spans), trace_out);
   }
-  if (const char* metrics_out = FlagValue(argc, argv, "--metrics-out")) {
-    std::string path = metrics_out;
-    bool json = path.size() >= 5 &&
-                path.compare(path.size() - 5, 5, ".json") == 0;
-    obs::MetricRegistry& registry = obs::MetricRegistry::Default();
-    std::string dump = json ? registry.JsonText() : registry.PrometheusText();
-    std::FILE* f = std::fopen(metrics_out, "w");
-    if (f == nullptr) {
-      return Fail(Status::IOError("open " + path + " failed"));
-    }
-    std::fwrite(dump.data(), 1, dump.size(), f);
-    std::fclose(f);
+  if (metrics_out != nullptr) {
+    Status written = dump_metrics();
+    if (!written.ok()) return Fail(written);
     std::printf("metrics: %zu series -> %s (%s)\n", registry.num_series(),
-                metrics_out, json ? "json" : "prometheus");
+                metrics_out,
+                std::string(metrics_out).size() >= 5 &&
+                        std::string(metrics_out).compare(
+                            std::string(metrics_out).size() - 5, 5,
+                            ".json") == 0
+                    ? "json"
+                    : "prometheus");
   }
   return 0;
 }
