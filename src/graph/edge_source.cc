@@ -1,0 +1,331 @@
+#include "graph/edge_source.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "storage/serial.h"
+#include "util/coding.h"
+
+namespace wg {
+
+// ---------------------------------------------------------------------------
+// WebGraphEdgeSource
+
+Status WebGraphEdgeSource::Drain(EdgeSink* sink) {
+  const WebGraph& g = *graph_;
+  WG_RETURN_IF_ERROR(sink->BeginGraph(g.num_pages()));
+  for (uint32_t d = 0; d < g.num_domains(); ++d) {
+    WG_RETURN_IF_ERROR(sink->AddDomain(g.domain_name(d)));
+  }
+  for (uint32_t h = 0; h < g.num_hosts(); ++h) {
+    WG_RETURN_IF_ERROR(sink->AddHost(g.host_name(h), g.host_domain(h)));
+  }
+  for (PageId p = 0; p < g.num_pages(); ++p) {
+    WG_RETURN_IF_ERROR(sink->AddPage(p, g.url(p), g.host_id(p)));
+    for (PageId q : g.OutLinks(p)) {
+      WG_RETURN_IF_ERROR(sink->AddLink(p, q));
+    }
+    WG_RETURN_IF_ERROR(sink->EndPage(p));
+  }
+  return sink->Finish();
+}
+
+// ---------------------------------------------------------------------------
+// FileEdgeSource
+
+Status FileEdgeSource::Drain(EdgeSink* sink) {
+  WG_ASSIGN_OR_RETURN(auto reader, SequentialFileReader::Open(path_));
+
+  // Frame header: 4-byte magic + fixed64 payload length (not checksummed).
+  char header[12];
+  WG_RETURN_IF_ERROR(reader->Read(sizeof(header), header));
+  if (std::memcmp(header, "WGG1", 4) != 0) {
+    return Status::Corruption("graph file: bad magic");
+  }
+  const uint64_t payload_size = DecodeFixed64(header + 4);
+  if (reader->file_size() != 12 + payload_size + 4) {
+    return Status::Corruption("graph file: bad frame length");
+  }
+  const uint64_t payload_end = 12 + payload_size;
+
+  StreamingSerialChecksum sum;
+  reader->set_checksum(&sum);
+
+  uint64_t n = 0, m = 0;
+  WG_RETURN_IF_ERROR(reader->ReadVarint64(&n));
+  WG_RETURN_IF_ERROR(reader->ReadVarint64(&m));
+  if (n > UINT32_MAX) return Status::Corruption("graph file: bad counts");
+  WG_RETURN_IF_ERROR(sink->BeginGraph(n));
+
+  // Adjacency section: per page, varint degree then varint gaps.
+  uint64_t edges = 0;
+  for (uint64_t p = 0; p < n; ++p) {
+    uint32_t degree = 0;
+    WG_RETURN_IF_ERROR(reader->ReadVarint32(&degree));
+    PageId prev = 0;
+    for (uint32_t i = 0; i < degree; ++i) {
+      uint32_t gap = 0;
+      WG_RETURN_IF_ERROR(reader->ReadVarint32(&gap));
+      prev += gap;
+      if (prev >= n) return Status::Corruption("graph file: bad target");
+      WG_RETURN_IF_ERROR(sink->AddLink(static_cast<PageId>(p), prev));
+      ++edges;
+    }
+    WG_RETURN_IF_ERROR(sink->EndPage(static_cast<PageId>(p)));
+  }
+  if (edges != m) return Status::Corruption("graph file: edge count");
+
+  // A corrupted length prefix must fail cleanly, not allocate wildly.
+  auto read_string = [&](std::string* out) -> Status {
+    uint64_t len = 0;
+    WG_RETURN_IF_ERROR(reader->ReadVarint64(&len));
+    if (len > payload_end - reader->position()) {
+      return Status::Corruption("graph file: bad string length");
+    }
+    out->resize(len);
+    return reader->Read(len, out->data());
+  };
+
+  uint64_t num_domains = 0;
+  WG_RETURN_IF_ERROR(reader->ReadVarint64(&num_domains));
+  std::string name;
+  for (uint64_t d = 0; d < num_domains; ++d) {
+    WG_RETURN_IF_ERROR(read_string(&name));
+    WG_RETURN_IF_ERROR(sink->AddDomain(name));
+  }
+
+  uint64_t num_hosts = 0;
+  WG_RETURN_IF_ERROR(reader->ReadVarint64(&num_hosts));
+  for (uint64_t h = 0; h < num_hosts; ++h) {
+    uint32_t domain = 0;
+    WG_RETURN_IF_ERROR(read_string(&name));
+    WG_RETURN_IF_ERROR(reader->ReadVarint32(&domain));
+    if (domain >= num_domains) {
+      return Status::Corruption("graph file: bad host record");
+    }
+    WG_RETURN_IF_ERROR(sink->AddHost(name, domain));
+  }
+
+  std::string url;
+  for (uint64_t p = 0; p < n; ++p) {
+    uint32_t host = 0;
+    WG_RETURN_IF_ERROR(read_string(&url));
+    WG_RETURN_IF_ERROR(reader->ReadVarint32(&host));
+    if (host >= num_hosts) {
+      return Status::Corruption("graph file: bad page record");
+    }
+    WG_RETURN_IF_ERROR(sink->AddPage(static_cast<PageId>(p), url, host));
+  }
+
+  if (reader->position() != payload_end) {
+    return Status::Corruption("graph file: trailing payload bytes");
+  }
+  reader->set_checksum(nullptr);
+  char footer[4];
+  WG_RETURN_IF_ERROR(reader->Read(sizeof(footer), footer));
+  if (DecodeFixed32(footer) != sum.value()) {
+    return Status::Corruption("graph file: checksum mismatch");
+  }
+  return sink->Finish();
+}
+
+// ---------------------------------------------------------------------------
+// GraphBuilderSink
+
+Status GraphBuilderSink::BeginGraph(uint64_t num_pages) {
+  pending_links_.reserve(num_pages);
+  return Status::OK();
+}
+
+Status GraphBuilderSink::AddDomain(const std::string& name) {
+  domain_names_.push_back(name);
+  return Status::OK();
+}
+
+Status GraphBuilderSink::AddHost(const std::string& name,
+                                 uint32_t domain_id) {
+  if (domain_id >= domain_names_.size()) {
+    return Status::InvalidArgument("edge sink: host before its domain");
+  }
+  builder_.AddHost(name, domain_names_[domain_id]);
+  return Status::OK();
+}
+
+Status GraphBuilderSink::AddPage(PageId p, std::string_view url,
+                                 uint32_t host_id) {
+  PageId got = builder_.AddPage(std::string(url), host_id);
+  if (got != p) return Status::InvalidArgument("edge sink: page out of order");
+  return Status::OK();
+}
+
+Status GraphBuilderSink::AddLink(PageId p, PageId target) {
+  if (p >= pending_links_.size()) pending_links_.resize(p + 1);
+  pending_links_[p].push_back(target);
+  return Status::OK();
+}
+
+Status GraphBuilderSink::EndPage(PageId p) {
+  if (p >= pending_links_.size()) pending_links_.resize(p + 1);
+  return Status::OK();
+}
+
+Status GraphBuilderSink::Finish() {
+  for (PageId p = 0; p < pending_links_.size(); ++p) {
+    for (PageId q : pending_links_[p]) builder_.AddLink(p, q);
+  }
+  graph_ = builder_.Build();
+  finished_ = true;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// SpilledCrawl
+
+SpilledCrawl::SpilledCrawl(std::unique_ptr<SpillLog> url_log,
+                           std::unique_ptr<SpillLog> adj_log)
+    : url_log_(std::move(url_log)), adj_log_(std::move(adj_log)) {
+  url_offsets_.push_back(0);
+  adj_offsets_.push_back(0);
+}
+
+Result<std::unique_ptr<SpilledCrawl>> SpilledCrawl::Create(
+    const std::string& scratch_prefix, size_t spill_buffer_bytes) {
+  WG_ASSIGN_OR_RETURN(
+      auto url_log, SpillLog::Create(scratch_prefix + ".urls",
+                                     spill_buffer_bytes));
+  WG_ASSIGN_OR_RETURN(
+      auto adj_log, SpillLog::Create(scratch_prefix + ".adj",
+                                     spill_buffer_bytes));
+  return std::unique_ptr<SpilledCrawl>(
+      new SpilledCrawl(std::move(url_log), std::move(adj_log)));
+}
+
+Status SpilledCrawl::BeginGraph(uint64_t num_pages) {
+  if (began_) return Status::InvalidArgument("spilled crawl: double begin");
+  began_ = true;
+  expected_pages_ = num_pages;
+  url_offsets_.reserve(num_pages + 1);
+  adj_offsets_.reserve(num_pages + 1);
+  page_host_.reserve(num_pages);
+  return Status::OK();
+}
+
+Status SpilledCrawl::AddDomain(const std::string& name) {
+  domain_names_.push_back(name);
+  return Status::OK();
+}
+
+Status SpilledCrawl::AddHost(const std::string& name, uint32_t domain_id) {
+  (void)name;  // Host names are not needed downstream of the build.
+  if (domain_id >= domain_names_.size()) {
+    return Status::InvalidArgument("spilled crawl: host before its domain");
+  }
+  host_domain_.push_back(domain_id);
+  return Status::OK();
+}
+
+Status SpilledCrawl::AddPage(PageId p, std::string_view url,
+                             uint32_t host_id) {
+  if (p != next_page_) {
+    return Status::InvalidArgument("spilled crawl: page out of order");
+  }
+  if (host_id >= host_domain_.size()) {
+    return Status::InvalidArgument("spilled crawl: page before its host");
+  }
+  WG_RETURN_IF_ERROR(url_log_->Append(url.data(), url.size()));
+  url_offsets_.push_back(url_log_->size());
+  page_host_.push_back(host_id);
+  ++next_page_;
+  return Status::OK();
+}
+
+Status SpilledCrawl::AddLink(PageId p, PageId target) {
+  if (p != next_link_page_) {
+    return Status::InvalidArgument("spilled crawl: link group out of order");
+  }
+  group_buffer_.push_back(target);
+  return Status::OK();
+}
+
+Status SpilledCrawl::EndPage(PageId p) {
+  if (p != next_link_page_) {
+    return Status::InvalidArgument("spilled crawl: end page out of order");
+  }
+  if (!group_buffer_.empty()) {
+    WG_RETURN_IF_ERROR(adj_log_->Append(
+        group_buffer_.data(), group_buffer_.size() * sizeof(PageId)));
+  }
+  num_edges_ += group_buffer_.size();
+  adj_offsets_.push_back(num_edges_);
+  group_buffer_.clear();
+  ++next_link_page_;
+  return Status::OK();
+}
+
+Status SpilledCrawl::Finish() {
+  if (next_page_ != expected_pages_ || next_link_page_ != expected_pages_) {
+    return Status::InvalidArgument("spilled crawl: incomplete stream");
+  }
+  WG_RETURN_IF_ERROR(url_log_->Flush());
+  WG_RETURN_IF_ERROR(adj_log_->Flush());
+  finished_ = true;
+  return Status::OK();
+}
+
+Status SpilledCrawl::FetchUrl(PageId p, std::string* url) const {
+  uint64_t begin = url_offsets_[p];
+  size_t len = static_cast<size_t>(url_offsets_[p + 1] - begin);
+  url->resize(len);
+  return url_log_->ReadAt(begin, len, url->data());
+}
+
+Status SpilledCrawl::FetchRawLinks(PageId p,
+                                   std::vector<PageId>* out) const {
+  uint64_t begin = adj_offsets_[p];
+  size_t count = static_cast<size_t>(adj_offsets_[p + 1] - begin);
+  if (count == 0) return Status::OK();
+  size_t old = out->size();
+  out->resize(old + count);
+  return adj_log_->ReadAt(begin * sizeof(PageId), count * sizeof(PageId),
+                          reinterpret_cast<char*>(out->data() + old));
+}
+
+Status SpilledCrawl::FetchSortedLinks(PageId p,
+                                      std::vector<PageId>* out) const {
+  size_t old = out->size();
+  WG_RETURN_IF_ERROR(FetchRawLinks(p, out));
+  std::sort(out->begin() + old, out->end());
+  return Status::OK();
+}
+
+Status SpilledCrawl::ScanUrls(
+    const std::function<Status(PageId, std::string_view)>& visit) const {
+  constexpr size_t kWindowBytes = 4 << 20;
+  std::string window;
+  uint64_t window_begin = 0;
+  uint64_t window_end = 0;
+  const size_t n = num_pages();
+  for (PageId p = 0; p < n; ++p) {
+    const uint64_t begin = url_offsets_[p];
+    const uint64_t end = url_offsets_[p + 1];
+    if (begin < window_begin || end > window_end) {
+      uint64_t take = std::max<uint64_t>(end - begin, kWindowBytes);
+      take = std::min<uint64_t>(take, url_log_->size() - begin);
+      window.resize(take);
+      WG_RETURN_IF_ERROR(url_log_->ReadAt(begin, take, window.data()));
+      window_begin = begin;
+      window_end = begin + take;
+    }
+    std::string_view url(window.data() + (begin - window_begin),
+                         static_cast<size_t>(end - begin));
+    WG_RETURN_IF_ERROR(visit(p, url));
+  }
+  return Status::OK();
+}
+
+Status SpilledCrawl::RemoveFiles() {
+  WG_RETURN_IF_ERROR(RemoveFileIfExists(url_log_->path()));
+  return RemoveFileIfExists(adj_log_->path());
+}
+
+}  // namespace wg

@@ -1,0 +1,181 @@
+#ifndef WG_GRAPH_EDGE_SOURCE_H_
+#define WG_GRAPH_EDGE_SOURCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/webgraph.h"
+#include "storage/spill.h"
+#include "util/status.h"
+
+// The streaming edge-source API of the out-of-core build (DESIGN.md
+// section 14): a crawl is a push stream of domains, hosts, pages, and
+// per-page link groups, so no consumer has to hold a materialized
+// WebGraph to build from one. The synthetic generator, the WGG1 graph
+// files, and (for tests) an in-memory WebGraph all drain through the same
+// sink interface.
+//
+// Stream contract, accommodating both the generator's interleaved order
+// (page p, then p's links, then page p+1, ...) and the WGG1 file order
+// (all link groups, then tables, then all pages):
+//   - BeginGraph first, Finish last, each exactly once.
+//   - AddDomain assigns dense domain ids in call order; AddHost likewise
+//     for hosts. All domains/hosts are registered before Finish and
+//     before any AddPage/AddLink that references them.
+//   - AddPage is called exactly once per page, in ascending page order.
+//   - AddLink calls are grouped by source page; groups arrive in
+//     ascending page order and EndPage(p) closes page p's group (called
+//     exactly once per page, ascending, empty groups included). Links
+//     within a group are in emission order, already deduplicated and
+//     self-loop free.
+//   - The AddPage sweep and the AddLink/EndPage sweep may interleave
+//     arbitrarily with each other.
+
+namespace wg {
+
+class EdgeSink {
+ public:
+  virtual ~EdgeSink() = default;
+
+  virtual Status BeginGraph(uint64_t num_pages) = 0;
+  virtual Status AddDomain(const std::string& name) = 0;
+  virtual Status AddHost(const std::string& name, uint32_t domain_id) = 0;
+  virtual Status AddPage(PageId p, std::string_view url,
+                         uint32_t host_id) = 0;
+  virtual Status AddLink(PageId p, PageId target) = 0;
+  virtual Status EndPage(PageId p) = 0;
+  virtual Status Finish() = 0;
+};
+
+class EdgeSource {
+ public:
+  virtual ~EdgeSource() = default;
+
+  // Streams the whole crawl into `sink`, including BeginGraph/Finish.
+  virtual Status Drain(EdgeSink* sink) = 0;
+};
+
+// Streams a resident WebGraph (domains, hosts, then per page:
+// AddPage + sorted links + EndPage). The test-and-comparison source.
+class WebGraphEdgeSource : public EdgeSource {
+ public:
+  explicit WebGraphEdgeSource(const WebGraph* graph) : graph_(graph) {}
+  Status Drain(EdgeSink* sink) override;
+
+ private:
+  const WebGraph* graph_;
+};
+
+// Streams a WGG1 graph file in ONE sequential pass with bounded memory:
+// the file's own section order (adjacency, domains, hosts, pages) is
+// pushed as it decodes, and the running SerialChecksum is verified
+// against the frame footer before Finish is delivered -- a corrupt file
+// fails the drain rather than poisoning the build.
+class FileEdgeSource : public EdgeSource {
+ public:
+  explicit FileEdgeSource(std::string path) : path_(std::move(path)) {}
+  Status Drain(EdgeSink* sink) override;
+
+ private:
+  const std::string path_;
+};
+
+// Sink that materializes the stream into a WebGraph via GraphBuilder --
+// the bridge back to the in-RAM world (equivalence tests, small tools).
+class GraphBuilderSink : public EdgeSink {
+ public:
+  Status BeginGraph(uint64_t num_pages) override;
+  Status AddDomain(const std::string& name) override;
+  Status AddHost(const std::string& name, uint32_t domain_id) override;
+  Status AddPage(PageId p, std::string_view url, uint32_t host_id) override;
+  Status AddLink(PageId p, PageId target) override;
+  Status EndPage(PageId p) override;
+  Status Finish() override;
+
+  // Valid after Finish.
+  WebGraph TakeGraph() { return std::move(graph_); }
+
+ private:
+  GraphBuilder builder_;
+  std::vector<std::string> domain_names_;
+  std::vector<std::vector<PageId>> pending_links_;
+  WebGraph graph_;
+  bool finished_ = false;
+};
+
+// The spill-backed crawl: an EdgeSink that lands the stream in spill
+// files (URL log + raw adjacency log, storage/spill.h) plus small
+// per-page resident arrays (offsets, host ids), then serves thread-safe
+// random access for refinement and encode. Resident cost is O(pages),
+// not O(edges + url bytes): ~29 bytes/page (two uint64 offset arrays,
+// one uint32 host id, and the host/domain tables).
+class SpilledCrawl : public EdgeSink {
+ public:
+  // Spill files are `<scratch_prefix>.urls` and `<scratch_prefix>.adj`.
+  static Result<std::unique_ptr<SpilledCrawl>> Create(
+      const std::string& scratch_prefix, size_t spill_buffer_bytes);
+
+  // EdgeSink.
+  Status BeginGraph(uint64_t num_pages) override;
+  Status AddDomain(const std::string& name) override;
+  Status AddHost(const std::string& name, uint32_t domain_id) override;
+  Status AddPage(PageId p, std::string_view url, uint32_t host_id) override;
+  Status AddLink(PageId p, PageId target) override;
+  Status EndPage(PageId p) override;
+  Status Finish() override;
+
+  bool finished() const { return finished_; }
+  size_t num_pages() const { return url_offsets_.size() - 1; }
+  uint64_t num_edges() const { return num_edges_; }
+  size_t num_domains() const { return domain_names_.size(); }
+  const std::string& domain_name(uint32_t d) const {
+    return domain_names_[d];
+  }
+  uint32_t domain_of_page(PageId p) const {
+    return host_domain_[page_host_[p]];
+  }
+
+  // Random access (valid after Finish; thread-safe).
+  Status FetchUrl(PageId p, std::string* url) const;
+  // Appends page p's targets in stream (emission) order.
+  Status FetchRawLinks(PageId p, std::vector<PageId>* out) const;
+  // Appends page p's targets sorted ascending and deduplicated -- the
+  // WebGraph::OutLinks contract, which the encode pipeline needs.
+  Status FetchSortedLinks(PageId p, std::vector<PageId>* out) const;
+
+  // Sequential sweep of every page's URL in ascending page order, with
+  // one buffered read per window instead of one per page. Valid after
+  // Finish; single-threaded.
+  Status ScanUrls(
+      const std::function<Status(PageId, std::string_view)>& visit) const;
+
+  // Unlinks the spill files (call once the build no longer reads them).
+  Status RemoveFiles();
+
+ private:
+  SpilledCrawl(std::unique_ptr<SpillLog> url_log,
+               std::unique_ptr<SpillLog> adj_log);
+
+  std::unique_ptr<SpillLog> url_log_;
+  std::unique_ptr<SpillLog> adj_log_;   // raw 4-byte targets
+  std::vector<uint64_t> url_offsets_;   // byte offsets, num_pages + 1
+  std::vector<uint64_t> adj_offsets_;   // target counts, num_pages + 1
+  std::vector<uint32_t> page_host_;
+  std::vector<uint32_t> host_domain_;
+  std::vector<std::string> domain_names_;
+  std::vector<PageId> group_buffer_;    // current EndPage group
+  PageId next_link_page_ = 0;
+  PageId next_page_ = 0;
+  uint64_t expected_pages_ = 0;
+  uint64_t num_edges_ = 0;
+  bool began_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace wg
+
+#endif  // WG_GRAPH_EDGE_SOURCE_H_

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "storage/file.h"
+#include "storage/spill.h"
 #include "util/rng.h"
 
 namespace wg {
@@ -52,11 +54,26 @@ struct HostState {
   std::vector<uint32_t> favorite_hosts;
 };
 
-}  // namespace
-
-WebGraph GenerateWebGraph(const GeneratorOptions& options) {
+// The crawl process itself, parameterized over where the heavy state
+// lives. The RNG draw sequence is independent of Ctx -- both contexts
+// answer the same queries (prototype adjacency, preferential-attachment
+// target log) with the same values, so the in-RAM and streaming builds
+// produce the identical crawl. Ctx supplies:
+//   Status AddDomain(name)                         -- dense id = call order
+//   Status AddHost(host_id, name, domain_id, domain_name)
+//   Status AddPage(p, url, host_id)
+//   Status ProtoLinks(proto, const vector<PageId>** out)
+//       -- proto's emission-order targets, *out = nullptr if none; the
+//          pointer stays valid until the next ProtoLinks call
+//   uint64_t NumTargets()                          -- targets emitted so far
+//   Status TargetAt(r, PageId* t)                  -- r-th emitted target
+//   Status AddLink(p, target)                      -- emission order
+//   Status EndPage(p)                              -- closes p's link group
+// Host/directory state (HostState) and the page->host map stay resident in
+// both modes; they are O(pages + hosts), not O(edges + URL bytes).
+template <typename Ctx>
+Status GenerateCrawl(const GeneratorOptions& options, Ctx* ctx) {
   Rng rng(options.seed);
-  GraphBuilder builder;
 
   size_t num_domains = options.num_domains;
   if (num_domains == 0) {
@@ -83,6 +100,7 @@ WebGraph GenerateWebGraph(const GeneratorOptions& options) {
       }
       domain_names[d] = "site" + std::to_string(d) + "." + tld;
     }
+    WG_RETURN_IF_ERROR(ctx->AddDomain(domain_names[d]));
   }
 
   std::vector<std::vector<uint32_t>> domain_hosts(num_domains);
@@ -97,7 +115,10 @@ WebGraph GenerateWebGraph(const GeneratorOptions& options) {
     for (uint32_t h = 0; h < nhosts; ++h) {
       std::string host_name =
           std::string(kHostPrefixes[h % 10]) + "." + domain_names[d];
-      uint32_t host_id = builder.AddHost(host_name, domain_names[d]);
+      uint32_t host_id = static_cast<uint32_t>(hosts.size());
+      WG_RETURN_IF_ERROR(ctx->AddHost(host_id, host_name,
+                                      static_cast<uint32_t>(d),
+                                      domain_names[d]));
       domain_hosts[d].push_back(host_id);
       hosts.emplace_back();
       host_names.push_back(host_name);
@@ -106,20 +127,14 @@ WebGraph GenerateWebGraph(const GeneratorOptions& options) {
 
   ZipfSampler domain_zipf(num_domains, options.domain_zipf_theta);
 
-  // Global list of link targets so far: sampling a uniform element of this
-  // list is preferential attachment by in-degree.
-  std::vector<PageId> edge_targets;
-  edge_targets.reserve(static_cast<size_t>(options.num_pages *
-                                           options.mean_out_degree));
-
-  // Per-page adjacency snapshots are needed for prototype copying; the
-  // builder dedups later, so we keep our own copy of each page's raw list.
-  std::vector<std::vector<PageId>> adj(options.num_pages);
   std::vector<uint32_t> page_host(options.num_pages, 0);
 
   double geometric_mean = options.mean_out_degree -
                           options.hub_prob * options.hub_out_degree;
   geometric_mean = std::max(1.0, geometric_mean / (1.0 - options.hub_prob));
+
+  // The current page's accepted targets, for the dedup scan.
+  std::vector<PageId> cur;
 
   for (PageId p = 0; p < options.num_pages; ++p) {
     // --- Place the page: domain -> host -> directory -> URL.
@@ -152,8 +167,7 @@ WebGraph GenerateWebGraph(const GeneratorOptions& options) {
     std::string url =
         "http://" + host_names[host_id] + host.dirs[dir_idx] + page_name;
 
-    PageId page = builder.AddPage(std::move(url), host_id);
-    WG_CHECK(page == p);
+    WG_RETURN_IF_ERROR(ctx->AddPage(p, std::move(url), host_id));
     page_host[p] = host_id;
 
     // --- Choose a prototype for link copying: a recent page from the same
@@ -167,7 +181,7 @@ WebGraph GenerateWebGraph(const GeneratorOptions& options) {
       size_t window =
           std::min<size_t>(pool.size(), options.prototype_window);
       PageId proto = pool[pool.size() - 1 - rng.Uniform(window)];
-      if (!adj[proto].empty()) proto_links = &adj[proto];
+      WG_RETURN_IF_ERROR(ctx->ProtoLinks(proto, &proto_links));
     }
 
     // --- Emit links.
@@ -183,7 +197,19 @@ WebGraph GenerateWebGraph(const GeneratorOptions& options) {
     // Candidate generators for each link category. Retries on duplicate
     // draws stay within the chosen category, otherwise locality would leak
     // into the global categories and shrink the intra-host fraction the
-    // paper depends on (Observation 2).
+    // paper depends on (Observation 2). Ctx read failures park a status in
+    // draw_err and surface as kInvalidPage (never produced by a healthy
+    // draw), keeping the lambdas' signatures draw-shaped.
+    Status draw_err;
+    auto target_at = [&](uint64_t r) -> PageId {
+      PageId t = kInvalidPage;
+      Status st = ctx->TargetAt(r, &t);
+      if (!st.ok()) {
+        if (draw_err.ok()) draw_err = st;
+        return kInvalidPage;
+      }
+      return t;
+    };
     auto draw_copy = [&]() -> PageId {
       return (*proto_links)[rng.Uniform(proto_links->size())];
     };
@@ -202,9 +228,10 @@ WebGraph GenerateWebGraph(const GeneratorOptions& options) {
     auto draw_favorite = [&]() -> PageId {
       if (host.favorite_hosts.size() < options.favorites_per_host && p > 0) {
         // Adopt favorites lazily: preferential by current popularity.
-        PageId pick = edge_targets.empty()
+        PageId pick = ctx->NumTargets() == 0
                           ? static_cast<PageId>(rng.Uniform(p))
-                          : edge_targets[rng.Uniform(edge_targets.size())];
+                          : target_at(rng.Uniform(ctx->NumTargets()));
+        if (pick == kInvalidPage) return kInvalidPage;
         host.favorite_hosts.push_back(page_host[pick]);
       }
       if (host.favorite_hosts.empty()) return kInvalidPage;
@@ -220,13 +247,14 @@ WebGraph GenerateWebGraph(const GeneratorOptions& options) {
       return fav_pages[idx];
     };
     auto draw_global = [&]() -> PageId {
-      if (!edge_targets.empty() && rng.Bernoulli(0.9)) {
+      if (ctx->NumTargets() != 0 && rng.Bernoulli(0.9)) {
         // Preferential attachment over existing link targets.
-        return edge_targets[rng.Uniform(edge_targets.size())];
+        return target_at(rng.Uniform(ctx->NumTargets()));
       }
       return p > 0 ? static_cast<PageId>(rng.Uniform(p)) : kInvalidPage;
     };
 
+    cur.clear();
     for (uint32_t k = 0; k < degree; ++k) {
       // Pick the category once, then retry duplicate draws within it so
       // dedup pressure cannot shift the category mix.
@@ -264,7 +292,7 @@ WebGraph GenerateWebGraph(const GeneratorOptions& options) {
         }
         if (cand == kInvalidPage || cand == p) continue;
         bool dup = false;
-        for (PageId existing : adj[p]) {
+        for (PageId existing : cur) {
           if (existing == cand) {
             dup = true;
             break;
@@ -272,17 +300,147 @@ WebGraph GenerateWebGraph(const GeneratorOptions& options) {
         }
         if (!dup) target = cand;
       }
+      WG_RETURN_IF_ERROR(draw_err);
       if (target == kInvalidPage) continue;
-      adj[p].push_back(target);
-      edge_targets.push_back(target);
-      builder.AddLink(p, target);
+      cur.push_back(target);
+      WG_RETURN_IF_ERROR(ctx->AddLink(p, target));
     }
+    WG_RETURN_IF_ERROR(ctx->EndPage(p));
 
     host.pages.push_back(p);
     host.dir_pages[dir_idx].push_back(p);
   }
 
-  return builder.Build();
+  return Status::OK();
+}
+
+// Classic in-RAM context: everything lands in a GraphBuilder, plus raw
+// per-page adjacency snapshots and the global target log for the copying
+// and preferential-attachment queries.
+struct InMemoryCtx {
+  explicit InMemoryCtx(const GeneratorOptions& options)
+      : adj(options.num_pages) {
+    edge_targets.reserve(static_cast<size_t>(options.num_pages *
+                                             options.mean_out_degree));
+  }
+
+  GraphBuilder builder;
+  std::vector<std::vector<PageId>> adj;
+  std::vector<PageId> edge_targets;
+
+  Status AddDomain(const std::string&) { return Status::OK(); }
+  Status AddHost(uint32_t host_id, const std::string& name,
+                 uint32_t /*domain_id*/, const std::string& domain_name) {
+    uint32_t got = builder.AddHost(name, domain_name);
+    WG_CHECK(got == host_id);
+    return Status::OK();
+  }
+  Status AddPage(PageId p, std::string url, uint32_t host_id) {
+    PageId got = builder.AddPage(std::move(url), host_id);
+    WG_CHECK(got == p);
+    return Status::OK();
+  }
+  Status ProtoLinks(PageId proto, const std::vector<PageId>** out) {
+    *out = adj[proto].empty() ? nullptr : &adj[proto];
+    return Status::OK();
+  }
+  uint64_t NumTargets() const { return edge_targets.size(); }
+  Status TargetAt(uint64_t r, PageId* t) {
+    *t = edge_targets[r];
+    return Status::OK();
+  }
+  Status AddLink(PageId p, PageId target) {
+    adj[p].push_back(target);
+    edge_targets.push_back(target);
+    builder.AddLink(p, target);
+    return Status::OK();
+  }
+  Status EndPage(PageId) { return Status::OK(); }
+};
+
+// Streaming context: forwards the crawl to an EdgeSink and keeps only a
+// spill-file target log plus per-page offsets, so resident memory is
+// O(pages), not O(edges).
+struct StreamingCtx {
+  StreamingCtx(const GeneratorOptions& options, EdgeSink* sink,
+               SpillLog* targets)
+      : sink(sink), targets(targets) {
+    adj_offsets.reserve(options.num_pages + 1);
+    adj_offsets.push_back(0);
+  }
+
+  EdgeSink* sink;
+  SpillLog* targets;
+  std::vector<uint64_t> adj_offsets;  // target counts, one per closed page
+  uint64_t num_targets = 0;
+  std::vector<PageId> proto_scratch;
+
+  Status AddDomain(const std::string& name) { return sink->AddDomain(name); }
+  Status AddHost(uint32_t /*host_id*/, const std::string& name,
+                 uint32_t domain_id, const std::string& /*domain_name*/) {
+    return sink->AddHost(name, domain_id);
+  }
+  Status AddPage(PageId p, std::string url, uint32_t host_id) {
+    return sink->AddPage(p, url, host_id);
+  }
+  Status ProtoLinks(PageId proto, const std::vector<PageId>** out) {
+    uint64_t begin = adj_offsets[proto];
+    uint64_t end = adj_offsets[proto + 1];
+    if (begin == end) {
+      *out = nullptr;
+      return Status::OK();
+    }
+    proto_scratch.resize(static_cast<size_t>(end - begin));
+    WG_RETURN_IF_ERROR(
+        targets->ReadAt(begin * sizeof(PageId),
+                        static_cast<size_t>(end - begin) * sizeof(PageId),
+                        reinterpret_cast<char*>(proto_scratch.data())));
+    *out = &proto_scratch;
+    return Status::OK();
+  }
+  uint64_t NumTargets() const { return num_targets; }
+  Status TargetAt(uint64_t r, PageId* t) {
+    return targets->ReadAt(r * sizeof(PageId), sizeof(PageId),
+                           reinterpret_cast<char*>(t));
+  }
+  Status AddLink(PageId p, PageId target) {
+    WG_RETURN_IF_ERROR(targets->Append(&target, sizeof(PageId)));
+    ++num_targets;
+    return sink->AddLink(p, target);
+  }
+  Status EndPage(PageId p) {
+    adj_offsets.push_back(num_targets);
+    return sink->EndPage(p);
+  }
+};
+
+}  // namespace
+
+WebGraph GenerateWebGraph(const GeneratorOptions& options) {
+  InMemoryCtx ctx(options);
+  Status st = GenerateCrawl(options, &ctx);
+  WG_CHECK(st.ok());
+  return ctx.builder.Build();
+}
+
+GeneratorEdgeSource::GeneratorEdgeSource(const GeneratorOptions& options,
+                                         std::string scratch_prefix,
+                                         size_t spill_buffer_bytes)
+    : options_(options),
+      scratch_prefix_(std::move(scratch_prefix)),
+      spill_buffer_bytes_(spill_buffer_bytes) {}
+
+Status GeneratorEdgeSource::Drain(EdgeSink* sink) {
+  const std::string target_path = scratch_prefix_ + ".targets";
+  WG_ASSIGN_OR_RETURN(auto targets,
+                      SpillLog::Create(target_path, spill_buffer_bytes_));
+  StreamingCtx ctx(options_, sink, targets.get());
+  WG_RETURN_IF_ERROR(sink->BeginGraph(options_.num_pages));
+  Status st = GenerateCrawl(options_, &ctx);
+  if (st.ok()) st = sink->Finish();
+  targets.reset();
+  Status rm = RemoveFileIfExists(target_path);
+  return st.ok() ? rm : st;
 }
 
 }  // namespace wg

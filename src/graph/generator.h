@@ -2,7 +2,9 @@
 #define WG_GRAPH_GENERATOR_H_
 
 #include <cstdint>
+#include <string>
 
+#include "graph/edge_source.h"
 #include "graph/webgraph.h"
 
 // Synthetic Web-crawl generator. The paper's data sets are 25-115M page
@@ -89,6 +91,24 @@ struct GeneratorOptions {
 // Generates the full crawl. Use WebGraph::InducedPrefix to obtain the
 // paper-style nested data sets from a single generation run.
 WebGraph GenerateWebGraph(const GeneratorOptions& options);
+
+// Streaming form of the same crawl: identical RNG draw sequence, so the
+// pushed stream matches GenerateWebGraph(options) page for page and link
+// for link, but the O(edges) state (the preferential-attachment target
+// log and prototype adjacency) lives in a spill file instead of RAM.
+// Scratch file `<scratch_prefix>.targets` exists only during Drain.
+class GeneratorEdgeSource : public EdgeSource {
+ public:
+  GeneratorEdgeSource(const GeneratorOptions& options,
+                      std::string scratch_prefix,
+                      size_t spill_buffer_bytes = 4 << 20);
+  Status Drain(EdgeSink* sink) override;
+
+ private:
+  const GeneratorOptions options_;
+  const std::string scratch_prefix_;
+  const size_t spill_buffer_bytes_;
+};
 
 }  // namespace wg
 

@@ -49,6 +49,12 @@ void SortByUrl(const WebGraph& graph, std::vector<PageId>* pages) {
   });
 }
 
+void SortByUrl(const ElementData& data, std::vector<PageId>* pages) {
+  std::sort(pages->begin(), pages->end(), [&data](PageId a, PageId b) {
+    return data.url(a) < data.url(b);
+  });
+}
+
 // Coalesces groups smaller than `min_group_size` into one residual group.
 // Keeps the partition from shattering into elements so small that the
 // superedge-graph and supernode-pointer overhead dominates the encoding.
@@ -70,14 +76,14 @@ void CoalesceSmallGroups(size_t min_group_size,
 // --- URL split: groups `element` pages by a one-level-longer URL prefix.
 // Returns the groups (empty if the element cannot be subdivided further at
 // any remaining level), advancing element->url_level past trivial levels.
-std::vector<std::vector<PageId>> UrlSplit(const WebGraph& graph,
+std::vector<std::vector<PageId>> UrlSplit(const ElementData& data,
                                           Element* element, int max_levels,
                                           size_t min_group_size) {
   while (element->url_level < max_levels) {
     int level = element->url_level + 1;
     std::map<std::string, std::vector<PageId>> groups;
     for (PageId p : element->pages) {
-      groups[UrlPrefix(graph.url(p), level)].push_back(p);
+      groups[UrlPrefix(data.url(p), level)].push_back(p);
     }
     element->url_level = level;
     if (groups.size() > 1) {
@@ -100,7 +106,7 @@ struct ClusteredSplitResult {
   std::vector<std::vector<PageId>> groups;
 };
 
-ClusteredSplitResult ClusteredSplit(const WebGraph& graph,
+ClusteredSplitResult ClusteredSplit(const ElementData& data,
                                     const Element& element,
                                     const std::vector<uint32_t>& owner,
                                     uint32_t self_element,
@@ -113,7 +119,7 @@ ClusteredSplitResult ClusteredSplit(const WebGraph& graph,
   // frequent first, capped for robustness.
   std::unordered_map<uint32_t, uint32_t> freq;
   for (PageId p : element.pages) {
-    for (PageId q : graph.OutLinks(p)) {
+    for (PageId q : data.links(p)) {
       uint32_t e = owner[q];
       if (e != self_element) ++freq[e];
     }
@@ -132,7 +138,7 @@ ClusteredSplitResult ClusteredSplit(const WebGraph& graph,
   // Sparse binary adjacency vector per page: sorted unique dim indices.
   std::vector<std::vector<uint32_t>> vecs(n);
   for (size_t i = 0; i < n; ++i) {
-    for (PageId q : graph.OutLinks(element.pages[i])) {
+    for (PageId q : data.links(element.pages[i])) {
       auto it = dim_of.find(owner[q]);
       if (it != dim_of.end()) vecs[i].push_back(it->second);
     }
@@ -237,11 +243,57 @@ uint64_t SplitSeed(uint64_t seed, size_t pass, uint32_t element) {
 
 // What one candidate's evaluation produced, to be installed at merge time.
 struct SplitOutcome {
+  Status status;                            // borrow/read failures
   std::vector<std::vector<PageId>> groups;  // empty = no split
   bool clustered_attempt = false;
 };
 
+// The classic data plane: zero-copy borrows against a resident WebGraph.
+class WebGraphRefinementGraph : public RefinementGraph {
+ public:
+  explicit WebGraphRefinementGraph(const WebGraph& graph) : graph_(graph) {}
+
+  size_t num_pages() const override { return graph_.num_pages(); }
+  Result<Partition> InitialPartition() const override {
+    return InitialDomainPartition(graph_);
+  }
+  Status Borrow(const std::vector<PageId>&, bool,
+                ElementData* out) const override {
+    out->BindGraph(&graph_);
+    return Status::OK();
+  }
+
+ private:
+  const WebGraph& graph_;
+};
+
 }  // namespace
+
+void ElementData::Load(std::vector<PageId> pages_by_id,
+                       std::vector<std::string> urls,
+                       std::vector<std::vector<PageId>> links) {
+  graph_ = nullptr;
+  pages_ = std::move(pages_by_id);
+  urls_ = std::move(urls);
+  links_ = std::move(links);
+}
+
+size_t ElementData::IndexOf(PageId p) const {
+  auto it = std::lower_bound(pages_.begin(), pages_.end(), p);
+  WG_DCHECK(it != pages_.end() && *it == p);
+  return static_cast<size_t>(it - pages_.begin());
+}
+
+const std::string& ElementData::url(PageId p) const {
+  if (graph_ != nullptr) return graph_->url(p);
+  return urls_[IndexOf(p)];
+}
+
+std::span<const PageId> ElementData::links(PageId p) const {
+  if (graph_ != nullptr) return graph_->OutLinks(p);
+  const std::vector<PageId>& l = links_[IndexOf(p)];
+  return {l.data(), l.size()};
+}
 
 Partition InitialDomainPartition(const WebGraph& graph) {
   Partition partition;
@@ -261,11 +313,21 @@ Partition InitialDomainPartition(const WebGraph& graph) {
 Partition RefinePartition(const WebGraph& graph,
                           const RefinementOptions& options,
                           RefinementStats* stats) {
+  WebGraphRefinementGraph source(graph);
+  Result<Partition> result = RefinePartitionFrom(source, options, stats);
+  // The WebGraph data plane has no error paths.
+  WG_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+Result<Partition> RefinePartitionFrom(const RefinementGraph& source,
+                                      const RefinementOptions& options,
+                                      RefinementStats* stats) {
   auto t0 = std::chrono::steady_clock::now();
   RefinementStats local_stats;
   ParallelExecutor executor(options.threads);
 
-  Partition initial = InitialDomainPartition(graph);
+  WG_ASSIGN_OR_RETURN(Partition initial, source.InitialPartition());
   std::vector<Element> elements;
   elements.reserve(initial.elements.size());
   for (auto& pages : initial.elements) {
@@ -276,7 +338,7 @@ Partition RefinePartition(const WebGraph& graph,
   }
 
   // owner[p] = current element of page p, maintained across splits.
-  std::vector<uint32_t> owner(graph.num_pages(), 0);
+  std::vector<uint32_t> owner(source.num_pages(), 0);
   for (uint32_t e = 0; e < elements.size(); ++e) {
     for (PageId p : elements[e].pages) owner[p] = e;
   }
@@ -330,8 +392,12 @@ Partition RefinePartition(const WebGraph& graph,
     executor.ParallelFor(0, candidates.size(), [&](size_t i) {
       uint32_t e = candidates[i];
       SplitOutcome& out = outcomes[i];
+      ElementData data;
+      bool need_links = elements[e].url_exhausted;
+      out.status = source.Borrow(elements[e].pages, need_links, &data);
+      if (!out.status.ok()) return;
       if (!elements[e].url_exhausted) {
-        out.groups = UrlSplit(graph, &elements[e],
+        out.groups = UrlSplit(data, &elements[e],
                               options.url_split_max_levels,
                               options.min_group_size);
         // If URL split exhausted without splitting, the element stays a
@@ -340,10 +406,10 @@ Partition RefinePartition(const WebGraph& graph,
         out.clustered_attempt = true;
         Rng rng(SplitSeed(options.seed, pass, e));
         ClusteredSplitResult cs =
-            ClusteredSplit(graph, elements[e], owner, e, options, &rng);
+            ClusteredSplit(data, elements[e], owner, e, options, &rng);
         if (cs.success) out.groups = std::move(cs.groups);
       }
-      for (auto& group : out.groups) SortByUrl(graph, &group);
+      for (auto& group : out.groups) SortByUrl(data, &group);
     });
 
     // Ordered merge: install results one candidate at a time, evolving the
@@ -359,6 +425,9 @@ Partition RefinePartition(const WebGraph& graph,
       }
       uint32_t e = candidates[i];
       SplitOutcome& out = outcomes[i];
+      // Surface I/O failures in merge order, after the stop check, so the
+      // first error a run reports is the same at every thread count.
+      WG_RETURN_IF_ERROR(out.status);
       ++local_stats.iterations;
 
       if (out.groups.empty()) {
@@ -412,7 +481,7 @@ Partition RefinePartition(const WebGraph& graph,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   if (stats != nullptr) *stats = local_stats;
-  return result;
+  return std::move(result);
 }
 
 std::vector<std::vector<PageId>> RefineNewElement(

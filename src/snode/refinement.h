@@ -120,11 +120,69 @@ struct RefinementStats {
                  const obs::Labels& labels) const;
 };
 
+// A borrowed view of one element's page data for a single split
+// evaluation: URLs always, out-links only when the caller asked for them
+// (clustered split needs links, URL split does not). Two modes: bound to
+// a resident WebGraph (zero-copy, the classic build) or loaded with
+// materialized per-page copies fetched from spill files (the streaming
+// build). Splits see identical values either way, which is what keeps
+// the two builds byte-identical.
+class ElementData {
+ public:
+  void BindGraph(const WebGraph* graph) { graph_ = graph; }
+
+  // Loaded mode. `pages_by_id` must be sorted ascending; `urls` and
+  // `links` are parallel to it (`links` may be empty when the borrow did
+  // not request link data).
+  void Load(std::vector<PageId> pages_by_id, std::vector<std::string> urls,
+            std::vector<std::vector<PageId>> links);
+
+  const std::string& url(PageId p) const;
+  // Out-links of `p`, sorted ascending (the WebGraph::OutLinks contract).
+  std::span<const PageId> links(PageId p) const;
+
+ private:
+  size_t IndexOf(PageId p) const;
+
+  const WebGraph* graph_ = nullptr;
+  std::vector<PageId> pages_;
+  std::vector<std::string> urls_;
+  std::vector<std::vector<PageId>> links_;
+};
+
+// The data plane refinement runs against: the classic build binds a
+// resident WebGraph, the streaming build serves borrows from spill
+// files. Borrow must be safe to call from several threads at once (a
+// pass evaluates its candidates in parallel).
+class RefinementGraph {
+ public:
+  virtual ~RefinementGraph() = default;
+
+  virtual size_t num_pages() const = 0;
+
+  // The initial by-domain partition P0, elements URL-sorted internally
+  // and emitted in domain-id order.
+  virtual Result<Partition> InitialPartition() const = 0;
+
+  // Loans the given pages' URLs (and links when `need_links`) into *out.
+  virtual Status Borrow(const std::vector<PageId>& pages, bool need_links,
+                        ElementData* out) const = 0;
+};
+
 // Runs refinement to completion and returns the final partition. Elements
 // come out sorted by URL internally.
 Partition RefinePartition(const WebGraph& graph,
                           const RefinementOptions& options,
                           RefinementStats* stats = nullptr);
+
+// Same algorithm against an abstract data plane. For a source bound to a
+// WebGraph this is exactly RefinePartition (same splits, same element
+// ids, same stats); errors are only ever surfaced by sources that do
+// real I/O. The first borrow/read error, in deterministic merge order,
+// aborts the run.
+Result<Partition> RefinePartitionFrom(const RefinementGraph& source,
+                                      const RefinementOptions& options,
+                                      RefinementStats* stats = nullptr);
 
 // The initial by-domain partition P0 (exposed for tests/ablations).
 Partition InitialDomainPartition(const WebGraph& graph);

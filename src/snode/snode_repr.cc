@@ -99,6 +99,24 @@ Result<std::unique_ptr<SNodeRepr>> SNodeRepr::BuildFromPartition(
     const WebGraph& graph, const Partition& partition,
     const std::string& base_path, const SNodeBuildOptions& options,
     RefinementStats* stats) {
+  SNodeBuildSource source;
+  source.num_pages = graph.num_pages();
+  source.num_edges = graph.num_edges();
+  source.links_of = [&graph](PageId p, std::vector<PageId>* out) {
+    for (PageId q : graph.OutLinks(p)) out->push_back(q);
+    return Status::OK();
+  };
+  source.domain_name_of = [&graph](PageId p) {
+    return graph.domain_name(graph.domain_id(p));
+  };
+  return BuildFromPartitionSource(source, partition, base_path, options,
+                                  stats);
+}
+
+Result<std::unique_ptr<SNodeRepr>> SNodeRepr::BuildFromPartitionSource(
+    const SNodeBuildSource& source, const Partition& partition,
+    const std::string& base_path, const SNodeBuildOptions& options,
+    RefinementStats* stats) {
   auto t_total = std::chrono::steady_clock::now();
   std::unique_ptr<SNodeRepr> repr(new SNodeRepr());
   repr->options_ = options;
@@ -107,19 +125,19 @@ Result<std::unique_ptr<SNodeRepr>> SNodeRepr::BuildFromPartition(
                                                      options.buffer_bytes);
   repr->InstallLoadLogListener();
   repr->RegisterStats("s-node");
-  repr->num_edges_ = graph.num_edges();
+  repr->num_edges_ = source.num_edges;
 
   int threads = options.threads > 0 ? options.threads
                                     : ParallelExecutor::HardwareThreads();
   ParallelExecutor executor(threads);
 
-  WG_RETURN_IF_ERROR(partition.Validate(graph.num_pages()));
+  WG_RETURN_IF_ERROR(partition.Validate(source.num_pages));
   uint32_t n_super = static_cast<uint32_t>(partition.num_elements());
 
   // 2. Numbering rule: supernodes in order, pages URL-sorted within, so
   //    each supernode owns a contiguous new-id range.
-  repr->new_of_orig_.resize(graph.num_pages());
-  repr->orig_of_new_.resize(graph.num_pages());
+  repr->new_of_orig_.resize(source.num_pages);
+  repr->orig_of_new_.resize(source.num_pages);
   repr->supernodes_.page_start.reserve(n_super + 1);
   PageId next_id = 0;
   for (const auto& element : partition.elements) {
@@ -132,7 +150,7 @@ Result<std::unique_ptr<SNodeRepr>> SNodeRepr::BuildFromPartition(
   }
   repr->supernodes_.page_start.push_back(next_id);
 
-  std::vector<uint32_t> owner = partition.ElementOf(graph.num_pages());
+  std::vector<uint32_t> owner = partition.ElementOf(source.num_pages);
 
   // 3. Encode each supernode's intranode graph and its outgoing superedge
   //    graphs into per-graph byte buffers -- independent per supernode, so
@@ -148,10 +166,7 @@ Result<std::unique_ptr<SNodeRepr>> SNodeRepr::BuildFromPartition(
   if (!store.ok()) return store.status();
   repr->store_ = std::move(store).value();
 
-  SectionLinksFn links_of = [&graph](PageId p, std::vector<PageId>* out) {
-    for (PageId q : graph.OutLinks(p)) out->push_back(q);
-    return Status::OK();
-  };
+  const SectionLinksFn& links_of = source.links_of;
 
   double encode_seconds = 0;
   double layout_seconds = 0;
@@ -221,8 +236,7 @@ Result<std::unique_ptr<SNodeRepr>> SNodeRepr::BuildFromPartition(
   // 4. Domain index: every element stays inside one domain.
   for (uint32_t s = 0; s < n_super; ++s) {
     PageId first = partition.elements[s].front();
-    repr->supernodes_
-        .domain_supernodes[graph.domain_name(graph.domain_id(first))]
+    repr->supernodes_.domain_supernodes[source.domain_name_of(first)]
         .push_back(s);
   }
 

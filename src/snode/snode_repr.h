@@ -12,6 +12,7 @@
 #include "snode/codecs.h"
 #include "snode/graph_cache.h"
 #include "snode/refinement.h"
+#include "snode/section_encode.h"
 #include "snode/supernode_graph.h"
 #include "storage/graph_store.h"
 #include "storage/serial.h"
@@ -82,6 +83,22 @@ struct SNodeResidentState {
 
 class PrefetchExecutor;
 
+// Data plane of the numbering/encode/layout half of the build: the counts
+// plus two accessors, which is all that half ever asks of a WebGraph. The
+// classic build binds a resident graph; the streaming build serves these
+// from spill files. Both funnel into BuildFromPartitionSource, so equal
+// answers give byte-identical stores.
+struct SNodeBuildSource {
+  size_t num_pages = 0;
+  uint64_t num_edges = 0;
+  // Appends page p's out-links (original ids, sorted ascending) to *out.
+  // Must be thread-safe when options.threads > 1.
+  SectionLinksFn links_of;
+  // Domain name owning page p (called once per element, with its first
+  // page -- every partition element stays inside one domain).
+  std::function<std::string(PageId)> domain_name_of;
+};
+
 // Who initiated a cold blob load -- demand read (a query is waiting),
 // decode-ahead (the locality executor running ahead of a cursor), or the
 // background warmer. Exposition splits the wg_cold_* series by this so a
@@ -119,6 +136,16 @@ class SNodeRepr : public GraphRepresentation {
   // refine_seconds the caller already recorded into total).
   static Result<std::unique_ptr<SNodeRepr>> BuildFromPartition(
       const WebGraph& graph, const Partition& partition,
+      const std::string& base_path, const SNodeBuildOptions& options,
+      RefinementStats* stats = nullptr);
+
+  // The same half against an abstract data plane (SNodeBuildSource).
+  // BuildFromPartition is a thin binding of this to a resident WebGraph;
+  // the streaming build (snode/streaming_build.h) binds it to a spilled
+  // crawl. Byte-identity across the two follows from the sources
+  // answering identically.
+  static Result<std::unique_ptr<SNodeRepr>> BuildFromPartitionSource(
+      const SNodeBuildSource& source, const Partition& partition,
       const std::string& base_path, const SNodeBuildOptions& options,
       RefinementStats* stats = nullptr);
 

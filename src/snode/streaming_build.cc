@@ -1,0 +1,229 @@
+#include "snode/streaming_build.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#ifdef __linux__
+#include <unistd.h>
+#endif
+
+#include "obs/trace.h"
+#include "storage/file.h"
+#include "storage/spill.h"
+#include "util/coding.h"
+#include "util/parallel.h"
+
+namespace wg {
+
+namespace {
+
+inline double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void PutFixed32BE(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>(v & 0xff));
+}
+
+uint32_t GetFixed32BE(const char* p) {
+  return (static_cast<uint32_t>(static_cast<uint8_t>(p[0])) << 24) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(p[1])) << 16) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(p[2])) << 8) |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[3]));
+}
+
+// Refinement data plane over a spilled crawl: P0 via an external sort of
+// (domain, URL, page) keys, borrows via random-access spill reads.
+class SpilledCrawlRefinementGraph : public RefinementGraph {
+ public:
+  SpilledCrawlRefinementGraph(const SpilledCrawl* crawl,
+                              const BuildMemoryBudget& budget,
+                              std::string sort_prefix)
+      : crawl_(crawl), budget_(budget), sort_prefix_(std::move(sort_prefix)) {}
+
+  size_t num_pages() const override { return crawl_->num_pages(); }
+
+  // The by-domain partition with URL-sorted elements, via an external
+  // sort on BE32(domain) + url + '\0' + BE32(page): bytewise order over
+  // this key is exactly (domain id, URL) order -- URL bytes are printable
+  // and the NUL terminator sorts a prefix before its extensions -- and
+  // the page-id suffix makes records unique, so the merged order is the
+  // same however the budget cut the input into runs. This reproduces
+  // InitialDomainPartition over the materialized graph, given the crawl's
+  // URLs are distinct (the generator's zero-padded per-host page counter
+  // guarantees that).
+  Result<Partition> InitialPartition() const override {
+    ExternalSorter sorter(sort_prefix_, budget_.sort_buffer_bytes());
+    std::string record;
+    Status add = crawl_->ScanUrls([&](PageId p, std::string_view url) {
+      record.clear();
+      PutFixed32BE(&record, crawl_->domain_of_page(p));
+      record.append(url);
+      record.push_back('\0');
+      PutFixed32BE(&record, p);
+      return sorter.Add(record);
+    });
+    WG_RETURN_IF_ERROR(add);
+
+    Partition partition;
+    uint32_t cur_domain = UINT32_MAX;
+    std::vector<PageId> cur;
+    Status merged = sorter.Merge([&](std::string_view rec) {
+      if (rec.size() < 9) {
+        return Status::Corruption("initial partition: short sort record");
+      }
+      uint32_t domain = GetFixed32BE(rec.data());
+      PageId p = GetFixed32BE(rec.data() + rec.size() - 4);
+      if (domain != cur_domain) {
+        if (!cur.empty()) partition.elements.push_back(std::move(cur));
+        cur.clear();
+        cur_domain = domain;
+      }
+      cur.push_back(p);
+      return Status::OK();
+    });
+    initial_sort_runs_ = sorter.runs_spilled();
+    WG_RETURN_IF_ERROR(merged);
+    if (!cur.empty()) partition.elements.push_back(std::move(cur));
+    return partition;
+  }
+
+  Status Borrow(const std::vector<PageId>& pages, bool need_links,
+                ElementData* out) const override {
+    std::vector<PageId> by_id(pages);
+    std::sort(by_id.begin(), by_id.end());
+    std::vector<std::string> urls(by_id.size());
+    std::vector<std::vector<PageId>> links;
+    if (need_links) links.resize(by_id.size());
+    for (size_t i = 0; i < by_id.size(); ++i) {
+      WG_RETURN_IF_ERROR(crawl_->FetchUrl(by_id[i], &urls[i]));
+      if (need_links) {
+        WG_RETURN_IF_ERROR(crawl_->FetchSortedLinks(by_id[i], &links[i]));
+      }
+    }
+    out->Load(std::move(by_id), std::move(urls), std::move(links));
+    return Status::OK();
+  }
+
+  size_t initial_sort_runs() const { return initial_sort_runs_; }
+
+ private:
+  const SpilledCrawl* crawl_;
+  const BuildMemoryBudget budget_;
+  const std::string sort_prefix_;
+  mutable size_t initial_sort_runs_ = 0;
+};
+
+Result<std::unique_ptr<SNodeRepr>> BuildStreamingImpl(
+    EdgeSource* source, SpilledCrawl* crawl, const std::string& base_path,
+    const std::string& spill_dir, const SNodeBuildOptions& options,
+    const BuildMemoryBudget& budget, RefinementStats* stats,
+    StreamingBuildReport* report) {
+  SNodeBuildOptions resolved = options;
+  resolved.threads = options.threads > 0
+                         ? options.threads
+                         : ParallelExecutor::HardwareThreads();
+  resolved.refinement.threads = resolved.threads;
+
+  auto record_phase = [&](const char* name,
+                          std::chrono::steady_clock::time_point t0) {
+    if (report == nullptr) return;
+    StreamingBuildPhase phase;
+    phase.name = name;
+    phase.seconds = SecondsSince(t0);
+    phase.peak_rss_bytes = CurrentPeakRssBytes();
+    report->phases.push_back(std::move(phase));
+  };
+
+  // 1. Ingest: drain the source into the spill files.
+  auto t_ingest = std::chrono::steady_clock::now();
+  {
+    obs::Span span("build.ingest", "build");
+    WG_RETURN_IF_ERROR(source->Drain(crawl));
+  }
+  record_phase("ingest", t_ingest);
+
+  // 2. Refinement against the spilled crawl.
+  SpilledCrawlRefinementGraph refgraph(crawl, budget, spill_dir + "/sort");
+  auto t_refine = std::chrono::steady_clock::now();
+  Partition partition;
+  {
+    obs::Span span("build.refine", "build");
+    WG_ASSIGN_OR_RETURN(
+        partition,
+        RefinePartitionFrom(refgraph, resolved.refinement, stats));
+  }
+  if (report != nullptr) {
+    report->initial_sort_runs = refgraph.initial_sort_runs();
+  }
+  record_phase("refine", t_refine);
+
+  // 3. Numbering/encode/layout, links served from the adjacency spill.
+  SNodeBuildSource build_source;
+  build_source.num_pages = crawl->num_pages();
+  build_source.num_edges = crawl->num_edges();
+  build_source.links_of = [crawl](PageId p, std::vector<PageId>* out) {
+    return crawl->FetchSortedLinks(p, out);
+  };
+  build_source.domain_name_of = [crawl](PageId p) {
+    return crawl->domain_name(crawl->domain_of_page(p));
+  };
+  auto t_encode = std::chrono::steady_clock::now();
+  auto repr = SNodeRepr::BuildFromPartitionSource(
+      build_source, partition, base_path, resolved, stats);
+  record_phase("encode", t_encode);
+  return repr;
+}
+
+}  // namespace
+
+uint64_t CurrentPeakRssBytes() {
+#ifdef __linux__
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  uint64_t kb = 0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      std::sscanf(line + 6, "%llu", reinterpret_cast<unsigned long long*>(&kb));
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+#else
+  return 0;
+#endif
+}
+
+Result<std::unique_ptr<SNodeRepr>> BuildStreaming(
+    EdgeSource* source, const std::string& base_path,
+    const SNodeBuildOptions& options, const BuildMemoryBudget& budget,
+    RefinementStats* stats, StreamingBuildReport* report) {
+  const std::string spill_dir = base_path + ".spill";
+  WG_RETURN_IF_ERROR(EnsureDirectory(spill_dir));
+  WG_ASSIGN_OR_RETURN(
+      auto crawl,
+      SpilledCrawl::Create(spill_dir + "/crawl", budget.spill_buffer_bytes()));
+
+  auto repr = BuildStreamingImpl(source, crawl.get(), base_path, spill_dir,
+                                 options, budget, stats, report);
+
+  // Spill files are scratch: remove them on success AND failure. The sort
+  // runs clean themselves up (ExternalSorter dtor); rmdir is best-effort.
+  Status removed = crawl->RemoveFiles();
+  crawl.reset();
+#ifdef __linux__
+  ::rmdir(spill_dir.c_str());
+#endif
+  if (!repr.ok()) return repr;
+  WG_RETURN_IF_ERROR(removed);
+  return repr;
+}
+
+}  // namespace wg

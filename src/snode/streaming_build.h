@@ -1,0 +1,76 @@
+#ifndef WG_SNODE_STREAMING_BUILD_H_
+#define WG_SNODE_STREAMING_BUILD_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/edge_source.h"
+#include "snode/snode_repr.h"
+
+// The out-of-core build (DESIGN.md section 14): drain any EdgeSource into
+// spill files, refine against them, and encode/lay out the store from
+// them, so peak resident memory is O(pages) bookkeeping plus the
+// configured budget -- never O(edges + URL bytes). The store files and
+// .meta produced are byte-identical to SNodeRepr::Build over the
+// materialized WebGraph of the same source, at any thread count and any
+// budget.
+
+namespace wg {
+
+// Working-memory target for the build's discretionary buffers: the
+// external sort's in-memory run buffer and the spill files' write
+// buffers. The O(pages) resident arrays (URL/adjacency offsets, the
+// numbering, refinement's owner array) scale with the graph and are not
+// governed by the budget; a 10M-page build carries ~0.4 GB of them.
+// The budget changes WHERE intermediate data waits (RAM vs spill runs),
+// never WHAT the build produces.
+struct BuildMemoryBudget {
+  // 0 = default 256 MiB.
+  size_t total_bytes = 0;
+
+  size_t effective_bytes() const {
+    return total_bytes != 0 ? total_bytes : (size_t{256} << 20);
+  }
+  // The initial-partition external sort gets half the budget.
+  size_t sort_buffer_bytes() const {
+    return std::max<size_t>(size_t{1} << 20, effective_bytes() / 2);
+  }
+  // Write-buffer size for each spill log.
+  size_t spill_buffer_bytes() const {
+    size_t b = effective_bytes() / 64;
+    return std::min<size_t>(std::max<size_t>(b, size_t{64} << 10),
+                            size_t{8} << 20);
+  }
+};
+
+struct StreamingBuildPhase {
+  std::string name;            // ingest / refine / encode
+  double seconds = 0;
+  uint64_t peak_rss_bytes = 0;  // process VmHWM sampled at phase end
+};
+
+struct StreamingBuildReport {
+  std::vector<StreamingBuildPhase> phases;
+  // Sorted runs the initial-partition sort spilled (0 = fit in memory).
+  size_t initial_sort_runs = 0;
+};
+
+// Process peak RSS (VmHWM) in bytes; 0 where unavailable. Exposed for
+// benchmarks that record per-phase peaks.
+uint64_t CurrentPeakRssBytes();
+
+// Streams `source` into an S-Node representation at `base_path`. Spill
+// files live in `<base_path>.spill/` for the duration of the call and
+// are removed on exit (success or failure). The returned repr is exactly
+// what SNodeRepr::Build would have returned for the materialized graph.
+Result<std::unique_ptr<SNodeRepr>> BuildStreaming(
+    EdgeSource* source, const std::string& base_path,
+    const SNodeBuildOptions& options, const BuildMemoryBudget& budget,
+    RefinementStats* stats = nullptr, StreamingBuildReport* report = nullptr);
+
+}  // namespace wg
+
+#endif  // WG_SNODE_STREAMING_BUILD_H_

@@ -16,6 +16,25 @@ namespace wg {
 // XOR-rotate checksum; guards truncation/corruption, not adversaries.
 uint32_t SerialChecksum(const std::string& payload);
 
+// Incremental form of SerialChecksum for single-pass streaming readers
+// that never hold the whole payload: feeding the payload bytes in order
+// through Update yields exactly SerialChecksum(payload).
+class StreamingSerialChecksum {
+ public:
+  void Update(const char* data, size_t n) {
+    uint32_t sum = sum_;
+    for (size_t i = 0; i < n; ++i) {
+      sum = (sum << 5) | (sum >> 27);
+      sum ^= static_cast<uint8_t>(data[i]);
+    }
+    sum_ = sum;
+  }
+  uint32_t value() const { return sum_; }
+
+ private:
+  uint32_t sum_ = 0xabadcafe;
+};
+
 // Writes magic + length + payload + checksum to `path` (replacing it).
 Status WriteFramedFile(const std::string& path, const char magic[4],
                        const std::string& payload);

@@ -1,0 +1,404 @@
+#include "storage/spill.h"
+
+#include <algorithm>
+#include <cstring>
+#include <queue>
+
+#include "storage/serial.h"
+#include "util/coding.h"
+#include "util/crc32.h"
+
+namespace wg {
+
+// ---------------------------------------------------------------- SpillLog
+
+Result<std::unique_ptr<SpillLog>> SpillLog::Create(const std::string& path,
+                                                   size_t buffer_bytes) {
+  WG_RETURN_IF_ERROR(RemoveFileIfExists(path));
+  auto file = RandomAccessFile::Open(path);
+  if (!file.ok()) return file.status();
+  return std::unique_ptr<SpillLog>(new SpillLog(
+      path, std::move(file).value(), std::max<size_t>(buffer_bytes, 4096)));
+}
+
+SpillLog::SpillLog(std::string path, std::unique_ptr<RandomAccessFile> file,
+                   size_t buffer_bytes)
+    : path_(std::move(path)),
+      file_(std::move(file)),
+      buffer_bytes_(buffer_bytes) {
+  buffer_.reserve(buffer_bytes_);
+}
+
+Status SpillLog::Append(const void* data, size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const char* p = static_cast<const char*>(data);
+  // Fold the bytes into the per-block CRC table as they stream past.
+  size_t left = n;
+  const char* q = p;
+  while (left > 0) {
+    size_t room = kCrcBlockBytes - tail_block_bytes_;
+    size_t take = std::min(left, room);
+    tail_crc_ = Crc32(q, take, tail_crc_);
+    tail_block_bytes_ += take;
+    if (tail_block_bytes_ == kCrcBlockBytes) {
+      block_crcs_.push_back(tail_crc_);
+      tail_crc_ = 0;
+      tail_block_bytes_ = 0;
+    }
+    q += take;
+    left -= take;
+  }
+  buffer_.append(p, n);
+  total_ += n;
+  if (buffer_.size() >= buffer_bytes_) return FlushLocked();
+  return Status::OK();
+}
+
+Status SpillLog::FlushLocked() {
+  if (buffer_.empty()) return Status::OK();
+  WG_RETURN_IF_ERROR(file_->Append(buffer_.data(), buffer_.size()));
+  flushed_ += buffer_.size();
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status SpillLog::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushLocked();
+}
+
+uint64_t SpillLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+uint64_t SpillLog::verified_blocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return verified_count_;
+}
+
+Status SpillLog::VerifyTouchedBlocksLocked(uint64_t offset, size_t n) const {
+  uint64_t first = offset / kCrcBlockBytes;
+  uint64_t last = (offset + n - 1) / kCrcBlockBytes;
+  if (verified_.size() < block_crcs_.size()) {
+    verified_.resize(block_crcs_.size(), 0);
+  }
+  for (uint64_t b = first; b <= last; ++b) {
+    // Only complete, fully-flushed blocks are checkable; the tail is
+    // verified later, once appends have sealed and flushed it.
+    if (b >= block_crcs_.size() || verified_[b]) continue;
+    uint64_t block_end = (b + 1) * kCrcBlockBytes;
+    if (block_end > flushed_) continue;
+    verify_scratch_.resize(kCrcBlockBytes);
+    WG_RETURN_IF_ERROR(file_->Read(b * kCrcBlockBytes, kCrcBlockBytes,
+                                   verify_scratch_.data()));
+    if (Crc32(verify_scratch_.data(), kCrcBlockBytes, 0) != block_crcs_[b]) {
+      return Status::Corruption(path_ + ": spill block " + std::to_string(b) +
+                                " crc mismatch");
+    }
+    verified_[b] = 1;
+    ++verified_count_;
+  }
+  return Status::OK();
+}
+
+Status SpillLog::ReadAt(uint64_t offset, size_t n, char* out) const {
+  if (n == 0) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (offset + n > total_) {
+    return Status::OutOfRange(path_ + ": spill read past end");
+  }
+  WG_RETURN_IF_ERROR(VerifyTouchedBlocksLocked(offset, n));
+  size_t got = 0;
+  if (offset < flushed_) {
+    size_t from_file =
+        static_cast<size_t>(std::min<uint64_t>(n, flushed_ - offset));
+    WG_RETURN_IF_ERROR(file_->Read(offset, from_file, out));
+    got = from_file;
+  }
+  if (got < n) {
+    std::memcpy(out + got, buffer_.data() + (offset + got - flushed_),
+                n - got);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------- SortedRunWriter
+
+Result<std::unique_ptr<SortedRunWriter>> SortedRunWriter::Create(
+    const std::string& path, size_t block_bytes) {
+  WG_RETURN_IF_ERROR(RemoveFileIfExists(path));
+  auto file = RandomAccessFile::Open(path);
+  if (!file.ok()) return file.status();
+  return std::unique_ptr<SortedRunWriter>(new SortedRunWriter(
+      path, std::move(file).value(), std::max<size_t>(block_bytes, 4096)));
+}
+
+SortedRunWriter::SortedRunWriter(std::string path,
+                                 std::unique_ptr<RandomAccessFile> file,
+                                 size_t block_bytes)
+    : path_(std::move(path)),
+      file_(std::move(file)),
+      block_bytes_(block_bytes) {
+  block_.reserve(block_bytes_ + 16);
+}
+
+Status SortedRunWriter::Add(std::string_view record) {
+  WG_CHECK(!finished_);
+  if (!block_.empty() && block_.size() + record.size() + 10 > block_bytes_) {
+    WG_RETURN_IF_ERROR(FlushBlock());
+  }
+  PutVarint64(&block_, record.size());
+  block_.append(record.data(), record.size());
+  if (block_.size() >= block_bytes_) return FlushBlock();
+  return Status::OK();
+}
+
+Status SortedRunWriter::FlushBlock() {
+  if (block_.empty()) return Status::OK();
+  std::string frame;
+  frame.reserve(block_.size() + 8);
+  PutFixed32(&frame, static_cast<uint32_t>(block_.size()));
+  frame.append(block_);
+  PutFixed32(&frame, Crc32(block_.data(), block_.size(), 0));
+  WG_RETURN_IF_ERROR(file_->Append(frame.data(), frame.size()));
+  block_.clear();
+  return Status::OK();
+}
+
+Status SortedRunWriter::Finish() {
+  WG_CHECK(!finished_);
+  finished_ = true;
+  return FlushBlock();
+}
+
+// ---------------------------------------------------------- SortedRunReader
+
+Result<std::unique_ptr<SortedRunReader>> SortedRunReader::Open(
+    const std::string& path) {
+  auto file = RandomAccessFile::Open(path);
+  if (!file.ok()) return file.status();
+  return std::unique_ptr<SortedRunReader>(
+      new SortedRunReader(path, std::move(file).value()));
+}
+
+SortedRunReader::SortedRunReader(std::string path,
+                                 std::unique_ptr<RandomAccessFile> file)
+    : path_(std::move(path)), file_(std::move(file)) {}
+
+Status SortedRunReader::LoadBlock() {
+  char head[4];
+  if (file_offset_ + 8 > file_->size()) {
+    return Status::Corruption(path_ + ": truncated run block header");
+  }
+  WG_RETURN_IF_ERROR(file_->Read(file_offset_, 4, head));
+  uint32_t payload_len = DecodeFixed32(head);
+  if (file_offset_ + 8 + payload_len > file_->size()) {
+    return Status::Corruption(path_ + ": truncated run block payload");
+  }
+  block_.resize(payload_len);
+  WG_RETURN_IF_ERROR(file_->Read(file_offset_ + 4, payload_len,
+                                 block_.data()));
+  char foot[4];
+  WG_RETURN_IF_ERROR(file_->Read(file_offset_ + 4 + payload_len, 4, foot));
+  if (DecodeFixed32(foot) != Crc32(block_.data(), block_.size(), 0)) {
+    return Status::Corruption(path_ + ": run block crc mismatch at offset " +
+                              std::to_string(file_offset_));
+  }
+  file_offset_ += 8 + payload_len;
+  block_pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> SortedRunReader::Next(std::string* record) {
+  if (block_pos_ >= block_.size()) {
+    if (file_offset_ >= file_->size()) return false;
+    WG_RETURN_IF_ERROR(LoadBlock());
+  }
+  uint64_t len = 0;
+  size_t used = GetVarint64(block_.data() + block_pos_,
+                            block_.size() - block_pos_, &len);
+  if (used == 0 || block_pos_ + used + len > block_.size()) {
+    return Status::Corruption(path_ + ": malformed record in run block");
+  }
+  record->assign(block_.data() + block_pos_ + used, len);
+  block_pos_ += used + len;
+  return true;
+}
+
+// ------------------------------------------------------------ ExternalSorter
+
+ExternalSorter::ExternalSorter(std::string temp_prefix,
+                               size_t memory_budget_bytes)
+    : temp_prefix_(std::move(temp_prefix)),
+      memory_budget_bytes_(std::max<size_t>(memory_budget_bytes, 1 << 20)) {}
+
+ExternalSorter::~ExternalSorter() { RemoveRuns().ok(); }
+
+Status ExternalSorter::RemoveRuns() {
+  Status first = Status::OK();
+  for (const auto& path : run_paths_) {
+    Status s = RemoveFileIfExists(path);
+    if (!s.ok() && first.ok()) first = s;
+  }
+  run_paths_.clear();
+  return first;
+}
+
+Status ExternalSorter::Add(std::string_view record) {
+  WG_CHECK(!merged_);
+  records_.emplace_back(record);
+  // Account the string header too, so millions of short records cannot
+  // silently dwarf the nominal budget.
+  buffered_bytes_ += record.size() + sizeof(std::string);
+  if (buffered_bytes_ >= memory_budget_bytes_) return SpillRun();
+  return Status::OK();
+}
+
+Status ExternalSorter::SpillRun() {
+  if (records_.empty()) return Status::OK();
+  std::sort(records_.begin(), records_.end());
+  std::string path =
+      temp_prefix_ + ".run-" + std::to_string(run_paths_.size());
+  auto writer = SortedRunWriter::Create(path);
+  if (!writer.ok()) return writer.status();
+  run_paths_.push_back(path);
+  ++runs_spilled_;
+  for (const auto& rec : records_) {
+    WG_RETURN_IF_ERROR(writer.value()->Add(rec));
+  }
+  WG_RETURN_IF_ERROR(writer.value()->Finish());
+  records_.clear();
+  records_.shrink_to_fit();
+  buffered_bytes_ = 0;
+  return Status::OK();
+}
+
+Status ExternalSorter::Merge(
+    const std::function<Status(std::string_view)>& emit) {
+  WG_CHECK(!merged_);
+  merged_ = true;
+  if (run_paths_.empty()) {
+    // Everything fit in memory: plain sort, no disk round-trip. Records
+    // are unique, so unstable sort is deterministic.
+    std::sort(records_.begin(), records_.end());
+    for (const auto& rec : records_) WG_RETURN_IF_ERROR(emit(rec));
+    records_.clear();
+    records_.shrink_to_fit();
+    return Status::OK();
+  }
+  WG_RETURN_IF_ERROR(SpillRun());
+
+  std::vector<std::unique_ptr<SortedRunReader>> readers;
+  readers.reserve(run_paths_.size());
+  for (const auto& path : run_paths_) {
+    auto reader = SortedRunReader::Open(path);
+    if (!reader.ok()) return reader.status();
+    readers.push_back(std::move(reader).value());
+  }
+
+  // K-way merge; ties broken by run index so the order is total even if
+  // a caller ever feeds duplicate records.
+  struct Head {
+    std::string record;
+    size_t run;
+  };
+  auto greater = [](const Head& a, const Head& b) {
+    if (a.record != b.record) return a.record > b.record;
+    return a.run > b.run;
+  };
+  std::priority_queue<Head, std::vector<Head>, decltype(greater)> heap(
+      greater);
+  for (size_t i = 0; i < readers.size(); ++i) {
+    std::string rec;
+    auto got = readers[i]->Next(&rec);
+    if (!got.ok()) return got.status();
+    if (got.value()) heap.push(Head{std::move(rec), i});
+  }
+  while (!heap.empty()) {
+    Head head = heap.top();
+    heap.pop();
+    WG_RETURN_IF_ERROR(emit(head.record));
+    std::string rec;
+    auto got = readers[head.run]->Next(&rec);
+    if (!got.ok()) return got.status();
+    if (got.value()) heap.push(Head{std::move(rec), head.run});
+  }
+  return RemoveRuns();
+}
+
+// ------------------------------------------------------ SequentialFileReader
+
+Result<std::unique_ptr<SequentialFileReader>> SequentialFileReader::Open(
+    const std::string& path, size_t buffer_bytes) {
+  auto file = RandomAccessFile::Open(path);
+  if (!file.ok()) return file.status();
+  return std::unique_ptr<SequentialFileReader>(new SequentialFileReader(
+      std::move(file).value(), std::max<size_t>(buffer_bytes, 4096)));
+}
+
+SequentialFileReader::SequentialFileReader(
+    std::unique_ptr<RandomAccessFile> file, size_t buffer_bytes)
+    : file_(std::move(file)), buffer_bytes_(buffer_bytes) {}
+
+Status SequentialFileReader::Refill() {
+  uint64_t file_off = consumed_;
+  if (file_off >= file_->size()) {
+    return Status::Corruption(file_->path() + ": read past end of file");
+  }
+  size_t n = static_cast<size_t>(
+      std::min<uint64_t>(buffer_bytes_, file_->size() - file_off));
+  buffer_.resize(n);
+  WG_RETURN_IF_ERROR(file_->Read(file_off, n, buffer_.data()));
+  buffer_pos_ = 0;
+  return Status::OK();
+}
+
+Status SequentialFileReader::Read(size_t n, char* out) {
+  size_t got = 0;
+  while (got < n) {
+    if (buffer_pos_ >= buffer_.size()) WG_RETURN_IF_ERROR(Refill());
+    size_t take = std::min(n - got, buffer_.size() - buffer_pos_);
+    std::memcpy(out + got, buffer_.data() + buffer_pos_, take);
+    buffer_pos_ += take;
+    consumed_ += take;
+    got += take;
+  }
+  if (checksum_ != nullptr && n > 0) checksum_->Update(out, n);
+  return Status::OK();
+}
+
+Status SequentialFileReader::ReadByte(uint8_t* b) {
+  if (buffer_pos_ >= buffer_.size()) WG_RETURN_IF_ERROR(Refill());
+  char c = buffer_[buffer_pos_++];
+  ++consumed_;
+  if (checksum_ != nullptr) checksum_->Update(&c, 1);
+  *b = static_cast<uint8_t>(c);
+  return Status::OK();
+}
+
+Status SequentialFileReader::ReadVarint64(uint64_t* v) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63; shift += 7) {
+    uint8_t byte = 0;
+    WG_RETURN_IF_ERROR(ReadByte(&byte));
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return Status::OK();
+    }
+  }
+  return Status::Corruption(file_->path() + ": malformed varint");
+}
+
+Status SequentialFileReader::ReadVarint32(uint32_t* v) {
+  uint64_t wide = 0;
+  WG_RETURN_IF_ERROR(ReadVarint64(&wide));
+  if (wide > UINT32_MAX) {
+    return Status::Corruption(file_->path() + ": varint32 overflow");
+  }
+  *v = static_cast<uint32_t>(wide);
+  return Status::OK();
+}
+
+}  // namespace wg

@@ -1,0 +1,236 @@
+#ifndef WG_STORAGE_SPILL_H_
+#define WG_STORAGE_SPILL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/file.h"
+#include "util/status.h"
+
+// Bounded-memory spill files for the out-of-core build pipeline
+// (DESIGN.md section 14). Three primitives, all on RandomAccessFile so
+// every byte goes through the Env hook layer and fault injection covers
+// spills exactly like it covers packs:
+//
+//  - SpillLog: an append-only log with random-access reads that see
+//    through the unflushed write-buffer tail. Used for the URL log and
+//    the raw adjacency/target log during streaming builds, where the
+//    generator appends the current page while preferential attachment
+//    samples arbitrary earlier offsets. A resident per-64KiB-block CRC
+//    table is built at append time and each fully-flushed block is
+//    verified once, on the first read that touches it, so a corrupted
+//    spill surfaces as Status::Corruption instead of silently skewing
+//    the partition.
+//
+//  - SortedRunWriter/SortedRunReader: CRC-framed sequential record
+//    blocks ([fixed32 payload_len | payload | fixed32 crc32]) for the
+//    external sort's spilled runs. Every block is verified when read
+//    back (each is read exactly once during the merge, so the check is
+//    one cheap pass).
+//
+//  - ExternalSorter: accumulates byte-string records, spills sorted
+//    runs when the configured budget fills, and k-way merges them back
+//    in strict lexicographic order. Callers encode keys so that
+//    bytewise comparison is the sort order (big-endian fixed-width
+//    integers, NUL-terminated strings) and include a unique suffix
+//    (page id), which makes the merged sequence independent of how the
+//    input happened to be cut into runs -- the determinism invariant
+//    the byte-identical streaming build rests on.
+//
+// Concurrency: SpillLog has a single-writer/many-readers contract;
+// reads are serialized behind an internal mutex (RandomAccessFile's
+// disk-model counters are not atomic). The sorter and run files are
+// single-threaded.
+
+namespace wg {
+
+class SpillLog {
+ public:
+  // Creates (truncating) `path`. `buffer_bytes` is the write-buffer
+  // capacity; appends beyond it flush to disk.
+  static Result<std::unique_ptr<SpillLog>> Create(const std::string& path,
+                                                  size_t buffer_bytes);
+
+  // Closes the file. Does NOT remove it; the owning pipeline removes
+  // spill files once the build is done (or failed).
+  ~SpillLog() = default;
+
+  SpillLog(const SpillLog&) = delete;
+  SpillLog& operator=(const SpillLog&) = delete;
+
+  // Appends `n` bytes. Single writer; may run concurrently with ReadAt.
+  Status Append(const void* data, size_t n);
+
+  // Reads [offset, offset+n), served from disk and/or the unflushed
+  // buffer tail. Thread-safe. The first read touching a fully-flushed
+  // 64 KiB block re-reads and CRC-checks that block.
+  Status ReadAt(uint64_t offset, size_t n, char* out) const;
+
+  // Total bytes appended so far (flushed + buffered). Thread-safe.
+  uint64_t size() const;
+
+  // Flushes the buffered tail to disk.
+  Status Flush();
+
+  const std::string& path() const { return path_; }
+
+  // Blocks CRC-verified so far (observability for tests).
+  uint64_t verified_blocks() const;
+
+  static constexpr size_t kCrcBlockBytes = 64 * 1024;
+
+ private:
+  SpillLog(std::string path, std::unique_ptr<RandomAccessFile> file,
+           size_t buffer_bytes);
+
+  Status FlushLocked();
+  Status VerifyTouchedBlocksLocked(uint64_t offset, size_t n) const;
+
+  const std::string path_;
+  std::unique_ptr<RandomAccessFile> file_;
+  const size_t buffer_bytes_;
+
+  mutable std::mutex mu_;
+  std::string buffer_;        // unflushed tail; total_ - flushed_ bytes
+  uint64_t flushed_ = 0;      // bytes on disk
+  uint64_t total_ = 0;        // bytes appended
+  // Per-complete-block CRCs, built as bytes stream through Append.
+  std::vector<uint32_t> block_crcs_;
+  uint32_t tail_crc_ = 0;     // running CRC of the current partial block
+  size_t tail_block_bytes_ = 0;
+  mutable std::vector<uint8_t> verified_;  // grown lazily with block_crcs_
+  mutable uint64_t verified_count_ = 0;
+  mutable std::string verify_scratch_;
+};
+
+// Writes one sorted run as CRC-framed record blocks. Records are
+// varint-length-prefixed inside each block payload and never span
+// blocks (a record larger than the block size gets a block to itself).
+class SortedRunWriter {
+ public:
+  static Result<std::unique_ptr<SortedRunWriter>> Create(
+      const std::string& path, size_t block_bytes = 1 << 20);
+
+  Status Add(std::string_view record);
+  // Flushes the final block. Must be called before reading the run.
+  Status Finish();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  SortedRunWriter(std::string path, std::unique_ptr<RandomAccessFile> file,
+                  size_t block_bytes);
+  Status FlushBlock();
+
+  const std::string path_;
+  std::unique_ptr<RandomAccessFile> file_;
+  const size_t block_bytes_;
+  std::string block_;
+  bool finished_ = false;
+};
+
+// Sequential reader over a SortedRunWriter file. Every block's CRC is
+// verified as it is loaded; mismatch surfaces as Status::Corruption.
+class SortedRunReader {
+ public:
+  static Result<std::unique_ptr<SortedRunReader>> Open(
+      const std::string& path);
+
+  // Fetches the next record. Returns true with *record filled, or false
+  // at end of run.
+  Result<bool> Next(std::string* record);
+
+ private:
+  SortedRunReader(std::string path, std::unique_ptr<RandomAccessFile> file);
+  Status LoadBlock();
+
+  const std::string path_;
+  std::unique_ptr<RandomAccessFile> file_;
+  uint64_t file_offset_ = 0;
+  std::string block_;
+  size_t block_pos_ = 0;
+};
+
+// External sort of byte-string records in lexicographic order under a
+// memory budget. Records must be unique for the output order to be
+// independent of run boundaries (callers append a unique id suffix).
+class ExternalSorter {
+ public:
+  // Run files are `<temp_prefix>.run-N`. `memory_budget_bytes` bounds
+  // the in-memory record buffer (a spill triggers when it fills).
+  ExternalSorter(std::string temp_prefix, size_t memory_budget_bytes);
+  // Best-effort removal of any remaining run files.
+  ~ExternalSorter();
+
+  ExternalSorter(const ExternalSorter&) = delete;
+  ExternalSorter& operator=(const ExternalSorter&) = delete;
+
+  Status Add(std::string_view record);
+
+  // Sorts and streams every record, in ascending lexicographic order,
+  // to `emit`. Single use. Run files are removed on success.
+  Status Merge(const std::function<Status(std::string_view)>& emit);
+
+  size_t num_runs() const { return run_paths_.size(); }
+  // Runs spilled over the sorter's lifetime (unlike num_runs, survives
+  // Merge removing the run files). 0 = everything fit in memory.
+  size_t runs_spilled() const { return runs_spilled_; }
+
+ private:
+  Status SpillRun();
+  Status RemoveRuns();
+
+  const std::string temp_prefix_;
+  const size_t memory_budget_bytes_;
+  std::vector<std::string> records_;
+  size_t buffered_bytes_ = 0;
+  std::vector<std::string> run_paths_;
+  size_t runs_spilled_ = 0;
+  bool merged_ = false;
+};
+
+// Buffered forward reader over a file region, for single-pass decoding
+// of framed formats (the streaming WGG1 ingest). Varints may span
+// refill boundaries. Optionally feeds every consumed byte to a
+// StreamingSerialChecksum (set via set_checksum).
+class StreamingSerialChecksum;
+
+class SequentialFileReader {
+ public:
+  static Result<std::unique_ptr<SequentialFileReader>> Open(
+      const std::string& path, size_t buffer_bytes = 1 << 20);
+
+  // Reads exactly `n` bytes; fails with Corruption past end of file.
+  Status Read(size_t n, char* out);
+  Status ReadVarint64(uint64_t* v);
+  Status ReadVarint32(uint32_t* v);
+
+  // Bytes consumed so far (= current file offset).
+  uint64_t position() const { return consumed_; }
+  uint64_t file_size() const { return file_->size(); }
+
+  // Subsequent consumed bytes are folded into `sum` (nullptr to stop).
+  void set_checksum(StreamingSerialChecksum* sum) { checksum_ = sum; }
+
+ private:
+  SequentialFileReader(std::unique_ptr<RandomAccessFile> file,
+                       size_t buffer_bytes);
+  Status ReadByte(uint8_t* b);
+  Status Refill();
+
+  std::unique_ptr<RandomAccessFile> file_;
+  const size_t buffer_bytes_;
+  std::string buffer_;
+  size_t buffer_pos_ = 0;
+  uint64_t consumed_ = 0;  // absolute offset of buffer_[buffer_pos_]
+  StreamingSerialChecksum* checksum_ = nullptr;
+};
+
+}  // namespace wg
+
+#endif  // WG_STORAGE_SPILL_H_

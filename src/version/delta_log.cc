@@ -130,7 +130,23 @@ Result<std::unique_ptr<DeltaLog>> DeltaLog::Open(
   if (stats != nullptr) *stats = recovery;
   std::unique_ptr<DeltaLog> log(new DeltaLog(std::move(file)));
   log->num_records_ = recovery.records;
+  log->valid_bytes_ = recovery.valid_bytes;
   return log;
+}
+
+Status DeltaLog::TailFromDisk() {
+  // Fresh open: file_'s cached size does not see external growth.
+  WG_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> file,
+                      RandomAccessFile::Open(file_->path()));
+  if (file->size() <= valid_bytes_) return Status::OK();
+  std::string data;
+  data.resize(file->size() - valid_bytes_);
+  WG_RETURN_IF_ERROR(file->Read(valid_bytes_, data.size(), data.data()));
+  DeltaLogRecoveryStats stats;
+  WG_RETURN_IF_ERROR(ScanFrames(data, nullptr, &stats));
+  num_records_ += stats.records;
+  valid_bytes_ += stats.valid_bytes;
+  return Status::OK();
 }
 
 Status DeltaLog::Append(const DeltaRecord& record) {
@@ -143,6 +159,7 @@ Status DeltaLog::Append(const DeltaRecord& record) {
   frame.append(payload);
   WG_RETURN_IF_ERROR(file_->Append(frame.data(), frame.size()));
   ++num_records_;
+  valid_bytes_ += frame.size();
   return Status::OK();
 }
 

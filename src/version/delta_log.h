@@ -106,6 +106,14 @@ class DeltaLog {
   uint64_t num_records() const { return num_records_; }
   const std::string& path() const { return file_->path(); }
 
+  // Accounts whole valid frames another process appended to the file
+  // since this log was opened (or last tailed), extending num_records().
+  // Unlike Open, a torn tail is left alone -- it may be a concurrent
+  // writer's in-flight append, and the next tail will pick it up once
+  // complete. Lets a long-running reader (wgserve's snapshot manager)
+  // see the on-disk backlog an external `wgtool delta-apply` grows.
+  Status TailFromDisk();
+
   // Replays the valid prefix of the log at `path`, skipping the first
   // `skip_records` records (those a manifest says are already applied) and
   // passing the rest to `fn` in order. Stops at the first invalid frame
@@ -120,6 +128,7 @@ class DeltaLog {
 
   std::unique_ptr<RandomAccessFile> file_;
   uint64_t num_records_ = 0;
+  uint64_t valid_bytes_ = 0;  // length of the validated frame prefix
 };
 
 }  // namespace wg::version

@@ -232,10 +232,18 @@ Result<GenerationPtr> SnapshotManager::Compact() {
   span.AddArg("generation", base->manifest.generation + 1);
   span.AddArg("pending", total - applied);
 
+  // Replay exactly the `total - applied` records this compaction claims
+  // as log_applied in the new manifest: an external writer may append
+  // more frames while we run, and folding those here without accounting
+  // them would double-apply them at the next compaction.
   DeltaOverlay overlay(base->repr->num_pages());
-  WG_RETURN_IF_ERROR(DeltaLog::Replay(
-      log_->path(), applied,
-      [&overlay](const DeltaRecord& r) { return overlay.Apply(r); }));
+  uint64_t remaining = total - applied;
+  WG_RETURN_IF_ERROR(
+      DeltaLog::Replay(log_->path(), applied, [&](const DeltaRecord& r) {
+        if (remaining == 0) return Status::OK();
+        --remaining;
+        return overlay.Apply(r);
+      }));
 
   // Exact edge count of the mutated graph, through the same overlay the
   // incremental build encodes from.
@@ -285,6 +293,11 @@ Result<GenerationPtr> SnapshotManager::Refresh() {
 
 uint64_t SnapshotManager::pending_records() const {
   return log_->num_records() - current()->manifest.log_applied;
+}
+
+Status SnapshotManager::TailLog() {
+  std::lock_guard<std::mutex> admin(admin_mu_);
+  return log_->TailFromDisk();
 }
 
 }  // namespace wg::version

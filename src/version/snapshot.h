@@ -113,6 +113,11 @@ class SnapshotManager {
   // directory -- poll Refresh() and SwapForward on a generation change.
   Result<GenerationPtr> Refresh();
 
+  // Accounts delta records another process appended to the log since it
+  // was opened, so pending_records() reflects the on-disk backlog -- a
+  // long-running server polls this before deciding whether to Compact().
+  Status TailLog();
+
   uint64_t log_records() const { return log_->num_records(); }
   uint64_t pending_records() const;
   const std::string& dir() const { return dir_; }

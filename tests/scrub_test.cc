@@ -22,6 +22,7 @@
 #include "graph/generator.h"
 #include "snode/snode_repr.h"
 #include "storage/file.h"
+#include "version/gc.h"
 #include "version/scrub.h"
 #include "version/snapshot.h"
 
@@ -217,6 +218,81 @@ TEST(ScrubTest, VerifyBeforeInstallHoldsLastGoodGeneration) {
   ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
   EXPECT_EQ(recovered.value()->manifest.generation, 1u);
   EXPECT_EQ(server.value()->current()->manifest.generation, 1u);
+}
+
+// Pack gc: unreferenced packs (e.g. left by a crashed or compacted-away
+// generation) are reported in dry-run, removed only under --apply
+// semantics, and referenced packs are NEVER touched -- the live
+// generation must scrub clean and keep answering queries afterwards.
+TEST(ScrubTest, GcRemovesOnlyUnreferencedPacks) {
+  std::string dir = TempDirFor("gc");
+  WebGraph base = ScrubGraph();
+  auto manager = SnapshotManager::Create(dir, base, {});
+  ASSERT_TRUE(manager.ok());
+  PageId n = static_cast<PageId>(base.num_pages());
+  std::vector<DeltaRecord> batch = {
+      DeltaRecord::AddPage(n, "http://www.gc.example.org/p.html",
+                           "www.gc.example.org", "example.org"),
+      DeltaRecord::AddLink(n, 3),
+      DeltaRecord::AddLink(7, n),
+  };
+  ASSERT_TRUE(manager.value()->AppendDeltas(batch).ok());
+  auto gen1 = manager.value()->Compact();
+  ASSERT_TRUE(gen1.ok());
+
+  // Every pack the live store reads must survive gc.
+  const GraphStore& store = gen1.value()->repr->store();
+  std::vector<std::string> referenced;
+  for (uint32_t id = 0; id < store.num_blobs(); ++id) {
+    referenced.push_back(store.FilePath(store.Location(id).file_index));
+  }
+  ASSERT_FALSE(referenced.empty());
+
+  // An orphan pack: a generation that was never published (crashed
+  // compaction) or whose manifest was superseded long ago.
+  std::string orphan = dir + "/gen-000099.000";
+  {
+    auto file = RandomAccessFile::Open(orphan);
+    ASSERT_TRUE(file.ok());
+    std::string junk(4096, 'j');
+    ASSERT_TRUE(file.value()->Append(junk.data(), junk.size()).ok());
+  }
+
+  // Dry run: the orphan is named, nothing is deleted.
+  version::GcReport dry;
+  ASSERT_TRUE(version::CollectGarbage(dir, {}, &dry).ok());
+  ASSERT_EQ(dry.candidates.size(), 1u);
+  EXPECT_EQ(dry.candidates[0], "gen-000099.000");
+  EXPECT_EQ(dry.packs_removed, 0u);
+  EXPECT_EQ(dry.bytes_reclaimable, 4096u);
+  EXPECT_EQ(::access(orphan.c_str(), F_OK), 0) << "dry run must not delete";
+
+  // Apply: only the orphan goes; every referenced pack survives.
+  version::GcOptions apply;
+  apply.apply = true;
+  version::GcReport applied;
+  ASSERT_TRUE(version::CollectGarbage(dir, apply, &applied).ok());
+  EXPECT_EQ(applied.packs_removed, 1u);
+  EXPECT_EQ(applied.bytes_reclaimed, 4096u);
+  EXPECT_NE(::access(orphan.c_str(), F_OK), 0) << "orphan must be gone";
+  for (const std::string& pack : referenced) {
+    EXPECT_EQ(::access(pack.c_str(), F_OK), 0)
+        << "gc touched referenced pack " << pack;
+  }
+
+  // The live generation is intact: clean scrub, working queries, and a
+  // second gc finds nothing.
+  ScrubReport report;
+  ASSERT_TRUE(version::ScrubSnapshotDir(dir, &report).ok());
+  EXPECT_TRUE(report.clean()) << report.ToString();
+  auto reopened = SnapshotManager::Open(dir, {});
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  LinkView links;
+  auto cursor = reopened.value()->current()->repr->NewCursor();
+  EXPECT_TRUE(cursor->Links(0, &links).ok());
+  version::GcReport again;
+  ASSERT_TRUE(version::CollectGarbage(dir, apply, &again).ok());
+  EXPECT_EQ(again.candidates.size(), 0u);
 }
 
 }  // namespace

@@ -238,6 +238,40 @@ TEST(VersionSnapshotTest, ReopenServesPublishedGenerationAndKeepsPending) {
             mutated.value().num_edges() + 2);
 }
 
+// A long-running server's manager must see backlog grown by another
+// process (wgtool delta-apply appends through its own SnapshotManager):
+// pending_records() counts only what this manager has seen until
+// TailLog() re-scans the on-disk suffix. This is what wgserve's
+// --auto-compact-backlog poller relies on.
+TEST(VersionSnapshotTest, TailLogSeesRecordsAppendedByAnotherManager) {
+  WebGraph base = TestGraph(800);
+  std::string dir = TempDirFor("taillog");
+  auto server = SnapshotManager::Create(dir, base, {});
+  ASSERT_TRUE(server.ok());
+
+  {
+    auto writer = SnapshotManager::Open(dir, {});
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value()
+                    ->AppendDeltas({DeltaRecord::AddLink(2, 7),
+                                    DeltaRecord::AddLink(7, 2)})
+                    .ok());
+  }
+
+  // Invisible until tailed; visible (not double-counted) after.
+  EXPECT_EQ(server.value()->pending_records(), 0u);
+  ASSERT_TRUE(server.value()->TailLog().ok());
+  EXPECT_EQ(server.value()->pending_records(), 2u);
+  ASSERT_TRUE(server.value()->TailLog().ok());
+  EXPECT_EQ(server.value()->pending_records(), 2u);
+
+  auto gen1 = server.value()->Compact();
+  ASSERT_TRUE(gen1.ok());
+  EXPECT_EQ(gen1.value()->manifest.generation, 1u);
+  EXPECT_EQ(server.value()->pending_records(), 0u);
+  EXPECT_EQ(gen1.value()->repr->num_edges(), base.num_edges() + 2);
+}
+
 TEST(VersionSnapshotTest, CompactWithNothingPendingIsANoOp) {
   WebGraph base = TestGraph(600);
   auto manager = SnapshotManager::Create(TempDirFor("noop"), base, {});

@@ -21,6 +21,14 @@
 //       scrub` and re-compact to repair.
 //
 // options:
+//   --auto-compact-backlog N  (snapshot mode) compact in-process when the
+//                     delta-log backlog (records appended but not folded
+//                     into the live generation, i.e. pending_records)
+//                     reaches N. The poller runs the compaction between
+//                     ticks and flips to the new generation through the
+//                     same swap path as an external `wgtool compact`; a
+//                     failed compaction backs off ~5 s before retrying.
+//                     0 (default) disables.
 //   --workers W       worker threads (default 4)
 //   --queue C         admission queue capacity (default 256)
 //   --requests R      synthetic workload size (default 20000)
@@ -118,6 +126,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: wgserve (--pages N [--seed S] | --crawl crawl.wg |\n"
                "                --snapshot DIR)\n"
+               "               [--auto-compact-backlog N]\n"
                "               [--workers W] [--queue C] [--requests R]\n"
                "               [--theta T] [--khop K] [--file PATH]\n"
                "               [--deadline-ms D] [--buffer BYTES]\n"
@@ -464,6 +473,20 @@ int Main(int argc, char** argv) {
     if (!started.ok()) return Fail(started);
   }
 
+  long auto_compact_backlog = 0;
+  if (const char* n = FlagValue(argc, argv, "--auto-compact-backlog")) {
+    auto_compact_backlog = std::strtol(n, nullptr, 10);
+    if (auto_compact_backlog <= 0) {
+      std::fprintf(stderr, "wgserve: --auto-compact-backlog must be > 0\n");
+      return 1;
+    }
+    if (snapshot == nullptr) {
+      std::fprintf(stderr,
+                   "wgserve: --auto-compact-backlog requires --snapshot\n");
+      return 1;
+    }
+  }
+
   server::QueryService service(ctx, sopts);
   // In snapshot mode the forward representation is the live generation,
   // installed via SwapForward so later flips follow the same path; a
@@ -475,8 +498,41 @@ int Main(int argc, char** argv) {
     poller = std::thread([&] {
       uint64_t live = manager->current()->manifest.generation;
       bool degraded_state = false;
+      int compact_backoff = 0;
       while (!stop_poller.load(std::memory_order_relaxed)) {
         std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        if (auto_compact_backlog > 0) {
+          // Fold the delta backlog in-process once it crosses the
+          // threshold. Compact() installs the new generation in this
+          // manager, so the Refresh below sees it and runs the exact
+          // same flip path an external `wgtool compact` would take.
+          // Tail the on-disk log first: the backlog usually grows in
+          // another process (wgtool delta-apply), invisible to this
+          // manager's in-memory record count until tailed. A failed
+          // tail only leaves the count stale for this tick.
+          if (compact_backoff > 0) {
+            --compact_backoff;
+          } else if (manager->TailLog().ok() &&
+                     manager->pending_records() >=
+                         static_cast<uint64_t>(auto_compact_backlog)) {
+            uint64_t backlog = manager->pending_records();
+            auto compacted = manager->Compact();
+            if (!compacted.ok()) {
+              // Persistent failures (full disk, corrupt log) must not
+              // hot-loop a compaction every tick: back off ~5 s.
+              compact_backoff = 50;
+              std::fprintf(stderr, "auto-compact failed, backing off: %s\n",
+                           compacted.status().ToString().c_str());
+            } else {
+              std::printf(
+                  "auto-compact: folded %llu pending records into "
+                  "generation %llu\n",
+                  static_cast<unsigned long long>(backlog),
+                  static_cast<unsigned long long>(
+                      compacted.value()->manifest.generation));
+            }
+          }
+        }
         auto refreshed = manager->Refresh();
         if (!refreshed.ok()) {
           // A non-corruption failure is a mid-publish race; retry next

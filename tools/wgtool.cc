@@ -5,7 +5,7 @@
 //   wgtool stats crawl.wg
 //       Print structural statistics of a saved crawl.
 //   wgtool build crawl.wg --store BASE [--threads N] [--trace-out F]
-//                [--max-file-size BYTES]
+//                [--max-file-size BYTES] [--mem-budget BYTES]
 //       Build an S-Node representation at BASE.{000,001,...} + BASE.meta.
 //       N worker threads (default: all hardware threads); the output is
 //       byte-identical for every N. --trace-out writes the build's phase
@@ -13,6 +13,10 @@
 //       trace-event JSONL, viewable in Perfetto. --max-file-size caps each
 //       pack file (suffixes k/m/g accepted; default 512k) -- raise it at
 //       1M+ pages so the store doesn't fragment into thousands of files.
+//       --mem-budget switches to the out-of-core build: the crawl file is
+//       streamed (never fully resident) and intermediate data beyond the
+//       budget spills to BASE.spill/, producing byte-identical output with
+//       bounded peak RSS. Use it when the crawl outgrows memory.
 //   wgtool info BASE
 //       Print the resident structure of a persisted S-Node representation.
 //   wgtool links BASE PAGE [crawl.wg]
@@ -50,6 +54,12 @@
 //       recorded CRC32 and file extents; prints a per-store report and
 //       exits non-zero if any blob is damaged. Read-only -- safe against
 //       a store another process is serving.
+//   wgtool gc DIR [--apply]
+//       Find pack files no longer referenced by the live manifest (after
+//       compactions have re-encoded everything they held) and report the
+//       reclaimable bytes. Dry-run by default; --apply unlinks them.
+//       Referenced packs, CURRENT, MANIFEST-*, and deltas.log are never
+//       touched.
 
 #include <unistd.h>
 
@@ -63,6 +73,7 @@
 #include <string>
 #include <vector>
 
+#include "graph/edge_source.h"
 #include "graph/generator.h"
 #include "graph/graph_io.h"
 #include "graph/stats.h"
@@ -72,9 +83,11 @@
 #include "repr/relational_repr.h"
 #include "repr/uncompressed_repr.h"
 #include "snode/snode_repr.h"
+#include "snode/streaming_build.h"
 #include "storage/file.h"
 #include "text/pagerank.h"
 #include "util/parallel.h"
+#include "version/gc.h"
 #include "version/scrub.h"
 #include "version/snapshot.h"
 
@@ -88,7 +101,7 @@ int Usage() {
       "  wgtool generate --pages N [--seed S] --out crawl.wg\n"
       "  wgtool stats crawl.wg\n"
       "  wgtool build crawl.wg --store BASE [--threads N] [--trace-out F]\n"
-      "               [--max-file-size BYTES]\n"
+      "               [--max-file-size BYTES] [--mem-budget BYTES]\n"
       "  wgtool info BASE\n"
       "  wgtool links BASE PAGE [crawl.wg]\n"
       "  wgtool pagerank BASE [--top K]\n"
@@ -97,7 +110,8 @@ int Usage() {
       "  wgtool delta-apply DIR deltas.txt\n"
       "  wgtool compact DIR\n"
       "  wgtool snapshots DIR\n"
-      "  wgtool scrub PATH\n");
+      "  wgtool scrub PATH\n"
+      "  wgtool gc DIR [--apply]\n");
   return 2;
 }
 
@@ -189,8 +203,18 @@ int CmdBuild(int argc, char** argv) {
       return 2;
     }
   }
-  auto graph = LoadWebGraph(argv[2]);
-  if (!graph.ok()) return Fail(graph.status());
+  const char* mem_budget = FlagValue(argc, argv, "--mem-budget");
+  BuildMemoryBudget budget;
+  if (mem_budget != nullptr) {
+    uint64_t bytes = 0;
+    if (!ParseByteSize(mem_budget, &bytes)) {
+      std::fprintf(stderr,
+                   "error: --mem-budget wants BYTES[k|m|g], got \"%s\"\n",
+                   mem_budget);
+      return 2;
+    }
+    budget.total_bytes = static_cast<size_t>(bytes);
+  }
   obs::Tracer& tracer = obs::Tracer::Global();
   const char* trace_out = FlagValue(argc, argv, "--trace-out");
   if (trace_out != nullptr) {
@@ -199,8 +223,19 @@ int CmdBuild(int argc, char** argv) {
     if (!opened.ok()) return Fail(opened);
   }
   RefinementStats stats;
+  StreamingBuildReport report;
   Result<std::unique_ptr<SNodeRepr>> repr = [&] {
     obs::Span root("wgtool.build", "build", obs::Span::RootTag{});
+    if (mem_budget != nullptr) {
+      // Out-of-core: stream the crawl file, never materialize the graph.
+      FileEdgeSource source(argv[2]);
+      return BuildStreaming(&source, store, options, budget, &stats,
+                            &report);
+    }
+    auto graph = LoadWebGraph(argv[2]);
+    if (!graph.ok()) {
+      return Result<std::unique_ptr<SNodeRepr>>(graph.status());
+    }
     return SNodeRepr::Build(graph.value(), store, options, &stats);
   }();
   if (!repr.ok()) return Fail(repr.status());
@@ -214,6 +249,14 @@ int CmdBuild(int argc, char** argv) {
                 static_cast<unsigned long long>(spans), trace_out);
   }
   std::printf("refinement: %s\n", stats.ToString().c_str());
+  if (mem_budget != nullptr) {
+    std::printf("streaming: budget %zu MB, %zu sort runs spilled\n",
+                budget.effective_bytes() >> 20, report.initial_sort_runs);
+    for (const StreamingBuildPhase& phase : report.phases) {
+      std::printf("  %-8s %8.2fs  peak rss %.1f MB\n", phase.name.c_str(),
+                  phase.seconds, phase.peak_rss_bytes / (1024.0 * 1024.0));
+    }
+  }
   std::printf("built %s: %u supernodes, %llu superedges, %.2f bits/link, "
               "%zu store files, %d threads\n",
               store, repr.value()->supernode_graph().num_supernodes(),
@@ -489,6 +532,35 @@ int CmdScrub(int argc, char** argv) {
   return 0;
 }
 
+int CmdGc(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  version::GcOptions gopts;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--apply") == 0) gopts.apply = true;
+  }
+  version::GcReport report;
+  Status collected = version::CollectGarbage(argv[2], gopts, &report);
+  if (!collected.ok()) return Fail(collected);
+  std::printf("%s: %llu packs scanned, %llu referenced, %zu unreferenced\n",
+              argv[2],
+              static_cast<unsigned long long>(report.packs_scanned),
+              static_cast<unsigned long long>(report.packs_referenced),
+              report.candidates.size());
+  for (const std::string& name : report.candidates) {
+    std::printf("  %s %s\n", gopts.apply ? "removed" : "would remove",
+                name.c_str());
+  }
+  if (gopts.apply) {
+    std::printf("reclaimed %.1f MB in %llu packs\n",
+                report.bytes_reclaimed / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(report.packs_removed));
+  } else if (!report.candidates.empty()) {
+    std::printf("dry run: %.1f MB reclaimable; rerun with --apply\n",
+                report.bytes_reclaimable / (1024.0 * 1024.0));
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
@@ -504,6 +576,7 @@ int Main(int argc, char** argv) {
   if (command == "compact") return CmdCompact(argc, argv);
   if (command == "snapshots") return CmdSnapshots(argc, argv);
   if (command == "scrub") return CmdScrub(argc, argv);
+  if (command == "gc") return CmdGc(argc, argv);
   return Usage();
 }
 
